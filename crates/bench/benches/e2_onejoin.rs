@@ -1,0 +1,24 @@
+//! Criterion benchmark regenerating experiment e2_onejoin (see lpb-bench docs
+//! for the paper table it corresponds to) and measuring its end-to-end cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpb_bench::experiments::e2_onejoin;
+use lpb_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    c.bench_function("e2_onejoin", |b| {
+        b.iter(|| {
+            let rows = e2_onejoin::run(&scale);
+            assert!(!rows.is_empty());
+            rows.len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion benchmark for experiment E3 (Figure 1, the acyclic JOB-like
+//! suite).  The full 33-query suite is expensive, so the benchmark measures
+//! a representative subset of small, medium and large queries; the full
+//! table is produced by the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpb_bench::experiments::e3_job;
+use lpb_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    c.bench_function("e3_job_subset", |b| {
+        b.iter(|| {
+            let rows = e3_job::run_subset(&scale, Some(&[1, 7, 19, 28]));
+            assert_eq!(rows.len(), 4);
+            rows.len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

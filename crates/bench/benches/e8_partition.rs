@@ -1,0 +1,24 @@
+//! Criterion benchmark regenerating experiment e8_partition (see lpb-bench docs
+//! for the paper table it corresponds to) and measuring its end-to-end cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpb_bench::experiments::e8_partition;
+use lpb_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    c.bench_function("e8_partition", |b| {
+        b.iter(|| {
+            let rows = e8_partition::run(&scale);
+            assert!(!rows.is_empty());
+            rows.len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Micro-benchmark of the bound computation itself: how the polymatroid and
+//! normal-cone LPs scale with the number of query variables and the number of
+//! harvested norms.  This is the cost a query optimizer would pay per
+//! cardinality estimate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lpb_core::{collect_simple_statistics, compute_bound, CollectConfig, Cone, JoinQuery};
+use lpb_datagen::{graph_catalog, PowerLawGraphConfig};
+
+fn bench(c: &mut Criterion) {
+    let catalog = graph_catalog(&PowerLawGraphConfig {
+        nodes: 500,
+        edges: 3_000,
+        exponent: 1.6,
+        symmetric: true,
+        seed: 99,
+    });
+
+    // Path queries of growing length: polymatroid cone for ≤ 8 variables.
+    let mut group = c.benchmark_group("polymatroid_lp_by_vars");
+    group.sample_size(10);
+    for len in [2usize, 3, 4, 5, 6] {
+        let q = JoinQuery::path(&vec!["E"; len]);
+        let stats =
+            collect_simple_statistics(&q, &catalog, &CollectConfig::with_max_norm(6)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(len + 1), &len, |b, _| {
+            b.iter(|| compute_bound(&q, &stats, Cone::Polymatroid).unwrap().log2_bound)
+        });
+    }
+    group.finish();
+
+    // The same query, growing the norm budget: LP rows scale with the number
+    // of statistics.
+    let mut group = c.benchmark_group("lp_by_norm_budget");
+    group.sample_size(10);
+    let q = JoinQuery::path(&vec!["E"; 4]);
+    for max_p in [2u32, 5, 10, 20, 30] {
+        let stats =
+            collect_simple_statistics(&q, &catalog, &CollectConfig::with_max_norm(max_p))
+                .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(max_p), &max_p, |b, _| {
+            b.iter(|| compute_bound(&q, &stats, Cone::Polymatroid).unwrap().log2_bound)
+        });
+    }
+    group.finish();
+
+    // Normal cone vs polymatroid cone on the same (simple) statistics.
+    let mut group = c.benchmark_group("cone_comparison");
+    group.sample_size(10);
+    let q = JoinQuery::path(&vec!["E"; 5]);
+    let stats =
+        collect_simple_statistics(&q, &catalog, &CollectConfig::with_max_norm(8)).unwrap();
+    for cone in [Cone::Polymatroid, Cone::Normal] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cone.name()),
+            &cone,
+            |b, &cone| b.iter(|| compute_bound(&q, &stats, cone).unwrap().log2_bound),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

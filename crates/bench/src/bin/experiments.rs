@@ -1,0 +1,64 @@
+//! Print every experiment table of the paper reproduction.
+//!
+//! ```text
+//! cargo run --release -p lpb-bench --bin experiments            # all experiments
+//! cargo run --release -p lpb-bench --bin experiments -- e3      # one experiment
+//! cargo run --release -p lpb-bench --bin experiments -- --tiny  # smoke scale
+//! ```
+
+use lpb_bench::experiments::{
+    e1_triangle, e2_onejoin, e3_job, e4_dsb_gap, e5_cycle, e6_worstcase, e7_nonshannon,
+    e8_partition,
+};
+use lpb_bench::{table, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let scale = if tiny { Scale::tiny() } else { Scale::default() };
+    let selected: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+
+    if want("e1") {
+        println!("\n== E1: triangle query on SNAP-like graphs (Appendix C.1) ==");
+        println!("ratios of each bound/estimate to the true triangle count; lower is better, 1 is perfect\n");
+        let rows: Vec<Vec<String>> = e1_triangle::run(&scale).iter().map(|r| r.cells()).collect();
+        println!("{}", table::render(&e1_triangle::HEADERS, &rows));
+    }
+    if want("e2") {
+        println!("\n== E2: one-join (self-join) query on SNAP-like graphs (Appendix C.1) ==\n");
+        let rows: Vec<Vec<String>> = e2_onejoin::run(&scale).iter().map(|r| r.cells()).collect();
+        println!("{}", table::render(&e2_onejoin::HEADERS, &rows));
+    }
+    if want("e3") {
+        println!("\n== E3: 33 acyclic JOB-like join queries (Figure 1) ==");
+        println!("ratios of bound/estimate to the true cardinality\n");
+        let rows: Vec<Vec<String>> = e3_job::run(&scale).iter().map(|r| r.cells()).collect();
+        println!("{}", table::render(&e3_job::HEADERS, &rows));
+    }
+    if want("e4") {
+        println!("\n== E4: DSB vs ℓp bound on the single join (Appendix C.3) ==\n");
+        let rows: Vec<Vec<String>> = e4_dsb_gap::run(&scale).iter().map(|r| r.cells()).collect();
+        println!("{}", table::render(&e4_dsb_gap::HEADERS, &rows));
+    }
+    if want("e5") {
+        println!("\n== E5: cycle queries where the ℓp norm is optimal (Example 2.3 / Appendix C.5) ==\n");
+        let rows: Vec<Vec<String>> = e5_cycle::run(&scale).iter().map(|r| r.cells()).collect();
+        println!("{}", table::render(&e5_cycle::HEADERS, &rows));
+    }
+    if want("e6") {
+        println!("\n== E6: worst-case (normal) databases achieve the bound (§6) ==\n");
+        let rows: Vec<Vec<String>> = e6_worstcase::run(&scale).iter().map(|r| r.cells()).collect();
+        println!("{}", table::render(&e6_worstcase::HEADERS, &rows));
+    }
+    if want("e7") {
+        println!("\n== E7: the 35/36 non-Shannon gap of the polymatroid bound (Appendix D.2) ==\n");
+        let rows: Vec<Vec<String>> = e7_nonshannon::run(&scale).iter().map(|r| r.cells()).collect();
+        println!("{}", table::render(&e7_nonshannon::HEADERS, &rows));
+    }
+    if want("e8") {
+        println!("\n== E8: partitioned evaluation within the ℓp bound (§2.2, Theorem 2.6) ==\n");
+        let rows: Vec<Vec<String>> = e8_partition::run(&scale).iter().map(|r| r.cells()).collect();
+        println!("{}", table::render(&e8_partition::HEADERS, &rows));
+    }
+}

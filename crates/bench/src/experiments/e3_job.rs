@@ -1,0 +1,139 @@
+//! E3 — Figure 1: the 33 acyclic JOB-like join queries.
+//!
+//! For every query the paper reports the number of relations, the ratio of
+//! the ℓp bound to the true cardinality, the set of norms the optimal bound
+//! uses, and the ratios of the AGM bound, the PANDA bound, and the
+//! traditional estimator.  The shape to reproduce: the AGM bound is
+//! astronomically loose (tens of orders of magnitude), PANDA is orders of
+//! magnitude loose, the ℓp bound stays within a few orders of magnitude
+//! (often within one), the optimal bound uses a *mix* of norms always
+//! including ℓ∞ (key–foreign-key joins), and the traditional estimator
+//! underestimates.
+
+use super::{compare_bounds, render_norms, BoundComparison};
+use crate::Scale;
+use lpb_datagen::{job_like_catalog, job_like_queries, JobLikeConfig};
+use lpb_exec::yannakakis_count;
+
+/// One row of Figure 1.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Query number (1–33).
+    pub id: usize,
+    /// Number of relations joined.
+    pub relations: usize,
+    /// True output cardinality.
+    pub truth: u128,
+    /// Bound comparisons.
+    pub bounds: BoundComparison,
+}
+
+impl Row {
+    /// Render as the paper's Figure 1 columns.
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            self.id.to_string(),
+            self.relations.to_string(),
+            crate::table::ratio(self.bounds.ratio(self.bounds.log2_ours)),
+            render_norms(&self.bounds.norms_used),
+            crate::table::ratio(self.bounds.ratio(self.bounds.log2_agm)),
+            crate::table::ratio(self.bounds.ratio(self.bounds.log2_panda)),
+            crate::table::ratio(self.bounds.ratio(self.bounds.log2_textbook)),
+        ]
+    }
+}
+
+/// Column headers of the Figure-1 table.
+pub const HEADERS: [&str; 7] = [
+    "query",
+    "#relations",
+    "ours",
+    "norms",
+    "AGM {1}",
+    "PANDA {1,∞}",
+    "textbook",
+];
+
+/// Run E3 at the given scale, optionally restricting to a subset of query
+/// ids (used by the Criterion benchmark to keep iterations short).
+pub fn run_subset(scale: &Scale, ids: Option<&[usize]>) -> Vec<Row> {
+    let config = JobLikeConfig {
+        movies: scale.job_movies,
+        link_fanout: scale.job_fanout,
+        seed: 2024,
+        ..JobLikeConfig::default()
+    };
+    let catalog = job_like_catalog(&config);
+    let mut rows = Vec::new();
+    for jq in job_like_queries() {
+        if let Some(ids) = ids {
+            if !ids.contains(&jq.id) {
+                continue;
+            }
+        }
+        let truth = yannakakis_count(&jq.query, &catalog).expect("acyclic query");
+        let bounds = compare_bounds(&jq.query, &catalog, truth.max(1), scale.max_norm);
+        rows.push(Row {
+            id: jq.id,
+            relations: jq.query.n_atoms(),
+            truth,
+            bounds,
+        });
+    }
+    rows
+}
+
+/// Run the full 33-query suite.
+pub fn run(scale: &Scale) -> Vec<Row> {
+    run_subset(scale, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A handful of queries at tiny scale keeps the test fast while covering
+    /// small, medium and large queries.
+    #[test]
+    fn job_rows_have_the_figure_1_shape() {
+        let rows = run_subset(&Scale::tiny(), Some(&[1, 3, 7, 19, 28]));
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            let b = &row.bounds;
+            assert!((4..=14).contains(&row.relations));
+            // Bounds dominate the truth and are ordered ours ≤ PANDA ≤ AGM.
+            assert!(b.log2_ours >= b.log2_truth - 1e-6, "q{}", row.id);
+            assert!(b.log2_ours <= b.log2_panda + 1e-6, "q{}", row.id);
+            assert!(b.log2_panda <= b.log2_agm + 1e-6, "q{}", row.id);
+            // The AGM bound is loose on key-FK joins even at tiny scale (at
+            // full scale the gap is tens of orders of magnitude).
+            assert!(
+                b.log2_agm - b.log2_truth >= 1.0,
+                "q{}: AGM only {} bits above truth",
+                row.id,
+                b.log2_agm - b.log2_truth
+            );
+            assert_eq!(row.cells().len(), HEADERS.len());
+        }
+        // On the larger queries the AGM gap grows to many orders of
+        // magnitude.
+        let max_agm_gap = rows
+            .iter()
+            .map(|r| r.bounds.log2_agm - r.bounds.log2_truth)
+            .fold(0.0f64, f64::max);
+        assert!(max_agm_gap >= 6.0, "largest AGM gap only {max_agm_gap} bits");
+        // Key–foreign-key joins make the ℓ∞ norm show up in the optimal
+        // certificates (max degree of a key column is one).
+        assert!(
+            rows.iter()
+                .any(|r| r.bounds.norms_used.iter().any(|n| n.is_infinite())),
+            "no query used the ℓ∞ norm"
+        );
+        // The ℓp bound improves on PANDA for at least some queries.
+        let improved = rows
+            .iter()
+            .filter(|r| r.bounds.log2_panda - r.bounds.log2_ours > 0.05)
+            .count();
+        assert!(improved >= 2, "only {improved}/5 queries improved on PANDA");
+    }
+}

@@ -1,0 +1,173 @@
+//! E7 — Appendix D.2, Theorem D.3(2): the polymatroid bound is not tight in
+//! general (the 35/36 gap).
+//!
+//! The paper derives, from Zhang–Yeung's non-Shannon inequality, an
+//! α-acyclic 4-variable query and a set of (non-simple) statistics for
+//! which every database satisfying the `k`-amplified statistics has
+//! `log₂|Q| ≤ 35k/9`, while the polymatroid bound is `4k` — a gap of
+//! exponent 35/36.  This experiment computes the polymatroid LP bound for
+//! the amplified statistics, checks it equals `4k` (the Figure-2 lattice
+//! polymatroid is feasible and optimal), and reports the gap against the
+//! non-Shannon certificate `35k/9`.
+
+use crate::Scale;
+use lpb_core::{compute_bound, Atom, ConcreteStatistic, Cone, JoinQuery, StatisticsSet};
+use lpb_data::Norm;
+use lpb_entropy::{Conditional, VarSet};
+
+/// One row of the E7 series (one amplification factor `k`).
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Amplification factor.
+    pub k: f64,
+    /// The polymatroid LP bound `Log-L-Bound_Γn`.
+    pub log2_polymatroid: f64,
+    /// The non-Shannon certificate `35k/9` from inequality (59).
+    pub log2_non_shannon: f64,
+}
+
+impl Row {
+    /// The exponent ratio non-Shannon / polymatroid (→ 35/36 ≈ 0.972).
+    pub fn ratio(&self) -> f64 {
+        self.log2_non_shannon / self.log2_polymatroid
+    }
+
+    /// Render for the experiments binary.
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            format!("{:.0}", self.k),
+            format!("{:.3}", self.log2_polymatroid),
+            format!("{:.3}", self.log2_non_shannon),
+            format!("{:.4}", self.ratio()),
+        ]
+    }
+}
+
+/// Column headers of the E7 table.
+pub const HEADERS: [&str; 4] = ["k", "polymatroid bound", "non-Shannon bound", "ratio"];
+
+/// The query of Appendix D.2:
+/// `Q(A,B,X,Y) = R1(A,B,X,Y) ∧ R2(B,X) ∧ R3(B,Y) ∧ R4(X,Y) ∧ R5(A,Y) ∧ R6(A,X)`.
+pub fn gap_query() -> JoinQuery {
+    JoinQuery::new(
+        "non-shannon-gap",
+        vec![
+            Atom::new("R1", &["A", "B", "X", "Y"]),
+            Atom::new("R2", &["B", "X"]),
+            Atom::new("R3", &["B", "Y"]),
+            Atom::new("R4", &["X", "Y"]),
+            Atom::new("R5", &["A", "Y"]),
+            Atom::new("R6", &["A", "X"]),
+        ],
+    )
+    .expect("well-formed query")
+}
+
+/// The eleven statistics of Appendix D.2 with their log-bounds scaled by `k`.
+pub fn gap_statistics(query: &JoinQuery, k: f64) -> StatisticsSet {
+    let reg = query.registry();
+    let set = |names: &[&str]| reg.set_of(names).expect("registered variables");
+    let mut stats = StatisticsSet::new();
+    let mut push = |v: &[&str], u: &[&str], norm: Norm, atom: usize, b: f64| {
+        stats.push(ConcreteStatistic::new(
+            Conditional::new(set(v), if u.is_empty() { VarSet::EMPTY } else { set(u) }),
+            norm,
+            atom,
+            b * k,
+        ));
+    };
+    // ‖deg_{R1}(B | AXY)‖₅ ≤ 2^{4/5}, ‖deg_{R1}(A | BXY)‖₂ ≤ 2^2,
+    // ‖deg_{R1}(XY | AB)‖₂ ≤ 2^2.
+    push(&["B"], &["A", "X", "Y"], Norm::Finite(5.0), 0, 4.0 / 5.0);
+    push(&["A"], &["B", "X", "Y"], Norm::L2, 0, 2.0);
+    push(&["X", "Y"], &["A", "B"], Norm::L2, 0, 2.0);
+    // |R2| ≤ 2^3, |R3| ≤ 2^3.
+    push(&["B", "X"], &[], Norm::L1, 1, 3.0);
+    push(&["B", "Y"], &[], Norm::L1, 2, 3.0);
+    // ‖deg_{R4}(Y|X)‖₃ ≤ 2^{5/3}, ‖deg_{R4}(X|Y)‖₃ ≤ 2^{5/3}.
+    push(&["Y"], &["X"], Norm::Finite(3.0), 3, 5.0 / 3.0);
+    push(&["X"], &["Y"], Norm::Finite(3.0), 3, 5.0 / 3.0);
+    // ‖deg_{R5}(Y|A)‖₃ ≤ 2^{5/3}, ‖deg_{R5}(A|Y)‖₃ ≤ 2^{5/3}.
+    push(&["Y"], &["A"], Norm::Finite(3.0), 4, 5.0 / 3.0);
+    push(&["A"], &["Y"], Norm::Finite(3.0), 4, 5.0 / 3.0);
+    // ‖deg_{R6}(A|X)‖₂ ≤ 2^2, |R6| ≤ 2^3.
+    push(&["A"], &["X"], Norm::L2, 5, 2.0);
+    push(&["A", "X"], &[], Norm::L1, 5, 3.0);
+    stats
+}
+
+/// Run E7 for a few amplification factors.
+pub fn run(_scale: &Scale) -> Vec<Row> {
+    [1.0, 3.0, 9.0].iter().map(|&k| run_one(k)).collect()
+}
+
+/// Run one amplification factor.
+pub fn run_one(k: f64) -> Row {
+    let query = gap_query();
+    let stats = gap_statistics(&query, k);
+    let bound = compute_bound(&query, &stats, Cone::Polymatroid).expect("4-variable LP");
+    Row {
+        k,
+        log2_polymatroid: bound.log2_bound,
+        log2_non_shannon: 35.0 * k / 9.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpb_entropy::lattice::zhang_yeung_polymatroid;
+
+    #[test]
+    fn polymatroid_bound_is_at_least_4k_and_the_gap_is_at_most_35_over_36() {
+        for row in run(&Scale::tiny()) {
+            // The Figure-2 lattice polymatroid scaled by k is feasible with
+            // h(ABXY) = 4k, so the polymatroid bound is at least 4k...
+            assert!(
+                row.log2_polymatroid >= 4.0 * row.k - 1e-5,
+                "k={}: polymatroid bound {} < 4k",
+                row.k,
+                row.log2_polymatroid
+            );
+            // ...while every database satisfying the statistics has
+            // log₂|Q| ≤ 35k/9, so the bound overshoots by at least 36/35.
+            assert!(
+                row.ratio() <= 35.0 / 36.0 + 1e-5,
+                "k={}: ratio {}",
+                row.k,
+                row.ratio()
+            );
+            assert_eq!(row.cells().len(), HEADERS.len());
+        }
+    }
+
+    #[test]
+    fn figure_2_lattice_polymatroid_satisfies_the_statistics() {
+        // The Zhang–Yeung lattice polymatroid of Figure 2 is the witness that
+        // the polymatroid LP value is at least 4: it satisfies every
+        // statistic with k = 1 and has h(ABXY) = 4.
+        let (reg, h) = zhang_yeung_polymatroid();
+        let query = gap_query();
+        let stats = gap_statistics(&query, 1.0);
+        // Map query variable indices to lattice registry indices by name.
+        let to_lattice = |set: VarSet| -> VarSet {
+            VarSet::from_indices(set.iter().map(|i| {
+                reg.index_of(query.registry().name(i))
+                    .expect("same variable names")
+            }))
+        };
+        for s in stats.iter() {
+            let u = to_lattice(s.stat.conditional.u);
+            let v = to_lattice(s.stat.conditional.v);
+            let value = s.stat.norm.reciprocal() * h.get(u) + h.conditional(v, u);
+            assert!(
+                value <= s.log_bound + 1e-9,
+                "statistic {} violated: {} > {}",
+                s.stat.conditional,
+                value,
+                s.log_bound
+            );
+        }
+        assert!((h.get(to_lattice(query.all_vars())) - 4.0).abs() < 1e-9);
+    }
+}

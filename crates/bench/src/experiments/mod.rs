@@ -1,0 +1,119 @@
+//! Experiment implementations, one module per paper table/figure.
+
+pub mod e1_triangle;
+pub mod e2_onejoin;
+pub mod e3_job;
+pub mod e4_dsb_gap;
+pub mod e5_cycle;
+pub mod e6_worstcase;
+pub mod e7_nonshannon;
+pub mod e8_partition;
+
+use lpb_core::{
+    agm_bound, collect_simple_statistics, compute_bound, textbook_log2_estimate, CollectConfig,
+    Cone, JoinQuery,
+};
+use lpb_data::{Catalog, Norm};
+
+/// The bounds the paper's Appendix C tables compare, for one query on one
+/// database, all in `log₂` space.
+#[derive(Debug, Clone)]
+pub struct BoundComparison {
+    /// `log₂` of the true output cardinality.
+    pub log2_truth: f64,
+    /// The `{1}`-bound (AGM).
+    pub log2_agm: f64,
+    /// The `{1, ∞}`-bound (PANDA).
+    pub log2_panda: f64,
+    /// The `{2}`-bound (ℓ2 statistics only).
+    pub log2_l2: f64,
+    /// The full ℓp bound with norms `{1, …, max_norm, ∞}`.
+    pub log2_ours: f64,
+    /// The textbook (average-degree) estimate.
+    pub log2_textbook: f64,
+    /// The norms used by the optimal full bound.
+    pub norms_used: Vec<Norm>,
+}
+
+impl BoundComparison {
+    /// Ratio of a `log₂` bound to the truth, in linear space.
+    pub fn ratio(&self, log2_bound: f64) -> f64 {
+        (log2_bound - self.log2_truth).exp2()
+    }
+}
+
+/// Compute every bound the Appendix C tables report for `query` on
+/// `catalog`, given the (externally computed) true cardinality.
+pub fn compare_bounds(
+    query: &JoinQuery,
+    catalog: &Catalog,
+    truth: u128,
+    max_norm: u32,
+) -> BoundComparison {
+    let log2_truth = (truth.max(1) as f64).log2();
+
+    let full_cfg = CollectConfig::with_max_norm(max_norm);
+    let stats = collect_simple_statistics(query, catalog, &full_cfg)
+        .expect("statistics harvest succeeds on experiment catalogs");
+    let cone = Cone::auto(query, &stats);
+
+    let ours = compute_bound(query, &stats, cone).expect("full bound");
+    let panda = compute_bound(
+        query,
+        &stats.filter_norms(|n| n == Norm::L1 || n == Norm::Infinity),
+        cone,
+    )
+    .expect("panda bound");
+    let l2_only = compute_bound(query, &stats.filter_norms(|n| n == Norm::L2), cone)
+        .expect("l2 bound");
+    let agm = agm_bound(query, catalog).expect("agm bound");
+    let textbook = textbook_log2_estimate(query, catalog).expect("textbook estimate");
+    let norms_used = ours.witness.norms_used(&stats, 1e-7);
+
+    BoundComparison {
+        log2_truth,
+        log2_agm: agm.log2_bound,
+        log2_panda: panda.log2_bound,
+        log2_l2: l2_only.log2_bound,
+        log2_ours: ours.log2_bound,
+        log2_textbook: textbook,
+        norms_used,
+    }
+}
+
+/// Render a norm list the way Figure 1 does: `{2,3,∞}`.
+pub fn render_norms(norms: &[Norm]) -> String {
+    let inner: Vec<String> = norms.iter().map(|n| n.to_string()).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpb_data::RelationBuilder;
+    use lpb_exec::true_cardinality;
+
+    #[test]
+    fn bound_ordering_holds_on_a_small_graph() {
+        let mut catalog = Catalog::new();
+        catalog.insert(RelationBuilder::binary_from_pairs(
+            "E",
+            "src",
+            "dst",
+            (0..200u64).map(|i| (i % 23, (i * 7 + 1) % 31)),
+        ));
+        let q = JoinQuery::single_join("E", "E");
+        let truth = true_cardinality(&q, &catalog).unwrap();
+        let c = compare_bounds(&q, &catalog, truth, 4);
+        // Upper bounds dominate the truth; the full bound is the tightest.
+        for b in [c.log2_agm, c.log2_panda, c.log2_l2, c.log2_ours] {
+            assert!(b >= c.log2_truth - 1e-6);
+        }
+        assert!(c.log2_ours <= c.log2_panda + 1e-6);
+        assert!(c.log2_ours <= c.log2_l2 + 1e-6);
+        assert!(c.log2_panda <= c.log2_agm + 1e-6);
+        assert!(c.ratio(c.log2_ours) >= 1.0 - 1e-9);
+        assert!(!c.norms_used.is_empty());
+        assert!(render_norms(&c.norms_used).starts_with('{'));
+    }
+}

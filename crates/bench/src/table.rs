@@ -1,0 +1,79 @@
+//! Minimal fixed-width table rendering for the experiment binary.
+
+/// Render a table with a header row and aligned columns.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let n_cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(n_cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .take(n_cols)
+            .map(|(i, c)| format!(" {:<width$} ", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a ratio the way the paper reports it: two decimals below 1000,
+/// scientific notation above.
+pub fn ratio(value: f64) -> String {
+    if !value.is_finite() {
+        "∞".to_string()
+    } else if value >= 1000.0 || (value > 0.0 && value < 0.01) {
+        format!("{value:.2e}")
+    } else {
+        format!("{value:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let out = render(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1.00".into()],
+                vec!["longer-name".into(), "2.50".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].contains('a'));
+        // All data lines have the same width.
+        assert_eq!(lines[2].chars().count(), lines[3].chars().count());
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(3.44), "3.44");
+        assert_eq!(ratio(f64::INFINITY), "∞");
+        assert!(ratio(1.0e15).contains('e'));
+        assert!(ratio(0.0001).contains('e'));
+    }
+}

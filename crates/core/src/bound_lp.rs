@@ -1,0 +1,578 @@
+//! The bound LP: `Log-L-Bound_K(Σ, b) = max h(X)` over a cone `K` subject to
+//! the statistics constraints (Theorem 5.2 / Example 5.3 of the paper).
+
+use crate::error::CoreError;
+use crate::query::JoinQuery;
+use crate::statistics::StatisticsSet;
+use lpb_data::Norm;
+use lpb_entropy::shannon::elemental_inequalities;
+use lpb_entropy::{step_conditional, step_value, VarSet};
+use lpb_lp::{Problem, Sense, Status};
+use std::collections::HashMap;
+
+/// Maximum number of query variables supported by the polymatroid (Γₙ) cone:
+/// the LP has `2^n − 1` variables and `n + C(n,2)·2^{n−2}` Shannon rows, so
+/// it grows quickly.
+pub const POLYMATROID_VAR_LIMIT: usize = 10;
+
+/// Maximum number of query variables supported by the normal (Nₙ) cone: the
+/// LP has `2^n − 1` columns but only one row per statistic.
+pub const NORMAL_VAR_LIMIT: usize = 18;
+
+/// The cone of entropy-like vectors over which `Log-L-Bound` is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cone {
+    /// Γₙ — all polymatroids (Shannon inequalities).  Exact for every
+    /// statistics set; exponential LP size in the number of variables.
+    Polymatroid,
+    /// Nₙ — normal polymatroids (positive combinations of step functions).
+    /// Equal to the Γₙ bound whenever all statistics are simple (Theorem
+    /// 6.1); one LP row per statistic, so it scales to wide acyclic queries.
+    Normal,
+    /// Mₙ — modular functions only.  This reproduces the LP of Jayaraman et
+    /// al. (Appendix B) and is **not sound in general**; it is provided for
+    /// the comparison experiments.
+    Modular,
+}
+
+impl Cone {
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Cone::Polymatroid => "polymatroid",
+            Cone::Normal => "normal",
+            Cone::Modular => "modular",
+        }
+    }
+
+    /// Pick a cone automatically.  Non-simple statistics require the
+    /// polymatroid cone.  For simple statistics the normal cone gives the
+    /// same bound (Theorem 6.1) with an LP that has one row per statistic
+    /// instead of exponentially many Shannon rows, so it is preferred as soon
+    /// as the polymatroid LP would become large.
+    pub fn auto(query: &JoinQuery, stats: &StatisticsSet) -> Cone {
+        if !stats.is_simple() || query.n_vars() <= 8 {
+            Cone::Polymatroid
+        } else {
+            Cone::Normal
+        }
+    }
+}
+
+/// Whether the LP had a finite optimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundStatus {
+    /// The bound is finite.
+    Bounded,
+    /// The statistics do not bound the query output (e.g. some variable is
+    /// not covered by any statistic); the bound is +∞.
+    Unbounded,
+}
+
+/// The dual witness: the coefficients `w_i ≥ 0` of the witness information
+/// inequality (8), one per statistic, with `Σ w_i·b_i = log₂ bound`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Witness {
+    /// One weight per statistic, aligned with `StatisticsSet::as_slice`.
+    pub weights: Vec<f64>,
+}
+
+impl Witness {
+    /// Indices of the statistics with weight above `eps` — the statistics the
+    /// optimal bound actually uses.
+    pub fn used_statistics(&self, eps: f64) -> Vec<usize> {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w > eps)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The distinct norms among the used statistics (the "Norms" column of
+    /// Figure 1), sorted ascending with ∞ last.
+    pub fn norms_used(&self, stats: &StatisticsSet, eps: f64) -> Vec<Norm> {
+        let mut norms: Vec<Norm> = Vec::new();
+        for i in self.used_statistics(eps) {
+            let n = stats.as_slice()[i].stat.norm;
+            if !norms.iter().any(|m| m == &n) {
+                norms.push(n);
+            }
+        }
+        norms.sort_by(|a, b| a.partial_cmp(b).expect("norms are comparable"));
+        norms
+    }
+}
+
+/// Result of a bound computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundResult {
+    /// Whether the bound is finite.
+    pub status: BoundStatus,
+    /// `log₂` of the bound (`+∞` when unbounded).
+    pub log2_bound: f64,
+    /// The cone that was used.
+    pub cone: Cone,
+    /// Dual witness (all-zero when unbounded).
+    pub witness: Witness,
+    /// The primal LP solution: for [`Cone::Polymatroid`] the optimal vector
+    /// `h(S)` indexed by `VarSet::index() − 1`; for [`Cone::Normal`] the
+    /// step-function coefficients `α_W` (same indexing); for [`Cone::Modular`]
+    /// the per-variable weights.  Empty when the LP is unbounded.  Used by
+    /// [`crate::worst_case`] to build worst-case databases (§6).
+    pub primal: Vec<f64>,
+}
+
+impl BoundResult {
+    /// The bound itself, `2^{log2_bound}`.
+    pub fn bound(&self) -> f64 {
+        self.log2_bound.exp2()
+    }
+
+    /// True when the bound is finite.
+    pub fn is_bounded(&self) -> bool {
+        self.status == BoundStatus::Bounded
+    }
+}
+
+/// Compute `Log-L-Bound_K(Σ, b)` for the query's variable set.
+///
+/// Every statistic must be guarded by its recorded atom (checked).  The
+/// returned `log2_bound` upper-bounds `log₂ |Q(D)|` for every database `D`
+/// satisfying the statistics (Theorem 1.1) when the cone is `Polymatroid`,
+/// or `Normal`; the `Modular` cone is provided only for the Appendix-B
+/// comparison and is not a sound bound in general.
+pub fn compute_bound(
+    query: &JoinQuery,
+    stats: &StatisticsSet,
+    cone: Cone,
+) -> Result<BoundResult, CoreError> {
+    validate_guards(query, stats)?;
+    let n = query.n_vars();
+    match cone {
+        Cone::Polymatroid => {
+            if n > POLYMATROID_VAR_LIMIT {
+                return Err(CoreError::TooManyVariables {
+                    n_vars: n,
+                    limit: POLYMATROID_VAR_LIMIT,
+                    cone: "polymatroid",
+                });
+            }
+            solve_polymatroid(n, stats, cone)
+        }
+        Cone::Normal => {
+            if n > NORMAL_VAR_LIMIT {
+                return Err(CoreError::TooManyVariables {
+                    n_vars: n,
+                    limit: NORMAL_VAR_LIMIT,
+                    cone: "normal",
+                });
+            }
+            solve_normal(n, stats, cone)
+        }
+        Cone::Modular => solve_modular(n, stats, cone),
+    }
+}
+
+fn validate_guards(query: &JoinQuery, stats: &StatisticsSet) -> Result<(), CoreError> {
+    for s in stats.iter() {
+        let atom = s.stat.guard_atom;
+        if atom >= query.n_atoms()
+            || !s
+                .stat
+                .conditional
+                .all_vars()
+                .is_subset_of(query.atom_vars(atom))
+        {
+            return Err(CoreError::UnguardedStatistic {
+                conditional: s.stat.conditional.render(query.registry()),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// LP over the polymatroid cone: one variable per non-empty subset of the
+/// query variables, elemental Shannon inequalities as rows.
+fn solve_polymatroid(n: usize, stats: &StatisticsSet, cone: Cone) -> Result<BoundResult, CoreError> {
+    let n_subsets = (1usize << n) - 1;
+    let var_of = |s: VarSet| -> usize { s.index() - 1 };
+    let full = VarSet::full(n);
+
+    let mut p = Problem::maximize(n_subsets);
+    p.set_objective(var_of(full), 1.0);
+
+    // Statistic rows first so their duals are the witness weights:
+    //   (1/p)·h(U) + h(U∪V) − h(U) ≤ b.
+    for s in stats.iter() {
+        let u = s.stat.conditional.u;
+        let v = s.stat.conditional.v;
+        let uv = u.union(v);
+        let mut coeffs: HashMap<usize, f64> = HashMap::new();
+        *coeffs.entry(var_of(uv)).or_insert(0.0) += 1.0;
+        if !u.is_empty() {
+            *coeffs.entry(var_of(u)).or_insert(0.0) += s.stat.norm.reciprocal() - 1.0;
+        }
+        let sparse: Vec<(usize, f64)> = coeffs.into_iter().filter(|&(_, c)| c != 0.0).collect();
+        p.add_constraint(&sparse, Sense::Le, s.log_bound);
+    }
+
+    // Shannon rows, written as `−(elemental form) ≤ 0` so the origin stays a
+    // feasible slack basis (no artificial variables, no phase 1).
+    for ineq in elemental_inequalities(n) {
+        let coeffs: Vec<(usize, f64)> = ineq
+            .terms
+            .iter()
+            .map(|&(set, c)| (var_of(set), -c))
+            .collect();
+        p.add_constraint(&coeffs, Sense::Le, 0.0);
+    }
+
+    finish(p, stats, cone)
+}
+
+/// LP over the normal cone: one variable `α_W ≥ 0` per non-empty `W`, one row
+/// per statistic; `h(full) = Σ_W α_W`.
+fn solve_normal(n: usize, stats: &StatisticsSet, cone: Cone) -> Result<BoundResult, CoreError> {
+    let n_subsets = (1usize << n) - 1;
+    let var_of = |s: VarSet| -> usize { s.index() - 1 };
+
+    let mut p = Problem::maximize(n_subsets);
+    for mask in 1..=n_subsets {
+        // Every non-empty W intersects the full variable set, so h_W(X) = 1.
+        p.set_objective(mask - 1, 1.0);
+    }
+
+    for s in stats.iter() {
+        let u = s.stat.conditional.u;
+        let v = s.stat.conditional.v;
+        let inv_p = s.stat.norm.reciprocal();
+        let mut coeffs: Vec<(usize, f64)> = Vec::new();
+        for mask in 1u32..=(n_subsets as u32) {
+            let w = VarSet(mask);
+            let c = inv_p * step_value(w, u) + step_conditional(w, v, u);
+            if c != 0.0 {
+                coeffs.push((var_of(w), c));
+            }
+        }
+        p.add_constraint(&coeffs, Sense::Le, s.log_bound);
+    }
+
+    finish(p, stats, cone)
+}
+
+/// LP over the modular cone: one variable `c_i ≥ 0` per query variable, one
+/// row per statistic; `h(full) = Σ_i c_i`.  This is the (dual of the) LP of
+/// Jayaraman et al. (Appendix B) and is not sound in general.
+fn solve_modular(n: usize, stats: &StatisticsSet, cone: Cone) -> Result<BoundResult, CoreError> {
+    let mut p = Problem::maximize(n);
+    for i in 0..n {
+        p.set_objective(i, 1.0);
+    }
+    for s in stats.iter() {
+        let u = s.stat.conditional.u;
+        let v = s.stat.conditional.v;
+        let inv_p = s.stat.norm.reciprocal();
+        let mut coeffs: Vec<(usize, f64)> = Vec::new();
+        for i in 0..n {
+            let mut c = 0.0;
+            if u.contains(i) {
+                c += inv_p;
+            }
+            if v.contains(i) {
+                c += 1.0;
+            }
+            if c != 0.0 {
+                coeffs.push((i, c));
+            }
+        }
+        p.add_constraint(&coeffs, Sense::Le, s.log_bound);
+    }
+    finish(p, stats, cone)
+}
+
+fn finish(p: Problem, stats: &StatisticsSet, cone: Cone) -> Result<BoundResult, CoreError> {
+    let sol = p.solve()?;
+    match sol.status {
+        Status::Optimal => {
+            let weights: Vec<f64> = (0..stats.len())
+                .map(|i| sol.duals.get(i).copied().unwrap_or(0.0).max(0.0))
+                .collect();
+            Ok(BoundResult {
+                status: BoundStatus::Bounded,
+                log2_bound: sol.objective,
+                cone,
+                witness: Witness { weights },
+                primal: sol.x,
+            })
+        }
+        Status::Unbounded => Ok(BoundResult {
+            status: BoundStatus::Unbounded,
+            log2_bound: f64::INFINITY,
+            cone,
+            witness: Witness {
+                weights: vec![0.0; stats.len()],
+            },
+            primal: Vec::new(),
+        }),
+        Status::Infeasible => Err(CoreError::InconsistentStatistics),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statistics::ConcreteStatistic;
+    use lpb_entropy::Conditional;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    /// Cardinality-only statistics on the triangle query reproduce the AGM
+    /// bound: log-bound = 1.5·log N.
+    #[test]
+    fn triangle_cardinalities_give_agm_bound() {
+        let q = JoinQuery::triangle("R", "S", "T");
+        let reg = q.registry();
+        let logn = 10.0;
+        let mut stats = StatisticsSet::new();
+        for (i, pair) in [["X", "Y"], ["Y", "Z"], ["Z", "X"]].iter().enumerate() {
+            stats.push(ConcreteStatistic::new(
+                Conditional::new(reg.set_of(&pair[..]).unwrap(), VarSet::EMPTY),
+                Norm::L1,
+                i,
+                logn,
+            ));
+        }
+        let r = compute_bound(&q, &stats, Cone::Polymatroid).unwrap();
+        assert!(r.is_bounded());
+        assert!(close(r.log2_bound, 1.5 * logn), "got {}", r.log2_bound);
+        // Witness: Σ w_i b_i equals the bound.
+        let dual: f64 = r.witness.weights.iter().map(|w| w * logn).sum();
+        assert!(close(dual, r.log2_bound));
+        assert_eq!(r.witness.norms_used(&stats, 1e-9), vec![Norm::L1]);
+    }
+
+    /// ℓ2 statistics on all three triangle edges give the bound of eq. (4):
+    /// log-bound = 2·b where b = log‖deg‖₂ (both cones, since the
+    /// statistics are simple).
+    #[test]
+    fn triangle_l2_statistics_give_eq4_bound() {
+        let q = JoinQuery::triangle("R", "S", "T");
+        let reg = q.registry();
+        let b = 7.0;
+        let conds = [("Y", "X", 0usize), ("Z", "Y", 1), ("X", "Z", 2)];
+        let mut stats = StatisticsSet::new();
+        for (v, u, atom) in conds {
+            stats.push(ConcreteStatistic::new(
+                Conditional::new(reg.set_of(&[v]).unwrap(), reg.set_of(&[u]).unwrap()),
+                Norm::L2,
+                atom,
+                b,
+            ));
+        }
+        for cone in [Cone::Polymatroid, Cone::Normal] {
+            let r = compute_bound(&q, &stats, cone).unwrap();
+            assert!(close(r.log2_bound, 2.0 * b), "{cone:?}: got {}", r.log2_bound);
+            assert_eq!(r.witness.norms_used(&stats, 1e-9), vec![Norm::L2]);
+            assert!(close(
+                r.witness.weights.iter().map(|w| w * b).sum::<f64>(),
+                r.log2_bound
+            ));
+        }
+    }
+
+    /// Example 6.7: ℓ4 statistics on the triangle edges plus unary
+    /// cardinalities, all equal to b, give log-bound exactly b.
+    #[test]
+    fn example_6_7_bound_is_b() {
+        let q = JoinQuery::new(
+            "ex6.7",
+            vec![
+                Atom::new("R1", &["X", "Y"]),
+                Atom::new("R2", &["Y", "Z"]),
+                Atom::new("R3", &["Z", "X"]),
+                Atom::new("S1", &["X"]),
+                Atom::new("S2", &["Y"]),
+                Atom::new("S3", &["Z"]),
+            ],
+        )
+        .unwrap();
+        use crate::query::Atom;
+        let reg = q.registry();
+        let b = 12.0;
+        let mut stats = StatisticsSet::new();
+        // ‖deg_{R1}(Y|X)‖₄ ≤ 2^{b/4} so the log-statistic (1/4)h(X)+h(Y|X) ≤ b/4;
+        // the paper states the statistics as ‖…‖₄⁴ ≤ B = 2^b, i.e. log-norm b/4.
+        let l4 = [("Y", "X", 0usize), ("Z", "Y", 1), ("X", "Z", 2)];
+        for (v, u, atom) in l4 {
+            stats.push(ConcreteStatistic::new(
+                Conditional::new(reg.set_of(&[v]).unwrap(), reg.set_of(&[u]).unwrap()),
+                Norm::Finite(4.0),
+                atom,
+                b / 4.0,
+            ));
+        }
+        for (i, v) in ["X", "Y", "Z"].iter().enumerate() {
+            stats.push(ConcreteStatistic::new(
+                Conditional::new(reg.set_of(&[v]).unwrap(), VarSet::EMPTY),
+                Norm::L1,
+                3 + i,
+                b,
+            ));
+        }
+        for cone in [Cone::Polymatroid, Cone::Normal] {
+            let r = compute_bound(&q, &stats, cone).unwrap();
+            assert!(close(r.log2_bound, b), "{cone:?}: got {}", r.log2_bound);
+        }
+    }
+
+    /// Statistics covering only some variables leave the LP unbounded.
+    #[test]
+    fn uncovered_variable_means_unbounded() {
+        let q = JoinQuery::triangle("R", "S", "T");
+        let reg = q.registry();
+        let mut stats = StatisticsSet::new();
+        stats.push(ConcreteStatistic::new(
+            Conditional::new(reg.set_of(&["X", "Y"]).unwrap(), VarSet::EMPTY),
+            Norm::L1,
+            0,
+            5.0,
+        ));
+        for cone in [Cone::Polymatroid, Cone::Normal, Cone::Modular] {
+            let r = compute_bound(&q, &stats, cone).unwrap();
+            assert_eq!(r.status, BoundStatus::Unbounded, "{cone:?}");
+            assert!(r.log2_bound.is_infinite());
+            assert!(!r.is_bounded());
+        }
+    }
+
+    /// Example B.1: for the two-variable query R(U,V) ∧ S(V,U) with ℓ2
+    /// statistics of value √N, the modular cone gives the (unsound)
+    /// (2/3)·log N while the polymatroid cone correctly gives log N.
+    #[test]
+    fn modular_cone_reproduces_jayaraman_gap() {
+        let q = JoinQuery::new(
+            "B.1",
+            vec![Atom::new("R", &["U", "V"]), Atom::new("S", &["V", "U"])],
+        )
+        .unwrap();
+        use crate::query::Atom;
+        let reg = q.registry();
+        let logn = 12.0;
+        let mut stats = StatisticsSet::new();
+        stats.push(ConcreteStatistic::new(
+            Conditional::new(reg.set_of(&["V"]).unwrap(), reg.set_of(&["U"]).unwrap()),
+            Norm::L2,
+            0,
+            logn / 2.0,
+        ));
+        stats.push(ConcreteStatistic::new(
+            Conditional::new(reg.set_of(&["U"]).unwrap(), reg.set_of(&["V"]).unwrap()),
+            Norm::L2,
+            1,
+            logn / 2.0,
+        ));
+        let modular = compute_bound(&q, &stats, Cone::Modular).unwrap();
+        let poly = compute_bound(&q, &stats, Cone::Polymatroid).unwrap();
+        assert!(close(modular.log2_bound, 2.0 / 3.0 * logn), "got {}", modular.log2_bound);
+        assert!(close(poly.log2_bound, logn), "got {}", poly.log2_bound);
+        assert!(modular.log2_bound < poly.log2_bound);
+    }
+
+    /// Normal and polymatroid cones agree on simple statistics (Theorem 6.1)
+    /// even with a mix of norms.
+    #[test]
+    fn normal_equals_polymatroid_for_simple_statistics() {
+        let q = JoinQuery::single_join("R", "S");
+        let reg = q.registry();
+        let mut stats = StatisticsSet::new();
+        stats.push(ConcreteStatistic::new(
+            Conditional::new(reg.set_of(&["X"]).unwrap(), reg.set_of(&["Y"]).unwrap()),
+            Norm::Finite(3.0),
+            0,
+            2.5,
+        ));
+        stats.push(ConcreteStatistic::new(
+            Conditional::new(reg.set_of(&["Z"]).unwrap(), reg.set_of(&["Y"]).unwrap()),
+            Norm::L2,
+            1,
+            3.25,
+        ));
+        stats.push(ConcreteStatistic::new(
+            Conditional::new(reg.set_of(&["Y", "Z"]).unwrap(), VarSet::EMPTY),
+            Norm::L1,
+            1,
+            6.0,
+        ));
+        stats.push(ConcreteStatistic::new(
+            Conditional::new(reg.set_of(&["X", "Y"]).unwrap(), VarSet::EMPTY),
+            Norm::L1,
+            0,
+            6.5,
+        ));
+        assert!(stats.is_simple());
+        let a = compute_bound(&q, &stats, Cone::Polymatroid).unwrap();
+        let b = compute_bound(&q, &stats, Cone::Normal).unwrap();
+        assert!(close(a.log2_bound, b.log2_bound), "{} vs {}", a.log2_bound, b.log2_bound);
+    }
+
+    /// Guard validation rejects statistics not covered by their atom, and the
+    /// variable limits reject oversized queries.
+    #[test]
+    fn guard_and_size_validation() {
+        let q = JoinQuery::triangle("R", "S", "T");
+        let reg = q.registry();
+        let mut stats = StatisticsSet::new();
+        // (Z | X) is not guarded by atom 0 = R(X, Y).
+        stats.push(ConcreteStatistic::new(
+            Conditional::new(reg.set_of(&["Z"]).unwrap(), reg.set_of(&["X"]).unwrap()),
+            Norm::L2,
+            0,
+            3.0,
+        ));
+        assert!(matches!(
+            compute_bound(&q, &stats, Cone::Polymatroid),
+            Err(CoreError::UnguardedStatistic { .. })
+        ));
+
+        // A wide query exceeds the polymatroid limit.
+        let atoms: Vec<crate::query::Atom> = (0..12)
+            .map(|i| {
+                crate::query::Atom::new(
+                    format!("R{i}"),
+                    &[format!("A{i}").as_str(), format!("A{}", i + 1).as_str()],
+                )
+            })
+            .collect();
+        let wide = JoinQuery::new("wide", atoms).unwrap();
+        let empty = StatisticsSet::new();
+        assert!(matches!(
+            compute_bound(&wide, &empty, Cone::Polymatroid),
+            Err(CoreError::TooManyVariables { .. })
+        ));
+    }
+
+    /// `Cone::auto` picks the polymatroid cone for small queries and the
+    /// normal cone for wide queries with simple statistics.
+    #[test]
+    fn cone_auto_selection() {
+        let q = JoinQuery::triangle("R", "S", "T");
+        let stats = StatisticsSet::new();
+        assert_eq!(Cone::auto(&q, &stats), Cone::Polymatroid);
+        let atoms: Vec<crate::query::Atom> = (0..12)
+            .map(|i| {
+                crate::query::Atom::new(
+                    format!("R{i}"),
+                    &[format!("A{i}").as_str(), format!("A{}", i + 1).as_str()],
+                )
+            })
+            .collect();
+        let wide = JoinQuery::new("wide", atoms).unwrap();
+        assert_eq!(Cone::auto(&wide, &stats), Cone::Normal);
+        assert_eq!(Cone::Polymatroid.name(), "polymatroid");
+        assert_eq!(Cone::Normal.name(), "normal");
+        assert_eq!(Cone::Modular.name(), "modular");
+    }
+}

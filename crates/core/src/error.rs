@@ -1,0 +1,117 @@
+//! Error type for the bound engine.
+
+use lpb_data::DataError;
+use lpb_lp::LpError;
+use std::fmt;
+
+/// Errors raised while building queries, collecting statistics or computing
+/// bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Error from the data layer (unknown relation/attribute, arity, ...).
+    Data(DataError),
+    /// Error from the LP solver.
+    Lp(LpError),
+    /// A statistic's conditional is not guarded by any atom of the query.
+    UnguardedStatistic {
+        /// Rendering of the offending conditional.
+        conditional: String,
+    },
+    /// The query has more variables than the requested cone can handle.
+    TooManyVariables {
+        /// Number of variables in the query.
+        n_vars: usize,
+        /// Limit of the selected cone.
+        limit: usize,
+        /// Name of the cone.
+        cone: &'static str,
+    },
+    /// A query atom refers to a variable count that does not match the
+    /// guarded relation's arity.
+    AtomArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Number of variables in the atom.
+        atom_arity: usize,
+        /// Arity of the relation in the catalog.
+        relation_arity: usize,
+    },
+    /// The query is malformed (no atoms, empty atom, duplicate variable in
+    /// one atom, ...).
+    InvalidQuery {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The LP defining the bound is infeasible, which indicates inconsistent
+    /// statistics (should not happen for statistics harvested from real
+    /// data).
+    InconsistentStatistics,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Data(e) => write!(f, "data error: {e}"),
+            CoreError::Lp(e) => write!(f, "LP solver error: {e}"),
+            CoreError::UnguardedStatistic { conditional } => {
+                write!(f, "statistic on {conditional} is not guarded by any query atom")
+            }
+            CoreError::TooManyVariables { n_vars, limit, cone } => write!(
+                f,
+                "query has {n_vars} variables but the {cone} cone supports at most {limit}"
+            ),
+            CoreError::AtomArityMismatch {
+                relation,
+                atom_arity,
+                relation_arity,
+            } => write!(
+                f,
+                "atom over `{relation}` has {atom_arity} variables but the relation has arity {relation_arity}"
+            ),
+            CoreError::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
+            CoreError::InconsistentStatistics => {
+                write!(f, "the statistics are mutually inconsistent (infeasible LP)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<DataError> for CoreError {
+    fn from(e: DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+
+impl From<LpError> for CoreError {
+    fn from(e: LpError) -> Self {
+        CoreError::Lp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: CoreError = DataError::UnknownRelation { name: "R".into() }.into();
+        assert!(e.to_string().contains("R"));
+        let e: CoreError = LpError::EmptyProblem.into();
+        assert!(e.to_string().contains("LP"));
+        let e = CoreError::TooManyVariables { n_vars: 20, limit: 10, cone: "polymatroid" };
+        assert!(e.to_string().contains("20") && e.to_string().contains("10"));
+        let e = CoreError::UnguardedStatistic { conditional: "(Y | X)".into() };
+        assert!(e.to_string().contains("(Y | X)"));
+        let e = CoreError::InvalidQuery { reason: "no atoms".into() };
+        assert!(e.to_string().contains("no atoms"));
+        assert!(CoreError::InconsistentStatistics.to_string().contains("inconsistent"));
+        let e = CoreError::AtomArityMismatch {
+            relation: "S".into(),
+            atom_arity: 2,
+            relation_arity: 3,
+        };
+        assert!(e.to_string().contains("S"));
+    }
+}

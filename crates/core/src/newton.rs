@@ -1,0 +1,211 @@
+//! The norms ↔ degree-sequence bijection of Appendix A.
+//!
+//! Lemma A.1: a sorted degree sequence `d₁ ≥ … ≥ d_m ≥ 0` is uniquely
+//! determined by its first `m` power sums `‖d‖_p^p = Σ_i d_i^p`,
+//! `p = 1, …, m`.  The proof goes through Newton's identities (power sums →
+//! elementary symmetric polynomials) and Vieta's formulas (elementary
+//! symmetric polynomials → the polynomial whose roots are the degrees).
+//!
+//! This module implements the three steps so the bijection can be exercised
+//! and property-tested:
+//!
+//! * [`power_sums`] — degree sequence → `(‖d‖₁¹, ‖d‖₂², …, ‖d‖_m^m)`;
+//! * [`elementary_symmetric_from_power_sums`] — Newton's identities;
+//! * [`degrees_from_power_sums`] — full reconstruction for integer degree
+//!   sequences (integer root extraction by synthetic division).
+//!
+//! The reconstruction is exact only for modest `m` and degree magnitudes
+//! (the symmetric polynomials grow combinatorially and `f64` runs out of
+//! mantissa); that is enough for tests and for illustrating the Appendix-A
+//! argument, and mirrors the paper's observation that in practice neither
+//! method stores all `m` norms.
+
+/// Power sums `s_p = Σ_i d_i^p` for `p = 1, …, m` where `m = degrees.len()`.
+pub fn power_sums(degrees: &[u64]) -> Vec<f64> {
+    let m = degrees.len();
+    (1..=m)
+        .map(|p| degrees.iter().map(|&d| (d as f64).powi(p as i32)).sum())
+        .collect()
+}
+
+/// Newton's identities: from the power sums `s_1, …, s_m` compute the
+/// elementary symmetric polynomials `e_1, …, e_m` via
+/// `k·e_k = Σ_{p=1}^{k} (−1)^{p−1}·e_{k−p}·s_p` (with `e_0 = 1`).
+pub fn elementary_symmetric_from_power_sums(power_sums: &[f64]) -> Vec<f64> {
+    let m = power_sums.len();
+    let mut e = vec![0.0; m + 1];
+    e[0] = 1.0;
+    for k in 1..=m {
+        let mut acc = 0.0;
+        for p in 1..=k {
+            let sign = if p % 2 == 1 { 1.0 } else { -1.0 };
+            acc += sign * e[k - p] * power_sums[p - 1];
+        }
+        e[k] = acc / k as f64;
+    }
+    e.remove(0);
+    e
+}
+
+/// Elementary symmetric polynomials computed directly from the degrees, for
+/// cross-checking Newton's identities in tests.
+pub fn elementary_symmetric_direct(degrees: &[u64]) -> Vec<f64> {
+    // e_k are the coefficients of ∏ (1 + d_i·t), built incrementally.
+    let m = degrees.len();
+    let mut coeffs = vec![0.0; m + 1];
+    coeffs[0] = 1.0;
+    for &d in degrees {
+        for k in (1..=m).rev() {
+            coeffs[k] += coeffs[k - 1] * d as f64;
+        }
+    }
+    coeffs.remove(0);
+    coeffs
+}
+
+/// Reconstruct an integer degree sequence from its power sums.
+///
+/// Returns the degrees in non-increasing order, or `None` when the
+/// reconstruction fails (non-integer roots, numeric blow-up).  The roots of
+/// `λ^m − e₁λ^{m−1} + e₂λ^{m−2} − …` are extracted one at a time by trying
+/// integer candidates near `s_p^{1/p}` for large `p` (which converges to the
+/// largest remaining root) and deflating by synthetic division.
+pub fn degrees_from_power_sums(power_sums: &[f64]) -> Option<Vec<u64>> {
+    let m = power_sums.len();
+    if m == 0 {
+        return Some(Vec::new());
+    }
+    let e = elementary_symmetric_from_power_sums(power_sums);
+    // Polynomial coefficients of λ^m − e₁λ^{m−1} + … + (−1)^m e_m, highest
+    // degree first.
+    let mut poly: Vec<f64> = Vec::with_capacity(m + 1);
+    poly.push(1.0);
+    for (k, &ek) in e.iter().enumerate() {
+        let sign = if (k + 1) % 2 == 1 { -1.0 } else { 1.0 };
+        poly.push(sign * ek);
+    }
+
+    let mut roots: Vec<u64> = Vec::with_capacity(m);
+    for _ in 0..m {
+        let deg = poly.len() - 1;
+        if deg == 0 {
+            break;
+        }
+        // Largest remaining root estimate: ‖remaining‖_∞ ≈ (Σ rᵢ^m)^{1/m};
+        // cheaper and robust: use the upper bound 1 + max |aᵢ/a₀| (Cauchy
+        // bound) and scan integers downward.
+        let cauchy = 1.0
+            + poly[1..]
+                .iter()
+                .map(|c| (c / poly[0]).abs())
+                .fold(0.0f64, f64::max);
+        let upper = cauchy.min(1e9) as i64;
+        let mut found: Option<i64> = None;
+        for candidate in (0..=upper).rev() {
+            let (value, _) = synthetic_division(&poly, candidate as f64);
+            let scale = poly.iter().map(|c| c.abs()).fold(1.0f64, f64::max);
+            if value.abs() <= 1e-6 * scale.max(1.0) {
+                found = Some(candidate);
+                break;
+            }
+        }
+        let root = found?;
+        let (_, quotient) = synthetic_division(&poly, root as f64);
+        poly = quotient;
+        roots.push(root as u64);
+    }
+    if roots.len() != m {
+        return None;
+    }
+    roots.sort_unstable_by(|a, b| b.cmp(a));
+    Some(roots)
+}
+
+/// Evaluate `poly` (highest degree first) at `x` and return the quotient of
+/// division by `(λ − x)` (synthetic division / Horner's scheme).
+fn synthetic_division(poly: &[f64], x: f64) -> (f64, Vec<f64>) {
+    let mut quotient = Vec::with_capacity(poly.len().saturating_sub(1));
+    let mut acc = 0.0;
+    for (i, &c) in poly.iter().enumerate() {
+        acc = acc * x + c;
+        if i + 1 < poly.len() {
+            quotient.push(acc);
+        }
+    }
+    (acc, quotient)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn newton_identities_match_direct_elementary_symmetric() {
+        let degrees = vec![7u64, 5, 5, 2, 1];
+        let via_newton = elementary_symmetric_from_power_sums(&power_sums(&degrees));
+        let direct = elementary_symmetric_direct(&degrees);
+        assert_eq!(via_newton.len(), direct.len());
+        for (a, b) in via_newton.iter().zip(direct.iter()) {
+            assert!(close(*a, *b, 1e-9), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_small_sequences() {
+        for degrees in [
+            vec![1u64],
+            vec![4, 4, 4],
+            vec![9, 3, 1],
+            vec![6, 5, 4, 3, 2, 1],
+            vec![10, 10, 1, 1, 1],
+            vec![0, 0, 3],
+        ] {
+            let mut sorted = degrees.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let ps = power_sums(&degrees);
+            let rec = degrees_from_power_sums(&ps)
+                .unwrap_or_else(|| panic!("reconstruction failed for {degrees:?}"));
+            assert_eq!(rec, sorted, "roundtrip failed for {degrees:?}");
+        }
+    }
+
+    #[test]
+    fn different_sequences_have_different_power_sums() {
+        // Injectivity (Lemma A.1) spot check: (4,1) vs (3,2) share ‖·‖₁ but
+        // not ‖·‖₂².
+        let a = power_sums(&[4, 1]);
+        let b = power_sums(&[3, 2]);
+        assert_eq!(a[0], b[0]);
+        assert_ne!(a[1], b[1]);
+    }
+
+    #[test]
+    fn power_sums_are_the_lp_norms_to_the_p() {
+        use lpb_data::{DegreeSequence, Norm};
+        let degrees = vec![5u64, 3, 3, 1];
+        let ps = power_sums(&degrees);
+        let ds = DegreeSequence::from_counts(degrees);
+        for (i, &s) in ps.iter().enumerate() {
+            let p = (i + 1) as f64;
+            let norm = ds.lp_norm(Norm::finite(p));
+            assert!(close(s, norm.powf(p), 1e-9), "p={p}: {s} vs {}", norm.powf(p));
+        }
+    }
+
+    #[test]
+    fn reconstruction_fails_gracefully_on_non_integer_data() {
+        // Power sums of a non-integer "sequence" (1.5, 1.5): s1=3, s2=4.5 —
+        // there is no integer sequence with these sums.
+        assert_eq!(degrees_from_power_sums(&[3.0, 4.5]), None);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        assert_eq!(power_sums(&[]), Vec::<f64>::new());
+        assert_eq!(degrees_from_power_sums(&[]), Some(Vec::new()));
+    }
+}

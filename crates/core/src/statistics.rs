@@ -1,0 +1,246 @@
+//! Abstract and concrete ℓp statistics over a query's variables.
+
+use crate::query::JoinQuery;
+use lpb_data::Norm;
+use lpb_entropy::Conditional;
+use std::fmt;
+
+/// An abstract statistic `τ = ((V | U), p)` guarded by a query atom
+/// (§1.2 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbstractStatistic {
+    /// The conditional `(V | U)` in query-variable space.
+    pub conditional: Conditional,
+    /// The norm index `p`.
+    pub norm: Norm,
+    /// Index of the query atom that guards the conditional (the relation the
+    /// degree sequence is computed on).
+    pub guard_atom: usize,
+}
+
+/// A concrete statistic: an abstract statistic together with its log-bound
+/// `b = log₂ B`, asserting `‖deg(V | U)‖_p ≤ B` on the guard relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcreteStatistic {
+    /// The abstract statistic.
+    pub stat: AbstractStatistic,
+    /// `log₂ B`.
+    pub log_bound: f64,
+}
+
+impl ConcreteStatistic {
+    /// Convenience constructor.
+    pub fn new(conditional: Conditional, norm: Norm, guard_atom: usize, log_bound: f64) -> Self {
+        ConcreteStatistic {
+            stat: AbstractStatistic {
+                conditional,
+                norm,
+                guard_atom,
+            },
+            log_bound,
+        }
+    }
+
+    /// The linear (non-log) bound `B = 2^b`.
+    pub fn bound(&self) -> f64 {
+        self.log_bound.exp2()
+    }
+
+    /// Render with variable names and the guard relation, e.g.
+    /// `‖deg_R(Y | X)‖_2 ≤ 2^3.17`.
+    pub fn render(&self, query: &JoinQuery) -> String {
+        let rel = &query.atoms()[self.stat.guard_atom].relation;
+        format!(
+            "‖deg_{}{}‖_{} ≤ 2^{:.3}",
+            rel,
+            self.stat.conditional.render(query.registry()),
+            self.stat.norm,
+            self.log_bound
+        )
+    }
+}
+
+impl fmt::Display for ConcreteStatistic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "‖deg{}‖_{} ≤ 2^{:.3} (atom {})",
+            self.stat.conditional, self.stat.norm, self.log_bound, self.stat.guard_atom
+        )
+    }
+}
+
+/// A set of concrete statistics `(Σ, B)` for one query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatisticsSet {
+    stats: Vec<ConcreteStatistic>,
+}
+
+impl StatisticsSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a vector of concrete statistics.
+    pub fn from_vec(stats: Vec<ConcreteStatistic>) -> Self {
+        StatisticsSet { stats }
+    }
+
+    /// Add one statistic.
+    pub fn push(&mut self, stat: ConcreteStatistic) {
+        self.stats.push(stat);
+    }
+
+    /// The statistics, in insertion order.
+    pub fn as_slice(&self) -> &[ConcreteStatistic] {
+        &self.stats
+    }
+
+    /// Number of statistics.
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// Iterate over the statistics.
+    pub fn iter(&self) -> impl Iterator<Item = &ConcreteStatistic> {
+        self.stats.iter()
+    }
+
+    /// True when every conditional is simple (|U| ≤ 1, §6); then the
+    /// normal-cone bound equals the polymatroid bound (Theorem 6.1).
+    pub fn is_simple(&self) -> bool {
+        self.stats.iter().all(|s| s.stat.conditional.is_simple())
+    }
+
+    /// The distinct norms appearing in the set, sorted ascending with ∞ last.
+    pub fn norms(&self) -> Vec<Norm> {
+        let mut norms: Vec<Norm> = Vec::new();
+        for s in &self.stats {
+            if !norms.iter().any(|n| n == &s.stat.norm) {
+                norms.push(s.stat.norm);
+            }
+        }
+        norms.sort_by(|a, b| a.partial_cmp(b).expect("norm values are comparable"));
+        norms
+    }
+
+    /// A new set keeping only statistics whose norm satisfies `keep`.
+    ///
+    /// Used to build the AGM-style (`p = 1` only) and PANDA-style
+    /// (`p ∈ {1, ∞}`) restrictions of a full statistics set.
+    pub fn filter_norms(&self, keep: impl Fn(Norm) -> bool) -> StatisticsSet {
+        StatisticsSet {
+            stats: self
+                .stats
+                .iter()
+                .filter(|s| keep(s.stat.norm))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// A new set with every log-bound multiplied by `k` (the paper's
+    /// `k`-amplification of Appendix D.2, used in tightness experiments).
+    pub fn amplify(&self, k: f64) -> StatisticsSet {
+        StatisticsSet {
+            stats: self
+                .stats
+                .iter()
+                .map(|s| ConcreteStatistic {
+                    stat: s.stat.clone(),
+                    log_bound: s.log_bound * k,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpb_entropy::VarSet;
+
+    fn sample_set() -> (JoinQuery, StatisticsSet) {
+        let q = JoinQuery::triangle("R", "S", "T");
+        let reg = q.registry();
+        let x = reg.set_of(&["X"]).unwrap();
+        let y = reg.set_of(&["Y"]).unwrap();
+        let z = reg.set_of(&["Z"]).unwrap();
+        let mut set = StatisticsSet::new();
+        set.push(ConcreteStatistic::new(Conditional::new(y, x), Norm::L2, 0, 3.0));
+        set.push(ConcreteStatistic::new(Conditional::new(z, y), Norm::Infinity, 1, 2.0));
+        set.push(ConcreteStatistic::new(
+            Conditional::new(x.union(z), VarSet::EMPTY),
+            Norm::L1,
+            2,
+            10.0,
+        ));
+        (q, set)
+    }
+
+    #[test]
+    fn set_accessors_and_norms() {
+        let (_, set) = sample_set();
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+        assert!(set.is_simple());
+        assert_eq!(set.norms(), vec![Norm::L1, Norm::L2, Norm::Infinity]);
+        assert_eq!(set.iter().count(), 3);
+        assert_eq!(set.as_slice().len(), 3);
+    }
+
+    #[test]
+    fn filter_norms_builds_panda_style_subset() {
+        let (_, set) = sample_set();
+        let panda = set.filter_norms(|n| n == Norm::L1 || n == Norm::Infinity);
+        assert_eq!(panda.len(), 2);
+        let agm = set.filter_norms(|n| n == Norm::L1);
+        assert_eq!(agm.len(), 1);
+    }
+
+    #[test]
+    fn amplify_scales_log_bounds() {
+        let (_, set) = sample_set();
+        let doubled = set.amplify(2.0);
+        for (a, b) in set.iter().zip(doubled.iter()) {
+            assert!((b.log_bound - 2.0 * a.log_bound).abs() < 1e-12);
+            assert_eq!(a.stat, b.stat);
+        }
+    }
+
+    #[test]
+    fn non_simple_statistics_detected() {
+        let q = JoinQuery::loomis_whitney_4("A", "B", "C", "D");
+        let reg = q.registry();
+        let mut set = StatisticsSet::new();
+        set.push(ConcreteStatistic::new(
+            Conditional::new(
+                reg.set_of(&["W"]).unwrap(),
+                reg.set_of(&["X", "Y"]).unwrap(),
+            ),
+            Norm::L2,
+            1,
+            4.0,
+        ));
+        assert!(!set.is_simple());
+        let _ = q;
+    }
+
+    #[test]
+    fn rendering_mentions_relation_norm_and_bound() {
+        let (q, set) = sample_set();
+        let s = &set.as_slice()[0];
+        let text = s.render(&q);
+        assert!(text.contains("deg_R"), "{text}");
+        assert!(text.contains("(Y | X)"), "{text}");
+        assert!(text.contains("2^3.000"), "{text}");
+        assert!((s.bound() - 8.0).abs() < 1e-9);
+        assert!(s.to_string().contains("atom 0"));
+    }
+}

@@ -1,0 +1,440 @@
+//! Worst-case (normal) databases — §6 of the paper.
+//!
+//! When all statistics are simple, the polymatroid bound is *tight*: there is
+//! a database satisfying the statistics whose output size is within a
+//! query-dependent constant of the bound (Corollary 6.3).  The witness is a
+//! **normal database**: every relation is a projection of a single *normal
+//! relation* `T`, which is a domain product of *basic normal relations*
+//! `T^W_N` (Definition 6.4).  Normal relations are totally uniform, and their
+//! entropy is a normal polymatroid `Σ_W β_W·h_W`, so the optimal vertex of
+//! the normal-cone LP translates directly into data.
+//!
+//! This module provides the constructions: basic normal relations, domain
+//! products, normal relations from step-function coefficients, and the
+//! worst-case database builder used by the tightness experiments (E6).
+
+use crate::bound_lp::{compute_bound, BoundResult, Cone};
+use crate::error::CoreError;
+use crate::query::JoinQuery;
+use crate::statistics::StatisticsSet;
+use lpb_data::{Catalog, Relation, RelationBuilder};
+use lpb_entropy::{NormalPolymatroid, VarSet};
+use std::collections::HashMap;
+
+/// The basic normal relation `T^W_N` of Definition 6.4 over the attribute
+/// names `attrs` (one per query variable, in variable-index order): `N`
+/// tuples where the attributes in `W` all carry the value `k` and the
+/// attributes outside `W` carry `0`, for `k = 0, …, N−1`.
+pub fn basic_normal_relation(
+    name: impl Into<String>,
+    attrs: &[&str],
+    w: VarSet,
+    n: u64,
+) -> Relation {
+    let mut b = RelationBuilder::new(name, attrs.iter().map(|s| s.to_string()))
+        .expect("attribute names are distinct");
+    let mut tuple = vec![0u64; attrs.len()];
+    for k in 0..n.max(1) {
+        for (i, slot) in tuple.iter_mut().enumerate() {
+            *slot = if w.contains(i) { k } else { 0 };
+        }
+        b.push_codes(&tuple).expect("tuple arity matches schema");
+    }
+    b.build()
+}
+
+/// The domain product `T ⊗ T'` of two relations over the *same* schema
+/// (§6): tuples are paired attribute-wise, each paired value re-encoded as a
+/// fresh code.  `|T ⊗ T'| = |T|·|T'|` and entropies add.
+pub fn domain_product(name: impl Into<String>, a: &Relation, b: &Relation) -> Relation {
+    assert_eq!(
+        a.schema().attrs(),
+        b.schema().attrs(),
+        "domain products need identical schemas"
+    );
+    let attrs: Vec<String> = a.schema().attrs().to_vec();
+    let mut builder =
+        RelationBuilder::new(name, attrs).expect("schema was valid").keep_duplicates();
+    let mut pair_codes: HashMap<(u64, u64), u64> = HashMap::new();
+    let mut next_code = 0u64;
+    let mut encode = |x: u64, y: u64| -> u64 {
+        *pair_codes.entry((x, y)).or_insert_with(|| {
+            let c = next_code;
+            next_code += 1;
+            c
+        })
+    };
+    let mut tuple = vec![0u64; a.arity()];
+    for ra in 0..a.len() {
+        for rb in 0..b.len() {
+            for (i, slot) in tuple.iter_mut().enumerate() {
+                *slot = encode(a.value(ra, i), b.value(rb, i));
+            }
+            builder.push_codes(&tuple).expect("arity matches");
+        }
+    }
+    // The domain product of two sets of tuples has no duplicates, but the
+    // builder was set to keep them to avoid an O(n log n) re-sort here; the
+    // deduplicated view is identical.
+    builder.build().deduplicated()
+}
+
+/// A normal relation: a domain product `⊗_W T^W_{N_W}` described by its
+/// per-step sizes, together with the resulting relation.
+#[derive(Debug, Clone)]
+pub struct NormalRelation {
+    /// The step sets and their sizes `N_W ≥ 1`.
+    pub steps: Vec<(VarSet, u64)>,
+    /// The materialized relation over the query variables.
+    pub relation: Relation,
+}
+
+impl NormalRelation {
+    /// Total number of tuples, `∏_W N_W`.
+    pub fn len(&self) -> usize {
+        self.relation.len()
+    }
+
+    /// True when the relation is a single all-zero tuple.
+    pub fn is_empty(&self) -> bool {
+        self.relation.is_empty()
+    }
+}
+
+/// Build the normal relation `⊗_W T^W_{⌊2^{α_W}⌋}` from the step-function
+/// coefficients `α_W` of a normal polymatroid (Lemma 6.2).  Coefficients
+/// below `min_log` (default caller-supplied, typically ~1e-6) are dropped.
+pub fn normal_relation_from_coefficients(
+    name: impl Into<String>,
+    attrs: &[&str],
+    coefficients: &[(VarSet, f64)],
+    min_log: f64,
+) -> NormalRelation {
+    let name = name.into();
+    let mut steps: Vec<(VarSet, u64)> = Vec::new();
+    for &(w, alpha) in coefficients {
+        if w.is_empty() || alpha <= min_log {
+            continue;
+        }
+        // ⌊2^α⌋, clamped to keep the materialized product tractable.
+        let n = alpha.exp2().floor().max(1.0) as u64;
+        steps.push((w, n));
+    }
+    // Materialize the product incrementally.
+    let mut relation = basic_normal_relation(
+        format!("{name}#seed"),
+        attrs,
+        VarSet::EMPTY,
+        1,
+    );
+    for (i, &(w, n)) in steps.iter().enumerate() {
+        let factor = basic_normal_relation(format!("{name}#step{i}"), attrs, w, n);
+        relation = domain_product(format!("{name}#partial{i}"), &relation, &factor);
+    }
+    let relation = relation.with_name(name);
+    NormalRelation { steps, relation }
+}
+
+/// Build a normal relation directly from a [`NormalPolymatroid`].
+pub fn normal_relation_from_polymatroid(
+    name: impl Into<String>,
+    attrs: &[&str],
+    h: &NormalPolymatroid,
+) -> NormalRelation {
+    let coeffs: Vec<(VarSet, f64)> = h.coefficients().collect();
+    normal_relation_from_coefficients(name, attrs, &coeffs, 1e-9)
+}
+
+/// A worst-case database for a query: the normal relation `T` plus the
+/// catalog of its per-atom projections, and the bound it certifies.
+#[derive(Debug)]
+pub struct WorstCaseDatabase {
+    /// The normal relation over all query variables.
+    pub witness: NormalRelation,
+    /// One relation per distinct atom relation name, `R_j = Π_{Z_j}(T)`.
+    pub catalog: Catalog,
+    /// The bound that the construction targets (the normal-cone LP value).
+    pub bound: BoundResult,
+}
+
+impl WorstCaseDatabase {
+    /// The size of the witness output `|T| ≤ |Q(D)|`.
+    pub fn witness_size(&self) -> usize {
+        self.witness.len()
+    }
+
+    /// The gap `log₂ bound − log₂ |T|`; Corollary 6.3 guarantees this is at
+    /// most the number of non-zero step coefficients (each `⌊2^α⌋ ≥ 2^α/2`).
+    pub fn log2_gap(&self) -> f64 {
+        self.bound.log2_bound - (self.witness_size().max(1) as f64).log2()
+    }
+}
+
+/// Construct the worst-case (normal) database of §6 for a query and a set of
+/// *simple* statistics: solve the normal-cone LP, interpret the optimal
+/// vertex as step-function coefficients, build the normal relation `T`, and
+/// project it onto every atom.
+pub fn worst_case_database(
+    query: &JoinQuery,
+    stats: &StatisticsSet,
+) -> Result<WorstCaseDatabase, CoreError> {
+    if !stats.is_simple() {
+        return Err(CoreError::InvalidQuery {
+            reason: "worst-case normal databases exist only for simple statistics (§6)".into(),
+        });
+    }
+    // Self-joins: the §6 construction defines one relation per *atom*
+    // (`R_j := Π_{Z_j}(T)`), so a relation name reused by atoms with
+    // different variable bindings cannot be given a single worst-case
+    // instance.  Ask the caller to duplicate the relation under distinct
+    // names instead.
+    for (j, atom) in query.atoms().iter().enumerate() {
+        for (k, other) in query.atoms().iter().enumerate().skip(j + 1) {
+            if atom.relation == other.relation && query.atom_vars(j) != query.atom_vars(k) {
+                return Err(CoreError::InvalidQuery {
+                    reason: format!(
+                        "relation `{}` is used by atoms with different variable bindings; \
+                         the worst-case construction needs one relation name per atom role",
+                        atom.relation
+                    ),
+                });
+            }
+        }
+    }
+    let bound = compute_bound(query, stats, Cone::Normal)?;
+    if !bound.is_bounded() {
+        return Err(CoreError::InvalidQuery {
+            reason: "the statistics do not bound the query; no finite worst case exists".into(),
+        });
+    }
+    let reg = query.registry();
+    let attr_names: Vec<&str> = (0..query.n_vars()).map(|i| reg.name(i)).collect();
+    let coeffs: Vec<(VarSet, f64)> = bound
+        .primal
+        .iter()
+        .enumerate()
+        .map(|(i, &alpha)| (VarSet((i + 1) as u32), alpha))
+        .collect();
+    let witness =
+        normal_relation_from_coefficients("T_worst", &attr_names, &coeffs, 1e-9);
+
+    let mut catalog = Catalog::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for atom in query.atoms() {
+        if seen.contains(&atom.relation.as_str()) {
+            continue;
+        }
+        seen.push(&atom.relation);
+        let attrs: Vec<&str> = atom.vars.iter().map(String::as_str).collect();
+        let projected = witness
+            .relation
+            .project(&attrs)?
+            .with_name(atom.relation.clone());
+        catalog.insert(projected);
+    }
+    Ok(WorstCaseDatabase {
+        witness,
+        catalog,
+        bound,
+    })
+}
+
+/// The explicit worst-case instance of Example 6.7: the relation
+/// `T = {(k, k, k) | k < ⌊2^b⌋}` and its projections, for the triangle query
+/// with unary atoms and ℓ4 statistics all equal to `2^b`.
+pub fn example_6_7_database(b: f64) -> (Relation, Catalog) {
+    let n = b.exp2().floor().max(1.0) as u64;
+    let t = basic_normal_relation("T", &["X", "Y", "Z"], VarSet::full(3), n);
+    let mut catalog = Catalog::new();
+    for (name, attrs) in [
+        ("R1", vec!["X", "Y"]),
+        ("R2", vec!["Y", "Z"]),
+        ("R3", vec!["Z", "X"]),
+        ("S1", vec!["X"]),
+        ("S2", vec!["Y"]),
+        ("S3", vec!["Z"]),
+    ] {
+        let projected = t.project(&attrs).expect("attributes exist").with_name(name);
+        catalog.insert(projected);
+    }
+    (t, catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statistics::ConcreteStatistic;
+    use lpb_data::Norm;
+    use lpb_entropy::Conditional;
+
+    #[test]
+    fn basic_normal_relation_shape() {
+        let t = basic_normal_relation("T", &["X", "Y", "Z"], VarSet::from_indices([0, 2]), 5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.arity(), 3);
+        // Column Y is constant 0; columns X and Z carry k.
+        assert_eq!(t.distinct_count(&["Y"]).unwrap(), 1);
+        assert_eq!(t.distinct_count(&["X"]).unwrap(), 5);
+        assert_eq!(t.distinct_count(&["X", "Z"]).unwrap(), 5);
+        // Entropy shape: deg(Z | X) is all-ones (totally uniform).
+        let deg = t.degree_sequence(&["Z"], &["X"]).unwrap();
+        assert_eq!(deg.max_degree(), 1);
+        assert_eq!(deg.len(), 5);
+    }
+
+    #[test]
+    fn domain_product_multiplies_sizes_and_projections() {
+        let a = basic_normal_relation("A", &["X", "Y"], VarSet::singleton(0), 3);
+        let b = basic_normal_relation("B", &["X", "Y"], VarSet::singleton(1), 4);
+        let p = domain_product("P", &a, &b);
+        assert_eq!(p.len(), 12);
+        // Projections multiply too (total uniformity, Prop. 6.5).
+        assert_eq!(p.distinct_count(&["X"]).unwrap(), 3);
+        assert_eq!(p.distinct_count(&["Y"]).unwrap(), 4);
+        // deg(Y | X) is uniform with value 4.
+        let deg = p.degree_sequence(&["Y"], &["X"]).unwrap();
+        assert_eq!(deg.max_degree(), 4);
+        assert_eq!(deg.len(), 3);
+        assert_eq!(deg.total(), 12);
+    }
+
+    #[test]
+    fn normal_relation_entropy_matches_coefficients() {
+        // h = 2·h_{X} + 1·h_{XYZ}: T = T^X_4 ⊗ T^XYZ_2, 8 tuples.
+        let coeffs = vec![
+            (VarSet::singleton(0), 2.0),
+            (VarSet::full(3), 1.0),
+        ];
+        let t = normal_relation_from_coefficients("T", &["X", "Y", "Z"], &coeffs, 1e-9);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.relation.distinct_count(&["X"]).unwrap(), 8);
+        assert_eq!(t.relation.distinct_count(&["Y"]).unwrap(), 2);
+        assert_eq!(t.relation.distinct_count(&["Y", "Z"]).unwrap(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn example_6_7_witness_is_half_the_bound_or_better() {
+        let b = 6.0;
+        let (t, catalog) = example_6_7_database(b);
+        assert_eq!(t.len(), 64);
+        // Each binary projection is the diagonal of size 2^b, each unary one
+        // has 2^b values; the ℓ4 statistics ‖deg_{R1}(Y|X)‖₄⁴ = 2^b hold.
+        let r1 = catalog.get("R1").unwrap();
+        assert_eq!(r1.len(), 64);
+        let deg = r1.degree_sequence(&["Y"], &["X"]).unwrap();
+        assert_eq!(deg.max_degree(), 1);
+        assert!((deg.lp_norm_pow_p(4.0) - 64.0).abs() < 1e-9);
+        let s1 = catalog.get("S1").unwrap();
+        assert_eq!(s1.len(), 64);
+    }
+
+    /// End-to-end tightness check (Corollary 6.3) on Example 6.7: the
+    /// worst-case database built from the normal-cone LP achieves the bound
+    /// up to the 1/2^c constant.
+    #[test]
+    fn worst_case_database_achieves_the_bound_ex_6_7() {
+        use crate::query::Atom;
+        let q = JoinQuery::new(
+            "ex6.7",
+            vec![
+                Atom::new("R1", &["X", "Y"]),
+                Atom::new("R2", &["Y", "Z"]),
+                Atom::new("R3", &["Z", "X"]),
+                Atom::new("S1", &["X"]),
+                Atom::new("S2", &["Y"]),
+                Atom::new("S3", &["Z"]),
+            ],
+        )
+        .unwrap();
+        let reg = q.registry();
+        let b = 8.0;
+        let mut stats = StatisticsSet::new();
+        for (v, u, atom) in [("Y", "X", 0usize), ("Z", "Y", 1), ("X", "Z", 2)] {
+            stats.push(ConcreteStatistic::new(
+                Conditional::new(reg.set_of(&[v]).unwrap(), reg.set_of(&[u]).unwrap()),
+                Norm::Finite(4.0),
+                atom,
+                b / 4.0,
+            ));
+        }
+        for (i, v) in ["X", "Y", "Z"].iter().enumerate() {
+            stats.push(ConcreteStatistic::new(
+                Conditional::new(reg.set_of(&[v]).unwrap(), VarSet::EMPTY),
+                Norm::L1,
+                3 + i,
+                b,
+            ));
+        }
+        let wc = worst_case_database(&q, &stats).unwrap();
+        // Bound is 2^b = 256 (Example 6.7); the witness is the diagonal of
+        // size ⌊2^b⌋ possibly split across a few step factors, so it is at
+        // least 2^b / 2^c for c = #steps.
+        assert!((wc.bound.log2_bound - b).abs() < 1e-6, "bound {}", wc.bound.log2_bound);
+        let c = wc.witness.steps.len() as f64;
+        assert!(
+            (wc.witness_size() as f64).log2() >= b - c - 1e-9,
+            "witness {} too small for bound 2^{b} with {c} steps",
+            wc.witness_size()
+        );
+        // Every projected relation satisfies its statistic.
+        let r1 = wc.catalog.get("R1").unwrap();
+        let deg = r1.degree_sequence(&["Y"], &["X"]).unwrap();
+        assert!(deg.log2_lp_norm(Norm::Finite(4.0)).unwrap() <= b / 4.0 + 1e-9);
+        let s1 = wc.catalog.get("S1").unwrap();
+        assert!((s1.len() as f64).log2() <= b + 1e-9);
+    }
+
+    /// The worst-case construction on ℓ2 triangle statistics produces a
+    /// database whose statistics respect the inputs.
+    #[test]
+    fn worst_case_database_respects_l2_statistics() {
+        let q = JoinQuery::triangle("R", "S", "T");
+        let reg = q.registry();
+        let c = 4.0;
+        let mut stats = StatisticsSet::new();
+        for (v, u, atom) in [("Y", "X", 0usize), ("Z", "Y", 1), ("X", "Z", 2)] {
+            stats.push(ConcreteStatistic::new(
+                Conditional::new(reg.set_of(&[v]).unwrap(), reg.set_of(&[u]).unwrap()),
+                Norm::L2,
+                atom,
+                c,
+            ));
+        }
+        let wc = worst_case_database(&q, &stats).unwrap();
+        assert!((wc.bound.log2_bound - 2.0 * c).abs() < 1e-6);
+        for name in ["R", "S", "T"] {
+            let rel = wc.catalog.get(name).unwrap();
+            assert!(!rel.is_empty());
+        }
+        let r = wc.catalog.get("R").unwrap();
+        let deg = r.degree_sequence(&["Y"], &["X"]).unwrap();
+        assert!(
+            deg.log2_lp_norm(Norm::L2).unwrap() <= c + 1e-9,
+            "ℓ2 statistic violated: {} > {}",
+            deg.log2_lp_norm(Norm::L2).unwrap(),
+            c
+        );
+        assert!(wc.log2_gap() >= -1e-9);
+    }
+
+    #[test]
+    fn non_simple_statistics_are_rejected() {
+        let q = JoinQuery::loomis_whitney_4("A", "B", "C", "D");
+        let reg = q.registry();
+        let mut stats = StatisticsSet::new();
+        stats.push(ConcreteStatistic::new(
+            Conditional::new(
+                reg.set_of(&["W"]).unwrap(),
+                reg.set_of(&["X", "Y"]).unwrap(),
+            ),
+            Norm::L2,
+            1,
+            3.0,
+        ));
+        assert!(matches!(
+            worst_case_database(&q, &stats),
+            Err(CoreError::InvalidQuery { .. })
+        ));
+    }
+}

@@ -1,0 +1,207 @@
+//! A catalog of named relations with a cache of precomputed ℓp-norm
+//! statistics.
+//!
+//! The paper assumes that ℓp-norms of degree sequences are precomputed and
+//! available at estimation time (§2.1).  [`Catalog`] plays that role: the
+//! first request for `log₂‖deg_R(V|U)‖_p` computes the degree sequence and
+//! caches the value; later requests are served from the cache.
+
+use crate::error::DataError;
+use crate::norms::Norm;
+use crate::relation::Relation;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key identifying one concrete statistic
+/// `‖deg_R(V | U)‖_p` of one relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StatsKey {
+    /// Relation name.
+    pub relation: String,
+    /// Dependent attribute set `V` (sorted).
+    pub v: Vec<String>,
+    /// Conditioning attribute set `U` (sorted).
+    pub u: Vec<String>,
+    /// Norm index encoded as IEEE-754 bits (`u64::MAX` for ℓ∞), so the key
+    /// is hashable.
+    pub norm_bits: u64,
+}
+
+impl StatsKey {
+    /// Build a key from attribute names and a norm.
+    pub fn new(relation: &str, v: &[&str], u: &[&str], norm: Norm) -> Self {
+        let mut v: Vec<String> = v.iter().map(|s| s.to_string()).collect();
+        let mut u: Vec<String> = u.iter().map(|s| s.to_string()).collect();
+        v.sort();
+        u.sort();
+        let norm_bits = match norm {
+            Norm::Infinity => u64::MAX,
+            Norm::Finite(p) => p.to_bits(),
+        };
+        StatsKey {
+            relation: relation.to_string(),
+            v,
+            u,
+            norm_bits,
+        }
+    }
+
+    /// Recover the norm from the key.
+    pub fn norm(&self) -> Norm {
+        if self.norm_bits == u64::MAX {
+            Norm::Infinity
+        } else {
+            Norm::Finite(f64::from_bits(self.norm_bits))
+        }
+    }
+}
+
+/// A named collection of relations plus a statistics cache.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    relations: HashMap<String, Arc<Relation>>,
+    stats: RwLock<HashMap<StatsKey, f64>>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a relation under its own name, replacing any previous
+    /// relation with that name and invalidating its cached statistics.
+    pub fn insert(&mut self, relation: Relation) {
+        let name = relation.name().to_string();
+        self.stats.write().retain(|k, _| k.relation != name);
+        self.relations.insert(name, Arc::new(relation));
+    }
+
+    /// Look up a relation by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Relation>, DataError> {
+        self.relations
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DataError::UnknownRelation {
+                name: name.to_string(),
+            })
+    }
+
+    /// Names of all registered relations (unsorted).
+    pub fn relation_names(&self) -> Vec<String> {
+        self.relations.keys().cloned().collect()
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when the catalog holds no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// `log₂ ‖deg_R(V | U)‖_p` for the named relation, computing and caching
+    /// on first use.  Returns 0.0 (norm 1) for an empty relation so that the
+    /// resulting bounds degenerate gracefully.
+    pub fn log_norm(
+        &self,
+        relation: &str,
+        v: &[&str],
+        u: &[&str],
+        norm: Norm,
+    ) -> Result<f64, DataError> {
+        let key = StatsKey::new(relation, v, u, norm);
+        if let Some(&cached) = self.stats.read().get(&key) {
+            return Ok(cached);
+        }
+        let rel = self.get(relation)?;
+        let deg = rel.degree_sequence(v, u)?;
+        let value = deg.log2_lp_norm(norm).unwrap_or(0.0);
+        self.stats.write().insert(key, value);
+        Ok(value)
+    }
+
+    /// Number of cached statistics (for tests and instrumentation).
+    pub fn cached_stats(&self) -> usize {
+        self.stats.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::RelationBuilder;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.insert(RelationBuilder::binary_from_pairs(
+            "R",
+            "x",
+            "y",
+            vec![(1, 10), (1, 11), (2, 10)],
+        ));
+        c
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let c = catalog();
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+        assert_eq!(c.get("R").unwrap().len(), 3);
+        assert!(matches!(
+            c.get("missing"),
+            Err(DataError::UnknownRelation { .. })
+        ));
+        assert_eq!(c.relation_names(), vec!["R".to_string()]);
+    }
+
+    #[test]
+    fn log_norm_computes_and_caches() {
+        let c = catalog();
+        // deg(y|x) = [2, 1]; l1 = 3, so log2 = log2(3).
+        let v = c.log_norm("R", &["y"], &["x"], Norm::L1).unwrap();
+        assert!((v - 3.0f64.log2()).abs() < 1e-12);
+        assert_eq!(c.cached_stats(), 1);
+        // Second call is served from cache (same value, same count).
+        let v2 = c.log_norm("R", &["y"], &["x"], Norm::L1).unwrap();
+        assert_eq!(v, v2);
+        assert_eq!(c.cached_stats(), 1);
+        // Infinity norm: max degree 2.
+        let vinf = c.log_norm("R", &["y"], &["x"], Norm::Infinity).unwrap();
+        assert!((vinf - 1.0).abs() < 1e-12);
+        assert_eq!(c.cached_stats(), 2);
+    }
+
+    #[test]
+    fn stats_key_normalizes_attribute_order_and_round_trips_norm() {
+        let k1 = StatsKey::new("R", &["b", "a"], &["d", "c"], Norm::Finite(2.0));
+        let k2 = StatsKey::new("R", &["a", "b"], &["c", "d"], Norm::Finite(2.0));
+        assert_eq!(k1, k2);
+        assert_eq!(k1.norm(), Norm::Finite(2.0));
+        assert_eq!(StatsKey::new("R", &["a"], &[], Norm::Infinity).norm(), Norm::Infinity);
+    }
+
+    #[test]
+    fn reinsert_invalidates_cache() {
+        let mut c = catalog();
+        c.log_norm("R", &["y"], &["x"], Norm::L1).unwrap();
+        assert_eq!(c.cached_stats(), 1);
+        c.insert(RelationBuilder::binary_from_pairs("R", "x", "y", vec![(1, 10)]));
+        assert_eq!(c.cached_stats(), 0);
+        let v = c.log_norm("R", &["y"], &["x"], Norm::L1).unwrap();
+        assert!((v - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_relation_norm_is_zero() {
+        let mut c = Catalog::new();
+        let b = RelationBuilder::new("E", ["a", "b"]).unwrap();
+        c.insert(b.build());
+        assert_eq!(c.log_norm("E", &["a"], &["b"], Norm::L2).unwrap(), 0.0);
+    }
+}

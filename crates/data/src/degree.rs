@@ -1,0 +1,176 @@
+//! Degree sequences and their ℓp-norms.
+
+use crate::norms::Norm;
+
+/// A degree sequence `d₁ ≥ d₂ ≥ … ≥ d_m` of positive integers, stored in
+/// non-increasing order.
+///
+/// This is the paper's `deg_R(V | U)` (§1.2): `d_i` is the number of
+/// distinct `V`-values paired with the `i`-th most frequent `U`-value in the
+/// deduplicated projection `Π_{U∪V}(R)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegreeSequence {
+    degrees: Vec<u64>,
+}
+
+impl DegreeSequence {
+    /// Build a degree sequence from unsorted counts.  Zero counts are
+    /// dropped; the rest are sorted in non-increasing order.
+    pub fn from_counts(mut counts: Vec<u64>) -> Self {
+        counts.retain(|&c| c > 0);
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        DegreeSequence { degrees: counts }
+    }
+
+    /// The degrees in non-increasing order.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.degrees
+    }
+
+    /// Number of distinct `U`-values (the length `m` of the sequence).
+    pub fn len(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// True when the sequence is empty (the relation was empty).
+    pub fn is_empty(&self) -> bool {
+        self.degrees.is_empty()
+    }
+
+    /// The maximum degree `d₁` (the ℓ∞ norm), or 0 for an empty sequence.
+    pub fn max_degree(&self) -> u64 {
+        self.degrees.first().copied().unwrap_or(0)
+    }
+
+    /// The total `Σ d_i` (the ℓ1 norm).
+    pub fn total(&self) -> u64 {
+        self.degrees.iter().sum()
+    }
+
+    /// The average degree `Σ d_i / m` (used by the textbook estimator), or
+    /// 0.0 for an empty sequence.
+    pub fn average_degree(&self) -> f64 {
+        if self.degrees.is_empty() {
+            0.0
+        } else {
+            self.total() as f64 / self.degrees.len() as f64
+        }
+    }
+
+    /// The ℓp norm `‖d‖_p = (Σ d_i^p)^{1/p}` (and `max d_i` for p = ∞).
+    ///
+    /// Computed in log-space to stay finite for large `p` and large degrees;
+    /// an empty sequence has norm 0.
+    pub fn lp_norm(&self, norm: Norm) -> f64 {
+        self.log2_lp_norm(norm).map_or(0.0, f64::exp2)
+    }
+
+    /// `log₂ ‖d‖_p`, or `None` for an empty sequence.
+    ///
+    /// This is the representation the bound engine consumes (the paper's
+    /// log-statistics `b = log B`).  Uses the identity
+    /// `log Σ d_i^p = log d₁^p + log Σ (d_i/d₁)^p` for numerical stability.
+    pub fn log2_lp_norm(&self, norm: Norm) -> Option<f64> {
+        if self.degrees.is_empty() {
+            return None;
+        }
+        match norm {
+            Norm::Infinity => Some((self.max_degree() as f64).log2()),
+            Norm::Finite(p) => {
+                let d1 = self.max_degree() as f64;
+                let log2_d1 = d1.log2();
+                // Σ_i (d_i / d1)^p, each term in (0, 1].
+                let sum: f64 = self
+                    .degrees
+                    .iter()
+                    .map(|&d| ((d as f64) / d1).powf(p))
+                    .sum();
+                Some(log2_d1 + sum.log2() / p)
+            }
+        }
+    }
+
+    /// `‖d‖_p^p = Σ d_i^p` (finite p only), useful in tests and closed-form
+    /// formulas; may overflow to `inf` for extreme inputs.
+    pub fn lp_norm_pow_p(&self, p: f64) -> f64 {
+        self.degrees.iter().map(|&d| (d as f64).powf(p)).sum()
+    }
+}
+
+impl From<Vec<u64>> for DegreeSequence {
+    fn from(counts: Vec<u64>) -> Self {
+        DegreeSequence::from_counts(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(v: &[u64]) -> DegreeSequence {
+        DegreeSequence::from_counts(v.to_vec())
+    }
+
+    #[test]
+    fn from_counts_sorts_and_drops_zeros() {
+        let d = seq(&[1, 0, 5, 3, 0]);
+        assert_eq!(d.as_slice(), &[5, 3, 1]);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn aggregate_statistics() {
+        let d = seq(&[4, 2, 1, 1]);
+        assert_eq!(d.max_degree(), 4);
+        assert_eq!(d.total(), 8);
+        assert!((d.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sequence_statistics() {
+        let d = seq(&[]);
+        assert!(d.is_empty());
+        assert_eq!(d.max_degree(), 0);
+        assert_eq!(d.total(), 0);
+        assert_eq!(d.average_degree(), 0.0);
+        assert_eq!(d.lp_norm(Norm::L2), 0.0);
+        assert_eq!(d.log2_lp_norm(Norm::L1), None);
+    }
+
+    #[test]
+    fn l1_is_total_and_linf_is_max() {
+        let d = seq(&[3, 2, 2, 1]);
+        assert!((d.lp_norm(Norm::L1) - 8.0).abs() < 1e-9);
+        assert!((d.lp_norm(Norm::Infinity) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l2_norm_matches_direct_computation() {
+        let d = seq(&[3, 4]);
+        assert!((d.lp_norm(Norm::L2) - 5.0).abs() < 1e-9);
+        assert!((d.lp_norm_pow_p(2.0) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_p_is_stable_and_close_to_max_degree() {
+        let d = DegreeSequence::from_counts(vec![1_000_000; 1000]);
+        let log_norm = d.log2_lp_norm(Norm::Finite(30.0)).unwrap();
+        // ‖d‖_30 = 1e6 * 1000^(1/30); log2 = log2(1e6) + log2(1000)/30.
+        let expected = (1.0e6f64).log2() + (1000.0f64).log2() / 30.0;
+        assert!((log_norm - expected).abs() < 1e-9);
+        assert!(log_norm.is_finite());
+    }
+
+    #[test]
+    fn norms_are_monotonically_nonincreasing_in_p() {
+        let d = seq(&[7, 5, 5, 2, 1, 1, 1]);
+        let mut last = f64::INFINITY;
+        for p in 1..=20 {
+            let n = d.lp_norm(Norm::Finite(p as f64));
+            assert!(n <= last + 1e-9, "‖d‖_{p} = {n} > previous {last}");
+            last = n;
+        }
+        assert!(d.lp_norm(Norm::Infinity) <= last + 1e-9);
+    }
+}

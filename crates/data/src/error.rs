@@ -1,0 +1,83 @@
+//! Error type for relation construction and statistics computation.
+
+use std::fmt;
+
+/// Errors raised by the data layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// An attribute name was not found in a relation's schema.
+    UnknownAttribute {
+        /// The attribute that was requested.
+        attribute: String,
+        /// The relation (or schema) where it was looked up.
+        relation: String,
+    },
+    /// A tuple had the wrong arity for the relation being built.
+    ArityMismatch {
+        /// Expected number of attributes.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// A relation name was not found in the catalog.
+    UnknownRelation {
+        /// The missing relation's name.
+        name: String,
+    },
+    /// Duplicate attribute name within one schema.
+    DuplicateAttribute {
+        /// The repeated attribute name.
+        attribute: String,
+    },
+    /// The conditional (V | U) is invalid for this schema (e.g. empty V).
+    InvalidConditional {
+        /// Human readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownAttribute { attribute, relation } => {
+                write!(f, "attribute `{attribute}` not found in `{relation}`")
+            }
+            DataError::ArityMismatch { expected, got } => {
+                write!(f, "tuple arity mismatch: expected {expected} values, got {got}")
+            }
+            DataError::UnknownRelation { name } => {
+                write!(f, "relation `{name}` not found in catalog")
+            }
+            DataError::DuplicateAttribute { attribute } => {
+                write!(f, "duplicate attribute `{attribute}` in schema")
+            }
+            DataError::InvalidConditional { reason } => {
+                write!(f, "invalid conditional: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = DataError::UnknownAttribute {
+            attribute: "x".into(),
+            relation: "R".into(),
+        };
+        assert!(e.to_string().contains('x') && e.to_string().contains('R'));
+        let e = DataError::ArityMismatch { expected: 2, got: 3 };
+        assert!(e.to_string().contains('2') && e.to_string().contains('3'));
+        let e = DataError::UnknownRelation { name: "S".into() };
+        assert!(e.to_string().contains('S'));
+        let e = DataError::DuplicateAttribute { attribute: "y".into() };
+        assert!(e.to_string().contains('y'));
+        let e = DataError::InvalidConditional { reason: "empty V".into() };
+        assert!(e.to_string().contains("empty V"));
+    }
+}

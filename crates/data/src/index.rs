@@ -1,0 +1,100 @@
+//! Hash index over a set of attribute positions, shared by the join
+//! operators in `lpb-exec` and by statistics collection.
+
+use crate::relation::Relation;
+use crate::schema::AttrId;
+use std::collections::HashMap;
+
+/// A hash index mapping each distinct key (projection of a row onto a fixed
+/// set of attribute positions) to the list of row ids having that key.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    key_attrs: Vec<AttrId>,
+    map: HashMap<Vec<u64>, Vec<usize>>,
+}
+
+impl HashIndex {
+    /// Build an index of `relation` on the attribute positions `key_attrs`.
+    pub fn build(relation: &Relation, key_attrs: &[AttrId]) -> Self {
+        let mut map: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
+        for row in 0..relation.len() {
+            let key = relation.key(row, key_attrs);
+            map.entry(key).or_default().push(row);
+        }
+        HashIndex {
+            key_attrs: key_attrs.to_vec(),
+            map,
+        }
+    }
+
+    /// Attribute positions the index is keyed on.
+    pub fn key_attrs(&self) -> &[AttrId] {
+        &self.key_attrs
+    }
+
+    /// Row ids whose key equals `key`, or an empty slice.
+    pub fn probe(&self, key: &[u64]) -> &[usize] {
+        self.map.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct keys.
+    pub fn n_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterate over `(key, row ids)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<u64>, &Vec<usize>)> {
+        self.map.iter()
+    }
+
+    /// The largest number of rows sharing a key (max fan-out), 0 if empty.
+    pub fn max_group_size(&self) -> usize {
+        self.map.values().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn rel() -> Relation {
+        let schema = Schema::new(["x", "y"]).unwrap();
+        Relation::from_columns(
+            "R",
+            schema,
+            vec![vec![1, 1, 2, 3, 3, 3], vec![10, 11, 10, 12, 13, 14]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn probe_returns_matching_rows() {
+        let r = rel();
+        let idx = HashIndex::build(&r, &[0]);
+        assert_eq!(idx.key_attrs(), &[0]);
+        assert_eq!(idx.probe(&[1]), &[0, 1]);
+        assert_eq!(idx.probe(&[3]), &[3, 4, 5]);
+        assert_eq!(idx.probe(&[99]), &[] as &[usize]);
+        assert_eq!(idx.n_keys(), 3);
+        assert_eq!(idx.max_group_size(), 3);
+    }
+
+    #[test]
+    fn composite_keys() {
+        let r = rel();
+        let idx = HashIndex::build(&r, &[0, 1]);
+        assert_eq!(idx.n_keys(), 6);
+        assert_eq!(idx.probe(&[2, 10]), &[2]);
+        assert_eq!(idx.iter().count(), 6);
+    }
+
+    #[test]
+    fn empty_relation_index() {
+        let schema = Schema::new(["a"]).unwrap();
+        let r = Relation::from_columns("E", schema, vec![vec![]]).unwrap();
+        let idx = HashIndex::build(&r, &[0]);
+        assert_eq!(idx.n_keys(), 0);
+        assert_eq!(idx.max_group_size(), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # lpb-data — relational storage, degree sequences and ℓp-norm statistics
+//!
+//! This crate is the data substrate of the `lpbound` reproduction of
+//! *Join Size Bounds using ℓp-Norms on Degree Sequences* (PODS 2024).
+//! It provides:
+//!
+//! * [`Relation`] — an in-memory, columnar, dictionary-encoded relation with
+//!   named attributes, set semantics, projections and row access;
+//! * [`RelationBuilder`] — a convenient way to assemble relations from
+//!   tuples of [`Value`]s or raw `u64` codes;
+//! * [`DegreeSequence`] and [`Relation::degree_sequence`] — the paper's
+//!   `deg_R(V | U)` statistic: the sorted multiset of `V`-fan-outs of the
+//!   distinct `U`-values in `Π_{U∪V}(R)` (§1.2 of the paper);
+//! * [`Norm`] and [`DegreeSequence::lp_norm`] — ℓp-norms (including ℓ∞) of
+//!   degree sequences, in both linear and log₂ space;
+//! * [`Catalog`] — a named collection of relations with a cached statistics
+//!   store, mirroring the paper's assumption that ℓp-norms are precomputed
+//!   and available at estimation time.
+//!
+//! The crate is deliberately free of any query-processing or bound-computation
+//! logic; those live in `lpb-exec` and `lpb-core` respectively.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod catalog;
+mod degree;
+mod error;
+mod index;
+mod norms;
+mod relation;
+mod schema;
+mod value;
+
+pub use builder::RelationBuilder;
+pub use catalog::{Catalog, StatsKey};
+pub use degree::DegreeSequence;
+pub use error::DataError;
+pub use index::HashIndex;
+pub use norms::Norm;
+pub use relation::Relation;
+pub use schema::{AttrId, Schema};
+pub use value::{Dictionary, Value};

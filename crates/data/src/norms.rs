@@ -1,0 +1,130 @@
+//! ℓp-norms, including ℓ∞, used as statistics over degree sequences.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An ℓp-norm index `p ∈ (0, ∞]`.
+///
+/// The paper's statistics are pairs `((V|U), p)`; `p = 1` corresponds to a
+/// cardinality assertion and `p = ∞` to a max-degree assertion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Norm {
+    /// A finite norm index `p > 0` (need not be an integer, e.g. `6/5`).
+    Finite(f64),
+    /// The ℓ∞ norm (maximum degree).
+    Infinity,
+}
+
+impl Norm {
+    /// The ℓ1 norm (cardinality of the deduplicated projection).
+    pub const L1: Norm = Norm::Finite(1.0);
+    /// The ℓ2 norm.
+    pub const L2: Norm = Norm::Finite(2.0);
+
+    /// Construct a finite norm, panicking on non-positive or non-finite `p`.
+    pub fn finite(p: f64) -> Norm {
+        assert!(p.is_finite() && p > 0.0, "norm index must be positive and finite");
+        Norm::Finite(p)
+    }
+
+    /// The reciprocal `1/p`, which is the coefficient of `h(U)` in the
+    /// paper's key inequality (7); zero for ℓ∞.
+    pub fn reciprocal(&self) -> f64 {
+        match self {
+            Norm::Finite(p) => 1.0 / p,
+            Norm::Infinity => 0.0,
+        }
+    }
+
+    /// The numeric value of `p`, `f64::INFINITY` for ℓ∞.
+    pub fn value(&self) -> f64 {
+        match self {
+            Norm::Finite(p) => *p,
+            Norm::Infinity => f64::INFINITY,
+        }
+    }
+
+    /// True if this is the ℓ∞ norm.
+    pub fn is_infinite(&self) -> bool {
+        matches!(self, Norm::Infinity)
+    }
+
+    /// The standard set of norms `{1, 2, …, max_p, ∞}` used when harvesting
+    /// statistics (the paper's experiments use `p ∈ [15]` or `[30]` plus ∞).
+    pub fn standard_set(max_p: u32) -> Vec<Norm> {
+        let mut v: Vec<Norm> = (1..=max_p).map(|p| Norm::Finite(p as f64)).collect();
+        v.push(Norm::Infinity);
+        v
+    }
+}
+
+impl PartialOrd for Norm {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.value().partial_cmp(&other.value())
+    }
+}
+
+impl fmt::Display for Norm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Norm::Finite(p) => {
+                if (p.round() - p).abs() < 1e-12 {
+                    write!(f, "{}", *p as i64)
+                } else {
+                    write!(f, "{p}")
+                }
+            }
+            Norm::Infinity => write!(f, "∞"),
+        }
+    }
+}
+
+impl From<u32> for Norm {
+    fn from(p: u32) -> Self {
+        Norm::finite(p as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reciprocal_and_value() {
+        assert_eq!(Norm::L1.reciprocal(), 1.0);
+        assert_eq!(Norm::Finite(4.0).reciprocal(), 0.25);
+        assert_eq!(Norm::Infinity.reciprocal(), 0.0);
+        assert_eq!(Norm::Infinity.value(), f64::INFINITY);
+        assert!(Norm::Infinity.is_infinite());
+        assert!(!Norm::L2.is_infinite());
+    }
+
+    #[test]
+    fn ordering_puts_infinity_last() {
+        let mut norms = vec![Norm::Infinity, Norm::Finite(3.0), Norm::L1];
+        norms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(norms, vec![Norm::L1, Norm::Finite(3.0), Norm::Infinity]);
+    }
+
+    #[test]
+    fn standard_set_has_max_p_plus_infinity() {
+        let set = Norm::standard_set(3);
+        assert_eq!(set.len(), 4);
+        assert_eq!(set[0], Norm::Finite(1.0));
+        assert_eq!(set[3], Norm::Infinity);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Norm::Finite(2.0).to_string(), "2");
+        assert_eq!(Norm::Finite(1.2).to_string(), "1.2");
+        assert_eq!(Norm::Infinity.to_string(), "∞");
+        assert_eq!(Norm::from(5u32), Norm::Finite(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_norm_rejected() {
+        let _ = Norm::finite(0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Relation schemas: ordered lists of named attributes.
+
+use crate::error::DataError;
+use std::fmt;
+use std::sync::Arc;
+
+/// Position of an attribute within a schema.
+pub type AttrId = usize;
+
+/// An ordered list of distinct attribute names.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schema {
+    attrs: Arc<[String]>,
+}
+
+impl Schema {
+    /// Build a schema from attribute names, rejecting duplicates.
+    pub fn new<I, S>(attrs: I) -> Result<Self, DataError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].contains(a) {
+                return Err(DataError::DuplicateAttribute {
+                    attribute: a.clone(),
+                });
+            }
+        }
+        Ok(Schema {
+            attrs: attrs.into(),
+        })
+    }
+
+    /// Number of attributes (arity).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Attribute names in order.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Name of attribute `id`.
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.attrs[id]
+    }
+
+    /// Position of the attribute called `name`, if present.
+    pub fn position(&self, name: &str) -> Option<AttrId> {
+        self.attrs.iter().position(|a| a == name)
+    }
+
+    /// Positions of several attributes, failing on the first unknown name.
+    pub fn positions<'a, I>(&self, names: I) -> Result<Vec<AttrId>, DataError>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        names
+            .into_iter()
+            .map(|n| {
+                self.position(n).ok_or_else(|| DataError::UnknownAttribute {
+                    attribute: n.to_string(),
+                    relation: format!("{self}"),
+                })
+            })
+            .collect()
+    }
+
+    /// True when the schema contains every name in `names`.
+    pub fn contains_all<'a, I>(&self, names: I) -> bool
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        names.into_iter().all(|n| self.position(n).is_some())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.attrs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_positions_and_names() {
+        let s = Schema::new(["x", "y", "z"]).unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.name(1), "y");
+        assert_eq!(s.position("z"), Some(2));
+        assert_eq!(s.position("w"), None);
+        assert_eq!(s.positions(["z", "x"]).unwrap(), vec![2, 0]);
+        assert!(s.contains_all(["x", "z"]));
+        assert!(!s.contains_all(["x", "w"]));
+        assert_eq!(s.to_string(), "(x, y, z)");
+    }
+
+    #[test]
+    fn duplicate_attributes_rejected() {
+        let err = Schema::new(["a", "b", "a"]).unwrap_err();
+        assert_eq!(
+            err,
+            DataError::DuplicateAttribute {
+                attribute: "a".into()
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_attribute_error_names_the_attribute() {
+        let s = Schema::new(["x"]).unwrap();
+        let err = s.positions(["q"]).unwrap_err();
+        assert!(matches!(err, DataError::UnknownAttribute { attribute, .. } if attribute == "q"));
+    }
+
+    #[test]
+    fn empty_schema_is_allowed() {
+        let s = Schema::new(Vec::<String>::new()).unwrap();
+        assert_eq!(s.arity(), 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Logical values and dictionary encoding.
+//!
+//! Relations store `u64` codes internally (columnar, cache friendly).  The
+//! [`Value`] enum is the public, logical view used when loading data; string
+//! values are dictionary-encoded into codes via [`Dictionary`].
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A logical attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An integer value (node id, key, foreign key, ...).
+    Int(u64),
+    /// A string value; dictionary-encoded on insertion.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::str(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A dictionary mapping string values to dense `u64` codes.
+///
+/// Integer values are encoded as themselves; string values receive codes
+/// starting at [`Dictionary::STRING_CODE_BASE`] so that the two ranges do not
+/// collide for realistic integer domains.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    by_string: HashMap<Arc<str>, u64>,
+    strings: Vec<Arc<str>>,
+}
+
+impl Dictionary {
+    /// First code assigned to string values.
+    pub const STRING_CODE_BASE: u64 = 1 << 48;
+
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct strings encoded so far.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when no strings have been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Encode a value into its `u64` code, interning strings as needed.
+    pub fn encode(&mut self, value: &Value) -> u64 {
+        match value {
+            Value::Int(v) => *v,
+            Value::Str(s) => {
+                if let Some(&code) = self.by_string.get(s) {
+                    code
+                } else {
+                    let code = Self::STRING_CODE_BASE + self.strings.len() as u64;
+                    self.by_string.insert(Arc::clone(s), code);
+                    self.strings.push(Arc::clone(s));
+                    code
+                }
+            }
+        }
+    }
+
+    /// Decode a code back into a [`Value`].  Codes below
+    /// [`Dictionary::STRING_CODE_BASE`] decode as integers; unknown string
+    /// codes return `None`.
+    pub fn decode(&self, code: u64) -> Option<Value> {
+        if code < Self::STRING_CODE_BASE {
+            Some(Value::Int(code))
+        } else {
+            self.strings
+                .get((code - Self::STRING_CODE_BASE) as usize)
+                .map(|s| Value::Str(Arc::clone(s)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_conversions_and_display() {
+        assert_eq!(Value::from(7u64), Value::Int(7));
+        assert_eq!(Value::from("abc"), Value::str("abc"));
+        assert_eq!(Value::from(String::from("xy")), Value::str("xy"));
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+    }
+
+    #[test]
+    fn dictionary_interns_strings_once() {
+        let mut d = Dictionary::new();
+        assert!(d.is_empty());
+        let a1 = d.encode(&Value::str("a"));
+        let b = d.encode(&Value::str("b"));
+        let a2 = d.encode(&Value::str("a"));
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(d.len(), 2);
+        assert!(a1 >= Dictionary::STRING_CODE_BASE);
+    }
+
+    #[test]
+    fn dictionary_passes_integers_through() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.encode(&Value::Int(42)), 42);
+        assert_eq!(d.decode(42), Some(Value::Int(42)));
+    }
+
+    #[test]
+    fn dictionary_round_trips_strings() {
+        let mut d = Dictionary::new();
+        let code = d.encode(&Value::str("movie"));
+        assert_eq!(d.decode(code), Some(Value::str("movie")));
+        assert_eq!(d.decode(Dictionary::STRING_CODE_BASE + 999), None);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for degree sequences, norms and relation invariants.
+
+use lpb_data::{DegreeSequence, Norm, Relation, RelationBuilder, Schema};
+use proptest::prelude::*;
+
+fn arb_pairs() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..50, 0u64..50), 0..200)
+}
+
+fn arb_degrees() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..1000, 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// ‖d‖_p is non-increasing in p and bounded between max-degree and total.
+    #[test]
+    fn lp_norms_monotone_in_p(degrees in arb_degrees()) {
+        let d = DegreeSequence::from_counts(degrees);
+        let mut last = f64::INFINITY;
+        for p in [1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 25.0] {
+            let n = d.lp_norm(Norm::Finite(p));
+            prop_assert!(n <= last * (1.0 + 1e-9));
+            prop_assert!(n + 1e-9 >= d.max_degree() as f64);
+            prop_assert!(n <= d.total() as f64 + 1e-6);
+            last = n;
+        }
+        prop_assert!(d.lp_norm(Norm::Infinity) <= last * (1.0 + 1e-9));
+    }
+
+    /// log2_lp_norm agrees with the direct linear-space computation when the
+    /// latter does not overflow.
+    #[test]
+    fn log_norm_matches_linear_computation(degrees in arb_degrees(), p in 1u32..6) {
+        let d = DegreeSequence::from_counts(degrees);
+        let direct: f64 = d.as_slice().iter().map(|&x| (x as f64).powi(p as i32)).sum::<f64>()
+            .powf(1.0 / p as f64);
+        let via_log = d.lp_norm(Norm::Finite(p as f64));
+        prop_assert!((direct - via_log).abs() <= 1e-6 * direct.max(1.0),
+            "direct {} vs log-space {}", direct, via_log);
+    }
+
+    /// The degree sequence of a binary relation: the l1 norm of deg(y|x)
+    /// equals the number of distinct (x, y) pairs, the length equals the
+    /// number of distinct x values, and the max degree equals the largest
+    /// fan-out.
+    #[test]
+    fn degree_sequence_of_edge_relation_is_consistent(pairs in arb_pairs()) {
+        let r = RelationBuilder::binary_from_pairs("R", "x", "y", pairs.clone());
+        let mut dedup: Vec<(u64, u64)> = pairs;
+        dedup.sort_unstable();
+        dedup.dedup();
+        if dedup.is_empty() {
+            prop_assert!(r.is_empty());
+            return Ok(());
+        }
+        let d = r.degree_sequence(&["y"], &["x"]).unwrap();
+        prop_assert_eq!(d.total() as usize, dedup.len());
+        let distinct_x = r.distinct_count(&["x"]).unwrap();
+        prop_assert_eq!(d.len(), distinct_x);
+        let mut max_fanout = 0usize;
+        let xs: std::collections::HashSet<u64> = dedup.iter().map(|p| p.0).collect();
+        for x in xs {
+            let c = dedup.iter().filter(|p| p.0 == x).count();
+            max_fanout = max_fanout.max(c);
+        }
+        prop_assert_eq!(d.max_degree() as usize, max_fanout);
+    }
+
+    /// Projections deduplicate and never grow the relation.
+    #[test]
+    fn projection_never_grows(pairs in arb_pairs()) {
+        let r = RelationBuilder::binary_from_pairs("R", "x", "y", pairs);
+        let px = r.project(&["x"]).unwrap();
+        let pxy = r.project(&["x", "y"]).unwrap();
+        prop_assert!(px.len() <= r.len());
+        prop_assert_eq!(pxy.len(), r.len());
+    }
+
+    /// Building a relation through the builder is equivalent to
+    /// from_columns + deduplicated().
+    #[test]
+    fn builder_equals_dedup_of_raw_columns(pairs in arb_pairs()) {
+        let via_builder = RelationBuilder::binary_from_pairs("R", "x", "y", pairs.clone());
+        let schema = Schema::new(["x", "y"]).unwrap();
+        let raw = Relation::from_columns(
+            "R",
+            schema,
+            vec![
+                pairs.iter().map(|p| p.0).collect(),
+                pairs.iter().map(|p| p.1).collect(),
+            ],
+        )
+        .unwrap();
+        let dedup = raw.deduplicated();
+        prop_assert_eq!(via_builder.len(), dedup.len());
+        let mut a: Vec<Vec<u64>> = via_builder.rows().collect();
+        let mut b: Vec<Vec<u64>> = dedup.rows().collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,161 @@
+//! (α, β)-relations — Definition C.1 of the paper.
+//!
+//! An (α, β)-sequence over a scale parameter `M` has `M^α` values of degree
+//! `M^β` and `M − M^α` values of degree 1.  An (α, β)-relation is a binary
+//! relation whose degree sequences in *both* directions are (α, β)-sequences.
+//! The paper uses them to separate the ℓp bounds from the PANDA bound
+//! (Appendix C.3) and to exhibit the instance where the cycle bound (21) with
+//! `q = p` is optimal (Appendix C.5).
+//!
+//! The construction follows footnote 5 of the paper: the disjoint union of
+//! `{(i, (i,j))}`, `{((i,j), i)}` for `i ∈ [M^α], j ∈ [M^β]`, and a diagonal
+//! of singleton-degree pairs filling up to `M` values per side.
+
+use lpb_data::{Relation, RelationBuilder};
+
+/// Configuration of an (α, β)-relation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaBetaConfig {
+    /// The scale parameter `M`.
+    pub m: u64,
+    /// The exponent α of the number of heavy values (`M^α` of them).
+    pub alpha: f64,
+    /// The exponent β of the heavy degree (`M^β`).
+    pub beta: f64,
+}
+
+impl AlphaBetaConfig {
+    /// Number of heavy values `⌈M^α⌉` (at least 1 when α > 0, 0 when α = 0
+    /// would still be 1 — the paper's (0, β) relations have a single heavy
+    /// value).
+    pub fn heavy_values(&self) -> u64 {
+        (self.m as f64).powf(self.alpha).round().max(1.0) as u64
+    }
+
+    /// Heavy degree `⌈M^β⌉`.
+    pub fn heavy_degree(&self) -> u64 {
+        (self.m as f64).powf(self.beta).round().max(1.0) as u64
+    }
+}
+
+/// Build an (α, β)-relation `name(x, y)`.
+///
+/// Both `deg(y | x)` and `deg(x | y)` have `heavy_values()` entries equal to
+/// `heavy_degree()` followed by unit entries, padding each side to at least
+/// `M` distinct values when the heavy block does not already use them up.
+pub fn alpha_beta_relation(name: &str, config: &AlphaBetaConfig) -> Relation {
+    let a = config.heavy_values();
+    let b = config.heavy_degree();
+    let m = config.m;
+
+    // Code layout: heavy left values 0..a; heavy right values (i, j) are
+    // encoded as HEAVY_BASE + i·b + j; diagonal fill values start at
+    // DIAG_BASE.
+    let heavy_base: u64 = 1 << 40;
+    let diag_base: u64 = 1 << 41;
+
+    let mut builder = RelationBuilder::new(name, ["x", "y"]).expect("two attribute names");
+    // Heavy fan-out block: x = i has b distinct partners.
+    for i in 0..a {
+        for j in 0..b {
+            builder.push_codes(&[i, heavy_base + i * b + j]).expect("arity 2");
+        }
+    }
+    // Mirrored heavy fan-in block: y = i has b distinct partners.
+    for i in 0..a {
+        for j in 0..b {
+            builder.push_codes(&[heavy_base + i * b + j, i]).expect("arity 2");
+        }
+    }
+    // Diagonal fill so each side has ~M distinct values of degree 1.
+    let used_per_side = a + a * b;
+    let fill = m.saturating_sub(used_per_side.min(m));
+    for k in 0..fill {
+        builder
+            .push_codes(&[diag_base + k, diag_base + k])
+            .expect("arity 2");
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpb_data::Norm;
+
+    fn degrees_of(rel: &Relation, v: &str, u: &str) -> Vec<u64> {
+        rel.degree_sequence(&[v], &[u]).unwrap().as_slice().to_vec()
+    }
+
+    #[test]
+    fn degree_sequences_match_the_definition_in_both_directions() {
+        let config = AlphaBetaConfig {
+            m: 1_000,
+            alpha: 1.0 / 3.0,
+            beta: 1.0 / 3.0,
+        };
+        let rel = alpha_beta_relation("R", &config);
+        let heavy = config.heavy_values();
+        let degree = config.heavy_degree();
+        for (v, u) in [("y", "x"), ("x", "y")] {
+            let degs = degrees_of(&rel, v, u);
+            let n_heavy = degs.iter().filter(|&&d| d == degree).count() as u64;
+            let n_one = degs.iter().filter(|&&d| d == 1).count() as u64;
+            assert_eq!(n_heavy, heavy, "direction ({v}|{u})");
+            assert_eq!(n_heavy + n_one, degs.len() as u64);
+            assert!(degs.len() as u64 >= config.m.min(1_000) - heavy);
+        }
+    }
+
+    #[test]
+    fn zero_alpha_has_a_single_heavy_value() {
+        let config = AlphaBetaConfig {
+            m: 512,
+            alpha: 0.0,
+            beta: 2.0 / 3.0,
+        };
+        let rel = alpha_beta_relation("S", &config);
+        let degs = degrees_of(&rel, "x", "y");
+        let max = *degs.iter().max().unwrap();
+        assert_eq!(max, config.heavy_degree());
+        assert_eq!(degs.iter().filter(|&&d| d == max).count(), 1);
+    }
+
+    #[test]
+    fn norms_follow_the_appendix_c3_asymptotics() {
+        // For α = β = 1/3: ‖deg‖_p^p = O(M) for p ≤ 2 and O(M^{p/3 + 1/3})
+        // for p ≥ 3; spot check that ℓ1 ≈ M + M^{2/3} and ℓ∞ = M^{1/3}.
+        let m = 4_096u64;
+        let config = AlphaBetaConfig {
+            m,
+            alpha: 1.0 / 3.0,
+            beta: 1.0 / 3.0,
+        };
+        let rel = alpha_beta_relation("R", &config);
+        let deg = rel.degree_sequence(&["y"], &["x"]).unwrap();
+        let linf = deg.lp_norm(Norm::Infinity);
+        assert!((linf - config.heavy_degree() as f64).abs() < 1e-9);
+        let l1 = deg.lp_norm(Norm::L1);
+        let expected_l1 = (config.heavy_values() * config.heavy_degree()
+            + (m - config.heavy_values() * config.heavy_degree()).min(m)) as f64;
+        assert!(
+            (l1 - expected_l1).abs() / expected_l1 < 0.25,
+            "ℓ1 = {l1}, expected ≈ {expected_l1}"
+        );
+    }
+
+    #[test]
+    fn relation_is_deduplicated() {
+        let config = AlphaBetaConfig {
+            m: 100,
+            alpha: 0.5,
+            beta: 0.5,
+        };
+        let rel = alpha_beta_relation("R", &config);
+        let mut rows: Vec<Vec<u64>> = rel.rows().collect();
+        let before = rows.len();
+        rows.sort();
+        rows.dedup();
+        assert_eq!(rows.len(), before);
+    }
+}

@@ -1,0 +1,60 @@
+//! # lpb-datagen — synthetic workload generators
+//!
+//! The paper's experiments (Appendix C) run on the SNAP graph datasets and
+//! the JOB/IMDB benchmark, neither of which can be bundled with this
+//! repository.  This crate generates synthetic stand-ins that exercise the
+//! same statistics regimes (see `DESIGN.md` §3 for the substitution
+//! arguments):
+//!
+//! * [`power_law_graph`] / [`snap_like_presets`] — heavy-tailed random
+//!   graphs for the cyclic-query experiments (triangle, one-join, cycles);
+//! * [`alpha_beta_relation`] — the (α, β)-relations of Definition C.1, used
+//!   in the DSB-gap and cycle-optimality analyses;
+//! * [`job_like_catalog`] / [`job_like_queries`] — a snowflake schema with
+//!   skewed key–foreign-key joins and a 33-query acyclic suite mirroring the
+//!   Figure-1 workload shape.
+//!
+//! All generators are deterministic given their seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alphabeta;
+mod job_like;
+mod powerlaw;
+mod rng;
+
+pub use alphabeta::{alpha_beta_relation, AlphaBetaConfig};
+pub use job_like::{job_like_catalog, job_like_queries, JobLikeConfig, JobLikeQuery};
+pub use powerlaw::{power_law_graph, snap_like_presets, PowerLawGraphConfig, SnapLikePreset};
+pub use rng::{sample_cdf, seeded_rng, zipf_cdf};
+
+use lpb_data::Catalog;
+
+/// Build a catalog containing a single power-law edge relation named `E`,
+/// the standard input of the graph experiments.
+pub fn graph_catalog(config: &PowerLawGraphConfig) -> Catalog {
+    let mut catalog = Catalog::new();
+    catalog.insert(power_law_graph("E", config));
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_catalog_contains_the_edge_relation() {
+        let catalog = graph_catalog(&PowerLawGraphConfig {
+            nodes: 100,
+            edges: 300,
+            exponent: 1.5,
+            symmetric: false,
+            seed: 1,
+        });
+        assert_eq!(catalog.len(), 1);
+        let e = catalog.get("E").unwrap();
+        assert!(e.len() > 0);
+        assert_eq!(e.arity(), 2);
+    }
+}

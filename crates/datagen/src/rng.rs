@@ -1,0 +1,83 @@
+//! Deterministic random number generation for reproducible workloads.
+//!
+//! Every generator in this crate takes an explicit `u64` seed and derives its
+//! randomness from a [`StdRng`], so that experiments and tests are exactly
+//! reproducible across runs and platforms.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A seeded random number generator.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Sample an index from a discrete cumulative distribution (`cdf` is
+/// non-decreasing, last element is the total mass) given a uniform draw `u`
+/// in `[0, total)`.
+pub fn sample_cdf(cdf: &[f64], u: f64) -> usize {
+    match cdf.binary_search_by(|probe| {
+        probe
+            .partial_cmp(&u)
+            .expect("cdf entries and the draw are finite")
+    }) {
+        Ok(i) => (i + 1).min(cdf.len() - 1),
+        Err(i) => i.min(cdf.len() - 1),
+    }
+}
+
+/// Build the cumulative distribution of Zipf weights `(i+1)^{-s}` for `n`
+/// items with exponent `s ≥ 0` (s = 0 is uniform).
+pub fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for i in 0..n {
+        total += ((i + 1) as f64).powf(-s);
+        cdf.push(total);
+    }
+    cdf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = seeded_rng(42);
+        let mut b = seeded_rng(42);
+        let va: Vec<u64> = (0..10).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..10).map(|_| b.gen()).collect();
+        assert_eq!(va, vb);
+        let mut c = seeded_rng(43);
+        let vc: Vec<u64> = (0..10).map(|_| c.gen()).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_skewed() {
+        let cdf = zipf_cdf(100, 1.5);
+        assert_eq!(cdf.len(), 100);
+        for w in cdf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        // The first item carries a disproportionate share of the mass.
+        let total = *cdf.last().unwrap();
+        assert!(cdf[0] / total > 0.3);
+        // Uniform case: first item carries ~1/n.
+        let uniform = zipf_cdf(100, 0.0);
+        assert!((uniform[0] / uniform.last().unwrap() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_cdf_hits_every_bucket_boundary() {
+        let cdf = vec![1.0, 3.0, 6.0];
+        assert_eq!(sample_cdf(&cdf, 0.0), 0);
+        assert_eq!(sample_cdf(&cdf, 0.999), 0);
+        assert_eq!(sample_cdf(&cdf, 1.5), 1);
+        assert_eq!(sample_cdf(&cdf, 5.9), 2);
+        // Draws at or past the total clamp to the last index.
+        assert_eq!(sample_cdf(&cdf, 6.0), 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Abstract conditionals `(V | U)` over query variables.
+
+use crate::varset::{VarRegistry, VarSet};
+use std::fmt;
+
+/// The paper's abstract conditional `σ = (V | U)` (§1.2): an assertion shape
+/// about the degree of the `U`-values into the `V`-values of some relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conditional {
+    /// Dependent variables `V`.
+    pub v: VarSet,
+    /// Conditioning variables `U`.
+    pub u: VarSet,
+}
+
+impl Conditional {
+    /// Build a conditional; `V` is stored disjoint from `U` (any overlap is
+    /// removed from `V`, which does not change `h(V | U)`).
+    pub fn new(v: VarSet, u: VarSet) -> Self {
+        Conditional { v: v.minus(u), u }
+    }
+
+    /// The combined variable set `U ∪ V`.
+    pub fn all_vars(&self) -> VarSet {
+        self.u.union(self.v)
+    }
+
+    /// A conditional is *simple* when `|U| ≤ 1` (§6 of the paper); for simple
+    /// statistics the polymatroid bound is tight and equals the normal
+    /// polymatroid bound (Theorem 6.1).
+    pub fn is_simple(&self) -> bool {
+        self.u.len() <= 1
+    }
+
+    /// A cardinality-style conditional has `U = ∅` (so the ℓ1 statistic on it
+    /// asserts `|Π_V(R)| ≤ B`).
+    pub fn is_unconditioned(&self) -> bool {
+        self.u.is_empty()
+    }
+
+    /// Render with variable names, e.g. `(Y, Z | X)`.
+    pub fn render(&self, registry: &VarRegistry) -> String {
+        let names = |s: VarSet| -> String {
+            s.iter()
+                .map(|i| registry.name(i).to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        if self.u.is_empty() {
+            format!("({})", names(self.v))
+        } else {
+            format!("({} | {})", names(self.v), names(self.u))
+        }
+    }
+}
+
+impl fmt::Display for Conditional {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.u.is_empty() {
+            write!(f, "({})", self.v)
+        } else {
+            write!(f, "({} | {})", self.v, self.u)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_is_removed_from_v() {
+        let u = VarSet::from_indices([0]);
+        let v = VarSet::from_indices([0, 1]);
+        let c = Conditional::new(v, u);
+        assert_eq!(c.v, VarSet::singleton(1));
+        assert_eq!(c.all_vars(), VarSet::from_indices([0, 1]));
+    }
+
+    #[test]
+    fn simplicity_depends_on_u_size() {
+        let c = Conditional::new(VarSet::singleton(2), VarSet::singleton(0));
+        assert!(c.is_simple());
+        assert!(!c.is_unconditioned());
+        let c = Conditional::new(VarSet::singleton(2), VarSet::EMPTY);
+        assert!(c.is_simple());
+        assert!(c.is_unconditioned());
+        let c = Conditional::new(VarSet::singleton(2), VarSet::from_indices([0, 1]));
+        assert!(!c.is_simple());
+    }
+
+    #[test]
+    fn rendering() {
+        let reg = VarRegistry::from_names(["X", "Y", "Z"]);
+        let c = Conditional::new(VarSet::singleton(2), VarSet::singleton(0));
+        assert_eq!(c.render(&reg), "(Z | X)");
+        let c = Conditional::new(VarSet::from_indices([1, 2]), VarSet::EMPTY);
+        assert_eq!(c.render(&reg), "(Y, Z)");
+        assert_eq!(c.to_string(), "({1,2})");
+        let c = Conditional::new(VarSet::singleton(1), VarSet::singleton(0));
+        assert_eq!(c.to_string(), "({1} | {0})");
+    }
+}

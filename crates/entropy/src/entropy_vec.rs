@@ -1,0 +1,208 @@
+//! Set-indexed entropy-like vectors `h : 2^X → ℝ₊`.
+
+use crate::varset::VarSet;
+
+/// A vector indexed by all subsets of the first `n` variables.
+///
+/// This is the paper's `h ∈ ℝ₊^{2^[n]}` (§3): `h(∅) = 0` and `h(S)` is the
+/// value assigned to the subset `S`.  The vector may or may not satisfy the
+/// polymatroid axioms; [`EntropyVec::is_polymatroid`] checks them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntropyVec {
+    n_vars: usize,
+    values: Vec<f64>,
+}
+
+impl EntropyVec {
+    /// The all-zero vector over `n_vars` variables.
+    pub fn zero(n_vars: usize) -> Self {
+        assert!(n_vars <= 25, "entropy vectors beyond 25 variables are not supported");
+        EntropyVec {
+            n_vars,
+            values: vec![0.0; 1 << n_vars],
+        }
+    }
+
+    /// Build from a full table of `2^n` values (indexed by subset bitmask).
+    /// The entry for the empty set is forced to 0.
+    pub fn from_values(n_vars: usize, mut values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), 1 << n_vars, "need exactly 2^n values");
+        values[0] = 0.0;
+        EntropyVec { n_vars, values }
+    }
+
+    /// Number of variables `n`.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Value `h(set)`.
+    #[inline]
+    pub fn get(&self, set: VarSet) -> f64 {
+        self.values[set.index()]
+    }
+
+    /// Set `h(set) = value` (the empty set is pinned to zero).
+    #[inline]
+    pub fn set(&mut self, set: VarSet, value: f64) {
+        if !set.is_empty() {
+            self.values[set.index()] = value;
+        }
+    }
+
+    /// Add `value` to `h(set)`.
+    #[inline]
+    pub fn add(&mut self, set: VarSet, value: f64) {
+        if !set.is_empty() {
+            self.values[set.index()] += value;
+        }
+    }
+
+    /// The conditional `h(V | U) = h(U ∪ V) − h(U)`.
+    pub fn conditional(&self, v: VarSet, u: VarSet) -> f64 {
+        self.get(u.union(v)) - self.get(u)
+    }
+
+    /// Pointwise sum (both vectors must have the same variable count).
+    pub fn sum(&self, other: &EntropyVec) -> EntropyVec {
+        assert_eq!(self.n_vars, other.n_vars);
+        let values = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| a + b)
+            .collect();
+        EntropyVec {
+            n_vars: self.n_vars,
+            values,
+        }
+    }
+
+    /// Multiply every entry by a non-negative scalar.
+    pub fn scale(&self, factor: f64) -> EntropyVec {
+        EntropyVec {
+            n_vars: self.n_vars,
+            values: self.values.iter().map(|v| v * factor).collect(),
+        }
+    }
+
+    /// Check the polymatroid axioms (24)–(26) of the paper up to `tol`:
+    /// `h(∅) = 0`, monotonicity and submodularity, via the elemental forms.
+    pub fn is_polymatroid(&self, tol: f64) -> bool {
+        if self.values[0].abs() > tol {
+            return false;
+        }
+        let n = self.n_vars;
+        let full = VarSet::full(n);
+        // Elemental monotonicity: h(X) >= h(X \ {i}).
+        for i in 0..n {
+            if self.get(full) < self.get(full.minus(VarSet::singleton(i))) - tol {
+                return false;
+            }
+        }
+        // Elemental submodularity: h(U∪i) + h(U∪j) >= h(U∪i∪j) + h(U).
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let rest = full.minus(VarSet::singleton(i)).minus(VarSet::singleton(j));
+                for u in rest.subsets() {
+                    let ui = u.union(VarSet::singleton(i));
+                    let uj = u.union(VarSet::singleton(j));
+                    let uij = ui.union(uj);
+                    if self.get(ui) + self.get(uj) < self.get(uij) + self.get(u) - tol {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// All `2^n` values, indexed by subset bitmask.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The entropy vector of two independent uniform bits plus their XOR is
+    /// NOT needed here; we use simpler hand-built vectors.
+    fn cardinality_vector() -> EntropyVec {
+        // h(S) = |S| (entropy of independent uniform bits): a modular
+        // polymatroid.
+        let n = 3;
+        let mut h = EntropyVec::zero(n);
+        for s in VarSet::full(n).subsets() {
+            h.set(s, s.len() as f64);
+        }
+        h
+    }
+
+    #[test]
+    fn get_set_add_and_conditional() {
+        let mut h = EntropyVec::zero(2);
+        let x = VarSet::singleton(0);
+        let y = VarSet::singleton(1);
+        h.set(x, 1.0);
+        h.set(y, 1.0);
+        h.set(x.union(y), 1.5);
+        h.add(x.union(y), 0.5);
+        assert_eq!(h.get(x.union(y)), 2.0);
+        assert_eq!(h.conditional(y, x), 1.0);
+        assert_eq!(h.conditional(x, VarSet::EMPTY), 1.0);
+        // Setting the empty set is a no-op.
+        h.set(VarSet::EMPTY, 7.0);
+        assert_eq!(h.get(VarSet::EMPTY), 0.0);
+        assert_eq!(h.n_vars(), 2);
+        assert_eq!(h.values().len(), 4);
+    }
+
+    #[test]
+    fn modular_vector_is_polymatroid() {
+        let h = cardinality_vector();
+        assert!(h.is_polymatroid(1e-12));
+    }
+
+    #[test]
+    fn violating_monotonicity_is_detected() {
+        let mut h = cardinality_vector();
+        let full = VarSet::full(3);
+        h.set(full, 0.5); // below h of its subsets of size 2
+        assert!(!h.is_polymatroid(1e-12));
+    }
+
+    #[test]
+    fn violating_submodularity_is_detected() {
+        // h(X)=h(Y)=1, h(XY)=3 violates h(X)+h(Y) >= h(XY)+h(∅).
+        let mut h = EntropyVec::zero(2);
+        h.set(VarSet::singleton(0), 1.0);
+        h.set(VarSet::singleton(1), 1.0);
+        h.set(VarSet::full(2), 3.0);
+        assert!(!h.is_polymatroid(1e-12));
+    }
+
+    #[test]
+    fn sum_and_scale() {
+        let h = cardinality_vector();
+        let doubled = h.sum(&h);
+        let scaled = h.scale(2.0);
+        assert_eq!(doubled, scaled);
+        assert_eq!(scaled.get(VarSet::full(3)), 6.0);
+        assert!(scaled.is_polymatroid(1e-12));
+    }
+
+    #[test]
+    fn from_values_pins_empty_set_to_zero() {
+        let h = EntropyVec::from_values(1, vec![5.0, 2.0]);
+        assert_eq!(h.get(VarSet::EMPTY), 0.0);
+        assert_eq!(h.get(VarSet::singleton(0)), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^n values")]
+    fn from_values_checks_length() {
+        let _ = EntropyVec::from_values(2, vec![0.0; 3]);
+    }
+}

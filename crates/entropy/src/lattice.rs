@@ -1,0 +1,94 @@
+//! The 4-variable polymatroid of Figure 2 (Appendix D.3 of the paper).
+//!
+//! Zhang and Yeung's non-Shannon information inequality is violated by a
+//! specific polymatroid over four variables `A, B, X, Y`.  The paper uses
+//! that polymatroid (drawn as a lattice of closed sets in its Figure 2) to
+//! show that the polymatroid (Shannon-only) bound is **not tight**: for the
+//! 6-atom α-acyclic query of Appendix D.3(2) the polymatroid bound exceeds
+//! the largest achievable query output by the exponent factor 36/35.
+//!
+//! This module materializes that polymatroid so the bound engine can
+//! reproduce the 35/36 gap experiment (experiment E7 in DESIGN.md).
+
+use crate::entropy_vec::EntropyVec;
+use crate::varset::{VarRegistry, VarSet};
+
+/// Build the Figure-2 polymatroid.  Returns the variable registry (with the
+/// names `A`, `B`, `X`, `Y` in that index order) and the entropy vector:
+///
+/// * `h(∅) = 0`,
+/// * `h(S) = 2` for singletons,
+/// * `h(S) = 3` for the pairs `AX, AY, XY, BX, BY`,
+/// * `h(AB) = 4`,
+/// * `h(S) = 4` for all triples and for `ABXY`.
+pub fn zhang_yeung_polymatroid() -> (VarRegistry, EntropyVec) {
+    let registry = VarRegistry::from_names(["A", "B", "X", "Y"]);
+    let a = VarSet::singleton(0);
+    let b = VarSet::singleton(1);
+    let x = VarSet::singleton(2);
+    let y = VarSet::singleton(3);
+
+    let mut h = EntropyVec::zero(4);
+    for s in VarSet::full(4).subsets() {
+        let value = match s.len() {
+            0 => 0.0,
+            1 => 2.0,
+            2 => {
+                if s == a.union(b) {
+                    4.0
+                } else {
+                    3.0
+                }
+            }
+            _ => 4.0,
+        };
+        h.set(s, value);
+    }
+    let _ = (x, y);
+    (registry, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_2_values_match_the_paper() {
+        let (reg, h) = zhang_yeung_polymatroid();
+        let set = |names: &[&str]| reg.set_of(names).unwrap();
+        assert_eq!(h.get(VarSet::EMPTY), 0.0);
+        for v in ["A", "B", "X", "Y"] {
+            assert_eq!(h.get(set(&[v])), 2.0);
+        }
+        for pair in [["A", "X"], ["A", "Y"], ["X", "Y"], ["B", "X"], ["B", "Y"]] {
+            assert_eq!(h.get(set(&pair)), 3.0);
+        }
+        assert_eq!(h.get(set(&["A", "B"])), 4.0);
+        assert_eq!(h.get(set(&["A", "B", "X", "Y"])), 4.0);
+        assert_eq!(h.get(set(&["A", "X", "Y"])), 4.0);
+        assert_eq!(h.get(set(&["B", "X", "Y"])), 4.0);
+    }
+
+    #[test]
+    fn figure_2_vector_is_a_polymatroid() {
+        let (_, h) = zhang_yeung_polymatroid();
+        assert!(h.is_polymatroid(1e-12));
+    }
+
+    #[test]
+    fn statistics_of_appendix_d_hold_on_the_lattice_polymatroid() {
+        // Appendix D.3 derives concrete log-statistics from this polymatroid;
+        // spot-check a few of the identities used there.
+        let (reg, h) = zhang_yeung_polymatroid();
+        let set = |names: &[&str]| reg.set_of(names).unwrap();
+        // h(ABXY) + 4·h(B | AXY) = 5·4 − 4·4 = 4  (so b₁ = 4/5 per norm 5).
+        let b_given_axy = h.conditional(set(&["B"]), set(&["A", "X", "Y"]));
+        assert_eq!(h.get(set(&["A", "B", "X", "Y"])) + 4.0 * b_given_axy, 4.0);
+        // h(XY) + 2·h(Y | X) = 3·3 − 2·2 = 5 (so b₆ = 5/3 per norm 3).
+        let y_given_x = h.conditional(set(&["Y"]), set(&["X"]));
+        assert_eq!(h.get(set(&["X", "Y"])) + 2.0 * y_given_x, 5.0);
+        // h(AX) + h(A | X) = 2·3 − 2 = 4 (so b₁₀ = 2 per norm 2).
+        let a_given_x = h.conditional(set(&["A"]), set(&["X"]));
+        assert_eq!(h.get(set(&["A", "X"])) + a_given_x, 4.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # lpb-entropy — information-theoretic machinery for the ℓp bounds
+//!
+//! The cardinality bounds of *Join Size Bounds using ℓp-Norms on Degree
+//! Sequences* (PODS 2024) are defined through information inequalities over
+//! set-indexed vectors `h : 2^X → ℝ₊`.  This crate provides the pure-math
+//! substrate (no relational data, no LP solving):
+//!
+//! * [`VarSet`] / [`VarRegistry`] — bitmask variable sets over the query
+//!   variables `X`;
+//! * [`EntropyVec`] — a vector indexed by subsets of `X`, with conditionals
+//!   `h(V | U)` and polymatroid-axiom checking (§3 of the paper);
+//! * [`shannon`] — the elemental Shannon inequalities (monotonicity and
+//!   submodularity) that define the polymatroid cone Γₙ;
+//! * [`step_function`] / [`NormalPolymatroid`] — the step functions `h_W`
+//!   and the normal polymatroid cone Nₙ (positive combinations of step
+//!   functions, §3 and §6);
+//! * [`ModularFunction`] — the modular cone Mₙ (positive combinations of
+//!   singleton step functions), used to reproduce the comparison with
+//!   Jayaraman et al. in Appendix B;
+//! * [`Conditional`] — the abstract conditional `(V | U)` of §1.2, with the
+//!   notion of *simple* conditionals (|U| ≤ 1) from §6;
+//! * [`lattice::zhang_yeung_polymatroid`] — the 4-variable polymatroid of
+//!   Figure 2 (Appendix D.3), used to exhibit the 35/36 non-tightness gap of
+//!   the polymatroid bound.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conditional;
+mod entropy_vec;
+pub mod lattice;
+mod modular;
+mod normal;
+pub mod shannon;
+mod step;
+mod varset;
+
+pub use conditional::Conditional;
+pub use entropy_vec::EntropyVec;
+pub use modular::ModularFunction;
+pub use normal::NormalPolymatroid;
+pub use shannon::{elemental_inequalities, ShannonInequality};
+pub use step::{step_conditional, step_function, step_value};
+pub use varset::{VarRegistry, VarSet};

@@ -1,0 +1,131 @@
+//! Modular functions: positive combinations of singleton step functions.
+
+use crate::entropy_vec::EntropyVec;
+use crate::normal::NormalPolymatroid;
+use crate::varset::VarSet;
+
+/// A modular function `h(S) = Σ_{i ∈ S} c_i` with `c_i ≥ 0` (§3 of the
+/// paper: positive combinations of the *basic modular functions* `h_{X_i}`).
+///
+/// Modular functions form the cone `Mₙ ⊂ Nₙ ⊂ Γₙ`.  Appendix B shows that
+/// the LP of Jayaraman et al. checks inequalities only against modular
+/// functions, which is not sufficient in general; the bound engine exposes a
+/// modular cone exactly to reproduce that comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModularFunction {
+    weights: Vec<f64>,
+}
+
+impl ModularFunction {
+    /// The zero modular function over `n_vars` variables.
+    pub fn zero(n_vars: usize) -> Self {
+        ModularFunction {
+            weights: vec![0.0; n_vars],
+        }
+    }
+
+    /// Build from per-variable weights (all must be non-negative).
+    pub fn from_weights(weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "modular weights must be non-negative"
+        );
+        ModularFunction { weights }
+    }
+
+    /// The basic modular function `h_{X_i}` over `n_vars` variables.
+    pub fn basic(n_vars: usize, var: usize) -> Self {
+        let mut m = Self::zero(n_vars);
+        m.weights[var] = 1.0;
+        m
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The per-variable weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Evaluate `h(S) = Σ_{i ∈ S} c_i`.
+    pub fn value(&self, s: VarSet) -> f64 {
+        s.iter().map(|i| self.weights[i]).sum()
+    }
+
+    /// The conditional `h(V | U) = Σ_{i ∈ V \ U} c_i`.
+    pub fn conditional(&self, v: VarSet, u: VarSet) -> f64 {
+        self.value(v.minus(u))
+    }
+
+    /// View as a normal polymatroid (every modular function is normal).
+    pub fn to_normal(&self) -> NormalPolymatroid {
+        NormalPolymatroid::from_coefficients(
+            self.n_vars(),
+            self.weights
+                .iter()
+                .enumerate()
+                .filter(|(_, &w)| w > 0.0)
+                .map(|(i, &w)| (VarSet::singleton(i), w)),
+        )
+    }
+
+    /// Materialize the full entropy vector.
+    pub fn to_entropy_vec(&self) -> EntropyVec {
+        let mut h = EntropyVec::zero(self.n_vars());
+        for s in VarSet::full(self.n_vars()).subsets() {
+            h.set(s, self.value(s));
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_is_sum_of_member_weights() {
+        let m = ModularFunction::from_weights(vec![1.0, 2.0, 4.0]);
+        assert_eq!(m.value(VarSet::EMPTY), 0.0);
+        assert_eq!(m.value(VarSet::singleton(1)), 2.0);
+        assert_eq!(m.value(VarSet::from_indices([0, 2])), 5.0);
+        assert_eq!(m.value(VarSet::full(3)), 7.0);
+        assert_eq!(m.n_vars(), 3);
+        assert_eq!(m.weights(), &[1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn conditional_ignores_already_conditioned_variables() {
+        let m = ModularFunction::from_weights(vec![1.0, 2.0, 4.0]);
+        let v = VarSet::from_indices([0, 1]);
+        let u = VarSet::singleton(1);
+        assert_eq!(m.conditional(v, u), 1.0);
+        assert_eq!(m.conditional(v, VarSet::EMPTY), 3.0);
+    }
+
+    #[test]
+    fn basic_modular_function_is_indicator() {
+        let m = ModularFunction::basic(3, 1);
+        assert_eq!(m.value(VarSet::singleton(1)), 1.0);
+        assert_eq!(m.value(VarSet::singleton(0)), 0.0);
+        assert_eq!(m.value(VarSet::full(3)), 1.0);
+    }
+
+    #[test]
+    fn modular_functions_are_normal_and_polymatroid() {
+        let m = ModularFunction::from_weights(vec![0.5, 0.0, 3.0]);
+        let via_normal = m.to_normal().to_entropy_vec();
+        let direct = m.to_entropy_vec();
+        assert_eq!(via_normal, direct);
+        assert!(direct.is_polymatroid(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let _ = ModularFunction::from_weights(vec![1.0, -0.5]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Normal polymatroids: positive combinations of step functions.
+
+use crate::entropy_vec::EntropyVec;
+use crate::step::{step_conditional, step_value};
+use crate::varset::VarSet;
+use std::collections::BTreeMap;
+
+/// A normal polymatroid `h = Σ_W α_W · h_W` with `α_W ≥ 0` (§3 / §6 of the
+/// paper), stored sparsely by the non-zero coefficients.
+///
+/// For *simple* statistics the optimal polymatroid bound is attained by a
+/// normal polymatroid (Theorem 6.1), and the worst-case database of
+/// Corollary 6.3 is constructed from the rounded coefficients of the
+/// optimal normal polymatroid (Lemma 6.2).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NormalPolymatroid {
+    n_vars: usize,
+    /// Coefficients `α_W > 0`, keyed by the bitmask of `W ≠ ∅`.
+    coefficients: BTreeMap<u32, f64>,
+}
+
+impl NormalPolymatroid {
+    /// The zero normal polymatroid over `n_vars` variables.
+    pub fn zero(n_vars: usize) -> Self {
+        NormalPolymatroid {
+            n_vars,
+            coefficients: BTreeMap::new(),
+        }
+    }
+
+    /// Build from `(W, α_W)` pairs; zero and negative coefficients are
+    /// rejected, empty `W` is rejected.
+    pub fn from_coefficients<I>(n_vars: usize, coeffs: I) -> Self
+    where
+        I: IntoIterator<Item = (VarSet, f64)>,
+    {
+        let mut p = Self::zero(n_vars);
+        for (w, a) in coeffs {
+            p.add_step(w, a);
+        }
+        p
+    }
+
+    /// Add `alpha · h_W` to the combination.
+    pub fn add_step(&mut self, w: VarSet, alpha: f64) {
+        assert!(!w.is_empty(), "step functions are indexed by non-empty sets");
+        assert!(alpha >= 0.0, "normal polymatroid coefficients must be non-negative");
+        assert!(
+            w.is_subset_of(VarSet::full(self.n_vars)),
+            "step set outside the variable range"
+        );
+        if alpha > 0.0 {
+            *self.coefficients.entry(w.0).or_insert(0.0) += alpha;
+        }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// The non-zero coefficients `(W, α_W)`.
+    pub fn coefficients(&self) -> impl Iterator<Item = (VarSet, f64)> + '_ {
+        self.coefficients.iter().map(|(&w, &a)| (VarSet(w), a))
+    }
+
+    /// Number of non-zero coefficients (the `c` of Lemma 6.2).
+    pub fn support_size(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// Evaluate `h(S) = Σ_W α_W · h_W(S)` without materializing 2^n values.
+    pub fn value(&self, s: VarSet) -> f64 {
+        self.coefficients()
+            .map(|(w, a)| a * step_value(w, s))
+            .sum()
+    }
+
+    /// Evaluate the conditional `h(V | U)`.
+    pub fn conditional(&self, v: VarSet, u: VarSet) -> f64 {
+        self.coefficients()
+            .map(|(w, a)| a * step_conditional(w, v, u))
+            .sum()
+    }
+
+    /// Materialize the full entropy vector.
+    pub fn to_entropy_vec(&self) -> EntropyVec {
+        let mut h = EntropyVec::zero(self.n_vars);
+        for s in VarSet::full(self.n_vars).subsets() {
+            h.set(s, self.value(s));
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluates_like_sum_of_step_functions() {
+        let n = 3;
+        let p = NormalPolymatroid::from_coefficients(
+            n,
+            [
+                (VarSet::from_indices([0, 1, 2]), 2.0),
+                (VarSet::singleton(0), 1.0),
+            ],
+        );
+        // h(X0) = 2 + 1 = 3; h(X1) = 2; h(X0X1X2) = 3.
+        assert_eq!(p.value(VarSet::singleton(0)), 3.0);
+        assert_eq!(p.value(VarSet::singleton(1)), 2.0);
+        assert_eq!(p.value(VarSet::full(3)), 3.0);
+        assert_eq!(p.value(VarSet::EMPTY), 0.0);
+        assert_eq!(p.support_size(), 2);
+        assert_eq!(p.n_vars(), 3);
+    }
+
+    #[test]
+    fn materialized_vector_is_a_polymatroid() {
+        let p = NormalPolymatroid::from_coefficients(
+            4,
+            [
+                (VarSet::from_indices([0, 1]), 0.7),
+                (VarSet::from_indices([2, 3]), 1.3),
+                (VarSet::singleton(2), 0.25),
+            ],
+        );
+        let h = p.to_entropy_vec();
+        assert!(h.is_polymatroid(1e-12));
+        // Spot-check agreement between sparse and dense evaluation.
+        for s in VarSet::full(4).subsets() {
+            assert!((h.get(s) - p.value(s)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conditional_matches_dense_computation() {
+        let p = NormalPolymatroid::from_coefficients(
+            3,
+            [(VarSet::from_indices([0, 2]), 1.5), (VarSet::singleton(1), 2.0)],
+        );
+        let h = p.to_entropy_vec();
+        let v = VarSet::singleton(2);
+        let u = VarSet::singleton(0);
+        assert!((p.conditional(v, u) - h.conditional(v, u)).abs() < 1e-12);
+        assert!((p.conditional(v, VarSet::EMPTY) - h.conditional(v, VarSet::EMPTY)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_coefficients_are_dropped() {
+        let mut p = NormalPolymatroid::zero(2);
+        p.add_step(VarSet::singleton(0), 0.0);
+        assert_eq!(p.support_size(), 0);
+        assert_eq!(p.coefficients().count(), 0);
+        p.add_step(VarSet::singleton(0), 1.0);
+        p.add_step(VarSet::singleton(0), 2.0);
+        assert_eq!(p.support_size(), 1);
+        assert_eq!(p.value(VarSet::singleton(0)), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_step_rejected() {
+        let mut p = NormalPolymatroid::zero(2);
+        p.add_step(VarSet::EMPTY, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_coefficient_rejected() {
+        let mut p = NormalPolymatroid::zero(2);
+        p.add_step(VarSet::singleton(0), -1.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Elemental Shannon inequalities defining the polymatroid cone Γₙ.
+//!
+//! Every Shannon inequality (an inequality valid for all polymatroids) is a
+//! non-negative combination of the *elemental* inequalities:
+//!
+//! * monotonicity: `h([n]) − h([n] \ {i}) ≥ 0` for each variable `i`;
+//! * submodularity: `h(U∪{i}) + h(U∪{j}) − h(U∪{i,j}) − h(U) ≥ 0` for each
+//!   pair `i ≠ j` and each `U ⊆ [n] \ {i, j}`.
+//!
+//! The bound engine turns each elemental inequality into one LP row.
+
+use crate::entropy_vec::EntropyVec;
+use crate::varset::VarSet;
+
+/// One elemental Shannon inequality, as a sparse linear form
+/// `Σ coeff · h(set) ≥ 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShannonInequality {
+    /// Sparse terms `(subset, coefficient)`; the empty set never appears.
+    pub terms: Vec<(VarSet, f64)>,
+    /// Human-readable description (used to label LP rows in debug output).
+    pub description: String,
+}
+
+impl ShannonInequality {
+    /// Evaluate the linear form on an entropy vector.
+    pub fn evaluate(&self, h: &EntropyVec) -> f64 {
+        self.terms.iter().map(|&(s, c)| c * h.get(s)).sum()
+    }
+
+    /// True when the inequality holds (≥ 0) on `h` up to `tol`.
+    pub fn holds_for(&self, h: &EntropyVec, tol: f64) -> bool {
+        self.evaluate(h) >= -tol
+    }
+}
+
+/// Generate all elemental Shannon inequalities over `n` variables.
+///
+/// Their count is `n + C(n,2)·2^{n-2}`, so this is practical up to roughly
+/// 10–12 variables; the bound engine switches to the normal-polymatroid cone
+/// for larger (simple-statistics) workloads.
+pub fn elemental_inequalities(n: usize) -> Vec<ShannonInequality> {
+    assert!(n >= 1, "need at least one variable");
+    let full = VarSet::full(n);
+    let mut out = Vec::new();
+
+    // Monotonicity: h(full) - h(full \ {i}) >= 0.
+    for i in 0..n {
+        let rest = full.minus(VarSet::singleton(i));
+        let mut terms = vec![(full, 1.0)];
+        if !rest.is_empty() {
+            terms.push((rest, -1.0));
+        }
+        out.push(ShannonInequality {
+            terms,
+            description: format!("monotonicity: h(full) >= h(full \\ {{{i}}})"),
+        });
+    }
+
+    // Submodularity: h(U∪i) + h(U∪j) - h(U∪i∪j) - h(U) >= 0.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let rest = full
+                .minus(VarSet::singleton(i))
+                .minus(VarSet::singleton(j));
+            for u in rest.subsets() {
+                let ui = u.union(VarSet::singleton(i));
+                let uj = u.union(VarSet::singleton(j));
+                let uij = ui.union(uj);
+                let mut terms = vec![(ui, 1.0), (uj, 1.0), (uij, -1.0)];
+                if !u.is_empty() {
+                    terms.push((u, -1.0));
+                }
+                out.push(ShannonInequality {
+                    terms,
+                    description: format!("submodularity: I({i};{j} | {u}) >= 0"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Number of elemental inequalities for `n` variables (without generating
+/// them): `n + C(n,2)·2^{n-2}`.
+pub fn elemental_count(n: usize) -> usize {
+    let pairs = n * (n - 1) / 2;
+    let subsets = if n >= 2 { 1usize << (n - 2) } else { 0 };
+    n + pairs * subsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formula() {
+        for n in 1..=8 {
+            assert_eq!(elemental_inequalities(n).len(), elemental_count(n), "n = {n}");
+        }
+        assert_eq!(elemental_count(3), 3 + 3 * 2);
+        assert_eq!(elemental_count(4), 4 + 6 * 4);
+    }
+
+    #[test]
+    fn modular_vector_satisfies_all_elementals() {
+        let n = 4;
+        let mut h = EntropyVec::zero(n);
+        for s in VarSet::full(n).subsets() {
+            h.set(s, s.len() as f64);
+        }
+        for ineq in elemental_inequalities(n) {
+            assert!(ineq.holds_for(&h, 1e-12), "violated: {}", ineq.description);
+        }
+    }
+
+    #[test]
+    fn non_polymatroid_violates_some_elemental() {
+        // h(X)=h(Y)=1, h(XY)=3: violates submodularity I(X;Y|∅).
+        let mut h = EntropyVec::zero(2);
+        h.set(VarSet::singleton(0), 1.0);
+        h.set(VarSet::singleton(1), 1.0);
+        h.set(VarSet::full(2), 3.0);
+        let violated = elemental_inequalities(2)
+            .iter()
+            .any(|i| !i.holds_for(&h, 1e-12));
+        assert!(violated);
+    }
+
+    #[test]
+    fn elemental_set_agrees_with_is_polymatroid_check() {
+        // A vector satisfies every elemental inequality (plus h(∅)=0, which
+        // EntropyVec enforces) iff EntropyVec::is_polymatroid accepts it.
+        let mut h = EntropyVec::zero(3);
+        // step function h_{0,1}
+        for s in VarSet::full(3).subsets() {
+            let val = if s.intersect(VarSet::from_indices([0, 1])).is_empty() {
+                0.0
+            } else {
+                1.0
+            };
+            h.set(s, val);
+        }
+        let all_hold = elemental_inequalities(3).iter().all(|i| i.holds_for(&h, 1e-12));
+        assert_eq!(all_hold, h.is_polymatroid(1e-12));
+        assert!(all_hold);
+    }
+
+    #[test]
+    fn evaluate_returns_signed_slack() {
+        let ineqs = elemental_inequalities(2);
+        let mut h = EntropyVec::zero(2);
+        h.set(VarSet::singleton(0), 2.0);
+        h.set(VarSet::singleton(1), 3.0);
+        h.set(VarSet::full(2), 4.0);
+        // I(0;1|∅) = h(0)+h(1)-h(01) = 1.
+        let submod = ineqs
+            .iter()
+            .find(|i| i.description.contains("submodularity"))
+            .unwrap();
+        assert!((submod.evaluate(&h) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn zero_variables_rejected() {
+        let _ = elemental_inequalities(0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Step functions `h_W`: the extreme rays of the normal polymatroid cone.
+
+use crate::entropy_vec::EntropyVec;
+use crate::varset::VarSet;
+
+/// The step function `h_W` of the paper (§3, eq. 27):
+/// `h_W(U) = 1` when `W ∩ U ≠ ∅`, and `0` otherwise.
+///
+/// Step functions are polymatroids; positive combinations of step functions
+/// form the normal polymatroid cone `Nₙ`.
+pub fn step_function(n_vars: usize, w: VarSet) -> EntropyVec {
+    let mut h = EntropyVec::zero(n_vars);
+    for u in VarSet::full(n_vars).subsets() {
+        if !w.intersect(u).is_empty() {
+            h.set(u, 1.0);
+        }
+    }
+    h
+}
+
+/// Evaluate `h_W(U)` without materializing the full vector.
+#[inline]
+pub fn step_value(w: VarSet, u: VarSet) -> f64 {
+    if w.intersect(u).is_empty() {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+/// The conditional `h_W(V | U) = h_W(U∪V) − h_W(U)`, which is 1 exactly when
+/// `W` intersects `V` but not `U`.
+#[inline]
+pub fn step_conditional(w: VarSet, v: VarSet, u: VarSet) -> f64 {
+    step_value(w, u.union(v)) - step_value(w, u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_function_values() {
+        let w = VarSet::from_indices([0, 2]);
+        let h = step_function(3, w);
+        assert_eq!(h.get(VarSet::EMPTY), 0.0);
+        assert_eq!(h.get(VarSet::singleton(1)), 0.0);
+        assert_eq!(h.get(VarSet::singleton(0)), 1.0);
+        assert_eq!(h.get(VarSet::from_indices([1, 2])), 1.0);
+        assert_eq!(h.get(VarSet::full(3)), 1.0);
+    }
+
+    #[test]
+    fn step_functions_are_polymatroids() {
+        for mask in 1u32..(1 << 4) {
+            let h = step_function(4, VarSet(mask));
+            assert!(h.is_polymatroid(1e-12), "h_W for W={mask:b} is not a polymatroid");
+        }
+    }
+
+    #[test]
+    fn step_value_matches_materialized_vector() {
+        let w = VarSet::from_indices([1, 3]);
+        let h = step_function(4, w);
+        for u in VarSet::full(4).subsets() {
+            assert_eq!(step_value(w, u), h.get(u));
+        }
+    }
+
+    #[test]
+    fn step_conditional_is_indicator_of_v_only_intersection() {
+        let w = VarSet::singleton(1);
+        // h_W(V|U) = 1 iff W ⊆ V-side reachable and W ∩ U = ∅.
+        let v = VarSet::singleton(1);
+        let u = VarSet::singleton(0);
+        assert_eq!(step_conditional(w, v, u), 1.0);
+        let u = VarSet::from_indices([0, 1]);
+        assert_eq!(step_conditional(w, v, u), 0.0);
+        let w = VarSet::singleton(0);
+        assert_eq!(step_conditional(w, v, VarSet::EMPTY), 0.0);
+    }
+
+    #[test]
+    fn singleton_step_functions_sum_to_cardinality_vector() {
+        // Σ_i h_{X_i} = the modular vector h(S) = |S|.
+        let n = 3;
+        let mut sum = EntropyVec::zero(n);
+        for i in 0..n {
+            sum = sum.sum(&step_function(n, VarSet::singleton(i)));
+        }
+        for s in VarSet::full(n).subsets() {
+            assert_eq!(sum.get(s), s.len() as f64);
+        }
+    }
+}

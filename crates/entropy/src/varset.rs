@@ -1,0 +1,270 @@
+//! Bitmask sets of query variables and the registry mapping names to bits.
+
+use std::fmt;
+
+/// A set of query variables, represented as a bitmask.
+///
+/// Supports up to 32 variables, which comfortably covers the paper's
+/// workloads (the largest JOB query joins 14 relations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VarSet(pub u32);
+
+impl VarSet {
+    /// The empty set.
+    pub const EMPTY: VarSet = VarSet(0);
+
+    /// The singleton set `{var}`.
+    pub fn singleton(var: usize) -> VarSet {
+        assert!(var < 32, "at most 32 variables are supported");
+        VarSet(1 << var)
+    }
+
+    /// The set of the first `n` variables `{0, …, n-1}`.
+    pub fn full(n: usize) -> VarSet {
+        assert!(n <= 32, "at most 32 variables are supported");
+        if n == 32 {
+            VarSet(u32::MAX)
+        } else {
+            VarSet((1u32 << n) - 1)
+        }
+    }
+
+    /// Build a set from variable indices.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(vars: I) -> VarSet {
+        vars.into_iter()
+            .fold(VarSet::EMPTY, |acc, v| acc.union(VarSet::singleton(v)))
+    }
+
+    /// Union of two sets.
+    #[inline]
+    pub fn union(self, other: VarSet) -> VarSet {
+        VarSet(self.0 | other.0)
+    }
+
+    /// Intersection of two sets.
+    #[inline]
+    pub fn intersect(self, other: VarSet) -> VarSet {
+        VarSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub fn minus(self, other: VarSet) -> VarSet {
+        VarSet(self.0 & !other.0)
+    }
+
+    /// True when `self ⊆ other`.
+    #[inline]
+    pub fn is_subset_of(self, other: VarSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// True when the set contains variable `var`.
+    #[inline]
+    pub fn contains(self, var: usize) -> bool {
+        self.0 & (1 << var) != 0
+    }
+
+    /// True when the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of variables in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterate over the variable indices in increasing order.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        (0..32).filter(move |&i| self.contains(i))
+    }
+
+    /// Iterate over all subsets of this set (including ∅ and itself).
+    pub fn subsets(self) -> impl Iterator<Item = VarSet> {
+        let mask = self.0;
+        // Standard subset-enumeration trick: iterate s = (s - 1) & mask.
+        let mut current = mask;
+        let mut done = false;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            let result = VarSet(current);
+            if current == 0 {
+                done = true;
+            } else {
+                current = (current - 1) & mask;
+            }
+            Some(result)
+        })
+    }
+
+    /// The bitmask as an index into a `2^n`-sized table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Maps variable names to bit positions and back.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VarRegistry {
+    names: Vec<String>,
+}
+
+impl VarRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-populated with the given names.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut r = Self::new();
+        for n in names {
+            r.intern(&n.into());
+        }
+        r
+    }
+
+    /// Index of `name`, registering it if new.  Panics beyond 32 variables.
+    pub fn intern(&mut self, name: &str) -> usize {
+        if let Some(i) = self.index_of(name) {
+            return i;
+        }
+        assert!(self.names.len() < 32, "at most 32 variables are supported");
+        self.names.push(name.to_string());
+        self.names.len() - 1
+    }
+
+    /// Index of `name` if registered.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Name of variable `index`.
+    pub fn name(&self, index: usize) -> &str {
+        &self.names[index]
+    }
+
+    /// Number of registered variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no variables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All registered names in index order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The set of all registered variables.
+    pub fn all(&self) -> VarSet {
+        VarSet::full(self.names.len())
+    }
+
+    /// Build a [`VarSet`] from names already present in the registry; returns
+    /// `None` if any name is unknown.
+    pub fn set_of(&self, names: &[&str]) -> Option<VarSet> {
+        let mut s = VarSet::EMPTY;
+        for n in names {
+            s = s.union(VarSet::singleton(self.index_of(n)?));
+        }
+        Some(s)
+    }
+
+    /// Render a [`VarSet`] using the registered names (e.g. `{X, Y}`).
+    pub fn render(&self, set: VarSet) -> String {
+        let names: Vec<&str> = set.iter().map(|i| self.name(i)).collect();
+        format!("{{{}}}", names.join(", "))
+    }
+}
+
+impl fmt::Display for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for i in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_algebra() {
+        let a = VarSet::from_indices([0, 2]);
+        let b = VarSet::from_indices([1, 2]);
+        assert_eq!(a.union(b), VarSet::from_indices([0, 1, 2]));
+        assert_eq!(a.intersect(b), VarSet::singleton(2));
+        assert_eq!(a.minus(b), VarSet::singleton(0));
+        assert!(a.intersect(b).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+        assert!(a.contains(2));
+        assert!(!a.contains(1));
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert!(VarSet::EMPTY.is_empty());
+        assert_eq!(VarSet::full(3), VarSet::from_indices([0, 1, 2]));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(a.to_string(), "{0,2}");
+        assert_eq!(VarSet::full(32).len(), 32);
+    }
+
+    #[test]
+    fn subset_enumeration_covers_power_set() {
+        let s = VarSet::from_indices([0, 1, 3]);
+        let subs: Vec<VarSet> = s.subsets().collect();
+        assert_eq!(subs.len(), 8);
+        assert!(subs.contains(&VarSet::EMPTY));
+        assert!(subs.contains(&s));
+        for sub in subs {
+            assert!(sub.is_subset_of(s));
+        }
+        assert_eq!(VarSet::EMPTY.subsets().count(), 1);
+    }
+
+    #[test]
+    fn registry_interns_and_renders() {
+        let mut r = VarRegistry::new();
+        assert!(r.is_empty());
+        let x = r.intern("X");
+        let y = r.intern("Y");
+        assert_eq!(r.intern("X"), x);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.index_of("Y"), Some(y));
+        assert_eq!(r.index_of("Z"), None);
+        assert_eq!(r.name(x), "X");
+        assert_eq!(r.all(), VarSet::full(2));
+        assert_eq!(r.set_of(&["Y"]), Some(VarSet::singleton(y)));
+        assert_eq!(r.set_of(&["Q"]), None);
+        assert_eq!(r.render(VarSet::from_indices([0, 1])), "{X, Y}");
+        let r2 = VarRegistry::from_names(["A", "B"]);
+        assert_eq!(r2.names(), &["A".to_string(), "B".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 32")]
+    fn singleton_out_of_range_panics() {
+        let _ = VarSet::singleton(40);
+    }
+}

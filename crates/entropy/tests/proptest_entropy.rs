@@ -1,0 +1,110 @@
+//! Property tests for the entropy substrate: the cone inclusions
+//! Mₙ ⊆ Nₙ ⊆ Γₙ and the consistency of sparse vs dense evaluation.
+
+use lpb_entropy::{
+    elemental_inequalities, step_function, EntropyVec, ModularFunction, NormalPolymatroid, VarSet,
+};
+use proptest::prelude::*;
+
+fn arb_normal(n: usize) -> impl Strategy<Value = NormalPolymatroid> {
+    proptest::collection::vec((1u32..(1 << n) as u32, 0.0f64..5.0), 0..6).prop_map(
+        move |coeffs| {
+            NormalPolymatroid::from_coefficients(
+                n,
+                coeffs.into_iter().map(|(mask, a)| (VarSet(mask), a)),
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every normal polymatroid satisfies every elemental Shannon inequality
+    /// (the inclusion Nₙ ⊆ Γₙ).
+    #[test]
+    fn normal_polymatroids_satisfy_shannon(p in arb_normal(4)) {
+        let h = p.to_entropy_vec();
+        prop_assert!(h.is_polymatroid(1e-9));
+        for ineq in elemental_inequalities(4) {
+            prop_assert!(ineq.holds_for(&h, 1e-9), "violated {}", ineq.description);
+        }
+    }
+
+    /// Sparse evaluation of a normal polymatroid agrees with the dense
+    /// entropy vector on every subset and every simple conditional.
+    #[test]
+    fn sparse_and_dense_evaluation_agree(p in arb_normal(4)) {
+        let h = p.to_entropy_vec();
+        for s in VarSet::full(4).subsets() {
+            prop_assert!((p.value(s) - h.get(s)).abs() < 1e-9);
+        }
+        for u in 0..4usize {
+            for v in 0..4usize {
+                if u == v { continue; }
+                let uv = (VarSet::singleton(v), VarSet::singleton(u));
+                prop_assert!((p.conditional(uv.0, uv.1) - h.conditional(uv.0, uv.1)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Modular functions are normal polymatroids with the same values (the
+    /// inclusion Mₙ ⊆ Nₙ).
+    #[test]
+    fn modular_functions_are_normal(weights in proptest::collection::vec(0.0f64..4.0, 3)) {
+        let m = ModularFunction::from_weights(weights);
+        let as_normal = m.to_normal();
+        for s in VarSet::full(3).subsets() {
+            prop_assert!((m.value(s) - as_normal.value(s)).abs() < 1e-9);
+        }
+        prop_assert!(m.to_entropy_vec().is_polymatroid(1e-9));
+    }
+
+    /// Non-negative combinations of polymatroids stay polymatroids (the cone
+    /// is convex and closed under scaling).
+    #[test]
+    fn cone_closed_under_sum_and_scale(
+        p in arb_normal(3),
+        q in arb_normal(3),
+        lambda in 0.0f64..3.0,
+    ) {
+        let combo = p.to_entropy_vec().scale(lambda).sum(&q.to_entropy_vec());
+        prop_assert!(combo.is_polymatroid(1e-9));
+    }
+
+    /// Step functions take values in {0,1}, are monotone, and h_W(S)=1 iff
+    /// W intersects S.
+    #[test]
+    fn step_function_semantics(mask in 1u32..(1u32 << 4)) {
+        let w = VarSet(mask);
+        let h = step_function(4, w);
+        for s in VarSet::full(4).subsets() {
+            let expected = if w.intersect(s).is_empty() { 0.0 } else { 1.0 };
+            prop_assert_eq!(h.get(s), expected);
+        }
+    }
+
+    /// EntropyVec sum/scale are pointwise.
+    #[test]
+    fn entropy_vec_arithmetic(p in arb_normal(3), factor in 0.0f64..2.0) {
+        let h = p.to_entropy_vec();
+        let scaled = h.scale(factor);
+        let summed = h.sum(&h);
+        for s in VarSet::full(3).subsets() {
+            prop_assert!((scaled.get(s) - factor * h.get(s)).abs() < 1e-9);
+            prop_assert!((summed.get(s) - 2.0 * h.get(s)).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn zhang_yeung_polymatroid_is_not_normal_realizable_check() {
+    // Sanity: the Figure-2 polymatroid is a polymatroid but is famously not
+    // almost-entropic; here we only assert the polymatroid property, which is
+    // what the bound engine relies on.
+    let (_, h) = lpb_entropy::lattice::zhang_yeung_polymatroid();
+    assert!(h.is_polymatroid(1e-12));
+    for ineq in elemental_inequalities(4) {
+        assert!(ineq.holds_for(&h, 1e-12));
+    }
+}

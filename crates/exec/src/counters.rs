@@ -1,0 +1,216 @@
+//! Specialized counters for the query shapes used in the experiments.
+//!
+//! The benchmark harness needs *true* cardinalities for graphs with hundreds
+//! of thousands of edges; the generic algorithms work but these closed-shape
+//! counters are much faster and serve as an independent cross-check in
+//! tests.
+
+use crate::error::ExecError;
+use lpb_data::Relation;
+use std::collections::{HashMap, HashSet};
+
+/// Count the output of the directed triangle query
+/// `Q(X,Y,Z) = E(X,Y) ∧ E(Y,Z) ∧ E(Z,X)` on a binary edge relation.
+pub fn triangle_count(edges: &Relation) -> Result<u128, ExecError> {
+    if edges.arity() != 2 {
+        return Err(ExecError::NotApplicable {
+            reason: "triangle_count needs a binary edge relation".into(),
+        });
+    }
+    // Forward adjacency and a membership set for the closing edge.
+    let mut forward: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut edge_set: HashSet<(u64, u64)> = HashSet::with_capacity(edges.len());
+    for row in edges.rows() {
+        forward.entry(row[0]).or_default().push(row[1]);
+        edge_set.insert((row[0], row[1]));
+    }
+    let mut count: u128 = 0;
+    for (&x, ys) in &forward {
+        for &y in ys {
+            if let Some(zs) = forward.get(&y) {
+                for &z in zs {
+                    if edge_set.contains(&(z, x)) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(count)
+}
+
+/// Count the output of the one-join (path-of-length-2) query
+/// `Q(X,Y,Z) = E(X,Y) ∧ E(Y,Z)`: `Σ_y indeg(y)·outdeg(y)`.
+pub fn path2_count(edges: &Relation) -> Result<u128, ExecError> {
+    if edges.arity() != 2 {
+        return Err(ExecError::NotApplicable {
+            reason: "path2_count needs a binary edge relation".into(),
+        });
+    }
+    let mut indeg: HashMap<u64, u64> = HashMap::new();
+    let mut outdeg: HashMap<u64, u64> = HashMap::new();
+    for row in edges.rows() {
+        *outdeg.entry(row[0]).or_insert(0) += 1;
+        *indeg.entry(row[1]).or_insert(0) += 1;
+    }
+    Ok(indeg
+        .iter()
+        .map(|(v, &i)| i as u128 * outdeg.get(v).copied().unwrap_or(0) as u128)
+        .sum())
+}
+
+/// Count the output of the two-relation join `Q(X,Y,Z) = R(X,Y) ∧ S(Y,Z)`,
+/// joining `R`'s second column with `S`'s first column.
+pub fn join2_count(r: &Relation, s: &Relation) -> Result<u128, ExecError> {
+    if r.arity() != 2 || s.arity() != 2 {
+        return Err(ExecError::NotApplicable {
+            reason: "join2_count needs binary relations".into(),
+        });
+    }
+    let mut r_counts: HashMap<u64, u64> = HashMap::new();
+    for row in r.rows() {
+        *r_counts.entry(row[1]).or_insert(0) += 1;
+    }
+    let mut total: u128 = 0;
+    for row in s.rows() {
+        total += r_counts.get(&row[0]).copied().unwrap_or(0) as u128;
+    }
+    Ok(total)
+}
+
+/// Count the output of the length-`k` cycle query
+/// `⋀_i E(X_i, X_{(i+1) mod k})` on a single edge relation by iterated
+/// sparse matrix multiplication over the adjacency structure (trace of the
+/// k-th power restricted to closing edges).
+pub fn cycle_count(edges: &Relation, k: usize) -> Result<u128, ExecError> {
+    if edges.arity() != 2 {
+        return Err(ExecError::NotApplicable {
+            reason: "cycle_count needs a binary edge relation".into(),
+        });
+    }
+    if k < 3 {
+        return Err(ExecError::NotApplicable {
+            reason: "cycles need length at least 3".into(),
+        });
+    }
+    let mut forward: HashMap<u64, Vec<u64>> = HashMap::new();
+    for row in edges.rows() {
+        forward.entry(row[0]).or_default().push(row[1]);
+    }
+    // paths[v] = number of paths of the current length from the start node
+    // to v; iterate per start node to keep memory linear.
+    let mut total: u128 = 0;
+    for (&start, _) in &forward {
+        let mut paths: HashMap<u64, u128> = HashMap::new();
+        paths.insert(start, 1);
+        for _ in 0..k - 1 {
+            let mut next: HashMap<u64, u128> = HashMap::new();
+            for (&v, &cnt) in &paths {
+                if let Some(ws) = forward.get(&v) {
+                    for &w in ws {
+                        *next.entry(w).or_insert(0) += cnt;
+                    }
+                }
+            }
+            paths = next;
+            if paths.is_empty() {
+                break;
+            }
+        }
+        // Close the cycle: edges back to the start.
+        for (&v, &cnt) in &paths {
+            if let Some(ws) = forward.get(&v) {
+                total += cnt * ws.iter().filter(|&&w| w == start).count() as u128;
+            }
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wcoj::wcoj_count;
+    use lpb_core::JoinQuery;
+    use lpb_data::{Catalog, RelationBuilder};
+
+    fn clique_edges(k: u64) -> Vec<(u64, u64)> {
+        let mut edges = Vec::new();
+        for a in 0..k {
+            for b in 0..k {
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn triangle_count_matches_wcoj() {
+        let rel = RelationBuilder::binary_from_pairs("E", "a", "b", clique_edges(6));
+        let mut catalog = Catalog::new();
+        catalog.insert(rel.clone());
+        let q = JoinQuery::triangle("E", "E", "E");
+        assert_eq!(
+            triangle_count(&rel).unwrap(),
+            wcoj_count(&q, &catalog).unwrap()
+        );
+        assert_eq!(triangle_count(&rel).unwrap(), 6 * 5 * 4);
+    }
+
+    #[test]
+    fn path2_count_matches_wcoj_on_skewed_data() {
+        let rel = RelationBuilder::binary_from_pairs(
+            "E",
+            "a",
+            "b",
+            (0..120u64).map(|i| (i % 9, (i * i) % 13)),
+        );
+        let mut catalog = Catalog::new();
+        catalog.insert(rel.clone());
+        let q = JoinQuery::single_join("E", "E");
+        assert_eq!(path2_count(&rel).unwrap(), wcoj_count(&q, &catalog).unwrap());
+        assert_eq!(join2_count(&rel, &rel).unwrap(), path2_count(&rel).unwrap());
+    }
+
+    #[test]
+    fn cycle_count_matches_wcoj() {
+        let rel = RelationBuilder::binary_from_pairs(
+            "E",
+            "a",
+            "b",
+            (0..60u64).map(|i| (i % 7, (i * 3 + 1) % 7)),
+        );
+        let mut catalog = Catalog::new();
+        catalog.insert(rel.clone());
+        for k in [3usize, 4, 5] {
+            let q = JoinQuery::cycle(&vec!["E"; k]);
+            assert_eq!(
+                cycle_count(&rel, k).unwrap(),
+                wcoj_count(&q, &catalog).unwrap(),
+                "cycle length {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn arity_and_length_validation() {
+        let mut b = RelationBuilder::new("T", ["a", "b", "c"]).unwrap();
+        b.push_codes(&[1, 2, 3]).unwrap();
+        let ternary = b.build();
+        assert!(triangle_count(&ternary).is_err());
+        assert!(path2_count(&ternary).is_err());
+        let binary = RelationBuilder::binary_from_pairs("E", "a", "b", vec![(1, 2)]);
+        assert!(join2_count(&binary, &ternary).is_err());
+        assert!(cycle_count(&binary, 2).is_err());
+    }
+
+    #[test]
+    fn empty_graph_counts_are_zero() {
+        let empty = RelationBuilder::new("E", ["a", "b"]).unwrap().build();
+        assert_eq!(triangle_count(&empty).unwrap(), 0);
+        assert_eq!(path2_count(&empty).unwrap(), 0);
+        assert_eq!(cycle_count(&empty, 4).unwrap(), 0);
+    }
+}

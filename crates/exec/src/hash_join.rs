@@ -1,0 +1,163 @@
+//! In-memory hash join of two intermediates on their shared variables.
+
+use crate::tuples::Tuples;
+use std::collections::HashMap;
+
+/// Join two intermediates on all variables they share (natural join).
+///
+/// The output schema is `left.vars()` followed by the variables of `right`
+/// that are not in `left`.  If the two sides share no variables this is the
+/// cartesian product.
+pub fn hash_join(left: &Tuples, right: &Tuples) -> Tuples {
+    let shared = left.shared_positions(right);
+    let left_key_pos: Vec<usize> = shared.iter().map(|&(l, _)| l).collect();
+    let right_key_pos: Vec<usize> = shared.iter().map(|&(_, r)| r).collect();
+    let right_extra_pos: Vec<usize> = (0..right.vars().len())
+        .filter(|p| !right_key_pos.contains(p))
+        .collect();
+
+    let mut out_vars: Vec<String> = left.vars().to_vec();
+    out_vars.extend(right_extra_pos.iter().map(|&p| right.vars()[p].clone()));
+
+    // Build side: the smaller input.
+    let (build, probe, build_is_left) = if left.len() <= right.len() {
+        (left, right, true)
+    } else {
+        (right, left, false)
+    };
+    let (build_key_pos, probe_key_pos) = if build_is_left {
+        (&left_key_pos, &right_key_pos)
+    } else {
+        (&right_key_pos, &left_key_pos)
+    };
+
+    let mut table: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
+    for (i, row) in build.rows().iter().enumerate() {
+        let key: Vec<u64> = build_key_pos.iter().map(|&p| row[p]).collect();
+        table.entry(key).or_default().push(i);
+    }
+
+    let mut out_rows: Vec<Vec<u64>> = Vec::new();
+    for probe_row in probe.rows() {
+        let key: Vec<u64> = probe_key_pos.iter().map(|&p| probe_row[p]).collect();
+        let Some(matches) = table.get(&key) else {
+            continue;
+        };
+        for &build_idx in matches {
+            let build_row = &build.rows()[build_idx];
+            let (left_row, right_row) = if build_is_left {
+                (build_row, probe_row)
+            } else {
+                (probe_row, build_row)
+            };
+            let mut out = left_row.clone();
+            out.extend(right_extra_pos.iter().map(|&p| right_row[p]));
+            out_rows.push(out);
+        }
+    }
+    Tuples::new(out_vars, out_rows)
+}
+
+/// Left semi-join: the rows of `left` that have at least one match in
+/// `right` on the shared variables.  Used by the Yannakakis full reducer.
+pub fn semi_join(left: &Tuples, right: &Tuples) -> Tuples {
+    let shared = left.shared_positions(right);
+    if shared.is_empty() {
+        return if right.is_empty() {
+            Tuples::empty(left.vars().to_vec())
+        } else {
+            left.clone()
+        };
+    }
+    let left_key_pos: Vec<usize> = shared.iter().map(|&(l, _)| l).collect();
+    let right_key_pos: Vec<usize> = shared.iter().map(|&(_, r)| r).collect();
+    let keys: std::collections::HashSet<Vec<u64>> = right
+        .rows()
+        .iter()
+        .map(|r| right_key_pos.iter().map(|&p| r[p]).collect())
+        .collect();
+    let rows = left
+        .rows()
+        .iter()
+        .filter(|r| {
+            let key: Vec<u64> = left_key_pos.iter().map(|&p| r[p]).collect();
+            keys.contains(&key)
+        })
+        .cloned()
+        .collect();
+    Tuples::new(left.vars().to_vec(), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vars: &[&str], rows: &[&[u64]]) -> Tuples {
+        Tuples::new(
+            vars.iter().map(|s| s.to_string()).collect(),
+            rows.iter().map(|r| r.to_vec()).collect(),
+        )
+    }
+
+    #[test]
+    fn natural_join_on_one_variable() {
+        let r = t(&["X", "Y"], &[&[1, 10], &[2, 10], &[3, 20]]);
+        let s = t(&["Y", "Z"], &[&[10, 100], &[10, 101], &[30, 100]]);
+        let mut out = hash_join(&r, &s);
+        assert_eq!(out.vars(), &["X".to_string(), "Y".to_string(), "Z".to_string()]);
+        out.deduplicate();
+        assert_eq!(out.len(), 4); // (1,10,100),(1,10,101),(2,10,100),(2,10,101)
+    }
+
+    #[test]
+    fn join_without_shared_variables_is_cartesian_product() {
+        let r = t(&["X"], &[&[1], &[2]]);
+        let s = t(&["Y"], &[&[7], &[8], &[9]]);
+        let out = hash_join(&r, &s);
+        assert_eq!(out.len(), 6);
+        assert_eq!(out.vars().len(), 2);
+    }
+
+    #[test]
+    fn join_on_two_shared_variables() {
+        let r = t(&["X", "Y", "A"], &[&[1, 2, 5], &[1, 3, 6]]);
+        let s = t(&["Y", "X", "B"], &[&[2, 1, 7], &[3, 9, 8]]);
+        let out = hash_join(&r, &s);
+        // Only (X=1, Y=2) matches.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0], vec![1, 2, 5, 7]);
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_outputs() {
+        let r = t(&["X", "Y"], &[]);
+        let s = t(&["Y", "Z"], &[&[1, 2]]);
+        assert!(hash_join(&r, &s).is_empty());
+        assert!(hash_join(&s, &r).is_empty());
+    }
+
+    #[test]
+    fn join_is_symmetric_up_to_column_order() {
+        let r = t(&["X", "Y"], &[&[1, 10], &[2, 20], &[2, 10]]);
+        let s = t(&["Y", "Z"], &[&[10, 7], &[20, 8]]);
+        let mut a = hash_join(&r, &s);
+        let mut b = hash_join(&s, &r).reorder(&["X", "Y", "Z"]);
+        a.deduplicate();
+        b.deduplicate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn semi_join_filters_dangling_rows() {
+        let r = t(&["X", "Y"], &[&[1, 10], &[2, 20], &[3, 30]]);
+        let s = t(&["Y", "Z"], &[&[10, 1], &[30, 2]]);
+        let out = semi_join(&r, &s);
+        assert_eq!(out.len(), 2);
+        // Semi-join with no shared vars keeps everything when the right side
+        // is non-empty, nothing when it is empty.
+        let unrelated = t(&["W"], &[&[5]]);
+        assert_eq!(semi_join(&r, &unrelated).len(), 3);
+        let empty = t(&["W"], &[]);
+        assert_eq!(semi_join(&r, &empty).len(), 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Left-deep hash-join plans: the baseline evaluation strategy whose
+//! intermediate sizes motivate cardinality estimation in the first place.
+
+use crate::error::ExecError;
+use crate::hash_join::hash_join;
+use crate::tuples::Tuples;
+use lpb_core::JoinQuery;
+use lpb_data::Catalog;
+
+/// A left-deep join plan: the order in which atoms are joined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPlan {
+    order: Vec<usize>,
+}
+
+impl JoinPlan {
+    /// Plan joining the atoms in the order they appear in the query.
+    pub fn in_query_order(query: &JoinQuery) -> Self {
+        JoinPlan {
+            order: (0..query.n_atoms()).collect(),
+        }
+    }
+
+    /// Plan with an explicit atom order (must be a permutation of the atom
+    /// indices).
+    pub fn with_order(query: &JoinQuery, order: Vec<usize>) -> Result<Self, ExecError> {
+        let mut seen = vec![false; query.n_atoms()];
+        if order.len() != query.n_atoms() {
+            return Err(ExecError::NotApplicable {
+                reason: "join order must mention every atom exactly once".into(),
+            });
+        }
+        for &i in &order {
+            if i >= query.n_atoms() || seen[i] {
+                return Err(ExecError::NotApplicable {
+                    reason: "join order must be a permutation of the atom indices".into(),
+                });
+            }
+            seen[i] = true;
+        }
+        Ok(JoinPlan { order })
+    }
+
+    /// Greedy order: start from the smallest relation and repeatedly add the
+    /// atom sharing a variable with the current prefix whose relation is
+    /// smallest (falling back to the smallest remaining atom when none is
+    /// connected).  A simple stand-in for an optimizer's join ordering.
+    pub fn greedy_by_size(query: &JoinQuery, catalog: &Catalog) -> Result<Self, ExecError> {
+        let sizes: Vec<usize> = query
+            .atoms()
+            .iter()
+            .map(|a| catalog.get(&a.relation).map(|r| r.len()))
+            .collect::<Result<_, _>>()?;
+        let m = query.n_atoms();
+        let mut remaining: Vec<usize> = (0..m).collect();
+        let mut order = Vec::with_capacity(m);
+        // Start from the smallest atom.
+        remaining.sort_by_key(|&j| sizes[j]);
+        let first = remaining.remove(0);
+        order.push(first);
+        let mut covered = query.atom_vars(first);
+        while !remaining.is_empty() {
+            let connected_pos = remaining
+                .iter()
+                .position(|&j| !query.atom_vars(j).intersect(covered).is_empty());
+            let pos = connected_pos.unwrap_or(0);
+            let next = remaining.remove(pos);
+            covered = covered.union(query.atom_vars(next));
+            order.push(next);
+        }
+        Ok(JoinPlan { order })
+    }
+
+    /// The atom order.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+}
+
+/// Result of executing a plan: the full output plus per-step intermediate
+/// sizes (useful for demonstrating how misestimation blows up memory).
+#[derive(Debug, Clone)]
+pub struct PlanResult {
+    /// The materialized output, columns in the order produced by the plan.
+    pub output: Tuples,
+    /// Row counts of every intermediate (after each join step, including the
+    /// initial scan).
+    pub intermediate_sizes: Vec<usize>,
+}
+
+impl PlanResult {
+    /// Number of output tuples (the true cardinality `|Q(D)|`).
+    pub fn output_size(&self) -> usize {
+        self.output.len()
+    }
+
+    /// The largest intermediate produced while executing the plan.
+    pub fn max_intermediate(&self) -> usize {
+        self.intermediate_sizes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Execute a left-deep hash-join plan and return the output with
+/// per-intermediate statistics.
+pub fn execute_plan(
+    query: &JoinQuery,
+    catalog: &Catalog,
+    plan: &JoinPlan,
+) -> Result<PlanResult, ExecError> {
+    let mut sizes = Vec::with_capacity(plan.order.len());
+    let mut acc = Tuples::from_atom(query, catalog, plan.order[0])?;
+    sizes.push(acc.len());
+    for &j in &plan.order[1..] {
+        let next = Tuples::from_atom(query, catalog, j)?;
+        acc = hash_join(&acc, &next);
+        sizes.push(acc.len());
+    }
+    Ok(PlanResult {
+        output: acc,
+        intermediate_sizes: sizes,
+    })
+}
+
+/// Convenience: the true output cardinality `|Q(D)|` via a left-deep plan in
+/// query order.  Because the query is full (every variable is an output
+/// variable) the hash-join result has no duplicates.
+pub fn join_size(query: &JoinQuery, catalog: &Catalog) -> Result<usize, ExecError> {
+    let plan = JoinPlan::greedy_by_size(query, catalog)?;
+    Ok(execute_plan(query, catalog, &plan)?.output_size())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpb_data::RelationBuilder;
+
+    fn triangle_catalog() -> Catalog {
+        // A clique on 4 nodes (directed, no self loops): 12 edges,
+        // 4·3·2 = 24 directed triangles.
+        let mut edges = Vec::new();
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let mut catalog = Catalog::new();
+        catalog.insert(RelationBuilder::binary_from_pairs("E", "a", "b", edges));
+        catalog
+    }
+
+    #[test]
+    fn triangle_join_size_on_a_clique() {
+        let catalog = triangle_catalog();
+        let q = JoinQuery::triangle("E", "E", "E");
+        assert_eq!(join_size(&q, &catalog).unwrap(), 24);
+    }
+
+    #[test]
+    fn plan_orders_agree_on_the_output() {
+        let catalog = triangle_catalog();
+        let q = JoinQuery::triangle("E", "E", "E");
+        let a = execute_plan(&q, &catalog, &JoinPlan::in_query_order(&q)).unwrap();
+        let b = execute_plan(&q, &catalog, &JoinPlan::with_order(&q, vec![2, 0, 1]).unwrap())
+            .unwrap();
+        let c = execute_plan(&q, &catalog, &JoinPlan::greedy_by_size(&q, &catalog).unwrap())
+            .unwrap();
+        assert_eq!(a.output_size(), 24);
+        assert_eq!(b.output_size(), 24);
+        assert_eq!(c.output_size(), 24);
+        assert!(a.max_intermediate() >= a.output_size());
+        assert_eq!(a.intermediate_sizes.len(), 3);
+    }
+
+    #[test]
+    fn invalid_orders_are_rejected() {
+        let q = JoinQuery::triangle("E", "E", "E");
+        assert!(JoinPlan::with_order(&q, vec![0, 1]).is_err());
+        assert!(JoinPlan::with_order(&q, vec![0, 0, 1]).is_err());
+        assert!(JoinPlan::with_order(&q, vec![0, 1, 5]).is_err());
+        assert!(JoinPlan::with_order(&q, vec![0, 1, 2]).is_ok());
+    }
+
+    #[test]
+    fn path_query_sizes_track_intermediates() {
+        let mut catalog = Catalog::new();
+        catalog.insert(RelationBuilder::binary_from_pairs(
+            "E",
+            "a",
+            "b",
+            (0..20u64).map(|i| (i % 5, i % 7)),
+        ));
+        let q = JoinQuery::path(&["E", "E", "E"]);
+        let r = execute_plan(&q, &catalog, &JoinPlan::in_query_order(&q)).unwrap();
+        assert_eq!(r.intermediate_sizes.len(), 3);
+        assert!(r.output_size() > 0);
+        // Greedy plan computes the same output size.
+        assert_eq!(join_size(&q, &catalog).unwrap(), r.output_size());
+    }
+
+    #[test]
+    fn missing_relation_errors() {
+        let catalog = Catalog::new();
+        let q = JoinQuery::triangle("E", "E", "E");
+        assert!(join_size(&q, &catalog).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Hash tries over atom tuples, ordered by the global variable order — the
+//! access structure used by the generic worst-case-optimal join.
+
+use crate::error::ExecError;
+use crate::tuples::Tuples;
+use lpb_core::JoinQuery;
+use lpb_data::Catalog;
+use std::collections::HashMap;
+
+/// One level of a trie: children keyed by the value of the next variable.
+#[derive(Debug, Default, Clone)]
+pub struct TrieNode {
+    children: HashMap<u64, TrieNode>,
+}
+
+impl TrieNode {
+    /// A leaf/empty node.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a path of values.
+    pub fn insert(&mut self, path: &[u64]) {
+        if let Some((&head, rest)) = path.split_first() {
+            self.children.entry(head).or_default().insert(rest);
+        }
+    }
+
+    /// Child node for a value.
+    pub fn child(&self, value: u64) -> Option<&TrieNode> {
+        self.children.get(&value)
+    }
+
+    /// Number of children at this level.
+    pub fn fanout(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Iterate over (value, child) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &TrieNode)> {
+        self.children.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// True when a value is present.
+    pub fn contains(&self, value: u64) -> bool {
+        self.children.contains_key(&value)
+    }
+}
+
+/// A trie over one atom's tuples, with levels ordered by the *global*
+/// variable order of the query (so that the generic join can advance every
+/// atom's trie in lockstep).
+#[derive(Debug, Clone)]
+pub struct AtomTrie {
+    /// The atom's variables as global indices, sorted ascending — one trie
+    /// level per entry.
+    pub var_order: Vec<usize>,
+    /// Root node.
+    pub root: TrieNode,
+}
+
+impl AtomTrie {
+    /// Build the trie for atom `atom_idx` of `query` from the catalog.
+    pub fn build(query: &JoinQuery, catalog: &Catalog, atom_idx: usize) -> Result<Self, ExecError> {
+        let tuples = Tuples::from_atom(query, catalog, atom_idx)?;
+        Ok(Self::from_tuples(query, atom_idx, &tuples))
+    }
+
+    /// Build the trie for atom `atom_idx` from an already-materialized (and
+    /// possibly partitioned) set of tuples whose columns are the atom's
+    /// variables.
+    pub fn from_tuples(query: &JoinQuery, atom_idx: usize, tuples: &Tuples) -> Self {
+        let reg = query.registry();
+        // Global indices of the atom's variables, ascending.
+        let mut var_order: Vec<usize> = query.atom_vars(atom_idx).iter().collect();
+        var_order.sort_unstable();
+        // Column position in `tuples` of each trie level.
+        let level_positions: Vec<usize> = var_order
+            .iter()
+            .map(|&v| {
+                tuples
+                    .position(reg.name(v))
+                    .expect("atom variable is a column")
+            })
+            .collect();
+        let mut root = TrieNode::new();
+        let mut path = vec![0u64; level_positions.len()];
+        for row in tuples.rows() {
+            for (lvl, &pos) in level_positions.iter().enumerate() {
+                path[lvl] = row[pos];
+            }
+            root.insert(&path);
+        }
+        AtomTrie { var_order, root }
+    }
+
+    /// Depth (number of levels).
+    pub fn depth(&self) -> usize {
+        self.var_order.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpb_data::RelationBuilder;
+
+    #[test]
+    fn trie_insert_and_lookup() {
+        let mut root = TrieNode::new();
+        root.insert(&[1, 10]);
+        root.insert(&[1, 11]);
+        root.insert(&[2, 10]);
+        assert_eq!(root.fanout(), 2);
+        assert!(root.contains(1));
+        assert!(!root.contains(3));
+        assert_eq!(root.child(1).unwrap().fanout(), 2);
+        assert_eq!(root.child(2).unwrap().fanout(), 1);
+        assert_eq!(root.iter().count(), 2);
+        // Duplicate insertion is idempotent.
+        root.insert(&[1, 10]);
+        assert_eq!(root.child(1).unwrap().fanout(), 2);
+    }
+
+    #[test]
+    fn atom_trie_uses_global_variable_order() {
+        // T(Z, X): in the triangle query the global order is X=0, Y=1, Z=2,
+        // so the trie's first level is X even though the relation stores Z
+        // first.
+        let mut catalog = Catalog::new();
+        catalog.insert(RelationBuilder::binary_from_pairs(
+            "T",
+            "z",
+            "x",
+            vec![(30, 1), (30, 2), (40, 1)],
+        ));
+        catalog.insert(RelationBuilder::binary_from_pairs("R", "x", "y", vec![(1, 2)]));
+        catalog.insert(RelationBuilder::binary_from_pairs("S", "y", "z", vec![(2, 30)]));
+        let q = JoinQuery::triangle("R", "S", "T");
+        let trie = AtomTrie::build(&q, &catalog, 2).unwrap();
+        assert_eq!(trie.depth(), 2);
+        // Levels are (X, Z): X ∈ {1, 2}.
+        assert_eq!(trie.var_order, vec![0, 2]);
+        assert_eq!(trie.root.fanout(), 2);
+        assert_eq!(trie.root.child(1).unwrap().fanout(), 2); // z ∈ {30, 40}
+        assert_eq!(trie.root.child(2).unwrap().fanout(), 1);
+    }
+}

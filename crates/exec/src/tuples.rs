@@ -1,0 +1,171 @@
+//! Materialized intermediate results keyed by query-variable names.
+//!
+//! The hash-join pipeline works over [`Tuples`]: a bag of rows whose columns
+//! are *query variables* (not base-relation attributes).  Binding an atom
+//! renames the relation's columns to the query variables of the atom, after
+//! which joins only need to look at variable names.
+
+use crate::error::ExecError;
+use lpb_core::JoinQuery;
+use lpb_data::{Catalog, Relation};
+
+/// A materialized intermediate result: named columns (query variables) and
+/// rows of dictionary codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tuples {
+    vars: Vec<String>,
+    rows: Vec<Vec<u64>>,
+}
+
+impl Tuples {
+    /// An empty result with the given variables.
+    pub fn empty(vars: Vec<String>) -> Self {
+        Tuples { vars, rows: Vec::new() }
+    }
+
+    /// Build from raw parts (rows must all have `vars.len()` entries).
+    pub fn new(vars: Vec<String>, rows: Vec<Vec<u64>>) -> Self {
+        debug_assert!(rows.iter().all(|r| r.len() == vars.len()));
+        Tuples { vars, rows }
+    }
+
+    /// Bind atom `atom_idx` of `query`: load its relation from the catalog
+    /// and rename columns to the atom's query variables.
+    pub fn from_atom(
+        query: &JoinQuery,
+        catalog: &Catalog,
+        atom_idx: usize,
+    ) -> Result<Self, ExecError> {
+        let atom = &query.atoms()[atom_idx];
+        let rel = catalog.get(&atom.relation)?;
+        Self::from_relation(&rel, &atom.vars)
+    }
+
+    /// Rename a relation's columns to the given query variables (one per
+    /// attribute position).
+    pub fn from_relation(rel: &Relation, vars: &[String]) -> Result<Self, ExecError> {
+        if rel.arity() != vars.len() {
+            return Err(ExecError::AtomArityMismatch {
+                relation: rel.name().to_string(),
+                atom_arity: vars.len(),
+                relation_arity: rel.arity(),
+            });
+        }
+        let rows: Vec<Vec<u64>> = rel.rows().collect();
+        Ok(Tuples {
+            vars: vars.to_vec(),
+            rows,
+        })
+    }
+
+    /// Column (variable) names.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Vec<u64>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Position of variable `var`, if present.
+    pub fn position(&self, var: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == var)
+    }
+
+    /// The variables shared with `other`, as (position here, position there).
+    pub fn shared_positions(&self, other: &Tuples) -> Vec<(usize, usize)> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| other.position(v).map(|j| (i, j)))
+            .collect()
+    }
+
+    /// Project onto the given variables (which must all exist), keeping
+    /// duplicates.
+    pub fn project(&self, vars: &[&str]) -> Tuples {
+        let positions: Vec<usize> = vars
+            .iter()
+            .map(|v| self.position(v).expect("projection variable exists"))
+            .collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| positions.iter().map(|&p| r[p]).collect())
+            .collect();
+        Tuples {
+            vars: vars.iter().map(|s| s.to_string()).collect(),
+            rows,
+        }
+    }
+
+    /// Sort rows and remove duplicates (set semantics).
+    pub fn deduplicate(&mut self) {
+        self.rows.sort_unstable();
+        self.rows.dedup();
+    }
+
+    /// Reorder columns to match the order of `vars` (must be a permutation of
+    /// this result's variables) — used to compare results across algorithms.
+    pub fn reorder(&self, vars: &[&str]) -> Tuples {
+        assert_eq!(vars.len(), self.vars.len(), "reorder needs a permutation");
+        self.project(vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpb_data::RelationBuilder;
+
+    #[test]
+    fn from_relation_renames_columns() {
+        let rel = RelationBuilder::binary_from_pairs("E", "src", "dst", vec![(1, 2), (3, 4)]);
+        let t = Tuples::from_relation(&rel, &["X".into(), "Y".into()]).unwrap();
+        assert_eq!(t.vars(), &["X".to_string(), "Y".to_string()]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.position("Y"), Some(1));
+        assert_eq!(t.position("Z"), None);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let rel = RelationBuilder::binary_from_pairs("E", "a", "b", vec![(1, 2)]);
+        assert!(Tuples::from_relation(&rel, &["X".into()]).is_err());
+    }
+
+    #[test]
+    fn project_and_dedup() {
+        let t = Tuples::new(
+            vec!["X".into(), "Y".into(), "Z".into()],
+            vec![vec![1, 2, 3], vec![1, 2, 4], vec![1, 2, 3]],
+        );
+        let mut p = t.project(&["X", "Y"]);
+        assert_eq!(p.len(), 3);
+        p.deduplicate();
+        assert_eq!(p.len(), 1);
+        let r = t.reorder(&["Z", "X", "Y"]);
+        assert_eq!(r.vars(), &["Z".to_string(), "X".to_string(), "Y".to_string()]);
+        assert_eq!(r.rows()[0], vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn shared_positions_between_intermediates() {
+        let a = Tuples::new(vec!["X".into(), "Y".into()], vec![]);
+        let b = Tuples::new(vec!["Y".into(), "Z".into()], vec![]);
+        assert_eq!(a.shared_positions(&b), vec![(1, 0)]);
+        assert_eq!(Tuples::empty(vec!["Q".into()]).len(), 0);
+    }
+}

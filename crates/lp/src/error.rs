@@ -1,0 +1,67 @@
+//! Error type for LP construction and solving.
+
+use std::fmt;
+
+/// Errors produced while building or solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A constraint or objective refers to a variable index that does not
+    /// exist in the problem.
+    VariableOutOfRange {
+        /// Offending variable index.
+        index: usize,
+        /// Number of variables in the problem.
+        n_vars: usize,
+    },
+    /// A coefficient or right-hand side is NaN or infinite.
+    NonFiniteCoefficient {
+        /// Human-readable location of the offending value.
+        location: String,
+    },
+    /// The problem has no constraints and an unbounded direction, or the
+    /// simplex iteration limit was exceeded (which indicates a bug or a
+    /// pathological input).
+    IterationLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// The problem has zero variables.
+    EmptyProblem,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::VariableOutOfRange { index, n_vars } => write!(
+                f,
+                "variable index {index} out of range for problem with {n_vars} variables"
+            ),
+            LpError::NonFiniteCoefficient { location } => {
+                write!(f, "non-finite coefficient at {location}")
+            }
+            LpError::IterationLimit { limit } => {
+                write!(f, "simplex iteration limit of {limit} exceeded")
+            }
+            LpError::EmptyProblem => write!(f, "linear program has no variables"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_data() {
+        let e = LpError::VariableOutOfRange { index: 7, n_vars: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+        let e = LpError::IterationLimit { limit: 10 };
+        assert!(e.to_string().contains("10"));
+        let e = LpError::NonFiniteCoefficient { location: "row 2".into() };
+        assert!(e.to_string().contains("row 2"));
+        assert!(LpError::EmptyProblem.to_string().contains("no variables"));
+    }
+}

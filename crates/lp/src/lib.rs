@@ -1,0 +1,49 @@
+//! # lpb-lp — a small, dependency-free linear-programming solver
+//!
+//! The ℓp-norm cardinality bound of Abo Khamis, Nakos, Olteanu and Suciu
+//! (PODS 2024) is computed as the optimal value of a linear program
+//! (Theorem 5.2 of the paper): maximize `h(X)` over a polyhedral cone of
+//! entropy-like vectors subject to per-statistic constraints.  No LP crate
+//! is part of this project's allowed dependency set, so this crate
+//! implements the required solver from scratch:
+//!
+//! * a [`Problem`] builder with sparse constraint rows and named variables,
+//! * a dense, two-phase primal **simplex** method with Bland's anti-cycling
+//!   rule ([`solve`]),
+//! * extraction of the **dual solution** (one multiplier per constraint),
+//!   which the bound engine uses to recover the witness information
+//!   inequality — i.e. *which* ℓp statistics the optimal bound uses.
+//!
+//! The solver targets the LP shapes that arise in the bound engine: a few
+//! dozen to a few thousand rows, a few dozen to a few tens of thousands of
+//! columns, all variables non-negative.  It is exact up to floating-point
+//! tolerance (`1e-9` pivot tolerance by default).
+//!
+//! ## Example
+//!
+//! ```
+//! use lpb_lp::{Problem, Sense, Status};
+//!
+//! // maximize x + y  s.t.  x + 2y <= 4,  3x + y <= 6,  x,y >= 0
+//! let mut p = Problem::maximize(2);
+//! p.set_objective(0, 1.0);
+//! p.set_objective(1, 1.0);
+//! p.add_constraint(&[(0, 1.0), (1, 2.0)], Sense::Le, 4.0);
+//! p.add_constraint(&[(0, 3.0), (1, 1.0)], Sense::Le, 6.0);
+//! let sol = p.solve().unwrap();
+//! assert_eq!(sol.status, Status::Optimal);
+//! assert!((sol.objective - 2.8).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod matrix;
+mod problem;
+mod simplex;
+
+pub use error::LpError;
+pub use matrix::DenseMatrix;
+pub use problem::{Constraint, Direction, Problem, Sense};
+pub use simplex::{solve, Solution, SolverOptions, Status};

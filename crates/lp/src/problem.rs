@@ -1,0 +1,243 @@
+//! Linear-program builder: variables, objective, sparse constraint rows.
+
+use crate::error::LpError;
+use crate::simplex::{solve, Solution, SolverOptions};
+
+/// Direction of optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Maximize the objective.
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// Sense of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `a·x <= b`
+    Le,
+    /// `a·x >= b`
+    Ge,
+    /// `a·x == b`
+    Eq,
+}
+
+/// A single linear constraint `a·x (<=|>=|==) rhs`, with a sparse
+/// coefficient list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Sparse `(variable index, coefficient)` pairs. Repeated indices are
+    /// summed.
+    pub coeffs: Vec<(usize, f64)>,
+    /// The comparison sense.
+    pub sense: Sense,
+    /// Right-hand side constant.
+    pub rhs: f64,
+    /// Optional human-readable label (used by callers to map dual values
+    /// back to the statistics that generated the row).
+    pub label: Option<String>,
+}
+
+/// A linear program over non-negative variables `x >= 0`.
+///
+/// All variables are implicitly bounded below by zero, which matches the
+/// entropy-vector LPs of the bound engine (entropies and step-function
+/// coefficients are non-negative).
+#[derive(Debug, Clone)]
+pub struct Problem {
+    n_vars: usize,
+    direction: Direction,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+    var_names: Vec<Option<String>>,
+}
+
+impl Problem {
+    /// Create a maximization problem over `n_vars` non-negative variables
+    /// with an all-zero objective.
+    pub fn maximize(n_vars: usize) -> Self {
+        Self::new(n_vars, Direction::Maximize)
+    }
+
+    /// Create a minimization problem over `n_vars` non-negative variables
+    /// with an all-zero objective.
+    pub fn minimize(n_vars: usize) -> Self {
+        Self::new(n_vars, Direction::Minimize)
+    }
+
+    /// Create a problem with the given direction.
+    pub fn new(n_vars: usize, direction: Direction) -> Self {
+        Problem {
+            n_vars,
+            direction,
+            objective: vec![0.0; n_vars],
+            constraints: Vec::new(),
+            var_names: vec![None; n_vars],
+        }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of constraints added so far.
+    pub fn n_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Optimization direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Objective coefficient vector.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The constraint rows.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Set the objective coefficient of variable `var`.
+    pub fn set_objective(&mut self, var: usize, coeff: f64) {
+        assert!(var < self.n_vars, "objective variable out of range");
+        self.objective[var] = coeff;
+    }
+
+    /// Give variable `var` a human-readable name (for debugging output).
+    pub fn set_var_name(&mut self, var: usize, name: impl Into<String>) {
+        assert!(var < self.n_vars, "variable out of range");
+        self.var_names[var] = Some(name.into());
+    }
+
+    /// Name of variable `var`, if one was set.
+    pub fn var_name(&self, var: usize) -> Option<&str> {
+        self.var_names.get(var).and_then(|n| n.as_deref())
+    }
+
+    /// Add a constraint and return its row index.
+    pub fn add_constraint(&mut self, coeffs: &[(usize, f64)], sense: Sense, rhs: f64) -> usize {
+        self.add_labeled_constraint(coeffs, sense, rhs, None::<String>)
+    }
+
+    /// Add a constraint with a label and return its row index.
+    pub fn add_labeled_constraint(
+        &mut self,
+        coeffs: &[(usize, f64)],
+        sense: Sense,
+        rhs: f64,
+        label: Option<impl Into<String>>,
+    ) -> usize {
+        self.constraints.push(Constraint {
+            coeffs: coeffs.to_vec(),
+            sense,
+            rhs,
+            label: label.map(Into::into),
+        });
+        self.constraints.len() - 1
+    }
+
+    /// Validate indices and coefficient finiteness.
+    pub fn validate(&self) -> Result<(), LpError> {
+        if self.n_vars == 0 {
+            return Err(LpError::EmptyProblem);
+        }
+        for (i, c) in self.objective.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(LpError::NonFiniteCoefficient {
+                    location: format!("objective[{i}]"),
+                });
+            }
+        }
+        for (row, con) in self.constraints.iter().enumerate() {
+            if !con.rhs.is_finite() {
+                return Err(LpError::NonFiniteCoefficient {
+                    location: format!("rhs of row {row}"),
+                });
+            }
+            for &(idx, coeff) in &con.coeffs {
+                if idx >= self.n_vars {
+                    return Err(LpError::VariableOutOfRange {
+                        index: idx,
+                        n_vars: self.n_vars,
+                    });
+                }
+                if !coeff.is_finite() {
+                    return Err(LpError::NonFiniteCoefficient {
+                        location: format!("row {row}, variable {idx}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solve the problem with default solver options.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        self.solve_with(&SolverOptions::default())
+    }
+
+    /// Solve the problem with explicit solver options.
+    pub fn solve_with(&self, options: &SolverOptions) -> Result<Solution, LpError> {
+        self.validate()?;
+        solve(self, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_records_objective_and_constraints() {
+        let mut p = Problem::maximize(3);
+        p.set_objective(0, 1.0);
+        p.set_objective(2, -2.0);
+        p.set_var_name(2, "z");
+        let r0 = p.add_constraint(&[(0, 1.0), (1, 1.0)], Sense::Le, 5.0);
+        let r1 =
+            p.add_labeled_constraint(&[(2, 1.0)], Sense::Ge, 1.0, Some("lower bound on z"));
+        assert_eq!(p.n_vars(), 3);
+        assert_eq!(p.n_constraints(), 2);
+        assert_eq!(r0, 0);
+        assert_eq!(r1, 1);
+        assert_eq!(p.objective(), &[1.0, 0.0, -2.0]);
+        assert_eq!(p.var_name(2), Some("z"));
+        assert_eq!(p.var_name(0), None);
+        assert_eq!(p.constraints()[1].label.as_deref(), Some("lower bound on z"));
+        assert_eq!(p.direction(), Direction::Maximize);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_variable() {
+        let mut p = Problem::maximize(2);
+        p.add_constraint(&[(5, 1.0)], Sense::Le, 1.0);
+        assert_eq!(
+            p.validate(),
+            Err(LpError::VariableOutOfRange { index: 5, n_vars: 2 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_nan_rhs_and_empty_problem() {
+        let mut p = Problem::maximize(1);
+        p.add_constraint(&[(0, 1.0)], Sense::Le, f64::NAN);
+        assert!(matches!(
+            p.validate(),
+            Err(LpError::NonFiniteCoefficient { .. })
+        ));
+        let p = Problem::maximize(0);
+        assert_eq!(p.validate(), Err(LpError::EmptyProblem));
+    }
+
+    #[test]
+    #[should_panic(expected = "objective variable out of range")]
+    fn set_objective_out_of_range_panics() {
+        let mut p = Problem::minimize(1);
+        p.set_objective(3, 1.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the simplex solver: on random feasible, bounded
+//! maximization problems the solver must return a primal-feasible,
+//! dual-feasible solution with zero duality gap.
+
+use lpb_lp::{Problem, Sense, Status};
+use proptest::prelude::*;
+
+/// A random bounded-feasible LP: box constraints `x_j <= u_j` plus extra
+/// random `<=` rows with non-negative coefficients and non-negative RHS, so
+/// the origin is always feasible and the box keeps the problem bounded.
+#[derive(Debug, Clone)]
+struct RandomLp {
+    n_vars: usize,
+    objective: Vec<f64>,
+    upper: Vec<f64>,
+    extra_rows: Vec<(Vec<f64>, f64)>,
+}
+
+fn random_lp() -> impl Strategy<Value = RandomLp> {
+    (2usize..6).prop_flat_map(|n_vars| {
+        let obj = proptest::collection::vec(-5.0f64..5.0, n_vars);
+        let upper = proptest::collection::vec(0.1f64..20.0, n_vars);
+        let rows = proptest::collection::vec(
+            (
+                proptest::collection::vec(0.0f64..3.0, n_vars),
+                1.0f64..50.0,
+            ),
+            0..5,
+        );
+        (obj, upper, rows).prop_map(move |(objective, upper, extra_rows)| RandomLp {
+            n_vars,
+            objective,
+            upper,
+            extra_rows,
+        })
+    })
+}
+
+fn build(lp: &RandomLp) -> Problem {
+    let mut p = Problem::maximize(lp.n_vars);
+    for (j, &c) in lp.objective.iter().enumerate() {
+        p.set_objective(j, c);
+    }
+    for (j, &u) in lp.upper.iter().enumerate() {
+        p.add_constraint(&[(j, 1.0)], Sense::Le, u);
+    }
+    for (coeffs, rhs) in &lp.extra_rows {
+        let sparse: Vec<(usize, f64)> =
+            coeffs.iter().enumerate().map(|(j, &c)| (j, c)).collect();
+        p.add_constraint(&sparse, Sense::Le, *rhs);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_bounded_lp_is_solved_optimally(lp in random_lp()) {
+        let p = build(&lp);
+        let sol = p.solve().unwrap();
+        prop_assert_eq!(sol.status, Status::Optimal);
+
+        // Primal feasibility.
+        let tol = 1e-6;
+        for (j, &xj) in sol.x.iter().enumerate() {
+            prop_assert!(xj >= -tol, "x[{}] = {} negative", j, xj);
+            prop_assert!(xj <= lp.upper[j] + tol, "x[{}] above its box bound", j);
+        }
+        for (coeffs, rhs) in &lp.extra_rows {
+            let lhs: f64 = coeffs.iter().zip(&sol.x).map(|(c, x)| c * x).sum();
+            prop_assert!(lhs <= rhs + tol, "extra row violated: {} > {}", lhs, rhs);
+        }
+
+        // Objective is at least as good as the origin (which is feasible).
+        prop_assert!(sol.objective >= -tol);
+
+        // The reported objective matches c·x.
+        let cx: f64 = lp.objective.iter().zip(&sol.x).map(|(c, x)| c * x).sum();
+        prop_assert!((cx - sol.objective).abs() < 1e-5,
+            "objective mismatch: c·x = {}, reported {}", cx, sol.objective);
+    }
+
+    #[test]
+    fn strong_duality_and_dual_feasibility(lp in random_lp()) {
+        let p = build(&lp);
+        let sol = p.solve().unwrap();
+        prop_assert_eq!(sol.status, Status::Optimal);
+        let tol = 1e-5;
+
+        // All constraints are `<=` rows of a maximization, so duals are >= 0.
+        for (i, &d) in sol.duals.iter().enumerate() {
+            prop_assert!(d >= -tol, "dual {} of row {} negative", d, i);
+        }
+
+        // Zero duality gap: Σ y_i b_i == objective.
+        let mut dual_obj = 0.0;
+        for (i, &u) in lp.upper.iter().enumerate() {
+            dual_obj += sol.duals[i] * u;
+        }
+        for (k, (_, rhs)) in lp.extra_rows.iter().enumerate() {
+            dual_obj += sol.duals[lp.n_vars + k] * rhs;
+        }
+        prop_assert!((dual_obj - sol.objective).abs() < 1e-4 * (1.0 + sol.objective.abs()),
+            "duality gap: primal {}, dual {}", sol.objective, dual_obj);
+
+        // Dual feasibility: for every variable j, Σ_i y_i A_ij >= c_j.
+        for j in 0..lp.n_vars {
+            let mut yt_a = sol.duals[j]; // box row x_j <= u_j has A_ij = 1
+            for (k, (coeffs, _)) in lp.extra_rows.iter().enumerate() {
+                yt_a += sol.duals[lp.n_vars + k] * coeffs[j];
+            }
+            prop_assert!(yt_a >= lp.objective[j] - 1e-4,
+                "dual infeasible at variable {}: {} < {}", j, yt_a, lp.objective[j]);
+        }
+    }
+}

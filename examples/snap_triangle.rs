@@ -1,0 +1,49 @@
+//! The Appendix C.1 experiment as a standalone example: triangle-query and
+//! one-join-query bounds on every SNAP-like graph preset, reported as ratios
+//! to the true cardinality (compare with the tables in EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run --release --example snap_triangle
+//! ```
+
+use lpbound::datagen::{graph_catalog, snap_like_presets};
+use lpbound::exec::{path2_count, triangle_count};
+use lpbound::{
+    agm_bound, collect_simple_statistics, compute_bound, CollectConfig, Cone, CoreError,
+    JoinQuery, Norm,
+};
+
+fn main() -> Result<(), CoreError> {
+    println!("{:<24} {:>10} {:>10} {:>10} {:>10}  query", "dataset", "{1}", "{1,inf}", "{2}", "ours");
+    for preset in snap_like_presets(1) {
+        let catalog = graph_catalog(&preset.config);
+        let edge = catalog.get("E")?;
+
+        for (query, truth) in [
+            (JoinQuery::triangle("E", "E", "E"), triangle_count(&edge).expect("binary")),
+            (JoinQuery::single_join("E", "E"), path2_count(&edge).expect("binary")),
+        ] {
+            let truth = truth.max(1) as f64;
+            let stats =
+                collect_simple_statistics(&query, &catalog, &CollectConfig::with_max_norm(10))?;
+            let ours = compute_bound(&query, &stats, Cone::Polymatroid)?;
+            let panda = compute_bound(
+                &query,
+                &stats.filter_norms(|n| n == Norm::L1 || n == Norm::Infinity),
+                Cone::Polymatroid,
+            )?;
+            let l2 = compute_bound(&query, &stats.filter_norms(|n| n == Norm::L2), Cone::Polymatroid)?;
+            let agm = agm_bound(&query, &catalog)?;
+            println!(
+                "{:<24} {:>10.2} {:>10.2} {:>10.2} {:>10.2}  {}",
+                preset.name,
+                agm.bound() / truth,
+                panda.bound() / truth,
+                l2.bound() / truth,
+                ours.bound() / truth,
+                query.name(),
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,185 @@
+//! Property-based tests of the paper's core invariants, driven by random
+//! relation instances.
+//!
+//! The single most important property of a *pessimistic* estimator is that
+//! it never under-estimates: for every database, every harvested statistics
+//! set and every cone that is sound (polymatroid, normal), the bound must
+//! dominate the true output size.  These tests generate random binary
+//! relations and check that invariant — together with the structural
+//! invariants of degree sequences, norms, partitions and the worst-case
+//! construction — over hundreds of random instances.
+
+use proptest::prelude::*;
+
+use lpbound::data::DegreeSequence;
+use lpbound::exec::{partition_by_degree, partition_for_statistic, wcoj_count, yannakakis_count};
+use lpbound::{
+    collect_simple_statistics, compute_bound, dsb_bound, true_cardinality, worst_case_database,
+    Catalog, CollectConfig, Cone, JoinQuery, Norm, RelationBuilder,
+};
+
+/// A random binary relation with up to `max_rows` tuples over a small domain
+/// (small domains force skew and collisions, which is where bugs live).
+fn arb_edges(max_rows: usize, domain: u64) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0..domain, 0..domain), 1..max_rows)
+}
+
+fn catalog_from(name: &str, edges: &[(u64, u64)]) -> Catalog {
+    let mut catalog = Catalog::new();
+    catalog.insert(RelationBuilder::binary_from_pairs(
+        name,
+        "a",
+        "b",
+        edges.iter().copied(),
+    ));
+    catalog
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The ℓp bound (both sound cones) dominates the true size of the
+    /// single join, the triangle and the 3-path on arbitrary data, and the
+    /// polymatroid and normal cones agree on simple statistics (Thm 6.1).
+    #[test]
+    fn bound_dominates_truth_on_random_relations(edges in arb_edges(120, 25)) {
+        let catalog = catalog_from("E", &edges);
+        for query in [
+            JoinQuery::single_join("E", "E"),
+            JoinQuery::triangle("E", "E", "E"),
+            JoinQuery::path(&["E", "E", "E"]),
+        ] {
+            let truth = true_cardinality(&query, &catalog).unwrap();
+            let log2_truth = (truth.max(1) as f64).log2();
+            let stats = collect_simple_statistics(
+                &query,
+                &catalog,
+                &CollectConfig::with_max_norm(3),
+            ).unwrap();
+            let poly = compute_bound(&query, &stats, Cone::Polymatroid).unwrap();
+            let normal = compute_bound(&query, &stats, Cone::Normal).unwrap();
+            prop_assert!(poly.log2_bound >= log2_truth - 1e-6,
+                "{}: bound {} < truth {}", query.name(), poly.log2_bound, log2_truth);
+            prop_assert!((poly.log2_bound - normal.log2_bound).abs() < 1e-5,
+                "{}: polymatroid {} vs normal {}", query.name(), poly.log2_bound, normal.log2_bound);
+        }
+    }
+
+    /// Degree sequences and ℓp norms: monotonicity in p of ‖d‖_p (norms
+    /// decrease), monotonicity of ‖d‖_p^p (power sums increase), ℓ1 = total,
+    /// ℓ∞ = max, and the log-space computation matches the linear one.
+    #[test]
+    fn degree_sequence_norm_invariants(degrees in prop::collection::vec(1u64..200, 1..60)) {
+        let ds = DegreeSequence::from_counts(degrees.clone());
+        prop_assert_eq!(ds.lp_norm(Norm::L1).round() as u64, ds.total());
+        prop_assert_eq!(ds.lp_norm(Norm::Infinity).round() as u64, ds.max_degree());
+        let mut previous_norm = f64::INFINITY;
+        let mut previous_power_sum = 0.0;
+        for p in 1..=6 {
+            let norm = ds.lp_norm(Norm::finite(p as f64));
+            let power_sum = ds.lp_norm_pow_p(p as f64);
+            prop_assert!(norm <= previous_norm + 1e-6 * previous_norm.max(1.0));
+            prop_assert!(power_sum >= previous_power_sum - 1e-6);
+            // log-space and linear-space computations agree.
+            let via_log = ds.log2_lp_norm(Norm::finite(p as f64)).unwrap().exp2();
+            prop_assert!((via_log - norm).abs() <= 1e-6 * norm.max(1.0));
+            previous_norm = norm;
+            previous_power_sum = power_sum;
+        }
+        // ℓ∞ is the limit: it never exceeds any finite norm.
+        prop_assert!(ds.lp_norm(Norm::Infinity) <= ds.lp_norm(Norm::finite(6.0)) + 1e-6);
+    }
+
+    /// Lemma 2.5: the degree partition is a true partition (tuple counts add
+    /// up), every part strongly satisfies every ℓp statistic of the whole
+    /// relation, and per-part degrees stay within a factor of two.
+    #[test]
+    fn degree_partition_invariants(edges in arb_edges(150, 20)) {
+        let catalog = catalog_from("E", &edges);
+        let rel = catalog.get("E").unwrap();
+        // The coarse degree bucketing is a true partition with degrees
+        // within a factor of two per bucket.
+        let buckets = partition_by_degree(&rel, &["b"], &["a"]).unwrap();
+        let total: usize = buckets.iter().map(|p| p.relation.len()).sum();
+        prop_assert_eq!(total, rel.len());
+        for part in &buckets {
+            let d = part.relation.degree_sequence(&["b"], &["a"]).unwrap();
+            let max = d.max_degree();
+            let min = d.as_slice().iter().copied().min().unwrap();
+            prop_assert!(max <= 2 * min.max(1));
+        }
+        // The full Lemma 2.5 partition makes every part strongly satisfy
+        // each ℓp statistic of the whole relation, with the lemma's part
+        // count.
+        let deg = rel.degree_sequence(&["b"], &["a"]).unwrap();
+        for p in [1.0, 2.0, 4.0] {
+            let log_b = deg.log2_lp_norm(Norm::finite(p)).unwrap();
+            let parts =
+                partition_for_statistic(&rel, &["b"], &["a"], Norm::finite(p), log_b).unwrap();
+            let total: usize = parts.iter().map(|part| part.relation.len()).sum();
+            prop_assert_eq!(total, rel.len());
+            for part in &parts {
+                prop_assert!(part.strongly_satisfies(Norm::finite(p), log_b));
+            }
+            let limit = 2f64.powf(p).ceil() * ((rel.len() as f64).log2().ceil() + 1.0);
+            prop_assert!(parts.len() as f64 <= limit);
+        }
+    }
+
+    /// The DSB of the single join dominates the truth and is dominated by
+    /// the ℓ2 bound (Cauchy–Schwartz), on arbitrary pairs of relations.
+    #[test]
+    fn dsb_sandwich(
+        r_edges in arb_edges(80, 15),
+        s_edges in arb_edges(80, 15),
+    ) {
+        let mut catalog = Catalog::new();
+        catalog.insert(RelationBuilder::binary_from_pairs("R", "a", "b", r_edges.iter().copied()));
+        catalog.insert(RelationBuilder::binary_from_pairs("S", "a", "b", s_edges.iter().copied()));
+        let query = JoinQuery::single_join("R", "S");
+        let truth = true_cardinality(&query, &catalog).unwrap() as f64;
+        let dsb = dsb_bound(&query, &catalog).unwrap();
+        prop_assert!(dsb >= truth - 1e-6);
+        let deg_r = catalog.get("R").unwrap().degree_sequence(&["a"], &["b"]).unwrap();
+        let deg_s = catalog.get("S").unwrap().degree_sequence(&["b"], &["a"]).unwrap();
+        let l2 = deg_r.lp_norm(Norm::L2) * deg_s.lp_norm(Norm::L2);
+        prop_assert!(l2 >= dsb - 1e-6 * dsb.max(1.0));
+    }
+
+    /// The worst-case database built from harvested (simple) statistics is
+    /// itself a database satisfying those statistics, so evaluating the
+    /// query on it never exceeds the bound — and it comes within the
+    /// Corollary 6.3 constant of the bound.
+    #[test]
+    fn worst_case_construction_is_consistent(edges in arb_edges(80, 12)) {
+        // One relation name per atom role (the same data under two names).
+        let mut catalog = Catalog::new();
+        catalog.insert(RelationBuilder::binary_from_pairs("E1", "a", "b", edges.iter().copied()));
+        catalog.insert(RelationBuilder::binary_from_pairs("E2", "a", "b", edges.iter().copied()));
+        let query = JoinQuery::single_join("E1", "E2");
+        let cfg = CollectConfig {
+            norms: vec![Norm::L2, Norm::Infinity],
+            atom_cardinalities: true,
+            unary_cardinalities: false,
+            join_vars_only: true,
+        };
+        let stats = collect_simple_statistics(&query, &catalog, &cfg).unwrap();
+        let wc = worst_case_database(&query, &stats).unwrap();
+        let achieved = true_cardinality(&query, &wc.catalog).unwrap();
+        let log2_achieved = (achieved.max(1) as f64).log2();
+        prop_assert!(log2_achieved <= wc.bound.log2_bound + 1e-6);
+        prop_assert!(log2_achieved >= wc.bound.log2_bound - wc.witness.steps.len() as f64 - 1.0);
+    }
+
+    /// All three evaluation strategies agree on the output size of acyclic
+    /// queries (hash plans vs Yannakakis vs WCOJ), for arbitrary data.
+    #[test]
+    fn evaluators_agree_on_random_data(edges in arb_edges(100, 18)) {
+        let catalog = catalog_from("E", &edges);
+        for query in [JoinQuery::single_join("E", "E"), JoinQuery::path(&["E", "E", "E"])] {
+            let wcoj = wcoj_count(&query, &catalog).unwrap();
+            let yan = yannakakis_count(&query, &catalog).unwrap();
+            prop_assert_eq!(wcoj, yan, "{}", query.name());
+        }
+    }
+}
