@@ -44,7 +44,11 @@ fn bench_joins(c: &mut Criterion) {
             PartitionSpec::new(0, &["dst"], &["src"]),
             PartitionSpec::new(1, &["dst"], &["src"]),
         ];
-        b.iter(|| partitioned_join_count(&triangle, &catalog, &specs).unwrap().output_size)
+        b.iter(|| {
+            partitioned_join_count(&triangle, &catalog, &specs)
+                .unwrap()
+                .output_size
+        })
     });
     group.finish();
 
@@ -69,18 +73,24 @@ fn bench_statistics(c: &mut Criterion) {
     for edges in [2_000usize, 8_000, 32_000] {
         let catalog = graph(edges / 8, edges);
         let rel = catalog.get("E").unwrap();
-        group.bench_with_input(BenchmarkId::new("degree_sequence", edges), &edges, |b, _| {
-            b.iter(|| rel.degree_sequence(&["dst"], &["src"]).unwrap().len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("degree_sequence", edges),
+            &edges,
+            |b, _| b.iter(|| rel.degree_sequence(&["dst"], &["src"]).unwrap().len()),
+        );
         let deg = rel.degree_sequence(&["dst"], &["src"]).unwrap();
-        group.bench_with_input(BenchmarkId::new("all_norms_to_30", edges), &edges, |b, _| {
-            b.iter(|| {
-                Norm::standard_set(30)
-                    .into_iter()
-                    .map(|n| deg.log2_lp_norm(n).unwrap_or(0.0))
-                    .sum::<f64>()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("all_norms_to_30", edges),
+            &edges,
+            |b, _| {
+                b.iter(|| {
+                    Norm::standard_set(30)
+                        .into_iter()
+                        .map(|n| deg.log2_lp_norm(n).unwrap_or(0.0))
+                        .sum::<f64>()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,45 +1,252 @@
 //! Micro-benchmark of the bound computation itself: how the polymatroid and
-//! normal-cone LPs scale with the number of query variables and the number of
-//! harvested norms.  This is the cost a query optimizer would pay per
-//! cardinality estimate.
+//! normal-cone LPs scale with the number of query variables and the number
+//! of harvested norms — the cost a query optimizer pays per cardinality
+//! estimate.
+//!
+//! Besides the criterion groups, this bench runs a head-to-head comparison
+//! of the three bound paths and records it in `BENCH_lp.json` at the
+//! workspace root:
+//!
+//! * **dense rebuild** — the seed behaviour: regenerate every Shannon
+//!   elemental row and solve the dense two-phase tableau, per estimate;
+//! * **sparse + cached skeleton** — the current default `compute_bound`:
+//!   cached Shannon block + sparse revised simplex;
+//! * **sparse + warm start** — the same, warm-started from the previous
+//!   solve's basis (the `BatchEstimator` steady state);
+//!
+//! plus a sequential-vs-parallel `BatchEstimator` run over a mixed batch.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lpb_core::{collect_simple_statistics, compute_bound, CollectConfig, Cone, JoinQuery};
+use lpb_core::{
+    collect_simple_statistics, compute_bound, compute_bound_with, BatchEstimator, BatchItem,
+    BoundOptions, CollectConfig, Cone, JoinQuery, StatisticsSet,
+};
 use lpb_datagen::{graph_catalog, PowerLawGraphConfig};
+use lpb_entropy::{elemental_inequalities, VarSet};
+use lpb_lp::{Problem, Sense, SolverKind, SolverOptions};
+use std::time::Instant;
 
-fn bench(c: &mut Criterion) {
-    let catalog = graph_catalog(&PowerLawGraphConfig {
+fn catalog() -> lpb_core::Catalog {
+    graph_catalog(&PowerLawGraphConfig {
         nodes: 500,
         edges: 3_000,
         exponent: 1.6,
         symmetric: true,
         seed: 99,
-    });
+    })
+}
 
-    // Path queries of growing length: polymatroid cone for ≤ 8 variables.
-    let mut group = c.benchmark_group("polymatroid_lp_by_vars");
+/// Median wall-clock microseconds of `f`, over enough repetitions to be
+/// stable at small sizes without making large sizes crawl.
+fn median_us<F: FnMut()>(mut f: F) -> f64 {
+    // One untimed warm-up run (fills caches, page-faults, etc.).
+    f();
+    let mut samples = Vec::new();
+    let budget = Instant::now();
+    while samples.len() < 5 || (budget.elapsed().as_millis() < 300 && samples.len() < 25) {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Replicate the *seed* polymatroid bound path: regenerate the Shannon
+/// elemental rows and solve the dense tableau, from scratch.
+fn seed_dense_bound(n: usize, stats: &StatisticsSet) -> f64 {
+    let n_subsets = (1usize << n) - 1;
+    let var_of = |s: VarSet| -> usize { s.index() - 1 };
+    let mut p = Problem::maximize(n_subsets);
+    p.set_objective(var_of(VarSet::full(n)), 1.0);
+    for s in stats.iter() {
+        let u = s.stat.conditional.u;
+        let v = s.stat.conditional.v;
+        let uv = u.union(v);
+        let mut coeffs: Vec<(usize, f64)> = vec![(var_of(uv), 1.0)];
+        if !u.is_empty() {
+            coeffs.push((var_of(u), s.stat.norm.reciprocal() - 1.0));
+        }
+        p.add_constraint(&coeffs, Sense::Le, s.log_bound);
+    }
+    for ineq in elemental_inequalities(n) {
+        let coeffs: Vec<(usize, f64)> = ineq
+            .terms
+            .iter()
+            .map(|&(set, c)| (var_of(set), -c))
+            .collect();
+        p.add_constraint(&coeffs, Sense::Le, 0.0);
+    }
+    p.solve_with(&SolverOptions::dense())
+        .expect("dense solve")
+        .objective
+}
+
+struct ComparisonRow {
+    n_vars: usize,
+    n_stats: usize,
+    dense_us: f64,
+    sparse_us: f64,
+    warm_us: f64,
+}
+
+fn comparison_table(c: &mut Criterion) -> Vec<ComparisonRow> {
+    let catalog = catalog();
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("dense_vs_sparse_polymatroid");
     group.sample_size(10);
-    for len in [2usize, 3, 4, 5, 6] {
+    for len in [2usize, 3, 4, 5, 6, 7] {
         let q = JoinQuery::path(&vec!["E"; len]);
+        let n = q.n_vars();
         let stats =
             collect_simple_statistics(&q, &catalog, &CollectConfig::with_max_norm(6)).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(len + 1), &len, |b, _| {
-            b.iter(|| compute_bound(&q, &stats, Cone::Polymatroid).unwrap().log2_bound)
+
+        // Cross-check all three paths agree before timing them.
+        let reference = seed_dense_bound(n, &stats);
+        let sparse_only = BoundOptions {
+            solver: SolverKind::SparseRevised,
+            warm_start: None,
+        };
+        let sparse = compute_bound_with(&q, &stats, Cone::Polymatroid, &sparse_only).unwrap();
+        assert!(
+            (reference - sparse.log2_bound).abs() <= 1e-6,
+            "n={n}: dense {reference} vs sparse {}",
+            sparse.log2_bound
+        );
+        let warm_opts = BoundOptions {
+            solver: SolverKind::SparseRevised,
+            warm_start: Some(sparse.warm_basis.clone()),
+        };
+        let warm = compute_bound_with(&q, &stats, Cone::Polymatroid, &warm_opts).unwrap();
+        assert!((warm.log2_bound - sparse.log2_bound).abs() <= 1e-6);
+
+        let dense_us = median_us(|| {
+            seed_dense_bound(n, &stats);
+        });
+        let sparse_us = median_us(|| {
+            compute_bound_with(&q, &stats, Cone::Polymatroid, &sparse_only).unwrap();
+        });
+        let warm_us = median_us(|| {
+            compute_bound_with(&q, &stats, Cone::Polymatroid, &warm_opts).unwrap();
+        });
+        group.bench_with_input(BenchmarkId::new("dense_rebuild", n), &n, |b, _| {
+            b.iter(|| seed_dense_bound(n, &stats))
+        });
+        // Pin the sparse solver explicitly: compute_bound's Auto kind would
+        // route the small sizes to the dense path and mislabel the line.
+        group.bench_with_input(BenchmarkId::new("sparse_skeleton", n), &n, |b, _| {
+            b.iter(|| {
+                compute_bound_with(&q, &stats, Cone::Polymatroid, &sparse_only)
+                    .unwrap()
+                    .log2_bound
+            })
+        });
+        rows.push(ComparisonRow {
+            n_vars: n,
+            n_stats: stats.len(),
+            dense_us,
+            sparse_us,
+            warm_us,
         });
     }
     group.finish();
+    rows
+}
 
+struct BatchTiming {
+    items: usize,
+    sequential_ms: f64,
+    parallel_ms: f64,
+    warm_ms: f64,
+}
+
+fn batch_comparison() -> BatchTiming {
+    let catalog = catalog();
+    let mut items = Vec::new();
+    for round in 0..8 {
+        for len in [3usize, 4, 5, 6] {
+            let q = JoinQuery::path(&vec!["E"; len]);
+            let stats = collect_simple_statistics(
+                &q,
+                &catalog,
+                &CollectConfig::with_max_norm(3 + (round % 3) as u32),
+            )
+            .unwrap();
+            items.push(BatchItem::new(q, stats));
+        }
+    }
+    let sequential = BatchEstimator::new().sequential();
+    let parallel = BatchEstimator::new();
+    let warm = BatchEstimator::new().sequential().with_warm_start();
+    let sequential_ms = median_us(|| {
+        sequential.estimate(&items);
+    }) / 1e3;
+    let parallel_ms = median_us(|| {
+        parallel.estimate(&items);
+    }) / 1e3;
+    let warm_ms = median_us(|| {
+        warm.estimate(&items);
+    }) / 1e3;
+    BatchTiming {
+        items: items.len(),
+        sequential_ms,
+        parallel_ms,
+        warm_ms,
+    }
+}
+
+fn write_bench_json(rows: &[ComparisonRow], batch: &BatchTiming) {
+    let mut out = String::from("{\n  \"bench\": \"lp_scaling\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n_vars\": {}, \"n_stats\": {}, \"dense_rebuild_us\": {:.1}, \
+             \"sparse_skeleton_us\": {:.1}, \"sparse_warm_us\": {:.1}, \
+             \"speedup_sparse\": {:.2}, \"speedup_warm\": {:.2}}}{}\n",
+            r.n_vars,
+            r.n_stats,
+            r.dense_us,
+            r.sparse_us,
+            r.warm_us,
+            r.dense_us / r.sparse_us,
+            r.dense_us / r.warm_us,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    out.push_str(&format!(
+        "  \"batch\": {{\"items\": {}, \"workers\": {}, \"sequential_ms\": {:.2}, \
+         \"parallel_ms\": {:.2}, \"warm_sequential_ms\": {:.2}, \
+         \"parallel_speedup\": {:.2}}}\n}}\n",
+        batch.items,
+        workers,
+        batch.sequential_ms,
+        batch.parallel_ms,
+        batch.warm_ms,
+        batch.sequential_ms / batch.parallel_ms
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lp.json");
+    std::fs::write(path, &out).expect("write BENCH_lp.json");
+    println!("{out}");
+    println!("wrote {path}");
+}
+
+fn bench_norm_budget(c: &mut Criterion) {
+    let catalog = catalog();
     // The same query, growing the norm budget: LP rows scale with the number
     // of statistics.
     let mut group = c.benchmark_group("lp_by_norm_budget");
     group.sample_size(10);
-    let q = JoinQuery::path(&vec!["E"; 4]);
+    let q = JoinQuery::path(&["E"; 4]);
     for max_p in [2u32, 5, 10, 20, 30] {
         let stats =
-            collect_simple_statistics(&q, &catalog, &CollectConfig::with_max_norm(max_p))
-                .unwrap();
+            collect_simple_statistics(&q, &catalog, &CollectConfig::with_max_norm(max_p)).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(max_p), &max_p, |b, _| {
-            b.iter(|| compute_bound(&q, &stats, Cone::Polymatroid).unwrap().log2_bound)
+            b.iter(|| {
+                compute_bound(&q, &stats, Cone::Polymatroid)
+                    .unwrap()
+                    .log2_bound
+            })
         });
     }
     group.finish();
@@ -47,9 +254,8 @@ fn bench(c: &mut Criterion) {
     // Normal cone vs polymatroid cone on the same (simple) statistics.
     let mut group = c.benchmark_group("cone_comparison");
     group.sample_size(10);
-    let q = JoinQuery::path(&vec!["E"; 5]);
-    let stats =
-        collect_simple_statistics(&q, &catalog, &CollectConfig::with_max_norm(8)).unwrap();
+    let q = JoinQuery::path(&["E"; 5]);
+    let stats = collect_simple_statistics(&q, &catalog, &CollectConfig::with_max_norm(8)).unwrap();
     for cone in [Cone::Polymatroid, Cone::Normal] {
         group.bench_with_input(
             BenchmarkId::from_parameter(cone.name()),
@@ -60,5 +266,16 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
+fn bench(c: &mut Criterion) {
+    let rows = comparison_table(c);
+    let batch = batch_comparison();
+    write_bench_json(&rows, &batch);
+    bench_norm_budget(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
 criterion_main!(benches);

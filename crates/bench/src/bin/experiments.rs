@@ -15,8 +15,16 @@ use lpb_bench::{table, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let tiny = args.iter().any(|a| a == "--tiny");
-    let scale = if tiny { Scale::tiny() } else { Scale::default() };
-    let selected: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let scale = if tiny {
+        Scale::tiny()
+    } else {
+        Scale::default()
+    };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
     let want = |name: &str| selected.is_empty() || selected.contains(&name);
 
     if want("e1") {
@@ -42,23 +50,34 @@ fn main() {
         println!("{}", table::render(&e4_dsb_gap::HEADERS, &rows));
     }
     if want("e5") {
-        println!("\n== E5: cycle queries where the ℓp norm is optimal (Example 2.3 / Appendix C.5) ==\n");
+        println!(
+            "\n== E5: cycle queries where the ℓp norm is optimal (Example 2.3 / Appendix C.5) ==\n"
+        );
         let rows: Vec<Vec<String>> = e5_cycle::run(&scale).iter().map(|r| r.cells()).collect();
         println!("{}", table::render(&e5_cycle::HEADERS, &rows));
     }
     if want("e6") {
         println!("\n== E6: worst-case (normal) databases achieve the bound (§6) ==\n");
-        let rows: Vec<Vec<String>> = e6_worstcase::run(&scale).iter().map(|r| r.cells()).collect();
+        let rows: Vec<Vec<String>> = e6_worstcase::run(&scale)
+            .iter()
+            .map(|r| r.cells())
+            .collect();
         println!("{}", table::render(&e6_worstcase::HEADERS, &rows));
     }
     if want("e7") {
         println!("\n== E7: the 35/36 non-Shannon gap of the polymatroid bound (Appendix D.2) ==\n");
-        let rows: Vec<Vec<String>> = e7_nonshannon::run(&scale).iter().map(|r| r.cells()).collect();
+        let rows: Vec<Vec<String>> = e7_nonshannon::run(&scale)
+            .iter()
+            .map(|r| r.cells())
+            .collect();
         println!("{}", table::render(&e7_nonshannon::HEADERS, &rows));
     }
     if want("e8") {
         println!("\n== E8: partitioned evaluation within the ℓp bound (§2.2, Theorem 2.6) ==\n");
-        let rows: Vec<Vec<String>> = e8_partition::run(&scale).iter().map(|r| r.cells()).collect();
+        let rows: Vec<Vec<String>> = e8_partition::run(&scale)
+            .iter()
+            .map(|r| r.cells())
+            .collect();
         println!("{}", table::render(&e8_partition::HEADERS, &rows));
     }
 }

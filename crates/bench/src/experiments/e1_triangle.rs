@@ -41,7 +41,9 @@ impl Row {
 }
 
 /// Column headers of the E1 table.
-pub const HEADERS: [&str; 7] = ["dataset", "{1}", "{1,∞}", "{2}", "ours", "textbook", "norms"];
+pub const HEADERS: [&str; 7] = [
+    "dataset", "{1}", "{1,∞}", "{2}", "ours", "textbook", "norms",
+];
 
 /// Run E1 at the given scale.
 pub fn run(scale: &Scale) -> Vec<Row> {

@@ -39,15 +39,17 @@ impl Row {
 }
 
 /// Column headers of the E2 table.
-pub const HEADERS: [&str; 7] = ["dataset", "{1}", "{1,∞}", "{2}", "ours", "textbook", "norms"];
+pub const HEADERS: [&str; 7] = [
+    "dataset", "{1}", "{1,∞}", "{2}", "ours", "textbook", "norms",
+];
 
 /// Run E2 at the given scale.
 pub fn run(scale: &Scale) -> Vec<Row> {
     let mut rows = Vec::new();
     for preset in snap_like_presets(scale.graph_scale) {
         let catalog = graph_catalog(&preset.config);
-        let truth = path2_count(&catalog.get("E").expect("edge relation"))
-            .expect("binary edge relation");
+        let truth =
+            path2_count(&catalog.get("E").expect("edge relation")).expect("binary edge relation");
         let q = JoinQuery::single_join("E", "E");
         let bounds = compare_bounds(&q, &catalog, truth.max(1), scale.max_norm);
         rows.push(Row {

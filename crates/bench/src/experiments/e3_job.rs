@@ -121,7 +121,10 @@ mod tests {
             .iter()
             .map(|r| r.bounds.log2_agm - r.bounds.log2_truth)
             .fold(0.0f64, f64::max);
-        assert!(max_agm_gap >= 6.0, "largest AGM gap only {max_agm_gap} bits");
+        assert!(
+            max_agm_gap >= 6.0,
+            "largest AGM gap only {max_agm_gap} bits"
+        );
         // Key–foreign-key joins make the ℓ∞ norm show up in the optimal
         // certificates (max degree of a key column is one).
         assert!(

@@ -57,7 +57,14 @@ impl Row {
 
 /// Column headers of the E4 table.
 pub const HEADERS: [&str; 8] = [
-    "M", "truth", "DSB", "ℓp bound", "eq.(50)", "{2}", "{1,∞}", "exp(ℓp)",
+    "M",
+    "truth",
+    "DSB",
+    "ℓp bound",
+    "eq.(50)",
+    "{2}",
+    "{1,∞}",
+    "exp(ℓp)",
 ];
 
 /// Run E4 for a series of scale parameters.
@@ -96,8 +103,7 @@ pub fn run_one(m: u64) -> Row {
     // rename via the query atom variable binding.
     let q = JoinQuery::single_join("R", "S");
 
-    let stats =
-        collect_simple_statistics(&q, &catalog, &CollectConfig::with_max_norm(8)).unwrap();
+    let stats = collect_simple_statistics(&q, &catalog, &CollectConfig::with_max_norm(8)).unwrap();
     let lp = compute_bound(&q, &stats, Cone::Polymatroid).unwrap();
     let panda = compute_bound(
         &q,
@@ -105,11 +111,18 @@ pub fn run_one(m: u64) -> Row {
         Cone::Polymatroid,
     )
     .unwrap();
-    let l2 = compute_bound(&q, &stats.filter_norms(|n| n == Norm::L2), Cone::Polymatroid).unwrap();
+    let l2 = compute_bound(
+        &q,
+        &stats.filter_norms(|n| n == Norm::L2),
+        Cone::Polymatroid,
+    )
+    .unwrap();
     let dsb = dsb_bound(&q, &catalog).unwrap();
 
     // The eq. (50) closed form needs ‖deg_R(X|Y)‖₃, |S| and ‖deg_S(Z|Y)‖₂.
-    let log_deg_r3 = catalog.log_norm("R", &["x"], &["y"], Norm::Finite(3.0)).unwrap();
+    let log_deg_r3 = catalog
+        .log_norm("R", &["x"], &["y"], Norm::Finite(3.0))
+        .unwrap();
     let log_s = catalog.log_norm("S", &["x", "y"], &[], Norm::L1).unwrap();
     let log_deg_s2 = catalog.log_norm("S", &["y"], &["x"], Norm::L2).unwrap();
     let log2_eq50 = closed_form::single_join_eq50(log_deg_r3, log_s, log_deg_s2);
@@ -141,7 +154,12 @@ mod tests {
             assert!(row.dsb.log2() >= log2_truth - 1e-6);
             assert!(row.log2_lp >= log2_truth - 1e-6);
             // DSB is O(M): within a small constant of M.
-            assert!(row.dsb.log2() <= log2_m + 2.0, "M={}: DSB {}", row.m, row.dsb);
+            assert!(
+                row.dsb.log2() <= log2_m + 2.0,
+                "M={}: DSB {}",
+                row.m,
+                row.dsb
+            );
             // The ℓp bound exponent approaches 10/9 (it cannot go below the
             // truth exponent 1 and is pinned near 10/9 by the worst-case
             // instance of Appendix C.3).

@@ -58,7 +58,13 @@ impl Row {
 
 /// Column headers of the E5 table.
 pub const HEADERS: [&str; 7] = [
-    "query", "M", "truth", "AGM/truth", "PANDA/truth", "ℓp/truth", "best eq.(21)",
+    "query",
+    "M",
+    "truth",
+    "AGM/truth",
+    "PANDA/truth",
+    "ℓp/truth",
+    "best eq.(21)",
 ];
 
 /// Run E5: one row per `p ∈ {2, 3, 4}` (cycle lengths 3–5).
@@ -84,8 +90,7 @@ pub fn run_one(p: u32, m: u64) -> Row {
     catalog.insert(rel);
     let q = JoinQuery::cycle(&vec!["E"; k]);
 
-    let stats =
-        collect_simple_statistics(&q, &catalog, &CollectConfig::with_max_norm(p)).unwrap();
+    let stats = collect_simple_statistics(&q, &catalog, &CollectConfig::with_max_norm(p)).unwrap();
     let lp = compute_bound(&q, &stats, Cone::Polymatroid).unwrap();
     let panda = compute_bound(
         &q,
@@ -136,11 +141,7 @@ mod tests {
             }
             // eq. (21) with q = p is the best of the closed forms, and the LP
             // (which sees all statistics) is at least as good as it.
-            let best = row
-                .log2_eq21
-                .iter()
-                .cloned()
-                .fold(f64::INFINITY, f64::min);
+            let best = row.log2_eq21.iter().cloned().fold(f64::INFINITY, f64::min);
             let with_q_p = *row.log2_eq21.last().unwrap();
             assert!(
                 (with_q_p - best).abs() < 1e-6,

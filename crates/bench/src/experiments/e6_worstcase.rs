@@ -57,11 +57,7 @@ pub const HEADERS: [&str; 5] = [
 /// Run E6.  `scale.graph_scale` controls the statistic magnitudes.
 pub fn run(scale: &Scale) -> Vec<Row> {
     let b = 6.0 + scale.graph_scale.min(8) as f64;
-    vec![
-        triangle_l2(b),
-        example_6_7(b),
-        single_join_mixed(b),
-    ]
+    vec![triangle_l2(b), example_6_7(b), single_join_mixed(b)]
 }
 
 fn evaluate(scenario: &str, query: &JoinQuery, stats: &StatisticsSet) -> Row {

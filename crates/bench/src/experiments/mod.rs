@@ -64,8 +64,8 @@ pub fn compare_bounds(
         cone,
     )
     .expect("panda bound");
-    let l2_only = compute_bound(query, &stats.filter_norms(|n| n == Norm::L2), cone)
-        .expect("l2 bound");
+    let l2_only =
+        compute_bound(query, &stats.filter_norms(|n| n == Norm::L2), cone).expect("l2 bound");
     let agm = agm_bound(query, catalog).expect("agm bound");
     let textbook = textbook_log2_estimate(query, catalog).expect("textbook estimate");
     let norms_used = ours.witness.norms_used(&stats, 1e-7);

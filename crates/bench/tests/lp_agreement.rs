@@ -1,0 +1,173 @@
+//! Regression tests for the sparse-solver/cached-skeleton bound path on the
+//! e1–e8 experiment query shapes.
+//!
+//! Three invariants per (query, statistics) pair:
+//!
+//! 1. the sparse revised solver and the dense tableau solver agree on the
+//!    `log₂` bound to `1e-6` (acceptance criterion of the sparse-solver PR);
+//! 2. a second solve through the globally cached Shannon skeleton (and the
+//!    `BatchEstimator`'s warm-started path) equals the from-scratch bound;
+//! 3. the witness stays a valid dual: `Σ wᵢ·bᵢ == log₂ bound`.
+
+use lpb_bench::experiments::e7_nonshannon;
+use lpb_core::{
+    collect_simple_statistics, compute_bound, compute_bound_with, BatchEstimator, BatchItem,
+    BoundOptions, CollectConfig, Cone, JoinQuery, StatisticsSet,
+};
+use lpb_data::Catalog;
+use lpb_datagen::{
+    alpha_beta_relation, graph_catalog, job_like_catalog, job_like_queries, AlphaBetaConfig,
+    JobLikeConfig, PowerLawGraphConfig,
+};
+use lpb_lp::SolverKind;
+
+fn graph() -> Catalog {
+    graph_catalog(&PowerLawGraphConfig {
+        nodes: 300,
+        edges: 1_500,
+        exponent: 1.6,
+        symmetric: true,
+        seed: 7,
+    })
+}
+
+/// The (query, statistics) pairs exercised by experiments e1–e8, at reduced
+/// scale: cyclic graph queries (e1/e2/e5/e8), the (α,β) single join (e4),
+/// acyclic JOB-like queries (e3), the worst-case constructions (e6) and the
+/// amplified non-Shannon gap instance (e7).
+fn experiment_cases() -> Vec<(String, JoinQuery, StatisticsSet)> {
+    let mut cases = Vec::new();
+    let graph = graph();
+
+    // e1/e2/e5/e8 shapes on the power-law graph.
+    let shapes: Vec<(&str, JoinQuery)> = vec![
+        ("e1_triangle", JoinQuery::triangle("E", "E", "E")),
+        ("e2_onejoin", JoinQuery::single_join("E", "E")),
+        ("e5_cycle4", JoinQuery::cycle(&["E"; 4])),
+        ("e5_cycle5", JoinQuery::cycle(&["E"; 5])),
+        ("e5_cycle6", JoinQuery::cycle(&["E"; 6])),
+        ("e8_path3", JoinQuery::path(&["E"; 3])),
+        ("e8_path5", JoinQuery::path(&["E"; 5])),
+    ];
+    for (name, q) in shapes {
+        let stats = collect_simple_statistics(&q, &graph, &CollectConfig::with_max_norm(4))
+            .expect("harvest");
+        cases.push((name.to_string(), q, stats));
+    }
+
+    // e4: the DSB-gap single join over an (α,β)-relation.
+    let mut ab = Catalog::new();
+    let cfg = AlphaBetaConfig {
+        m: 4_000,
+        alpha: 0.5,
+        beta: 0.5,
+    };
+    ab.insert(alpha_beta_relation("R", &cfg));
+    ab.insert(alpha_beta_relation("S", &cfg));
+    let q = JoinQuery::single_join("R", "S");
+    let stats =
+        collect_simple_statistics(&q, &ab, &CollectConfig::with_max_norm(8)).expect("harvest");
+    cases.push(("e4_dsb_gap".to_string(), q, stats));
+
+    // e3: a slice of the JOB-like acyclic suite.
+    let job = job_like_catalog(&JobLikeConfig {
+        movies: 300,
+        link_fanout: 2,
+        seed: 11,
+        ..JobLikeConfig::default()
+    });
+    for jq in job_like_queries().into_iter().take(6) {
+        let stats = collect_simple_statistics(&jq.query, &job, &CollectConfig::with_max_norm(3))
+            .expect("harvest");
+        cases.push((format!("e3_job{}", jq.id), jq.query, stats));
+    }
+
+    // e7: the 4-variable non-Shannon gap instance (non-simple statistics,
+    // exercising the polymatroid-only path), at two amplifications.
+    for k in [1.0, 3.0] {
+        let q = e7_nonshannon::gap_query();
+        let stats = e7_nonshannon::gap_statistics(&q, k);
+        cases.push((format!("e7_gap_k{k}"), q, stats));
+    }
+
+    cases
+}
+
+#[test]
+fn sparse_dense_and_cached_skeleton_agree_on_experiment_queries() {
+    let cases = experiment_cases();
+    assert!(cases.len() >= 14, "expected a broad case set");
+    for (name, query, stats) in &cases {
+        let cone = Cone::auto(query, stats);
+        let dense = compute_bound_with(
+            query,
+            stats,
+            cone,
+            &BoundOptions {
+                solver: SolverKind::Dense,
+                warm_start: None,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{name}: dense solve failed: {e}"));
+        // First sparse solve fills the skeleton cache; the second consumes it.
+        let sparse_options = BoundOptions {
+            solver: SolverKind::SparseRevised,
+            warm_start: None,
+        };
+        let sparse_scratch = compute_bound_with(query, stats, cone, &sparse_options)
+            .unwrap_or_else(|e| panic!("{name}: sparse solve failed: {e}"));
+        let sparse_cached = compute_bound_with(query, stats, cone, &sparse_options).unwrap();
+
+        assert_eq!(dense.status, sparse_scratch.status, "{name}: status");
+        assert!(
+            (dense.log2_bound - sparse_scratch.log2_bound).abs() <= 1e-6,
+            "{name}: dense {} vs sparse {}",
+            dense.log2_bound,
+            sparse_scratch.log2_bound
+        );
+        assert!(
+            (sparse_scratch.log2_bound - sparse_cached.log2_bound).abs() <= 1e-9,
+            "{name}: cached-skeleton bound drifted"
+        );
+
+        // Witness duality for both solvers.
+        for (solver, r) in [("dense", &dense), ("sparse", &sparse_scratch)] {
+            if !r.is_bounded() {
+                continue;
+            }
+            let dual: f64 = r
+                .witness
+                .weights
+                .iter()
+                .zip(stats.iter())
+                .map(|(w, s)| w * s.log_bound)
+                .sum();
+            assert!(
+                (dual - r.log2_bound).abs() <= 1e-5 * (1.0 + r.log2_bound.abs()),
+                "{name}/{solver}: witness gap: {} vs {}",
+                dual,
+                r.log2_bound
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_estimator_matches_single_estimates_on_experiment_queries() {
+    let cases = experiment_cases();
+    let items: Vec<BatchItem> = cases
+        .iter()
+        .map(|(_, q, s)| BatchItem::new(q.clone(), s.clone()))
+        .collect();
+    let batch = BatchEstimator::new().estimate(&items);
+    for ((name, query, stats), result) in cases.iter().zip(batch) {
+        let single = compute_bound(query, stats, Cone::auto(query, stats)).unwrap();
+        let got = result.unwrap_or_else(|e| panic!("{name}: batch failed: {e}"));
+        assert!(
+            (got.log2_bound - single.log2_bound).abs() <= 1e-6,
+            "{name}: batch {} vs single {}",
+            got.log2_bound,
+            single.log2_bound
+        );
+    }
+}

@@ -219,8 +219,7 @@ mod tests {
             direct.log2_bound,
             via_lp.log2_bound
         );
-        let richer =
-            collect_simple_statistics(&q, &catalog, &CollectConfig::agm_only()).unwrap();
+        let richer = collect_simple_statistics(&q, &catalog, &CollectConfig::agm_only()).unwrap();
         let tighter = compute_bound(&q, &agm_statistics(&richer), Cone::Polymatroid).unwrap();
         assert!(tighter.log2_bound <= via_lp.log2_bound + 1e-9);
     }

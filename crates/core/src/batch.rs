@@ -1,0 +1,289 @@
+//! Parallel batch evaluation of cardinality bounds.
+//!
+//! A query optimizer does not ask for one bound — it asks for bounds on
+//! *every candidate plan's* subqueries, often hundreds per optimization
+//! call. [`BatchEstimator`] evaluates many `(query, statistics)` pairs at
+//! once:
+//!
+//! * items are fanned out across cores with `rayon`'s parallel iterators;
+//! * all items share the globally cached Shannon skeletons of
+//!   [`crate::skeleton`], so the exponential row block for each variable
+//!   count is built at most once per process;
+//! * optionally ([`BatchEstimator::with_warm_start`]), the optimal basis of
+//!   each solved LP is published (per variable count, cone and statistic
+//!   count) as a warm start for subsequent same-shaped items.  Warm
+//!   starting is **off by default**: on the current basis-replay
+//!   implementation the measured cost of replaying the old basis matches
+//!   the cost of just re-solving (see `BENCH_lp.json`), so it is exposed
+//!   for experimentation, not as a default win — `ROADMAP.md` tracks the
+//!   dual-simplex follow-up that would change that.
+//!
+//! ```
+//! use lpb_core::{BatchEstimator, BatchItem, CollectConfig, JoinQuery};
+//! use lpb_core::{collect_simple_statistics, Catalog, RelationBuilder};
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.insert(RelationBuilder::binary_from_pairs(
+//!     "E", "src", "dst",
+//!     (0..40u64).map(|i| (i % 7, (i * 3 + 1) % 9)),
+//! ));
+//! let items: Vec<BatchItem> = ["R", "S", "T"]
+//!     .iter()
+//!     .map(|_| {
+//!         let query = JoinQuery::triangle("E", "E", "E");
+//!         let stats = collect_simple_statistics(
+//!             &query, &catalog, &CollectConfig::with_max_norm(3)).unwrap();
+//!         BatchItem::new(query, stats)
+//!     })
+//!     .collect();
+//! let results = BatchEstimator::new().estimate(&items);
+//! assert_eq!(results.len(), 3);
+//! for r in results {
+//!     assert!(r.unwrap().is_bounded());
+//! }
+//! ```
+
+use crate::bound_lp::{compute_bound_with, BoundOptions, BoundResult, Cone};
+use crate::error::CoreError;
+use crate::query::JoinQuery;
+use crate::statistics::StatisticsSet;
+use lpb_lp::SolverKind;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Warm-start cache key: `(variable count, cone name, statistic count)`.
+/// The statistic count matters because the polymatroid LP puts statistic
+/// rows first — a basis token recorded against a different count would
+/// replay columns into rows that mean different constraints.
+type LpShape = (usize, &'static str, usize);
+/// A warm-start token (see [`BoundResult::warm_basis`]).
+type WarmBasis = Vec<(usize, usize)>;
+
+/// One unit of work for [`BatchEstimator::estimate`].
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// The query whose output size is being bounded.
+    pub query: JoinQuery,
+    /// The statistics to bound it with.
+    pub stats: StatisticsSet,
+}
+
+impl BatchItem {
+    /// Bundle a query with its statistics.
+    pub fn new(query: JoinQuery, stats: StatisticsSet) -> Self {
+        BatchItem { query, stats }
+    }
+}
+
+/// Evaluates many bound computations in parallel with shared skeleton and
+/// warm-start caches; see the module docs for an example.
+#[derive(Debug, Clone)]
+pub struct BatchEstimator {
+    cone: Option<Cone>,
+    solver: SolverKind,
+    parallel: bool,
+    warm_start: bool,
+}
+
+impl Default for BatchEstimator {
+    fn default() -> Self {
+        BatchEstimator {
+            cone: None,
+            solver: SolverKind::default(),
+            parallel: true,
+            warm_start: false,
+        }
+    }
+}
+
+impl BatchEstimator {
+    /// An estimator with automatic cone selection, the sparse solver and
+    /// parallel execution (warm starting off; see
+    /// [`with_warm_start`](Self::with_warm_start)).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Force one cone for every item instead of [`Cone::auto`].
+    pub fn with_cone(mut self, cone: Cone) -> Self {
+        self.cone = Some(cone);
+        self
+    }
+
+    /// Use a specific LP solver (e.g. [`SolverKind::Dense`] to cross-check).
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Evaluate items on the calling thread only (for benchmarking the
+    /// parallel speedup, or inside an already-parallel caller).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Enable cross-item warm starting: publish each solved LP's basis per
+    /// shape and replay it into later same-shaped solves.  Results are
+    /// unchanged either way (a mismatched basis is rejected by the solver's
+    /// feasibility check); on the current replay implementation this is a
+    /// wash on throughput, so it is opt-in.
+    pub fn with_warm_start(mut self) -> Self {
+        self.warm_start = true;
+        self
+    }
+
+    /// Compute the bound for every item, in input order.
+    ///
+    /// Per-item failures (unguarded statistics, oversized queries,
+    /// inconsistent statistics) are reported positionally and do not abort
+    /// the rest of the batch.
+    pub fn estimate(&self, items: &[BatchItem]) -> Vec<Result<BoundResult, CoreError>> {
+        // Last known-good basis per LP shape (variable count + cone).
+        let warm_cache: Mutex<HashMap<LpShape, WarmBasis>> = Mutex::new(HashMap::new());
+        let run_one = |item: &BatchItem| -> Result<BoundResult, CoreError> {
+            let cone = self
+                .cone
+                .unwrap_or_else(|| Cone::auto(&item.query, &item.stats));
+            let shape = (item.query.n_vars(), cone.name(), item.stats.len());
+            let warm = if self.warm_start {
+                warm_cache
+                    .lock()
+                    .expect("warm-start cache poisoned")
+                    .get(&shape)
+                    .cloned()
+            } else {
+                None
+            };
+            let options = BoundOptions {
+                solver: self.solver,
+                warm_start: warm,
+            };
+            let result = compute_bound_with(&item.query, &item.stats, cone, &options)?;
+            if self.warm_start && !result.warm_basis.is_empty() {
+                warm_cache
+                    .lock()
+                    .expect("warm-start cache poisoned")
+                    .insert(shape, result.warm_basis.clone());
+            }
+            Ok(result)
+        };
+        if self.parallel && items.len() > 1 {
+            items.par_iter().map(run_one).collect()
+        } else {
+            items.iter().map(run_one).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{collect_simple_statistics, CollectConfig};
+    use crate::compute_bound;
+    use lpb_data::{Catalog, RelationBuilder};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.insert(RelationBuilder::binary_from_pairs(
+            "E",
+            "src",
+            "dst",
+            (0..200u64).map(|i| (i % 17, (i * 7 + 3) % 23)),
+        ));
+        c
+    }
+
+    fn items() -> Vec<BatchItem> {
+        let catalog = catalog();
+        let mut out = Vec::new();
+        for len in [2usize, 3, 4] {
+            let query = JoinQuery::path(&vec!["E"; len]);
+            let stats =
+                collect_simple_statistics(&query, &catalog, &CollectConfig::with_max_norm(3))
+                    .unwrap();
+            out.push(BatchItem::new(query, stats));
+        }
+        // Repeat the shapes so warm starting has something to reuse.
+        let again = out.clone();
+        out.extend(again);
+        out
+    }
+
+    #[test]
+    fn batch_matches_one_at_a_time() {
+        let items = items();
+        let batch = BatchEstimator::new().estimate(&items);
+        assert_eq!(batch.len(), items.len());
+        for (item, result) in items.iter().zip(&batch) {
+            let single = compute_bound(
+                &item.query,
+                &item.stats,
+                Cone::auto(&item.query, &item.stats),
+            )
+            .unwrap();
+            let got = result.as_ref().unwrap();
+            assert!(
+                (got.log2_bound - single.log2_bound).abs() < 1e-6,
+                "{}: batch {} vs single {}",
+                item.query.name(),
+                got.log2_bound,
+                single.log2_bound
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_parallel_warm_and_dense_all_agree() {
+        let items = items();
+        let parallel = BatchEstimator::new().estimate(&items);
+        let sequential = BatchEstimator::new().sequential().estimate(&items);
+        let warm = BatchEstimator::new().with_warm_start().estimate(&items);
+        let dense = BatchEstimator::new()
+            .with_solver(SolverKind::Dense)
+            .estimate(&items);
+        for (((p, s), c), d) in parallel.iter().zip(&sequential).zip(&warm).zip(&dense) {
+            let (p, s, c, d) = (
+                p.as_ref().unwrap(),
+                s.as_ref().unwrap(),
+                c.as_ref().unwrap(),
+                d.as_ref().unwrap(),
+            );
+            assert!((p.log2_bound - s.log2_bound).abs() < 1e-6);
+            assert!((p.log2_bound - c.log2_bound).abs() < 1e-6);
+            assert!((p.log2_bound - d.log2_bound).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn per_item_errors_are_positional() {
+        let catalog = catalog();
+        let good_query = JoinQuery::path(&["E", "E"]);
+        let good_stats =
+            collect_simple_statistics(&good_query, &catalog, &CollectConfig::with_max_norm(2))
+                .unwrap();
+        // A wide query that exceeds the polymatroid limit.
+        let atoms: Vec<crate::query::Atom> = (0..12)
+            .map(|i| {
+                crate::query::Atom::new(
+                    format!("R{i}"),
+                    &[format!("A{i}").as_str(), format!("A{}", i + 1).as_str()],
+                )
+            })
+            .collect();
+        let wide = JoinQuery::new("wide", atoms).unwrap();
+        let items = vec![
+            BatchItem::new(good_query, good_stats),
+            BatchItem::new(wide, StatisticsSet::new()),
+        ];
+        let results = BatchEstimator::new()
+            .with_cone(Cone::Polymatroid)
+            .estimate(&items);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(CoreError::TooManyVariables { .. })
+        ));
+    }
+}

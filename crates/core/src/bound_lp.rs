@@ -3,12 +3,11 @@
 
 use crate::error::CoreError;
 use crate::query::JoinQuery;
+use crate::skeleton::BoundLpSkeleton;
 use crate::statistics::StatisticsSet;
 use lpb_data::Norm;
-use lpb_entropy::shannon::elemental_inequalities;
 use lpb_entropy::{step_conditional, step_value, VarSet};
-use lpb_lp::{Problem, Sense, Status};
-use std::collections::HashMap;
+use lpb_lp::{Problem, Sense, SolverKind, SolverOptions, Status};
 
 /// Maximum number of query variables supported by the polymatroid (Γₙ) cone:
 /// the LP has `2^n − 1` variables and `n + C(n,2)·2^{n−2}` Shannon rows, so
@@ -18,6 +17,20 @@ pub const POLYMATROID_VAR_LIMIT: usize = 10;
 /// Maximum number of query variables supported by the normal (Nₙ) cone: the
 /// LP has `2^n − 1` columns but only one row per statistic.
 pub const NORMAL_VAR_LIMIT: usize = 18;
+
+/// Largest variable count at which [`Cone::auto`] still prefers the
+/// polymatroid cone when the normal cone would give the same bound (i.e.
+/// when every statistic is simple, Theorem 6.1).  Up to this size the
+/// polymatroid LP is cheap and its primal solution (the full entropy
+/// vector) is the more useful artifact; beyond it the Shannon row block
+/// grows as `C(n,2)·2^{n−2}` and the normal cone is two orders of magnitude
+/// faster for an identical bound, so `auto` switches over.  Non-simple
+/// statistics have no such choice — only the polymatroid cone is sound —
+/// and remain on it up to [`POLYMATROID_VAR_LIMIT`].
+pub const POLYMATROID_AUTO_PREFERRED: usize = 8;
+
+// The crossover must never point `auto` at a cone the engine refuses.
+const _: () = assert!(POLYMATROID_AUTO_PREFERRED <= POLYMATROID_VAR_LIMIT);
 
 /// The cone of entropy-like vectors over which `Log-L-Bound` is computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,11 +60,18 @@ impl Cone {
 
     /// Pick a cone automatically.  Non-simple statistics require the
     /// polymatroid cone.  For simple statistics the normal cone gives the
-    /// same bound (Theorem 6.1) with an LP that has one row per statistic
-    /// instead of exponentially many Shannon rows, so it is preferred as soon
-    /// as the polymatroid LP would become large.
+    /// same bound (Theorem 6.1) with one LP row per statistic instead of
+    /// exponentially many Shannon rows, so `auto` switches to it above
+    /// [`POLYMATROID_AUTO_PREFERRED`] variables — the documented cost
+    /// crossover (historically a hard-coded `8`), compile-time-checked to
+    /// stay within [`POLYMATROID_VAR_LIMIT`].
+    ///
+    /// Queries beyond *both* cones' limits — non-simple statistics above
+    /// [`POLYMATROID_VAR_LIMIT`], or any statistics above
+    /// [`NORMAL_VAR_LIMIT`] — still fail in [`compute_bound`] with
+    /// [`CoreError::TooManyVariables`]; no cone choice can rescue those.
     pub fn auto(query: &JoinQuery, stats: &StatisticsSet) -> Cone {
-        if !stats.is_simple() || query.n_vars() <= 8 {
+        if !stats.is_simple() || query.n_vars() <= POLYMATROID_AUTO_PREFERRED {
             Cone::Polymatroid
         } else {
             Cone::Normal
@@ -121,6 +141,14 @@ pub struct BoundResult {
     /// the per-variable weights.  Empty when the LP is unbounded.  Used by
     /// [`crate::worst_case`] to build worst-case databases (§6).
     pub primal: Vec<f64>,
+    /// Opaque warm-start token: the structural LP columns that were basic at
+    /// the optimum.  Feed it to [`BoundOptions::warm_start`] when estimating
+    /// another query of the same shape (same variable count, cone and
+    /// statistic count).  Results are identical with or without it; on the
+    /// current basis-replay implementation it is also a throughput wash
+    /// (see `BENCH_lp.json`), so treat it as an experimentation hook rather
+    /// than a guaranteed speedup.  Empty when the LP was unbounded.
+    pub warm_basis: Vec<(usize, usize)>,
 }
 
 impl BoundResult {
@@ -132,6 +160,27 @@ impl BoundResult {
     /// True when the bound is finite.
     pub fn is_bounded(&self) -> bool {
         self.status == BoundStatus::Bounded
+    }
+}
+
+/// Per-call knobs for [`compute_bound_with`].
+#[derive(Debug, Clone, Default)]
+pub struct BoundOptions {
+    /// LP solver implementation (sparse revised simplex by default; the
+    /// dense tableau remains available for cross-checking).
+    pub solver: SolverKind,
+    /// Warm-start token from a previous [`BoundResult::warm_basis`] of a
+    /// same-shaped estimate; only the sparse solver uses it.
+    pub warm_start: Option<Vec<(usize, usize)>>,
+}
+
+impl BoundOptions {
+    fn solver_options(&self) -> SolverOptions {
+        SolverOptions {
+            solver: self.solver,
+            warm_start: self.warm_start.clone(),
+            ..SolverOptions::default()
+        }
     }
 }
 
@@ -147,6 +196,17 @@ pub fn compute_bound(
     stats: &StatisticsSet,
     cone: Cone,
 ) -> Result<BoundResult, CoreError> {
+    compute_bound_with(query, stats, cone, &BoundOptions::default())
+}
+
+/// [`compute_bound`] with explicit solver options (solver selection and
+/// warm starting); see [`BoundOptions`].
+pub fn compute_bound_with(
+    query: &JoinQuery,
+    stats: &StatisticsSet,
+    cone: Cone,
+    options: &BoundOptions,
+) -> Result<BoundResult, CoreError> {
     validate_guards(query, stats)?;
     let n = query.n_vars();
     match cone {
@@ -158,7 +218,7 @@ pub fn compute_bound(
                     cone: "polymatroid",
                 });
             }
-            solve_polymatroid(n, stats, cone)
+            solve_polymatroid(n, stats, cone, options)
         }
         Cone::Normal => {
             if n > NORMAL_VAR_LIMIT {
@@ -168,9 +228,9 @@ pub fn compute_bound(
                     cone: "normal",
                 });
             }
-            solve_normal(n, stats, cone)
+            solve_normal(n, stats, cone, options)
         }
-        Cone::Modular => solve_modular(n, stats, cone),
+        Cone::Modular => solve_modular(n, stats, cone, options),
     }
 }
 
@@ -194,46 +254,30 @@ fn validate_guards(query: &JoinQuery, stats: &StatisticsSet) -> Result<(), CoreE
 
 /// LP over the polymatroid cone: one variable per non-empty subset of the
 /// query variables, elemental Shannon inequalities as rows.
-fn solve_polymatroid(n: usize, stats: &StatisticsSet, cone: Cone) -> Result<BoundResult, CoreError> {
-    let n_subsets = (1usize << n) - 1;
-    let var_of = |s: VarSet| -> usize { s.index() - 1 };
-    let full = VarSet::full(n);
-
-    let mut p = Problem::maximize(n_subsets);
-    p.set_objective(var_of(full), 1.0);
-
-    // Statistic rows first so their duals are the witness weights:
-    //   (1/p)·h(U) + h(U∪V) − h(U) ≤ b.
-    for s in stats.iter() {
-        let u = s.stat.conditional.u;
-        let v = s.stat.conditional.v;
-        let uv = u.union(v);
-        let mut coeffs: HashMap<usize, f64> = HashMap::new();
-        *coeffs.entry(var_of(uv)).or_insert(0.0) += 1.0;
-        if !u.is_empty() {
-            *coeffs.entry(var_of(u)).or_insert(0.0) += s.stat.norm.reciprocal() - 1.0;
-        }
-        let sparse: Vec<(usize, f64)> = coeffs.into_iter().filter(|&(_, c)| c != 0.0).collect();
-        p.add_constraint(&sparse, Sense::Le, s.log_bound);
-    }
-
-    // Shannon rows, written as `−(elemental form) ≤ 0` so the origin stays a
-    // feasible slack basis (no artificial variables, no phase 1).
-    for ineq in elemental_inequalities(n) {
-        let coeffs: Vec<(usize, f64)> = ineq
-            .terms
-            .iter()
-            .map(|&(set, c)| (var_of(set), -c))
-            .collect();
-        p.add_constraint(&coeffs, Sense::Le, 0.0);
-    }
-
-    finish(p, stats, cone)
+///
+/// The statistic rows come first so their duals are the witness weights; the
+/// Shannon block (written as `−(elemental form) ≤ 0` so the origin stays a
+/// feasible slack basis) is appended from the per-`n` cache maintained by
+/// [`crate::skeleton`].
+fn solve_polymatroid(
+    n: usize,
+    stats: &StatisticsSet,
+    cone: Cone,
+    options: &BoundOptions,
+) -> Result<BoundResult, CoreError> {
+    let skeleton = BoundLpSkeleton::polymatroid(n)?;
+    let p = skeleton.instantiate(stats);
+    finish(p, stats, cone, options)
 }
 
 /// LP over the normal cone: one variable `α_W ≥ 0` per non-empty `W`, one row
 /// per statistic; `h(full) = Σ_W α_W`.
-fn solve_normal(n: usize, stats: &StatisticsSet, cone: Cone) -> Result<BoundResult, CoreError> {
+fn solve_normal(
+    n: usize,
+    stats: &StatisticsSet,
+    cone: Cone,
+    options: &BoundOptions,
+) -> Result<BoundResult, CoreError> {
     let n_subsets = (1usize << n) - 1;
     let var_of = |s: VarSet| -> usize { s.index() - 1 };
 
@@ -258,13 +302,18 @@ fn solve_normal(n: usize, stats: &StatisticsSet, cone: Cone) -> Result<BoundResu
         p.add_constraint(&coeffs, Sense::Le, s.log_bound);
     }
 
-    finish(p, stats, cone)
+    finish(p, stats, cone, options)
 }
 
 /// LP over the modular cone: one variable `c_i ≥ 0` per query variable, one
 /// row per statistic; `h(full) = Σ_i c_i`.  This is the (dual of the) LP of
 /// Jayaraman et al. (Appendix B) and is not sound in general.
-fn solve_modular(n: usize, stats: &StatisticsSet, cone: Cone) -> Result<BoundResult, CoreError> {
+fn solve_modular(
+    n: usize,
+    stats: &StatisticsSet,
+    cone: Cone,
+    options: &BoundOptions,
+) -> Result<BoundResult, CoreError> {
     let mut p = Problem::maximize(n);
     for i in 0..n {
         p.set_objective(i, 1.0);
@@ -288,11 +337,16 @@ fn solve_modular(n: usize, stats: &StatisticsSet, cone: Cone) -> Result<BoundRes
         }
         p.add_constraint(&coeffs, Sense::Le, s.log_bound);
     }
-    finish(p, stats, cone)
+    finish(p, stats, cone, options)
 }
 
-fn finish(p: Problem, stats: &StatisticsSet, cone: Cone) -> Result<BoundResult, CoreError> {
-    let sol = p.solve()?;
+fn finish(
+    p: Problem,
+    stats: &StatisticsSet,
+    cone: Cone,
+    options: &BoundOptions,
+) -> Result<BoundResult, CoreError> {
+    let sol = p.solve_with(&options.solver_options())?;
     match sol.status {
         Status::Optimal => {
             let weights: Vec<f64> = (0..stats.len())
@@ -304,6 +358,7 @@ fn finish(p: Problem, stats: &StatisticsSet, cone: Cone) -> Result<BoundResult, 
                 cone,
                 witness: Witness { weights },
                 primal: sol.x,
+                warm_basis: sol.basis,
             })
         }
         Status::Unbounded => Ok(BoundResult {
@@ -314,6 +369,7 @@ fn finish(p: Problem, stats: &StatisticsSet, cone: Cone) -> Result<BoundResult, 
                 weights: vec![0.0; stats.len()],
             },
             primal: Vec::new(),
+            warm_basis: Vec::new(),
         }),
         Status::Infeasible => Err(CoreError::InconsistentStatistics),
     }
@@ -374,7 +430,11 @@ mod tests {
         }
         for cone in [Cone::Polymatroid, Cone::Normal] {
             let r = compute_bound(&q, &stats, cone).unwrap();
-            assert!(close(r.log2_bound, 2.0 * b), "{cone:?}: got {}", r.log2_bound);
+            assert!(
+                close(r.log2_bound, 2.0 * b),
+                "{cone:?}: got {}",
+                r.log2_bound
+            );
             assert_eq!(r.witness.norms_used(&stats, 1e-9), vec![Norm::L2]);
             assert!(close(
                 r.witness.weights.iter().map(|w| w * b).sum::<f64>(),
@@ -476,7 +536,11 @@ mod tests {
         ));
         let modular = compute_bound(&q, &stats, Cone::Modular).unwrap();
         let poly = compute_bound(&q, &stats, Cone::Polymatroid).unwrap();
-        assert!(close(modular.log2_bound, 2.0 / 3.0 * logn), "got {}", modular.log2_bound);
+        assert!(
+            close(modular.log2_bound, 2.0 / 3.0 * logn),
+            "got {}",
+            modular.log2_bound
+        );
         assert!(close(poly.log2_bound, logn), "got {}", poly.log2_bound);
         assert!(modular.log2_bound < poly.log2_bound);
     }
@@ -515,7 +579,12 @@ mod tests {
         assert!(stats.is_simple());
         let a = compute_bound(&q, &stats, Cone::Polymatroid).unwrap();
         let b = compute_bound(&q, &stats, Cone::Normal).unwrap();
-        assert!(close(a.log2_bound, b.log2_bound), "{} vs {}", a.log2_bound, b.log2_bound);
+        assert!(
+            close(a.log2_bound, b.log2_bound),
+            "{} vs {}",
+            a.log2_bound,
+            b.log2_bound
+        );
     }
 
     /// Guard validation rejects statistics not covered by their atom, and the

@@ -73,13 +73,7 @@ pub fn single_join_pq(p: f64, q: f64, log_deg_r_p: f64, log_deg_s_q: f64, log_s:
 /// distinct join values `M = min(|Π_Y(R)|, |Π_Y(S)|)`, valid for
 /// `1/p + 1/q ≤ 1`:
 /// `|Q| ≤ ‖deg_R(X|Y)‖_p · ‖deg_S(Z|Y)‖_q · M^{1 − 1/p − 1/q}`.
-pub fn single_join_holder(
-    p: f64,
-    q: f64,
-    log_deg_r_p: f64,
-    log_deg_s_q: f64,
-    log_m: f64,
-) -> f64 {
+pub fn single_join_holder(p: f64, q: f64, log_deg_r_p: f64, log_deg_s_q: f64, log_m: f64) -> f64 {
     assert!(
         1.0 / p + 1.0 / q <= 1.0 + 1e-12,
         "eq. (48) requires 1/p + 1/q ≤ 1 (got p={p}, q={q})"
@@ -321,7 +315,12 @@ mod tests {
         }
         let lp = compute_bound(&q, &stats, Cone::Polymatroid).unwrap();
         let formula = cycle_lq(3.0, &[c; 4]);
-        assert!(close(lp.log2_bound, formula), "LP {} vs formula {}", lp.log2_bound, formula);
+        assert!(
+            close(lp.log2_bound, formula),
+            "LP {} vs formula {}",
+            lp.log2_bound,
+            formula
+        );
     }
 
     #[test]
@@ -375,7 +374,10 @@ mod tests {
         let (da2, b, dc2, d) = (6.0, 15.0, 7.0, 14.0);
         let mut stats = StatisticsSet::new();
         stats.push(ConcreteStatistic::new(
-            Conditional::new(reg.set_of(&["Y", "Z"]).unwrap(), reg.set_of(&["X"]).unwrap()),
+            Conditional::new(
+                reg.set_of(&["Y", "Z"]).unwrap(),
+                reg.set_of(&["X"]).unwrap(),
+            ),
             Norm::L2,
             0,
             da2,
@@ -387,7 +389,10 @@ mod tests {
             b,
         ));
         stats.push(ConcreteStatistic::new(
-            Conditional::new(reg.set_of(&["W", "X"]).unwrap(), reg.set_of(&["Z"]).unwrap()),
+            Conditional::new(
+                reg.set_of(&["W", "X"]).unwrap(),
+                reg.set_of(&["Z"]).unwrap(),
+            ),
             Norm::L2,
             2,
             dc2,

@@ -193,7 +193,14 @@ mod tests {
             "S",
             "b",
             "c",
-            vec![(10, 100), (10, 101), (20, 100), (30, 100), (30, 102), (30, 103)],
+            vec![
+                (10, 100),
+                (10, 101),
+                (20, 100),
+                (30, 100),
+                (30, 102),
+                (30, 103),
+            ],
         );
         catalog.insert(r);
         catalog.insert(s);
@@ -237,7 +244,11 @@ mod tests {
                     && s.stat.conditional.all_vars() == reg.set_of(&["X", "Y"]).unwrap()
             })
             .expect("R cardinality statistic present");
-        assert!((r_card.bound() - 5.0).abs() < 1e-9, "got {}", r_card.bound());
+        assert!(
+            (r_card.bound() - 5.0).abs() < 1e-9,
+            "got {}",
+            r_card.bound()
+        );
         let s_card = stats
             .iter()
             .find(|s| {
@@ -291,7 +302,11 @@ mod tests {
         // The true join size: count matching pairs on b.
         // R.b: 10×3, 20×1, 30×1; S.b: 10×2, 20×1, 30×3 → 3·2 + 1·1 + 1·3 = 10.
         assert!(bound.is_bounded());
-        assert!(bound.bound() >= 10.0 - 1e-6, "bound {} too small", bound.bound());
+        assert!(
+            bound.bound() >= 10.0 - 1e-6,
+            "bound {} too small",
+            bound.bound()
+        );
         // ...and it is not absurdly loose: the DSB for this instance is 10,
         // the ℓ2 bound is √11·√14 ≈ 12.4, so anything below |R|·|S| = 30 is
         // acceptable here and the LP optimum should be ≤ the ℓ2 bound.

@@ -115,9 +115,17 @@ fn degree_on(
         });
     }
     let u_pos = query.atom_positions_of(j, shared);
-    let v_pos: Vec<usize> = (0..atom.vars.len()).filter(|p| !u_pos.contains(p)).collect();
-    let u_names: Vec<String> = u_pos.iter().map(|&p| rel.schema().name(p).to_string()).collect();
-    let v_names: Vec<String> = v_pos.iter().map(|&p| rel.schema().name(p).to_string()).collect();
+    let v_pos: Vec<usize> = (0..atom.vars.len())
+        .filter(|p| !u_pos.contains(p))
+        .collect();
+    let u_names: Vec<String> = u_pos
+        .iter()
+        .map(|&p| rel.schema().name(p).to_string())
+        .collect();
+    let v_names: Vec<String> = v_pos
+        .iter()
+        .map(|&p| rel.schema().name(p).to_string())
+        .collect();
     let u_refs: Vec<&str> = u_names.iter().map(String::as_str).collect();
     let v_refs: Vec<&str> = v_names.iter().map(String::as_str).collect();
     Ok(rel.degree_sequence(&v_refs, &u_refs)?)
@@ -148,7 +156,10 @@ mod tests {
         let b = DegreeSequence::from_counts(vec![7, 7, 2, 2, 1]);
         let dsb = dsb_pairwise(&a, &b);
         let l2 = a.lp_norm(lpb_data::Norm::L2) * b.lp_norm(lpb_data::Norm::L2);
-        assert!(dsb <= l2 + 1e-9, "DSB {dsb} should not exceed the ℓ2 bound {l2}");
+        assert!(
+            dsb <= l2 + 1e-9,
+            "DSB {dsb} should not exceed the ℓ2 bound {l2}"
+        );
     }
 
     /// On the single join the DSB is an upper bound on the true output and is
@@ -157,11 +168,15 @@ mod tests {
     fn single_join_on_data() {
         let mut catalog = Catalog::new();
         // R: y-degrees 3, 2, 1 (y = 0, 1, 2); S: y-degrees 4, 2, 1.
-        let r_pairs: Vec<(u64, u64)> = vec![
-            (1, 0), (2, 0), (3, 0), (4, 1), (5, 1), (6, 2),
-        ];
+        let r_pairs: Vec<(u64, u64)> = vec![(1, 0), (2, 0), (3, 0), (4, 1), (5, 1), (6, 2)];
         let s_pairs: Vec<(u64, u64)> = vec![
-            (0, 10), (0, 11), (0, 12), (0, 13), (1, 10), (1, 11), (2, 10),
+            (0, 10),
+            (0, 11),
+            (0, 12),
+            (0, 13),
+            (1, 10),
+            (1, 11),
+            (2, 10),
         ];
         catalog.insert(RelationBuilder::binary_from_pairs("R", "x", "y", r_pairs));
         catalog.insert(RelationBuilder::binary_from_pairs("S", "y", "z", s_pairs));
@@ -203,7 +218,12 @@ mod tests {
     #[test]
     fn non_path_queries_are_rejected() {
         let mut catalog = Catalog::new();
-        catalog.insert(RelationBuilder::binary_from_pairs("R", "a", "b", vec![(1, 2)]));
+        catalog.insert(RelationBuilder::binary_from_pairs(
+            "R",
+            "a",
+            "b",
+            vec![(1, 2)],
+        ));
         let q = JoinQuery::triangle("R", "R", "R");
         // Triangle: consecutive atoms share one var, but is still handled as
         // a path prefix; the last atom shares two vars with the others? No —

@@ -100,13 +100,23 @@ mod tests {
         assert!(e.to_string().contains("R"));
         let e: CoreError = LpError::EmptyProblem.into();
         assert!(e.to_string().contains("LP"));
-        let e = CoreError::TooManyVariables { n_vars: 20, limit: 10, cone: "polymatroid" };
+        let e = CoreError::TooManyVariables {
+            n_vars: 20,
+            limit: 10,
+            cone: "polymatroid",
+        };
         assert!(e.to_string().contains("20") && e.to_string().contains("10"));
-        let e = CoreError::UnguardedStatistic { conditional: "(Y | X)".into() };
+        let e = CoreError::UnguardedStatistic {
+            conditional: "(Y | X)".into(),
+        };
         assert!(e.to_string().contains("(Y | X)"));
-        let e = CoreError::InvalidQuery { reason: "no atoms".into() };
+        let e = CoreError::InvalidQuery {
+            reason: "no atoms".into(),
+        };
         assert!(e.to_string().contains("no atoms"));
-        assert!(CoreError::InconsistentStatistics.to_string().contains("inconsistent"));
+        assert!(CoreError::InconsistentStatistics
+            .to_string()
+            .contains("inconsistent"));
         let e = CoreError::AtomArityMismatch {
             relation: "S".into(),
             atom_arity: 2,

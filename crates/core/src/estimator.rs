@@ -60,8 +60,14 @@ impl LpNormEstimator {
         &self,
         query: &JoinQuery,
         catalog: &Catalog,
-    ) -> Result<(crate::bound_lp::BoundResult, crate::statistics::StatisticsSet, Vec<Norm>), CoreError>
-    {
+    ) -> Result<
+        (
+            crate::bound_lp::BoundResult,
+            crate::statistics::StatisticsSet,
+            Vec<Norm>,
+        ),
+        CoreError,
+    > {
         let stats = collect_simple_statistics(query, catalog, &self.config)?;
         let cone = self.cone.unwrap_or_else(|| Cone::auto(query, &stats));
         let result = compute_bound(query, &stats, cone)?;
@@ -250,15 +256,23 @@ mod tests {
         let truth = 6.0 * 50.0 * 50.0;
         let agm = AgmEstimator.estimate(&q, &catalog).unwrap();
         let panda = PandaEstimator.estimate(&q, &catalog).unwrap();
-        let lp = LpNormEstimator::with_max_norm(6).estimate(&q, &catalog).unwrap();
+        let lp = LpNormEstimator::with_max_norm(6)
+            .estimate(&q, &catalog)
+            .unwrap();
         let dsb = DsbEstimator.estimate(&q, &catalog).unwrap();
         for (name, bound) in [("agm", agm), ("panda", panda), ("lp", lp), ("dsb", dsb)] {
-            assert!(bound >= truth - 1e-3, "{name} bound {bound} below truth {truth}");
+            assert!(
+                bound >= truth - 1e-3,
+                "{name} bound {bound} below truth {truth}"
+            );
         }
         assert!(lp <= panda + 1e-6);
         assert!(panda <= agm + 1e-6);
         // The ℓ2 bound on this symmetric instance is exactly the truth.
-        assert!(lp <= truth * 1.2, "lp bound {lp} should be close to {truth}");
+        assert!(
+            lp <= truth * 1.2,
+            "lp bound {lp} should be close to {truth}"
+        );
     }
 
     #[test]
@@ -266,8 +280,13 @@ mod tests {
         let catalog = skewed_catalog();
         let q = JoinQuery::triangle("R", "S", "R");
         let lp = LpNormEstimator::with_max_norm(4);
-        let estimators: Vec<&dyn Estimator> =
-            vec![&AgmEstimator, &PandaEstimator, &lp, &TextbookEstimator, &DsbEstimator];
+        let estimators: Vec<&dyn Estimator> = vec![
+            &AgmEstimator,
+            &PandaEstimator,
+            &lp,
+            &TextbookEstimator,
+            &DsbEstimator,
+        ];
         let rows = compare_all(&q, &catalog, &estimators, Some(1000.0));
         // The DSB row is skipped (triangle is not a path with unique shared
         // vars at the wrap-around), all others present.

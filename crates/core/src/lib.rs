@@ -34,11 +34,19 @@
 //!   database construction of §6 (Lemma 6.2, Corollary 6.3, Example 6.7).
 //! * [`newton`] — the norms ↔ degree-sequence bijection of Appendix A.
 //! * [`estimator`] — a small trait unifying all estimators for experiments.
+//! * [`skeleton`] — cached polymatroid LP skeletons: the Shannon elemental
+//!   block is built once per variable count and shared process-wide, so
+//!   repeated estimates only fill in `O(#stats)` rows.
+//! * [`batch`] — [`BatchEstimator`], the parallel batch bound engine:
+//!   many `(query, statistics)` pairs at once, fanned out across cores and
+//!   sharing skeletons, with opt-in per-shape warm starting of the sparse
+//!   simplex.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod agm;
+pub mod batch;
 mod bound_lp;
 pub mod closed_form;
 mod collect;
@@ -48,14 +56,20 @@ pub mod estimator;
 pub mod newton;
 pub mod panda;
 mod query;
+pub mod skeleton;
 mod statistics;
 pub mod traditional;
 pub mod worst_case;
 
-pub use bound_lp::{compute_bound, BoundResult, BoundStatus, Cone, Witness};
+pub use batch::{BatchEstimator, BatchItem};
+pub use bound_lp::{
+    compute_bound, compute_bound_with, BoundOptions, BoundResult, BoundStatus, Cone, Witness,
+    NORMAL_VAR_LIMIT, POLYMATROID_AUTO_PREFERRED, POLYMATROID_VAR_LIMIT,
+};
 pub use collect::{collect_simple_statistics, CollectConfig};
 pub use error::CoreError;
 pub use query::{Atom, JoinQuery};
+pub use skeleton::BoundLpSkeleton;
 pub use statistics::{AbstractStatistic, ConcreteStatistic, StatisticsSet};
 
 // Flat re-exports of the most commonly used baseline and construction entry

@@ -192,7 +192,11 @@ mod tests {
         for (i, &s) in ps.iter().enumerate() {
             let p = (i + 1) as f64;
             let norm = ds.lp_norm(Norm::finite(p));
-            assert!(close(s, norm.powf(p), 1e-9), "p={p}: {s} vs {}", norm.powf(p));
+            assert!(
+                close(s, norm.powf(p), 1e-9),
+                "p={p}: {s} vs {}",
+                norm.powf(p)
+            );
         }
     }
 

@@ -139,7 +139,12 @@ mod tests {
         let q = JoinQuery::single_join("R", "S");
         let reg = q.registry();
         let mut stats = StatisticsSet::new();
-        for (norm, b) in [(Norm::L1, 5.0), (Norm::L2, 3.0), (Norm::Finite(7.0), 2.0), (Norm::Infinity, 1.0)] {
+        for (norm, b) in [
+            (Norm::L1, 5.0),
+            (Norm::L2, 3.0),
+            (Norm::Finite(7.0), 2.0),
+            (Norm::Infinity, 1.0),
+        ] {
             stats.push(ConcreteStatistic::new(
                 Conditional::new(reg.set_of(&["X"]).unwrap(), reg.set_of(&["Y"]).unwrap()),
                 norm,

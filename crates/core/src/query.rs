@@ -103,7 +103,13 @@ impl JoinQuery {
     /// The variable set of atom `j`.
     pub fn atom_vars(&self, j: usize) -> VarSet {
         self.registry
-            .set_of(&self.atoms[j].vars.iter().map(String::as_str).collect::<Vec<_>>())
+            .set_of(
+                &self.atoms[j]
+                    .vars
+                    .iter()
+                    .map(String::as_str)
+                    .collect::<Vec<_>>(),
+            )
             .expect("atom variables are registered at construction")
     }
 
@@ -174,7 +180,13 @@ impl JoinQuery {
             .iter()
             .enumerate()
             .map(|(i, r)| {
-                Atom::new(*r, &[format!("X{}", i + 1).as_str(), format!("X{}", i + 2).as_str()])
+                Atom::new(
+                    *r,
+                    &[
+                        format!("X{}", i + 1).as_str(),
+                        format!("X{}", i + 2).as_str(),
+                    ],
+                )
             })
             .collect();
         JoinQuery::new(format!("path-{}", relations.len()), atoms)
@@ -250,17 +262,11 @@ mod tests {
     fn guards_are_atoms_covering_the_conditional() {
         let q = JoinQuery::triangle("R", "S", "T");
         let reg = q.registry();
-        let c = Conditional::new(
-            reg.set_of(&["Y"]).unwrap(),
-            reg.set_of(&["X"]).unwrap(),
-        );
+        let c = Conditional::new(reg.set_of(&["Y"]).unwrap(), reg.set_of(&["X"]).unwrap());
         assert_eq!(q.guards(&c), vec![0]); // only R(X,Y)
         let c = Conditional::new(reg.set_of(&["Z"]).unwrap(), reg.set_of(&["Y"]).unwrap());
         assert_eq!(q.guards(&c), vec![1]); // only S(Y,Z)
-        let c = Conditional::new(
-            reg.set_of(&["X", "Y", "Z"]).unwrap(),
-            VarSet::EMPTY,
-        );
+        let c = Conditional::new(reg.set_of(&["X", "Y", "Z"]).unwrap(), VarSet::EMPTY);
         assert!(q.guards(&c).is_empty()); // no atom covers all three
     }
 
@@ -302,8 +308,6 @@ mod tests {
     fn malformed_queries_are_rejected() {
         assert!(JoinQuery::new("empty", vec![]).is_err());
         assert!(JoinQuery::new("novars", vec![Atom::new("R", &[])]).is_err());
-        assert!(
-            JoinQuery::new("dup", vec![Atom::new("R", &["X", "X"])]).is_err()
-        );
+        assert!(JoinQuery::new("dup", vec![Atom::new("R", &["X", "X"])]).is_err());
     }
 }

@@ -1,0 +1,222 @@
+//! Reusable, cached LP skeletons for the polymatroid bound.
+//!
+//! The polymatroid LP of Theorem 5.2 has two very different kinds of rows:
+//!
+//! * **Shannon elemental rows** — `n + C(n,2)·2^{n−2}` of them, with at most
+//!   four nonzeros each. They depend *only* on the number of query
+//!   variables `n`, not on the query or its statistics, yet the seed
+//!   implementation regenerated all of them (including a formatted debug
+//!   string per row) on every single `compute_bound` call.
+//! * **Statistic rows** — one per harvested statistic (typically a few
+//!   dozen), which are the only per-query part.
+//!
+//! [`BoundLpSkeleton`] splits the construction accordingly: the Shannon
+//! block is built once per `n` and memoized in a global cache, and
+//! [`BoundLpSkeleton::instantiate`] only has to append `O(#stats)` fresh
+//! rows. Together with the sparse revised solver and its warm-start support
+//! this turns the per-estimate cost from "rebuild + dense-pivot an
+//! exponential tableau" into "fill statistic rows + a few warm-started
+//! sparse pivots".
+
+use crate::bound_lp::POLYMATROID_VAR_LIMIT;
+use crate::error::CoreError;
+use crate::statistics::{ConcreteStatistic, StatisticsSet};
+use lpb_entropy::{elemental_inequalities, VarSet};
+use lpb_lp::{Problem, Sense};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The cached Shannon elemental rows for one variable count, in the LP's
+/// `−(elemental form) ≤ 0` convention (so the all-slack basis stays
+/// feasible and no phase-1 is needed).
+#[derive(Debug)]
+pub struct ShannonRowBlock {
+    n: usize,
+    rows: Vec<Vec<(usize, f64)>>,
+}
+
+impl ShannonRowBlock {
+    fn build(n: usize) -> Self {
+        let var_of = |s: VarSet| -> usize { s.index() - 1 };
+        let rows = elemental_inequalities(n)
+            .iter()
+            .map(|ineq| {
+                ineq.terms
+                    .iter()
+                    .map(|&(set, c)| (var_of(set), -c))
+                    .collect()
+            })
+            .collect();
+        ShannonRowBlock { n, rows }
+    }
+
+    /// Number of query variables this block is for.
+    pub fn n_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of Shannon rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the block has no rows (never happens for `n ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+fn shannon_cache() -> &'static Mutex<HashMap<usize, Arc<ShannonRowBlock>>> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<ShannonRowBlock>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The shared Shannon block for `n` variables, building it on first use.
+///
+/// # Panics
+///
+/// Panics when `n` is 0 or exceeds [`POLYMATROID_VAR_LIMIT`]: the block has
+/// `n + C(n,2)·2^{n−2}` rows, so an unchecked large `n` would exhaust memory
+/// while holding the global cache lock.  [`BoundLpSkeleton::polymatroid`] is
+/// the checked, error-returning entry point.
+pub fn shannon_rows(n: usize) -> Arc<ShannonRowBlock> {
+    assert!(
+        (1..=POLYMATROID_VAR_LIMIT).contains(&n),
+        "shannon_rows supports 1..={POLYMATROID_VAR_LIMIT} variables, got {n}"
+    );
+    let mut cache = shannon_cache().lock().expect("shannon cache poisoned");
+    Arc::clone(
+        cache
+            .entry(n)
+            .or_insert_with(|| Arc::new(ShannonRowBlock::build(n))),
+    )
+}
+
+/// The sparse row of one statistic `((V|U), p, b)` in the polymatroid LP:
+/// `(1/p)·h(U) + h(U∪V) − h(U) ≤ b`.
+pub(crate) fn polymatroid_stat_row(s: &ConcreteStatistic) -> Vec<(usize, f64)> {
+    let var_of = |set: VarSet| -> usize { set.index() - 1 };
+    let u = s.stat.conditional.u;
+    let v = s.stat.conditional.v;
+    let uv = u.union(v);
+    let mut coeffs: Vec<(usize, f64)> = vec![(var_of(uv), 1.0)];
+    if !u.is_empty() {
+        let c = s.stat.norm.reciprocal() - 1.0;
+        if u == uv {
+            // `V ⊆ U`: both terms hit the same variable; merge them.
+            coeffs[0].1 += c;
+        } else if c != 0.0 {
+            coeffs.push((var_of(u), c));
+        }
+    }
+    coeffs.retain(|&(_, c)| c != 0.0);
+    coeffs
+}
+
+/// A reusable skeleton of the polymatroid bound LP for one variable count.
+///
+/// Create once (cheap — the heavy Shannon block is globally memoized), then
+/// [`instantiate`](Self::instantiate) per statistics set.
+#[derive(Debug, Clone)]
+pub struct BoundLpSkeleton {
+    block: Arc<ShannonRowBlock>,
+}
+
+impl BoundLpSkeleton {
+    /// Skeleton of the polymatroid LP over `n` query variables.
+    ///
+    /// Fails with [`CoreError::TooManyVariables`] beyond
+    /// [`POLYMATROID_VAR_LIMIT`], like [`crate::compute_bound`].
+    pub fn polymatroid(n: usize) -> Result<Self, CoreError> {
+        if n == 0 {
+            return Err(CoreError::InvalidQuery {
+                reason: "the polymatroid LP needs at least one variable".into(),
+            });
+        }
+        if n > POLYMATROID_VAR_LIMIT {
+            return Err(CoreError::TooManyVariables {
+                n_vars: n,
+                limit: POLYMATROID_VAR_LIMIT,
+                cone: "polymatroid",
+            });
+        }
+        Ok(BoundLpSkeleton {
+            block: shannon_rows(n),
+        })
+    }
+
+    /// Number of query variables.
+    pub fn n_vars(&self) -> usize {
+        self.block.n_vars()
+    }
+
+    /// Number of cached Shannon rows.
+    pub fn shannon_row_count(&self) -> usize {
+        self.block.len()
+    }
+
+    /// Build the full LP for one statistics set: statistic rows first (so
+    /// their duals are the witness weights), then the cached Shannon block.
+    pub fn instantiate(&self, stats: &StatisticsSet) -> Problem {
+        let n = self.n_vars();
+        let n_subsets = (1usize << n) - 1;
+        let full = VarSet::full(n);
+        let mut p = Problem::maximize(n_subsets);
+        p.set_objective(full.index() - 1, 1.0);
+        for s in stats.iter() {
+            let row = polymatroid_stat_row(s);
+            p.add_constraint(&row, Sense::Le, s.log_bound);
+        }
+        for row in &self.block.rows {
+            p.add_constraint(row, Sense::Le, 0.0);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpb_entropy::shannon::elemental_count;
+
+    #[test]
+    fn block_is_cached_and_sized_by_formula() {
+        let a = shannon_rows(4);
+        let b = shannon_rows(4);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), elemental_count(4));
+        assert_eq!(a.n_vars(), 4);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn skeleton_rejects_oversized_and_empty() {
+        assert!(BoundLpSkeleton::polymatroid(0).is_err());
+        assert!(BoundLpSkeleton::polymatroid(POLYMATROID_VAR_LIMIT + 1).is_err());
+        let s = BoundLpSkeleton::polymatroid(3).unwrap();
+        assert_eq!(s.n_vars(), 3);
+        assert_eq!(s.shannon_row_count(), elemental_count(3));
+    }
+
+    #[test]
+    fn instantiated_problem_has_stat_rows_first() {
+        use crate::statistics::StatisticsSet;
+        use lpb_entropy::Conditional;
+
+        let mut stats = StatisticsSet::new();
+        stats.push(ConcreteStatistic::new(
+            Conditional::new(VarSet::from_indices([0, 1]), VarSet::EMPTY),
+            lpb_data::Norm::L1,
+            0,
+            5.0,
+        ));
+        let skeleton = BoundLpSkeleton::polymatroid(3).unwrap();
+        let p = skeleton.instantiate(&stats);
+        assert_eq!(p.n_vars(), 7);
+        assert_eq!(p.n_constraints(), 1 + skeleton.shannon_row_count());
+        // The first row is the statistic row with RHS 5.
+        assert_eq!(p.constraints()[0].rhs, 5.0);
+        // The Shannon rows have RHS 0.
+        assert!(p.constraints()[1..].iter().all(|c| c.rhs == 0.0));
+    }
+}

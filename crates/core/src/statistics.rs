@@ -173,8 +173,18 @@ mod tests {
         let y = reg.set_of(&["Y"]).unwrap();
         let z = reg.set_of(&["Z"]).unwrap();
         let mut set = StatisticsSet::new();
-        set.push(ConcreteStatistic::new(Conditional::new(y, x), Norm::L2, 0, 3.0));
-        set.push(ConcreteStatistic::new(Conditional::new(z, y), Norm::Infinity, 1, 2.0));
+        set.push(ConcreteStatistic::new(
+            Conditional::new(y, x),
+            Norm::L2,
+            0,
+            3.0,
+        ));
+        set.push(ConcreteStatistic::new(
+            Conditional::new(z, y),
+            Norm::Infinity,
+            1,
+            2.0,
+        ));
         set.push(ConcreteStatistic::new(
             Conditional::new(x.union(z), VarSet::EMPTY),
             Norm::L1,

@@ -134,7 +134,10 @@ mod tests {
         let uniform = JoinQuery::single_join("RU", "SU");
         let est_u = textbook_estimate(&uniform, &catalog).unwrap();
         let truth_u = 50.0 * 2.0 * 2.0; // 50 y-values × 2 × 2
-        assert!(close(est_u, truth_u), "uniform estimate {est_u} vs {truth_u}");
+        assert!(
+            close(est_u, truth_u),
+            "uniform estimate {est_u} vs {truth_u}"
+        );
 
         let skewed = JoinQuery::single_join("RS", "SS");
         let est_s = textbook_estimate(&skewed, &catalog).unwrap();
@@ -162,7 +165,10 @@ mod tests {
         // True size of E(X,Y) ⋈ E(Y,Z): y=0 contributes 50·50, each y≠0
         // contributes 1·1 → 2550.
         let truth = 50.0 * 50.0 + 50.0;
-        assert!(est < truth, "estimate {est} should be below the true size {truth}");
+        assert!(
+            est < truth,
+            "estimate {est} should be below the true size {truth}"
+        );
         assert!(est > 0.0);
     }
 

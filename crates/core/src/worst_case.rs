@@ -53,8 +53,9 @@ pub fn domain_product(name: impl Into<String>, a: &Relation, b: &Relation) -> Re
         "domain products need identical schemas"
     );
     let attrs: Vec<String> = a.schema().attrs().to_vec();
-    let mut builder =
-        RelationBuilder::new(name, attrs).expect("schema was valid").keep_duplicates();
+    let mut builder = RelationBuilder::new(name, attrs)
+        .expect("schema was valid")
+        .keep_duplicates();
     let mut pair_codes: HashMap<(u64, u64), u64> = HashMap::new();
     let mut next_code = 0u64;
     let mut encode = |x: u64, y: u64| -> u64 {
@@ -121,12 +122,7 @@ pub fn normal_relation_from_coefficients(
         steps.push((w, n));
     }
     // Materialize the product incrementally.
-    let mut relation = basic_normal_relation(
-        format!("{name}#seed"),
-        attrs,
-        VarSet::EMPTY,
-        1,
-    );
+    let mut relation = basic_normal_relation(format!("{name}#seed"), attrs, VarSet::EMPTY, 1);
     for (i, &(w, n)) in steps.iter().enumerate() {
         let factor = basic_normal_relation(format!("{name}#step{i}"), attrs, w, n);
         relation = domain_product(format!("{name}#partial{i}"), &relation, &factor);
@@ -215,8 +211,7 @@ pub fn worst_case_database(
         .enumerate()
         .map(|(i, &alpha)| (VarSet((i + 1) as u32), alpha))
         .collect();
-    let witness =
-        normal_relation_from_coefficients("T_worst", &attr_names, &coeffs, 1e-9);
+    let witness = normal_relation_from_coefficients("T_worst", &attr_names, &coeffs, 1e-9);
 
     let mut catalog = Catalog::new();
     let mut seen: Vec<&str> = Vec::new();
@@ -301,10 +296,7 @@ mod tests {
     #[test]
     fn normal_relation_entropy_matches_coefficients() {
         // h = 2·h_{X} + 1·h_{XYZ}: T = T^X_4 ⊗ T^XYZ_2, 8 tuples.
-        let coeffs = vec![
-            (VarSet::singleton(0), 2.0),
-            (VarSet::full(3), 1.0),
-        ];
+        let coeffs = vec![(VarSet::singleton(0), 2.0), (VarSet::full(3), 1.0)];
         let t = normal_relation_from_coefficients("T", &["X", "Y", "Z"], &coeffs, 1e-9);
         assert_eq!(t.len(), 8);
         assert_eq!(t.relation.distinct_count(&["X"]).unwrap(), 8);
@@ -370,7 +362,11 @@ mod tests {
         // Bound is 2^b = 256 (Example 6.7); the witness is the diagonal of
         // size ⌊2^b⌋ possibly split across a few step factors, so it is at
         // least 2^b / 2^c for c = #steps.
-        assert!((wc.bound.log2_bound - b).abs() < 1e-6, "bound {}", wc.bound.log2_bound);
+        assert!(
+            (wc.bound.log2_bound - b).abs() < 1e-6,
+            "bound {}",
+            wc.bound.log2_bound
+        );
         let c = wc.witness.steps.len() as f64;
         assert!(
             (wc.witness_size() as f64).log2() >= b - c - 1e-9,

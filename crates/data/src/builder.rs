@@ -151,9 +151,12 @@ mod tests {
     #[test]
     fn string_values_are_dictionary_encoded() {
         let mut b = RelationBuilder::new("Movies", ["id", "title"]).unwrap();
-        b.push_values(&[Value::Int(1), Value::str("Alien")]).unwrap();
-        b.push_values(&[Value::Int(2), Value::str("Brazil")]).unwrap();
-        b.push_values(&[Value::Int(3), Value::str("Alien")]).unwrap();
+        b.push_values(&[Value::Int(1), Value::str("Alien")])
+            .unwrap();
+        b.push_values(&[Value::Int(2), Value::str("Brazil")])
+            .unwrap();
+        b.push_values(&[Value::Int(3), Value::str("Alien")])
+            .unwrap();
         let (r, dict) = b.build_with_dictionary();
         assert_eq!(r.len(), 3);
         assert_eq!(dict.len(), 2);

@@ -9,14 +9,12 @@
 use crate::error::DataError;
 use crate::norms::Norm;
 use crate::relation::Relation;
-use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Cache key identifying one concrete statistic
 /// `‖deg_R(V | U)‖_p` of one relation.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct StatsKey {
     /// Relation name.
     pub relation: String,
@@ -75,7 +73,10 @@ impl Catalog {
     /// relation with that name and invalidating its cached statistics.
     pub fn insert(&mut self, relation: Relation) {
         let name = relation.name().to_string();
-        self.stats.write().retain(|k, _| k.relation != name);
+        self.stats
+            .write()
+            .expect("statistics cache lock poisoned")
+            .retain(|k, _| k.relation != name);
         self.relations.insert(name, Arc::new(relation));
     }
 
@@ -115,19 +116,30 @@ impl Catalog {
         norm: Norm,
     ) -> Result<f64, DataError> {
         let key = StatsKey::new(relation, v, u, norm);
-        if let Some(&cached) = self.stats.read().get(&key) {
+        if let Some(&cached) = self
+            .stats
+            .read()
+            .expect("statistics cache lock poisoned")
+            .get(&key)
+        {
             return Ok(cached);
         }
         let rel = self.get(relation)?;
         let deg = rel.degree_sequence(v, u)?;
         let value = deg.log2_lp_norm(norm).unwrap_or(0.0);
-        self.stats.write().insert(key, value);
+        self.stats
+            .write()
+            .expect("statistics cache lock poisoned")
+            .insert(key, value);
         Ok(value)
     }
 
     /// Number of cached statistics (for tests and instrumentation).
     pub fn cached_stats(&self) -> usize {
-        self.stats.read().len()
+        self.stats
+            .read()
+            .expect("statistics cache lock poisoned")
+            .len()
     }
 }
 
@@ -183,7 +195,10 @@ mod tests {
         let k2 = StatsKey::new("R", &["a", "b"], &["c", "d"], Norm::Finite(2.0));
         assert_eq!(k1, k2);
         assert_eq!(k1.norm(), Norm::Finite(2.0));
-        assert_eq!(StatsKey::new("R", &["a"], &[], Norm::Infinity).norm(), Norm::Infinity);
+        assert_eq!(
+            StatsKey::new("R", &["a"], &[], Norm::Infinity).norm(),
+            Norm::Infinity
+        );
     }
 
     #[test]
@@ -191,7 +206,12 @@ mod tests {
         let mut c = catalog();
         c.log_norm("R", &["y"], &["x"], Norm::L1).unwrap();
         assert_eq!(c.cached_stats(), 1);
-        c.insert(RelationBuilder::binary_from_pairs("R", "x", "y", vec![(1, 10)]));
+        c.insert(RelationBuilder::binary_from_pairs(
+            "R",
+            "x",
+            "y",
+            vec![(1, 10)],
+        ));
         assert_eq!(c.cached_stats(), 0);
         let v = c.log_norm("R", &["y"], &["x"], Norm::L1).unwrap();
         assert!((v - 0.0).abs() < 1e-12);

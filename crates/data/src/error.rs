@@ -39,11 +39,17 @@ pub enum DataError {
 impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DataError::UnknownAttribute { attribute, relation } => {
+            DataError::UnknownAttribute {
+                attribute,
+                relation,
+            } => {
                 write!(f, "attribute `{attribute}` not found in `{relation}`")
             }
             DataError::ArityMismatch { expected, got } => {
-                write!(f, "tuple arity mismatch: expected {expected} values, got {got}")
+                write!(
+                    f,
+                    "tuple arity mismatch: expected {expected} values, got {got}"
+                )
             }
             DataError::UnknownRelation { name } => {
                 write!(f, "relation `{name}` not found in catalog")
@@ -71,13 +77,20 @@ mod tests {
             relation: "R".into(),
         };
         assert!(e.to_string().contains('x') && e.to_string().contains('R'));
-        let e = DataError::ArityMismatch { expected: 2, got: 3 };
+        let e = DataError::ArityMismatch {
+            expected: 2,
+            got: 3,
+        };
         assert!(e.to_string().contains('2') && e.to_string().contains('3'));
         let e = DataError::UnknownRelation { name: "S".into() };
         assert!(e.to_string().contains('S'));
-        let e = DataError::DuplicateAttribute { attribute: "y".into() };
+        let e = DataError::DuplicateAttribute {
+            attribute: "y".into(),
+        };
         assert!(e.to_string().contains('y'));
-        let e = DataError::InvalidConditional { reason: "empty V".into() };
+        let e = DataError::InvalidConditional {
+            reason: "empty V".into(),
+        };
         assert!(e.to_string().contains("empty V"));
     }
 }

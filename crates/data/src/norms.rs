@@ -23,7 +23,10 @@ impl Norm {
 
     /// Construct a finite norm, panicking on non-positive or non-finite `p`.
     pub fn finite(p: f64) -> Norm {
-        assert!(p.is_finite() && p > 0.0, "norm index must be positive and finite");
+        assert!(
+            p.is_finite() && p > 0.0,
+            "norm index must be positive and finite"
+        );
         Norm::Finite(p)
     }
 

@@ -140,9 +140,7 @@ impl Relation {
     /// Project onto the named attributes (with duplicate elimination).
     pub fn project(&self, attrs: &[&str]) -> Result<Relation, DataError> {
         let positions = self.schema.positions(attrs.iter().copied())?;
-        let mut rows: Vec<Vec<u64>> = (0..self.n_rows)
-            .map(|r| self.key(r, &positions))
-            .collect();
+        let mut rows: Vec<Vec<u64>> = (0..self.n_rows).map(|r| self.key(r, &positions)).collect();
         rows.sort_unstable();
         rows.dedup();
         let schema = Schema::new(attrs.iter().map(|s| s.to_string()))?;
@@ -247,9 +245,7 @@ mod tests {
     fn from_columns_validates_shape() {
         let schema = Schema::new(["a", "b"]).unwrap();
         assert!(Relation::from_columns("T", schema.clone(), vec![vec![1]]).is_err());
-        assert!(
-            Relation::from_columns("T", schema, vec![vec![1, 2], vec![3]]).is_err()
-        );
+        assert!(Relation::from_columns("T", schema, vec![vec![1, 2], vec![3]]).is_err());
     }
 
     #[test]

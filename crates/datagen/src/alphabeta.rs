@@ -58,13 +58,17 @@ pub fn alpha_beta_relation(name: &str, config: &AlphaBetaConfig) -> Relation {
     // Heavy fan-out block: x = i has b distinct partners.
     for i in 0..a {
         for j in 0..b {
-            builder.push_codes(&[i, heavy_base + i * b + j]).expect("arity 2");
+            builder
+                .push_codes(&[i, heavy_base + i * b + j])
+                .expect("arity 2");
         }
     }
     // Mirrored heavy fan-in block: y = i has b distinct partners.
     for i in 0..a {
         for j in 0..b {
-            builder.push_codes(&[heavy_base + i * b + j, i]).expect("arity 2");
+            builder
+                .push_codes(&[heavy_base + i * b + j, i])
+                .expect("arity 2");
         }
     }
     // Diagonal fill so each side has ~M distinct values of degree 1.
@@ -137,7 +141,8 @@ mod tests {
         assert!((linf - config.heavy_degree() as f64).abs() < 1e-9);
         let l1 = deg.lp_norm(Norm::L1);
         let expected_l1 = (config.heavy_values() * config.heavy_degree()
-            + (m - config.heavy_values() * config.heavy_degree()).min(m)) as f64;
+            + (m - config.heavy_values() * config.heavy_degree()).min(m))
+            as f64;
         assert!(
             (l1 - expected_l1).abs() / expected_l1 < 0.25,
             "ℓ1 = {l1}, expected ≈ {expected_l1}"

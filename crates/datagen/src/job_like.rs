@@ -163,8 +163,8 @@ pub fn job_like_queries() -> Vec<JobLikeQuery> {
     // (queries 29 and 31 are present here; the paper excludes them from the
     // DuckDB comparison only because DuckDB could not complete them).
     let relation_counts: [usize; 33] = [
-        5, 5, 4, 5, 5, 5, 8, 7, 8, 7, 8, 8, 9, 8, 9, 8, 7, 7, 10, 10, 9, 11, 11, 12, 9, 12, 12,
-        14, 12, 12, 14, 6, 14,
+        5, 5, 4, 5, 5, 5, 8, 7, 8, 7, 8, 8, 9, 8, 9, 8, 7, 7, 10, 10, 9, 11, 11, 12, 9, 12, 12, 14,
+        12, 12, 14, 6, 14,
     ];
     relation_counts
         .iter()
@@ -221,7 +221,10 @@ mod tests {
             seed: 1,
         };
         let catalog = job_like_catalog(&config);
-        assert_eq!(catalog.len(), LINK_TABLES.len() + DIM_TABLES.len() + DIM2_TABLES.len());
+        assert_eq!(
+            catalog.len(),
+            LINK_TABLES.len() + DIM_TABLES.len() + DIM2_TABLES.len()
+        );
         // Dimension tables are key tables: max degree of the key column is 1.
         for (table, fk, attr) in DIM_TABLES {
             let rel = catalog.get(table).unwrap();

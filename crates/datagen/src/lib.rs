@@ -54,7 +54,7 @@ mod tests {
         });
         assert_eq!(catalog.len(), 1);
         let e = catalog.get("E").unwrap();
-        assert!(e.len() > 0);
+        assert!(!e.is_empty());
         assert_eq!(e.arity(), 2);
     }
 }

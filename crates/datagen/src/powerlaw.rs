@@ -140,17 +140,8 @@ mod tests {
             assert_ne!(row[0], row[1]);
         }
         // Different seeds give different graphs.
-        let c = power_law_graph(
-            "E",
-            &PowerLawGraphConfig {
-                seed: 8,
-                ..config
-            },
-        );
-        assert_ne!(
-            a.rows().collect::<Vec<_>>(),
-            c.rows().collect::<Vec<_>>()
-        );
+        let c = power_law_graph("E", &PowerLawGraphConfig { seed: 8, ..config });
+        assert_ne!(a.rows().collect::<Vec<_>>(), c.rows().collect::<Vec<_>>());
     }
 
     #[test]
@@ -163,8 +154,7 @@ mod tests {
             seed: 3,
         };
         let g = power_law_graph("E", &config);
-        let edges: std::collections::HashSet<(u64, u64)> =
-            g.rows().map(|r| (r[0], r[1])).collect();
+        let edges: std::collections::HashSet<(u64, u64)> = g.rows().map(|r| (r[0], r[1])).collect();
         for &(a, b) in &edges {
             assert!(edges.contains(&(b, a)), "missing reverse of ({a},{b})");
         }
@@ -210,8 +200,7 @@ mod tests {
     fn presets_scale_and_have_distinct_seeds() {
         let presets = snap_like_presets(1);
         assert_eq!(presets.len(), 7);
-        let seeds: std::collections::HashSet<u64> =
-            presets.iter().map(|p| p.config.seed).collect();
+        let seeds: std::collections::HashSet<u64> = presets.iter().map(|p| p.config.seed).collect();
         assert_eq!(seeds.len(), presets.len());
         let scaled = snap_like_presets(2);
         assert_eq!(scaled[0].config.nodes, presets[0].config.nodes * 2);

@@ -16,7 +16,10 @@ pub struct EntropyVec {
 impl EntropyVec {
     /// The all-zero vector over `n_vars` variables.
     pub fn zero(n_vars: usize) -> Self {
-        assert!(n_vars <= 25, "entropy vectors beyond 25 variables are not supported");
+        assert!(
+            n_vars <= 25,
+            "entropy vectors beyond 25 variables are not supported"
+        );
         EntropyVec {
             n_vars,
             values: vec![0.0; 1 << n_vars],

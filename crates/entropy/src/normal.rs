@@ -43,8 +43,14 @@ impl NormalPolymatroid {
 
     /// Add `alpha · h_W` to the combination.
     pub fn add_step(&mut self, w: VarSet, alpha: f64) {
-        assert!(!w.is_empty(), "step functions are indexed by non-empty sets");
-        assert!(alpha >= 0.0, "normal polymatroid coefficients must be non-negative");
+        assert!(
+            !w.is_empty(),
+            "step functions are indexed by non-empty sets"
+        );
+        assert!(
+            alpha >= 0.0,
+            "normal polymatroid coefficients must be non-negative"
+        );
         assert!(
             w.is_subset_of(VarSet::full(self.n_vars)),
             "step set outside the variable range"
@@ -71,9 +77,7 @@ impl NormalPolymatroid {
 
     /// Evaluate `h(S) = Σ_W α_W · h_W(S)` without materializing 2^n values.
     pub fn value(&self, s: VarSet) -> f64 {
-        self.coefficients()
-            .map(|(w, a)| a * step_value(w, s))
-            .sum()
+        self.coefficients().map(|(w, a)| a * step_value(w, s)).sum()
     }
 
     /// Evaluate the conditional `h(V | U)`.
@@ -138,7 +142,10 @@ mod tests {
     fn conditional_matches_dense_computation() {
         let p = NormalPolymatroid::from_coefficients(
             3,
-            [(VarSet::from_indices([0, 2]), 1.5), (VarSet::singleton(1), 2.0)],
+            [
+                (VarSet::from_indices([0, 2]), 1.5),
+                (VarSet::singleton(1), 2.0),
+            ],
         );
         let h = p.to_entropy_vec();
         let v = VarSet::singleton(2);

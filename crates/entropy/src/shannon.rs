@@ -60,9 +60,7 @@ pub fn elemental_inequalities(n: usize) -> Vec<ShannonInequality> {
     // Submodularity: h(U∪i) + h(U∪j) - h(U∪i∪j) - h(U) >= 0.
     for i in 0..n {
         for j in (i + 1)..n {
-            let rest = full
-                .minus(VarSet::singleton(i))
-                .minus(VarSet::singleton(j));
+            let rest = full.minus(VarSet::singleton(i)).minus(VarSet::singleton(j));
             for u in rest.subsets() {
                 let ui = u.union(VarSet::singleton(i));
                 let uj = u.union(VarSet::singleton(j));
@@ -96,7 +94,11 @@ mod tests {
     #[test]
     fn counts_match_formula() {
         for n in 1..=8 {
-            assert_eq!(elemental_inequalities(n).len(), elemental_count(n), "n = {n}");
+            assert_eq!(
+                elemental_inequalities(n).len(),
+                elemental_count(n),
+                "n = {n}"
+            );
         }
         assert_eq!(elemental_count(3), 3 + 3 * 2);
         assert_eq!(elemental_count(4), 4 + 6 * 4);
@@ -141,7 +143,9 @@ mod tests {
             };
             h.set(s, val);
         }
-        let all_hold = elemental_inequalities(3).iter().all(|i| i.holds_for(&h, 1e-12));
+        let all_hold = elemental_inequalities(3)
+            .iter()
+            .all(|i| i.holds_for(&h, 1e-12));
         assert_eq!(all_hold, h.is_polymatroid(1e-12));
         assert!(all_hold);
     }

@@ -54,7 +54,10 @@ mod tests {
     fn step_functions_are_polymatroids() {
         for mask in 1u32..(1 << 4) {
             let h = step_function(4, VarSet(mask));
-            assert!(h.is_polymatroid(1e-12), "h_W for W={mask:b} is not a polymatroid");
+            assert!(
+                h.is_polymatroid(1e-12),
+                "h_W for W={mask:b} is not a polymatroid"
+            );
         }
     }
 

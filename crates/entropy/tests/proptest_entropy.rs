@@ -2,19 +2,17 @@
 //! Mₙ ⊆ Nₙ ⊆ Γₙ and the consistency of sparse vs dense evaluation.
 
 use lpb_entropy::{
-    elemental_inequalities, step_function, EntropyVec, ModularFunction, NormalPolymatroid, VarSet,
+    elemental_inequalities, step_function, ModularFunction, NormalPolymatroid, VarSet,
 };
 use proptest::prelude::*;
 
 fn arb_normal(n: usize) -> impl Strategy<Value = NormalPolymatroid> {
-    proptest::collection::vec((1u32..(1 << n) as u32, 0.0f64..5.0), 0..6).prop_map(
-        move |coeffs| {
-            NormalPolymatroid::from_coefficients(
-                n,
-                coeffs.into_iter().map(|(mask, a)| (VarSet(mask), a)),
-            )
-        },
-    )
+    proptest::collection::vec((1u32..(1 << n) as u32, 0.0f64..5.0), 0..6).prop_map(move |coeffs| {
+        NormalPolymatroid::from_coefficients(
+            n,
+            coeffs.into_iter().map(|(mask, a)| (VarSet(mask), a)),
+        )
+    })
 }
 
 proptest! {

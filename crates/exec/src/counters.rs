@@ -100,7 +100,7 @@ pub fn cycle_count(edges: &Relation, k: usize) -> Result<u128, ExecError> {
     // paths[v] = number of paths of the current length from the start node
     // to v; iterate per start node to keep memory linear.
     let mut total: u128 = 0;
-    for (&start, _) in &forward {
+    for &start in forward.keys() {
         let mut paths: HashMap<u64, u128> = HashMap::new();
         paths.insert(start, 1);
         for _ in 0..k - 1 {
@@ -170,7 +170,10 @@ mod tests {
         let mut catalog = Catalog::new();
         catalog.insert(rel.clone());
         let q = JoinQuery::single_join("E", "E");
-        assert_eq!(path2_count(&rel).unwrap(), wcoj_count(&q, &catalog).unwrap());
+        assert_eq!(
+            path2_count(&rel).unwrap(),
+            wcoj_count(&q, &catalog).unwrap()
+        );
         assert_eq!(join2_count(&rel, &rel).unwrap(), path2_count(&rel).unwrap());
     }
 

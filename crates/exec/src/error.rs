@@ -68,7 +68,9 @@ mod tests {
     fn display_and_conversions() {
         let e: ExecError = DataError::UnknownRelation { name: "R".into() }.into();
         assert!(e.to_string().contains("R"));
-        let e = ExecError::NotApplicable { reason: "cyclic".into() };
+        let e = ExecError::NotApplicable {
+            reason: "cyclic".into(),
+        };
         assert!(e.to_string().contains("cyclic"));
         let e = ExecError::AtomArityMismatch {
             relation: "S".into(),

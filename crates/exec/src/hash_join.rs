@@ -104,7 +104,10 @@ mod tests {
         let r = t(&["X", "Y"], &[&[1, 10], &[2, 10], &[3, 20]]);
         let s = t(&["Y", "Z"], &[&[10, 100], &[10, 101], &[30, 100]]);
         let mut out = hash_join(&r, &s);
-        assert_eq!(out.vars(), &["X".to_string(), "Y".to_string(), "Z".to_string()]);
+        assert_eq!(
+            out.vars(),
+            &["X".to_string(), "Y".to_string(), "Z".to_string()]
+        );
         out.deduplicate();
         assert_eq!(out.len(), 4); // (1,10,100),(1,10,101),(2,10,100),(2,10,101)
     }

@@ -94,11 +94,9 @@ pub fn partition_by_degree(
     let mut parts = Vec::with_capacity(buckets.len());
     for bucket in buckets {
         let rows = &rows_per_bucket[&bucket];
-        let mut builder = lpb_data::RelationBuilder::new(
-            format!("{}#deg{}", rel.name(), bucket),
-            attrs.clone(),
-        )
-        .expect("schema attribute names are valid");
+        let mut builder =
+            lpb_data::RelationBuilder::new(format!("{}#deg{}", rel.name(), bucket), attrs.clone())
+                .expect("schema attribute names are valid");
         for row in rows {
             builder.push_codes(row).expect("row arity matches schema");
         }
@@ -234,7 +232,11 @@ mod tests {
             let deg = part.relation.degree_sequence(&["x"], &["y"]).unwrap();
             let max = deg.max_degree();
             let min = deg.as_slice().iter().copied().min().unwrap();
-            assert!(max <= 2 * min, "bucket {}: degrees {min}..{max}", part.bucket);
+            assert!(
+                max <= 2 * min,
+                "bucket {}: degrees {min}..{max}",
+                part.bucket
+            );
             assert!(max <= 1 << part.bucket);
             assert!(part.bucket == 1 || max > 1 << (part.bucket - 1));
         }
@@ -265,8 +267,7 @@ mod tests {
             assert!(parts.len() as f64 <= limit, "p={p}: {} parts", parts.len());
         }
         let log_inf = deg.log2_lp_norm(Norm::Infinity).unwrap();
-        for part in
-            partition_for_statistic(&rel, &["x"], &["y"], Norm::Infinity, log_inf).unwrap()
+        for part in partition_for_statistic(&rel, &["x"], &["y"], Norm::Infinity, log_inf).unwrap()
         {
             assert!(part.strongly_satisfies(Norm::Infinity, log_inf));
         }

@@ -162,10 +162,18 @@ mod tests {
         let catalog = triangle_catalog();
         let q = JoinQuery::triangle("E", "E", "E");
         let a = execute_plan(&q, &catalog, &JoinPlan::in_query_order(&q)).unwrap();
-        let b = execute_plan(&q, &catalog, &JoinPlan::with_order(&q, vec![2, 0, 1]).unwrap())
-            .unwrap();
-        let c = execute_plan(&q, &catalog, &JoinPlan::greedy_by_size(&q, &catalog).unwrap())
-            .unwrap();
+        let b = execute_plan(
+            &q,
+            &catalog,
+            &JoinPlan::with_order(&q, vec![2, 0, 1]).unwrap(),
+        )
+        .unwrap();
+        let c = execute_plan(
+            &q,
+            &catalog,
+            &JoinPlan::greedy_by_size(&q, &catalog).unwrap(),
+        )
+        .unwrap();
         assert_eq!(a.output_size(), 24);
         assert_eq!(b.output_size(), 24);
         assert_eq!(c.output_size(), 24);

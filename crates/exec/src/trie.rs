@@ -5,12 +5,14 @@ use crate::error::ExecError;
 use crate::tuples::Tuples;
 use lpb_core::JoinQuery;
 use lpb_data::Catalog;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-/// One level of a trie: children keyed by the value of the next variable.
+/// One level of a trie: children keyed by the value of the next variable,
+/// stored in sorted key order so that iteration is deterministic and
+/// intersections can advance in lockstep (leapfrog-style).
 #[derive(Debug, Default, Clone)]
 pub struct TrieNode {
-    children: HashMap<u64, TrieNode>,
+    children: BTreeMap<u64, TrieNode>,
 }
 
 impl TrieNode {
@@ -36,9 +38,15 @@ impl TrieNode {
         self.children.len()
     }
 
-    /// Iterate over (value, child) pairs.
+    /// Iterate over (value, child) pairs in ascending value order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &TrieNode)> {
         self.children.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// The smallest child value `>= lower` together with its node, if any
+    /// (the leapfrog "seek" primitive — one tree descent yields both).
+    pub fn seek(&self, lower: u64) -> Option<(u64, &TrieNode)> {
+        self.children.range(lower..).next().map(|(&k, v)| (k, v))
     }
 
     /// True when a value is present.
@@ -123,6 +131,20 @@ mod tests {
     }
 
     #[test]
+    fn iteration_is_sorted_and_seek_finds_lower_bounds() {
+        let mut root = TrieNode::new();
+        for v in [42u64, 7, 19, 3, 25] {
+            root.insert(&[v]);
+        }
+        let keys: Vec<u64> = root.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![3, 7, 19, 25, 42]);
+        assert_eq!(root.seek(0).map(|(k, _)| k), Some(3));
+        assert_eq!(root.seek(7).map(|(k, _)| k), Some(7));
+        assert_eq!(root.seek(8).map(|(k, _)| k), Some(19));
+        assert!(root.seek(43).is_none());
+    }
+
+    #[test]
     fn atom_trie_uses_global_variable_order() {
         // T(Z, X): in the triangle query the global order is X=0, Y=1, Z=2,
         // so the trie's first level is X even though the relation stores Z
@@ -134,8 +156,18 @@ mod tests {
             "x",
             vec![(30, 1), (30, 2), (40, 1)],
         ));
-        catalog.insert(RelationBuilder::binary_from_pairs("R", "x", "y", vec![(1, 2)]));
-        catalog.insert(RelationBuilder::binary_from_pairs("S", "y", "z", vec![(2, 30)]));
+        catalog.insert(RelationBuilder::binary_from_pairs(
+            "R",
+            "x",
+            "y",
+            vec![(1, 2)],
+        ));
+        catalog.insert(RelationBuilder::binary_from_pairs(
+            "S",
+            "y",
+            "z",
+            vec![(2, 30)],
+        ));
         let q = JoinQuery::triangle("R", "S", "T");
         let trie = AtomTrie::build(&q, &catalog, 2).unwrap();
         assert_eq!(trie.depth(), 2);

@@ -20,7 +20,10 @@ pub struct Tuples {
 impl Tuples {
     /// An empty result with the given variables.
     pub fn empty(vars: Vec<String>) -> Self {
-        Tuples { vars, rows: Vec::new() }
+        Tuples {
+            vars,
+            rows: Vec::new(),
+        }
     }
 
     /// Build from raw parts (rows must all have `vars.len()` entries).
@@ -157,7 +160,10 @@ mod tests {
         p.deduplicate();
         assert_eq!(p.len(), 1);
         let r = t.reorder(&["Z", "X", "Y"]);
-        assert_eq!(r.vars(), &["Z".to_string(), "X".to_string(), "Y".to_string()]);
+        assert_eq!(
+            r.vars(),
+            &["Z".to_string(), "X".to_string(), "Y".to_string()]
+        );
         assert_eq!(r.rows()[0], vec![3, 1, 2]);
     }
 

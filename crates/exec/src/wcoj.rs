@@ -24,60 +24,66 @@ pub fn generic_join_with<F: FnMut(&[u64])>(
 ) {
     let n = query.n_vars();
     let mut assignment = vec![0u64; n];
+    // Atoms whose variable set contains each variable, precomputed once —
+    // this sits on the innermost intersection loop.
+    let active_per_var: Vec<Vec<usize>> = (0..n)
+        .map(|var| {
+            (0..tries.len())
+                .filter(|&j| query.atom_vars(j).contains(var))
+                .collect()
+        })
+        .collect();
     // Current trie node per atom, as a stack of references per recursion
     // level; we use indices into a scratch Vec of node pointers.
     let roots: Vec<&TrieNode> = tries.iter().map(|t| &t.root).collect();
-    recurse(query, tries, &roots, 0, &mut assignment, on_tuple);
+    recurse(&active_per_var, &roots, 0, &mut assignment, on_tuple);
 }
 
-fn recurse<'a, F: FnMut(&[u64])>(
-    query: &JoinQuery,
-    tries: &[AtomTrie],
-    nodes: &[&'a TrieNode],
+fn recurse<F: FnMut(&[u64])>(
+    active_per_var: &[Vec<usize>],
+    nodes: &[&TrieNode],
     var: usize,
     assignment: &mut Vec<u64>,
     on_tuple: &mut F,
 ) {
-    let n = query.n_vars();
-    if var == n {
+    if var == active_per_var.len() {
         on_tuple(assignment);
         return;
     }
-    // Atoms whose variable set contains `var`.
-    let active: Vec<usize> = (0..tries.len())
-        .filter(|&j| query.atom_vars(j).contains(var))
-        .collect();
+    let active = &active_per_var[var];
     debug_assert!(!active.is_empty(), "every variable occurs in some atom");
 
-    // Pick the atom with the smallest fan-out to drive the intersection.
-    let driver = *active
-        .iter()
-        .min_by_key(|&&j| nodes[j].fanout())
-        .expect("at least one active atom");
-
+    // Leapfrog intersection over the atoms' sorted child lists: every atom
+    // seeks to the current candidate, and whoever overshoots raises it, so
+    // runs of non-matching values are skipped in O(log fanout) rather than
+    // probed one by one.  Each seek hands back the child node, so a matched
+    // value costs one tree descent per atom.
     let mut next_nodes: Vec<&TrieNode> = nodes.to_vec();
-    'values: for (value, driver_child) in nodes[driver].iter() {
-        for &j in &active {
-            if j == driver {
-                continue;
-            }
-            if !nodes[j].contains(value) {
-                continue 'values;
+    let mut candidate = 0u64;
+    'outer: loop {
+        let mut agreed = true;
+        for &j in active {
+            match nodes[j].seek(candidate) {
+                None => break 'outer,
+                Some((k, child)) if k == candidate => next_nodes[j] = child,
+                Some((k, _)) => {
+                    candidate = k;
+                    agreed = false;
+                    break;
+                }
             }
         }
-        // All active atoms accept `value`: advance their pointers.
-        for &j in &active {
-            next_nodes[j] = if j == driver {
-                driver_child
-            } else {
-                nodes[j].child(value).expect("checked above")
-            };
+        if !agreed {
+            continue;
         }
-        assignment[var] = value;
-        recurse(query, tries, &next_nodes, var + 1, assignment, on_tuple);
-        // Restore pointers for the next candidate value.
-        for &j in &active {
-            next_nodes[j] = nodes[j];
+        assignment[var] = candidate;
+        recurse(active_per_var, &next_nodes, var + 1, assignment, on_tuple);
+        // Non-active entries always mirror `nodes`, and every future agreed
+        // pass rewrites the active entries before recursing — no restore
+        // needed; just move past the matched value.
+        match candidate.checked_add(1) {
+            Some(next) => candidate = next,
+            None => break,
         }
     }
 }
@@ -177,7 +183,12 @@ mod tests {
             let truth = execute_plan(&q, &catalog, &JoinPlan::in_query_order(&q))
                 .unwrap()
                 .output_size() as u128;
-            assert_eq!(wcoj_count(&q, &catalog).unwrap(), truth, "query {}", q.name());
+            assert_eq!(
+                wcoj_count(&q, &catalog).unwrap(),
+                truth,
+                "query {}",
+                q.name()
+            );
         }
     }
 
@@ -187,7 +198,10 @@ mod tests {
         let q = JoinQuery::triangle("E", "E", "E");
         let out = wcoj_materialize(&q, &catalog).unwrap();
         assert_eq!(out.len() as u128, wcoj_count(&q, &catalog).unwrap());
-        assert_eq!(out.vars(), &["X".to_string(), "Y".to_string(), "Z".to_string()]);
+        assert_eq!(
+            out.vars(),
+            &["X".to_string(), "Y".to_string(), "Z".to_string()]
+        );
         // Every output tuple is a genuine triangle.
         for row in out.rows() {
             let (x, y, z) = (row[0], row[1], row[2]);
@@ -224,7 +238,12 @@ mod tests {
     #[test]
     fn empty_relation_gives_empty_output() {
         let mut catalog = Catalog::new();
-        catalog.insert(RelationBuilder::binary_from_pairs("R", "a", "b", vec![(1, 2)]));
+        catalog.insert(RelationBuilder::binary_from_pairs(
+            "R",
+            "a",
+            "b",
+            vec![(1, 2)],
+        ));
         catalog.insert(RelationBuilder::new("S", ["a", "b"]).unwrap().build());
         let q = JoinQuery::single_join("R", "S");
         assert_eq!(wcoj_count(&q, &catalog).unwrap(), 0);

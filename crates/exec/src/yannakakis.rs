@@ -67,13 +67,13 @@ pub fn gyo_join_tree(query: &JoinQuery) -> Option<JoinTree> {
             }
             // Variables of e shared with some other alive atom.
             let mut shared = VarSet::EMPTY;
-            for j in 0..m {
-                if j != e && alive[j] {
+            for (j, &alive_j) in alive.iter().enumerate() {
+                if j != e && alive_j {
                     shared = shared.union(query.atom_vars(e).intersect(query.atom_vars(j)));
                 }
             }
-            for f in 0..m {
-                if f == e || !alive[f] {
+            for (f, &alive_f) in alive.iter().enumerate() {
+                if f == e || !alive_f {
                     continue;
                 }
                 if shared.is_subset_of(query.atom_vars(f)) {
@@ -114,7 +114,10 @@ pub fn is_acyclic(query: &JoinQuery) -> bool {
 pub fn yannakakis_count(query: &JoinQuery, catalog: &Catalog) -> Result<u128, ExecError> {
     let Some(tree) = gyo_join_tree(query) else {
         return Err(ExecError::NotApplicable {
-            reason: format!("query `{}` is cyclic; the Yannakakis counter needs an acyclic query", query.name()),
+            reason: format!(
+                "query `{}` is cyclic; the Yannakakis counter needs an acyclic query",
+                query.name()
+            ),
         });
     };
 
@@ -235,7 +238,9 @@ mod tests {
         assert!(!is_acyclic(&JoinQuery::triangle("R", "S", "T")));
         assert!(!is_acyclic(&JoinQuery::cycle(&["A", "B", "C", "D"])));
         // The Loomis-Whitney query with 4 variables is cyclic.
-        assert!(!is_acyclic(&JoinQuery::loomis_whitney_4("A", "B", "C", "D")));
+        assert!(!is_acyclic(&JoinQuery::loomis_whitney_4(
+            "A", "B", "C", "D"
+        )));
         // A star query is acyclic.
         let star = JoinQuery::new(
             "star",
@@ -262,10 +267,7 @@ mod tests {
 
     #[test]
     fn count_matches_materialized_join_on_paths() {
-        let catalog = catalog_with_edges(
-            "E",
-            (0..60u64).map(|i| (i % 7, (i * 3) % 11)).collect(),
-        );
+        let catalog = catalog_with_edges("E", (0..60u64).map(|i| (i % 7, (i * 3) % 11)).collect());
         for q in [
             JoinQuery::single_join("E", "E"),
             JoinQuery::path(&["E", "E", "E"]),
@@ -348,7 +350,12 @@ mod tests {
     #[test]
     fn empty_relation_gives_zero_count() {
         let mut catalog = Catalog::new();
-        catalog.insert(RelationBuilder::binary_from_pairs("R", "a", "b", vec![(1, 2)]));
+        catalog.insert(RelationBuilder::binary_from_pairs(
+            "R",
+            "a",
+            "b",
+            vec![(1, 2)],
+        ));
         catalog.insert(RelationBuilder::new("S", ["b", "c"]).unwrap().build());
         let q = JoinQuery::single_join("R", "S");
         assert_eq!(yannakakis_count(&q, &catalog).unwrap(), 0);

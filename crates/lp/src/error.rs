@@ -27,6 +27,13 @@ pub enum LpError {
     },
     /// The problem has zero variables.
     EmptyProblem,
+    /// The solver reached a numerically inconsistent state (e.g. accumulated
+    /// round-off made phase 1 look unbounded); re-solving with the dense
+    /// fallback or a looser tolerance is the recommended recovery.
+    NumericalInstability {
+        /// Human-readable description of where the inconsistency appeared.
+        detail: String,
+    },
 }
 
 impl fmt::Display for LpError {
@@ -43,6 +50,9 @@ impl fmt::Display for LpError {
                 write!(f, "simplex iteration limit of {limit} exceeded")
             }
             LpError::EmptyProblem => write!(f, "linear program has no variables"),
+            LpError::NumericalInstability { detail } => {
+                write!(f, "numerical instability in the solver: {detail}")
+            }
         }
     }
 }
@@ -55,13 +65,22 @@ mod tests {
 
     #[test]
     fn display_messages_mention_key_data() {
-        let e = LpError::VariableOutOfRange { index: 7, n_vars: 3 };
+        let e = LpError::VariableOutOfRange {
+            index: 7,
+            n_vars: 3,
+        };
         assert!(e.to_string().contains('7'));
         assert!(e.to_string().contains('3'));
         let e = LpError::IterationLimit { limit: 10 };
         assert!(e.to_string().contains("10"));
-        let e = LpError::NonFiniteCoefficient { location: "row 2".into() };
+        let e = LpError::NonFiniteCoefficient {
+            location: "row 2".into(),
+        };
         assert!(e.to_string().contains("row 2"));
         assert!(LpError::EmptyProblem.to_string().contains("no variables"));
+        let e = LpError::NumericalInstability {
+            detail: "phase 1".into(),
+        };
+        assert!(e.to_string().contains("phase 1"));
     }
 }

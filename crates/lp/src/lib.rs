@@ -8,8 +8,13 @@
 //! implements the required solver from scratch:
 //!
 //! * a [`Problem`] builder with sparse constraint rows and named variables,
-//! * a dense, two-phase primal **simplex** method with Bland's anti-cycling
-//!   rule ([`solve`]),
+//! * a sparse **revised simplex** with an eta-file basis inverse, CSR/CSC
+//!   constraint storage and warm starting ([`revised`], the default
+//!   [`SolverKind`]),
+//! * a dense, two-phase tableau **simplex** method with Bland's
+//!   anti-cycling rule ([`solve_dense`]), kept as a cross-checking
+//!   fallback — property tests assert the two solvers agree on status,
+//!   objective and the duality identity,
 //! * extraction of the **dual solution** (one multiplier per constraint),
 //!   which the bound engine uses to recover the witness information
 //!   inequality — i.e. *which* ℓp statistics the optimal bound uses.
@@ -41,9 +46,15 @@
 mod error;
 mod matrix;
 mod problem;
+pub mod revised;
 mod simplex;
+pub mod sparse;
 
 pub use error::LpError;
 pub use matrix::DenseMatrix;
 pub use problem::{Constraint, Direction, Problem, Sense};
-pub use simplex::{solve, Solution, SolverOptions, Status};
+pub use revised::solve_sparse;
+pub use simplex::{
+    solve, solve_dense, Solution, SolverKind, SolverOptions, Status, DENSE_SMALL_LP_ROWS,
+};
+pub use sparse::{CscMatrix, CsrMatrix};

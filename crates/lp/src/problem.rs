@@ -199,8 +199,7 @@ mod tests {
         p.set_objective(2, -2.0);
         p.set_var_name(2, "z");
         let r0 = p.add_constraint(&[(0, 1.0), (1, 1.0)], Sense::Le, 5.0);
-        let r1 =
-            p.add_labeled_constraint(&[(2, 1.0)], Sense::Ge, 1.0, Some("lower bound on z"));
+        let r1 = p.add_labeled_constraint(&[(2, 1.0)], Sense::Ge, 1.0, Some("lower bound on z"));
         assert_eq!(p.n_vars(), 3);
         assert_eq!(p.n_constraints(), 2);
         assert_eq!(r0, 0);
@@ -208,7 +207,10 @@ mod tests {
         assert_eq!(p.objective(), &[1.0, 0.0, -2.0]);
         assert_eq!(p.var_name(2), Some("z"));
         assert_eq!(p.var_name(0), None);
-        assert_eq!(p.constraints()[1].label.as_deref(), Some("lower bound on z"));
+        assert_eq!(
+            p.constraints()[1].label.as_deref(),
+            Some("lower bound on z")
+        );
         assert_eq!(p.direction(), Direction::Maximize);
     }
 
@@ -218,7 +220,10 @@ mod tests {
         p.add_constraint(&[(5, 1.0)], Sense::Le, 1.0);
         assert_eq!(
             p.validate(),
-            Err(LpError::VariableOutOfRange { index: 5, n_vars: 2 })
+            Err(LpError::VariableOutOfRange {
+                index: 5,
+                n_vars: 2
+            })
         );
     }
 

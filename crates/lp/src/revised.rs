@@ -1,0 +1,671 @@
+//! Sparse revised simplex with a product-form (eta-file) basis inverse.
+//!
+//! This is the fast path for the bound-engine LPs. Where the dense solver
+//! materializes the full `m × (n + m)` tableau and rewrites all of it on
+//! every pivot, the revised method keeps the constraint matrix in sparse
+//! column form and represents `B⁻¹` implicitly as a product of eta
+//! transformations, so one iteration costs `O(nnz(A) + nnz(etas))` instead
+//! of `O(m · (n + m))`. For the polymatroid LP (rows are Shannon elemental
+//! inequalities with ≤ 4 nonzeros each) the measured end-to-end speedup over
+//! the seed dense path grows from ~1.5× at 6 query variables to ~8× at 8
+//! (see `BENCH_lp.json`), and the gap widens with size.
+//!
+//! Semantics mirror [`crate::simplex::solve_dense`] exactly: two phases with
+//! artificial variables for `>=`/`==` rows, Bland's rule after a stall,
+//! identical status classification, and the same dual-sign conventions, so
+//! the two solvers can cross-check each other (see
+//! `tests/proptest_sparse_dense.rs`).
+//!
+//! Additionally this path supports **warm starting**: the caller may pass
+//! the basis of a previous, similarly-shaped solve via
+//! [`crate::SolverOptions::warm_start`]; it is replayed into the starting
+//! basis before optimization begins. Note that on the current replay
+//! implementation this is a throughput *wash*, not a win — replaying the
+//! basis costs about as much as re-solving (`BENCH_lp.json`,
+//! `sparse_warm_us` vs `sparse_skeleton_us`) — so treat it as an
+//! experimentation hook; `ROADMAP.md` tracks the dual-simplex follow-up
+//! that would make it pay off.
+
+use crate::error::LpError;
+use crate::problem::{Direction, Problem, Sense};
+
+/// Residual below which a basic artificial is considered "at zero": the same
+/// threshold phase 1 uses to accept a basis as feasible, so every artificial
+/// that survives phase 1 is pinned by the ratio test (see
+/// [`Engine::ratio_test`]) instead of drifting during phase 2.
+const ARTIFICIAL_RESIDUAL: f64 = 1e-6;
+use crate::simplex::{Solution, SolverOptions, Status};
+use crate::sparse::{CscMatrix, CsrMatrix};
+
+/// One eta transformation: pivoting column `w` into basis position `row`.
+struct Eta {
+    row: usize,
+    pivot: f64,
+    /// `(i, w_i)` for the nonzero off-pivot entries of the pivot column.
+    entries: Vec<(usize, f64)>,
+}
+
+/// `x := E⁻¹ x` for each eta in application order (FTRAN).
+fn ftran(etas: &[Eta], x: &mut [f64]) {
+    for eta in etas {
+        let xr = x[eta.row];
+        if xr != 0.0 {
+            let t = xr / eta.pivot;
+            for &(i, w) in &eta.entries {
+                x[i] -= w * t;
+            }
+            x[eta.row] = t;
+        }
+    }
+}
+
+/// `yᵀ := yᵀ E⁻¹` for each eta in reverse order (BTRAN).
+fn btran(etas: &[Eta], y: &mut [f64]) {
+    for eta in etas.iter().rev() {
+        let mut acc = y[eta.row];
+        for &(i, w) in &eta.entries {
+            acc -= w * y[i];
+        }
+        y[eta.row] = acc / eta.pivot;
+    }
+}
+
+/// Kind of a column in the working problem.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ColKind {
+    /// Structural variable `j` of the original problem.
+    Structural,
+    /// Slack (`+1`) or surplus (`-1`) singleton in some row.
+    Slack,
+    /// Phase-1 artificial singleton in some row.
+    Artificial,
+}
+
+struct Engine {
+    m: usize,
+    n_structural: usize,
+    n_cols: usize,
+    csc: CscMatrix,
+    /// For slack/surplus/artificial columns: `(row, coefficient)`.
+    singleton: Vec<(usize, f64)>,
+    kind: Vec<ColKind>,
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    etas: Vec<Eta>,
+    x_b: Vec<f64>,
+    b: Vec<f64>,
+    tol: f64,
+    /// Scratch: entering column in dense form.
+    work: Vec<f64>,
+    pivots_since_recompute: usize,
+}
+
+impl Engine {
+    /// `work := B⁻¹ work` using the eta file.
+    fn ftran_work(&mut self) {
+        let Engine { etas, work, .. } = self;
+        ftran(etas, work);
+    }
+
+    fn column_into_work(&mut self, col: usize) {
+        self.work.iter_mut().for_each(|v| *v = 0.0);
+        if col < self.n_structural {
+            let (csc, work) = (&self.csc, &mut self.work);
+            csc.scatter_col(col, work);
+        } else {
+            let (row, coef) = self.singleton[col];
+            self.work[row] = coef;
+        }
+    }
+
+    /// Reduced cost of column `col` given `y = c_Bᵀ B⁻¹`.
+    fn reduced_cost(&self, col: usize, cost: &[f64], y: &[f64]) -> f64 {
+        let ya = if col < self.n_structural {
+            self.csc.col_dot(col, y)
+        } else {
+            let (row, coef) = self.singleton[col];
+            coef * y[row]
+        };
+        cost[col] - ya
+    }
+
+    /// `y = c_Bᵀ B⁻¹` for the given cost vector.
+    fn duals_for(&self, cost: &[f64]) -> Vec<f64> {
+        let mut y: Vec<f64> = self.basis.iter().map(|&b| cost[b]).collect();
+        btran(&self.etas, &mut y);
+        y
+    }
+
+    /// Current objective `c_Bᵀ x_B`.
+    fn objective_for(&self, cost: &[f64]) -> f64 {
+        self.basis
+            .iter()
+            .zip(self.x_b.iter())
+            .map(|(&b, &x)| cost[b] * x)
+            .sum()
+    }
+
+    /// Ratio test on `self.work`; returns the blocking row, if any.
+    ///
+    /// Rows whose basic variable is an artificial pinned at zero (residual
+    /// within the phase-1 acceptance threshold) block at ratio 0 for
+    /// *either* sign of the pivot entry, which both keeps the artificial at
+    /// zero and drives it out of the basis — this replaces the dense
+    /// solver's explicit `drive_out_artificials` pass.  The caller zeroes
+    /// the pinned residual before pivoting (see [`Engine::optimize`]), so
+    /// the entering variable comes in at exactly zero.
+    fn ratio_test(&self) -> Option<usize> {
+        let tol = self.tol;
+        let mut pivot_row: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..self.m {
+            let wi = self.work[i];
+            let artificial_pinned_at_zero = self.x_b[i].abs() <= ARTIFICIAL_RESIDUAL
+                && self.kind[self.basis[i]] == ColKind::Artificial;
+            let ratio = if wi > tol {
+                let numerator = if artificial_pinned_at_zero {
+                    0.0
+                } else {
+                    self.x_b[i].max(0.0)
+                };
+                numerator / wi
+            } else if artificial_pinned_at_zero && wi < -tol {
+                0.0
+            } else {
+                continue;
+            };
+            let better = ratio < best_ratio - tol
+                || (ratio < best_ratio + tol
+                    && pivot_row.is_some_and(|r| self.basis[i] < self.basis[r]));
+            if better {
+                best_ratio = ratio;
+                pivot_row = Some(i);
+            }
+        }
+        pivot_row
+    }
+
+    /// Pivot `col` into basis position `row` using the entering column
+    /// currently held in `self.work`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot = self.work[row];
+        debug_assert!(pivot.abs() > 1e-12, "pivot element too small");
+        let theta = self.x_b[row] / pivot;
+        for i in 0..self.m {
+            if i != row && self.work[i] != 0.0 {
+                self.x_b[i] -= theta * self.work[i];
+                if self.x_b[i] < 0.0 && self.x_b[i] > -1e-9 {
+                    self.x_b[i] = 0.0;
+                }
+            }
+        }
+        self.x_b[row] = theta;
+        self.basis_replace(row, col);
+        if self.pivots_since_recompute >= 64 {
+            // Re-derive x_B = B⁻¹ b to keep incremental drift in check.
+            let mut xb = self.b.clone();
+            ftran(&self.etas, &mut xb);
+            self.x_b = xb;
+            self.pivots_since_recompute = 0;
+        }
+    }
+
+    /// Record the eta for the entering column held in `self.work` and swap
+    /// `col` into basis position `row` — bookkeeping only, `x_b` untouched.
+    fn basis_replace(&mut self, row: usize, col: usize) {
+        let pivot = self.work[row];
+        let entries: Vec<(usize, f64)> = (0..self.m)
+            .filter(|&i| i != row && self.work[i].abs() > 1e-12)
+            .map(|i| (i, self.work[i]))
+            .collect();
+        self.etas.push(Eta {
+            row,
+            pivot,
+            entries,
+        });
+        self.in_basis[self.basis[row]] = false;
+        self.in_basis[col] = true;
+        self.basis[row] = col;
+        self.pivots_since_recompute += 1;
+    }
+
+    /// Run simplex on `cost` until optimal/unbounded or the iteration cap.
+    ///
+    /// `allow_artificial_entering` is true only in phase 1.
+    fn optimize(
+        &mut self,
+        cost: &[f64],
+        max_iter: usize,
+        allow_artificial_entering: bool,
+    ) -> Result<Status, LpError> {
+        let tol = self.tol;
+        let mut stalled = 0usize;
+        let mut last_objective = self.objective_for(cost);
+        let bland_threshold = 2 * (self.m + self.n_cols);
+        let mut remaining = max_iter;
+        loop {
+            if remaining == 0 {
+                return Err(LpError::IterationLimit { limit: max_iter });
+            }
+            remaining -= 1;
+
+            let use_bland = stalled > bland_threshold;
+            let y = self.duals_for(cost);
+            let mut entering: Option<(usize, f64)> = None;
+            for col in 0..self.n_cols {
+                if self.in_basis[col] {
+                    continue;
+                }
+                if !allow_artificial_entering && self.kind[col] == ColKind::Artificial {
+                    continue;
+                }
+                let rc = self.reduced_cost(col, cost, &y);
+                if rc > tol {
+                    if use_bland {
+                        entering = Some((col, rc));
+                        break;
+                    }
+                    if entering.is_none_or(|(_, best)| rc > best) {
+                        entering = Some((col, rc));
+                    }
+                }
+            }
+            let Some((col, _)) = entering else {
+                return Ok(Status::Optimal);
+            };
+
+            self.column_into_work(col);
+            self.ftran_work();
+            let Some(row) = self.ratio_test() else {
+                return Ok(Status::Unbounded);
+            };
+            // A pinned artificial leaves at exactly zero: absorb its residual
+            // (already within the phase-1 feasibility slop) so the entering
+            // variable cannot come in negative via a negative pivot entry.
+            if self.kind[self.basis[row]] == ColKind::Artificial
+                && self.x_b[row].abs() <= ARTIFICIAL_RESIDUAL
+            {
+                self.x_b[row] = 0.0;
+            }
+            self.pivot(row, col);
+
+            let objective = self.objective_for(cost);
+            if objective > last_objective + tol {
+                stalled = 0;
+                last_objective = objective;
+            } else {
+                stalled += 1;
+            }
+        }
+    }
+}
+
+/// Solve `problem` with the sparse revised simplex.
+///
+/// Status classification, dual signs and the strong-duality identity
+/// `objective == Σ dualsᵢ · rhsᵢ` all match the dense solver.
+pub fn solve_sparse(problem: &Problem, options: &SolverOptions) -> Result<Solution, LpError> {
+    let n = problem.n_vars();
+    let m = problem.n_constraints();
+    // Floor the pivot tolerance: the ratio test only admits pivot entries
+    // larger than `tol`, and the eta factorization needs those entries
+    // comfortably away from zero.
+    let tol = options.tolerance.max(1e-12);
+
+    let sign = match problem.direction() {
+        Direction::Maximize => 1.0,
+        Direction::Minimize => -1.0,
+    };
+    let mut obj = vec![0.0; n];
+    for (j, c) in problem.objective().iter().enumerate() {
+        obj[j] = sign * c;
+    }
+
+    if m == 0 {
+        if obj.iter().any(|&c| c > tol) {
+            return Ok(Solution {
+                status: Status::Unbounded,
+                objective: f64::INFINITY * sign,
+                x: vec![0.0; n],
+                duals: vec![],
+                basis: vec![],
+            });
+        }
+        return Ok(Solution {
+            status: Status::Optimal,
+            objective: 0.0,
+            x: vec![0.0; n],
+            duals: vec![],
+            basis: vec![],
+        });
+    }
+
+    // Normalize rows so every RHS is non-negative, mirroring the dense path.
+    let mut row_flipped = vec![false; m];
+    let mut b = vec![0.0; m];
+    let mut senses = Vec::with_capacity(m);
+    let mut sparse_rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+    for (i, con) in problem.constraints().iter().enumerate() {
+        let flip = con.rhs < 0.0;
+        row_flipped[i] = flip;
+        let mult = if flip { -1.0 } else { 1.0 };
+        b[i] = mult * con.rhs;
+        senses.push(match (con.sense, flip) {
+            (Sense::Le, false) | (Sense::Ge, true) => Sense::Le,
+            (Sense::Ge, false) | (Sense::Le, true) => Sense::Ge,
+            (Sense::Eq, _) => Sense::Eq,
+        });
+        sparse_rows.push(con.coeffs.iter().map(|&(j, c)| (j, mult * c)).collect());
+    }
+    let csr = CsrMatrix::from_rows(n, &sparse_rows);
+    let csc = csr.to_csc();
+
+    // Column layout: structural, then one slack/surplus per Le/Ge row, then
+    // one artificial per Ge/Eq row — identical to the dense tableau.
+    let n_slack = senses.iter().filter(|s| **s != Sense::Eq).count();
+    let n_artificial = senses.iter().filter(|s| **s != Sense::Le).count();
+    let n_cols = n + n_slack + n_artificial;
+    let mut singleton = vec![(usize::MAX, 0.0); n_cols];
+    let mut kind = vec![ColKind::Structural; n_cols];
+    let mut basis = vec![usize::MAX; m];
+    let mut next_slack = n;
+    let mut next_artificial = n + n_slack;
+    for (i, sense) in senses.iter().enumerate() {
+        match sense {
+            Sense::Le => {
+                singleton[next_slack] = (i, 1.0);
+                kind[next_slack] = ColKind::Slack;
+                basis[i] = next_slack;
+                next_slack += 1;
+            }
+            Sense::Ge => {
+                singleton[next_slack] = (i, -1.0);
+                kind[next_slack] = ColKind::Slack;
+                next_slack += 1;
+                singleton[next_artificial] = (i, 1.0);
+                kind[next_artificial] = ColKind::Artificial;
+                basis[i] = next_artificial;
+                next_artificial += 1;
+            }
+            Sense::Eq => {
+                singleton[next_artificial] = (i, 1.0);
+                kind[next_artificial] = ColKind::Artificial;
+                basis[i] = next_artificial;
+                next_artificial += 1;
+            }
+        }
+    }
+    let mut in_basis = vec![false; n_cols];
+    for &col in &basis {
+        in_basis[col] = true;
+    }
+
+    let mut engine = Engine {
+        m,
+        n_structural: n,
+        n_cols,
+        csc,
+        singleton,
+        kind,
+        basis,
+        in_basis,
+        etas: Vec::new(),
+        x_b: b.clone(),
+        b,
+        tol,
+        work: vec![0.0; m],
+        pivots_since_recompute: 0,
+    };
+
+    // Per-phase iteration cap, matching the dense solver's semantics.
+    let max_iter = options
+        .max_iterations
+        .unwrap_or_else(|| 200 * (m + n_cols).max(100));
+
+    // Phase-2 cost vector over all columns.
+    let mut cost2 = vec![0.0; n_cols];
+    cost2[..n].copy_from_slice(&obj);
+
+    // Warm start: replay the previous basis while no artificials constrain
+    // us. Each warm `(row, column)` pair is pivoted back into its recorded
+    // row (skipping rows no longer held by an initial slack and pivots that
+    // have become numerically tiny), so re-solving the same LP reproduces
+    // the optimal vertex exactly and re-solving a perturbed one lands next
+    // to it. One feasibility check at the end either accepts the replayed
+    // basis or falls back to the cold slack start — this is immune to the
+    // degenerate-ratio wandering a feasibility-driven crash suffers on LPs
+    // whose RHS is mostly zero.
+    if n_artificial == 0 {
+        if let Some(warm) = &options.warm_start {
+            let initial_basis = engine.basis.clone();
+            let mut changed = false;
+            for &(row, col) in warm {
+                if col >= n
+                    || row >= m
+                    || engine.in_basis[col]
+                    || engine.kind[engine.basis[row]] != ColKind::Slack
+                {
+                    continue;
+                }
+                engine.column_into_work(col);
+                engine.ftran_work();
+                if engine.work[row].abs() > 1e-7 {
+                    engine.basis_replace(row, col);
+                    changed = true;
+                }
+            }
+            if changed {
+                let mut xb = engine.b.clone();
+                ftran(&engine.etas, &mut xb);
+                if xb.iter().all(|&v| v >= -1e-7) {
+                    engine.x_b = xb.into_iter().map(|v| v.max(0.0)).collect();
+                } else {
+                    // The old basis is infeasible for this RHS; start cold.
+                    engine.etas.clear();
+                    engine.in_basis.iter_mut().for_each(|v| *v = false);
+                    engine.basis = initial_basis;
+                    for &col in &engine.basis {
+                        engine.in_basis[col] = true;
+                    }
+                    engine.x_b = engine.b.clone();
+                }
+                engine.pivots_since_recompute = 0;
+            }
+        }
+    }
+
+    if n_artificial > 0 {
+        let cost1: Vec<f64> = engine
+            .kind
+            .iter()
+            .map(|k| if *k == ColKind::Artificial { -1.0 } else { 0.0 })
+            .collect();
+        match engine.optimize(&cost1, max_iter, true)? {
+            Status::Optimal => {
+                let phase1 = engine.objective_for(&cost1);
+                if phase1 < -1e-6 {
+                    return Ok(Solution {
+                        status: Status::Infeasible,
+                        objective: f64::NAN,
+                        x: vec![0.0; n],
+                        duals: vec![0.0; m],
+                        basis: vec![],
+                    });
+                }
+            }
+            // The phase-1 objective is bounded above by zero, so an
+            // "unbounded" here can only mean accumulated round-off let a
+            // sub-tolerance column pass the entering test; report it rather
+            // than panicking the caller.
+            Status::Unbounded => {
+                return Err(LpError::NumericalInstability {
+                    detail: "phase 1 reported an unbounded direction; \
+                             the dense fallback solver may succeed"
+                        .into(),
+                })
+            }
+            Status::Infeasible => unreachable!("optimize never returns Infeasible"),
+        }
+    }
+
+    let status = engine.optimize(&cost2, max_iter, false)?;
+    if status == Status::Unbounded {
+        return Ok(Solution {
+            status,
+            objective: f64::INFINITY * sign,
+            x: vec![0.0; n],
+            duals: vec![0.0; m],
+            basis: vec![],
+        });
+    }
+
+    // Primal solution.
+    let mut x = vec![0.0; n];
+    let mut structural_basis = Vec::new();
+    for (row, &col) in engine.basis.iter().enumerate() {
+        if col < n {
+            x[col] = engine.x_b[row];
+            structural_basis.push((row, col));
+        }
+    }
+    // Duals: y = c_Bᵀ B⁻¹; undo the row flip and the direction sign.
+    let y = engine.duals_for(&cost2);
+    let mut duals = vec![0.0; m];
+    for i in 0..m {
+        let mut v = y[i];
+        if row_flipped[i] {
+            v = -v;
+        }
+        duals[i] = sign * v;
+    }
+    let objective = sign * engine.objective_for(&cost2);
+
+    Ok(Solution {
+        status: Status::Optimal,
+        objective,
+        x,
+        duals,
+        basis: structural_basis,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+    use crate::simplex::SolverKind;
+
+    fn sparse_opts() -> SolverOptions {
+        SolverOptions {
+            solver: SolverKind::SparseRevised,
+            ..SolverOptions::default()
+        }
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn matches_textbook_maximization() {
+        let mut p = Problem::maximize(2);
+        p.set_objective(0, 3.0);
+        p.set_objective(1, 5.0);
+        p.add_constraint(&[(0, 1.0)], Sense::Le, 4.0);
+        p.add_constraint(&[(1, 2.0)], Sense::Le, 12.0);
+        p.add_constraint(&[(0, 3.0), (1, 2.0)], Sense::Le, 18.0);
+        let s = p.solve_with(&sparse_opts()).unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, 36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+        let dual_obj = s.duals[0] * 4.0 + s.duals[1] * 12.0 + s.duals[2] * 18.0;
+        assert_close(dual_obj, 36.0);
+        assert!(!s.basis.is_empty());
+    }
+
+    #[test]
+    fn handles_ge_and_eq_rows() {
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, 2.0);
+        p.set_objective(1, 3.0);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Sense::Ge, 4.0);
+        p.add_constraint(&[(0, 1.0), (1, 2.0)], Sense::Ge, 6.0);
+        let s = p.solve_with(&sparse_opts()).unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, 10.0);
+        assert_close(s.duals[0] * 4.0 + s.duals[1] * 6.0, 10.0);
+
+        let mut p = Problem::maximize(2);
+        p.set_objective(0, 1.0);
+        p.set_objective(1, 1.0);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Sense::Eq, 3.0);
+        p.add_constraint(&[(0, 1.0)], Sense::Le, 2.0);
+        let s = p.solve_with(&sparse_opts()).unwrap();
+        assert_close(s.objective, 3.0);
+    }
+
+    #[test]
+    fn classifies_infeasible_and_unbounded() {
+        let mut p = Problem::maximize(1);
+        p.set_objective(0, 1.0);
+        p.add_constraint(&[(0, 1.0)], Sense::Le, 1.0);
+        p.add_constraint(&[(0, 1.0)], Sense::Ge, 2.0);
+        assert_eq!(
+            p.solve_with(&sparse_opts()).unwrap().status,
+            Status::Infeasible
+        );
+
+        let mut p = Problem::maximize(1);
+        p.set_objective(0, 1.0);
+        p.add_constraint(&[(0, 1.0)], Sense::Ge, 1.0);
+        assert_eq!(
+            p.solve_with(&sparse_opts()).unwrap().status,
+            Status::Unbounded
+        );
+    }
+
+    #[test]
+    fn warm_start_reaches_the_same_optimum() {
+        let build = |cap: f64| {
+            let mut p = Problem::maximize(3);
+            for j in 0..3 {
+                p.set_objective(j, (j + 1) as f64);
+                p.add_constraint(&[(j, 1.0)], Sense::Le, cap);
+            }
+            p.add_constraint(&[(0, 1.0), (1, 1.0), (2, 1.0)], Sense::Le, 2.0 * cap);
+            p
+        };
+        let cold = build(5.0).solve_with(&sparse_opts()).unwrap();
+        let warm_opts = SolverOptions {
+            warm_start: Some(cold.basis.clone()),
+            ..sparse_opts()
+        };
+        let warm = build(6.0).solve_with(&warm_opts).unwrap();
+        let reference = build(6.0).solve_with(&sparse_opts()).unwrap();
+        assert_close(warm.objective, reference.objective);
+    }
+
+    #[test]
+    fn degenerate_beale_terminates() {
+        let mut p = Problem::maximize(4);
+        p.set_objective(0, 0.75);
+        p.set_objective(1, -150.0);
+        p.set_objective(2, 0.02);
+        p.set_objective(3, -6.0);
+        p.add_constraint(
+            &[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+            Sense::Le,
+            0.0,
+        );
+        p.add_constraint(
+            &[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+            Sense::Le,
+            0.0,
+        );
+        p.add_constraint(&[(2, 1.0)], Sense::Le, 1.0);
+        let s = p.solve_with(&sparse_opts()).unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, 0.05);
+    }
+}

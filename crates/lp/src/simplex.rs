@@ -16,6 +16,30 @@ pub enum Status {
     Unbounded,
 }
 
+/// Below this many constraint rows the dense tableau beats the revised
+/// method's per-iteration bookkeeping (measured crossover in
+/// `BENCH_lp.json`: dense wins up to ~65 rows, sparse from ~140), so
+/// [`SolverKind::Auto`] routes small LPs to the dense path.
+pub const DENSE_SMALL_LP_ROWS: usize = 100;
+
+/// Which simplex implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// Pick per problem (the default): the dense tableau for LPs under
+    /// [`DENSE_SMALL_LP_ROWS`] rows with no warm-start token, the sparse
+    /// revised simplex otherwise.
+    #[default]
+    Auto,
+    /// Sparse revised simplex with an eta-file basis inverse
+    /// ([`crate::revised::solve_sparse`]) — the scalable path, and the only
+    /// one that honours [`SolverOptions::warm_start`].
+    SparseRevised,
+    /// Dense two-phase tableau simplex ([`solve_dense`]), kept as a
+    /// cross-checking fallback; both solvers agree on status, objective and
+    /// the duality identity (enforced by property tests).
+    Dense,
+}
+
 /// Solver tuning knobs.
 #[derive(Debug, Clone)]
 pub struct SolverOptions {
@@ -24,6 +48,13 @@ pub struct SolverOptions {
     /// Hard cap on simplex iterations per phase; `None` derives a cap from
     /// the problem size.
     pub max_iterations: Option<usize>,
+    /// Simplex implementation to use.
+    pub solver: SolverKind,
+    /// `(row, structural column)` pairs that were basic in a previous solve
+    /// of a similarly-shaped problem (see [`Solution::basis`]); the sparse
+    /// solver replays them into the starting basis (ignored by the dense
+    /// solver, and ignored whenever the problem needs a phase 1).
+    pub warm_start: Option<Vec<(usize, usize)>>,
 }
 
 impl Default for SolverOptions {
@@ -31,6 +62,18 @@ impl Default for SolverOptions {
         SolverOptions {
             tolerance: 1e-9,
             max_iterations: None,
+            solver: SolverKind::default(),
+            warm_start: None,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Options selecting the dense tableau fallback.
+    pub fn dense() -> Self {
+        SolverOptions {
+            solver: SolverKind::Dense,
+            ..SolverOptions::default()
         }
     }
 }
@@ -53,6 +96,11 @@ pub struct Solution {
     /// For a minimization problem the duals are reported so that the same
     /// identity `objective == Σ duals[i] * rhs[i]` holds.
     pub duals: Vec<f64>,
+    /// `(row, structural variable)` pairs that are basic at the optimum,
+    /// usable as a [`SolverOptions::warm_start`] for a later,
+    /// similarly-shaped solve. Empty when the status is not
+    /// [`Status::Optimal`].
+    pub basis: Vec<(usize, usize)>,
 }
 
 impl Solution {
@@ -88,8 +136,30 @@ struct Tableau {
     tol: f64,
 }
 
-/// Solve `problem` with the given options.
+/// Solve `problem` with the given options, dispatching on
+/// [`SolverOptions::solver`].
 pub fn solve(problem: &Problem, options: &SolverOptions) -> Result<Solution, LpError> {
+    match options.solver {
+        SolverKind::Auto => {
+            if problem.n_constraints() < DENSE_SMALL_LP_ROWS && options.warm_start.is_none() {
+                solve_dense(problem, options)
+            } else {
+                // The dense tableau really is the fallback: if the sparse
+                // path degrades numerically, retry dense before giving up.
+                match crate::revised::solve_sparse(problem, options) {
+                    Err(LpError::NumericalInstability { .. }) => solve_dense(problem, options),
+                    other => other,
+                }
+            }
+        }
+        SolverKind::SparseRevised => crate::revised::solve_sparse(problem, options),
+        SolverKind::Dense => solve_dense(problem, options),
+    }
+}
+
+/// Solve `problem` with the dense two-phase tableau simplex (the
+/// cross-checking fallback; see [`SolverKind`]).
+pub fn solve_dense(problem: &Problem, options: &SolverOptions) -> Result<Solution, LpError> {
     let n = problem.n_vars();
     let m = problem.n_constraints();
     let tol = options.tolerance;
@@ -113,6 +183,7 @@ pub fn solve(problem: &Problem, options: &SolverOptions) -> Result<Solution, LpE
                 objective: f64::INFINITY * sign,
                 x: vec![0.0; n],
                 duals: vec![],
+                basis: vec![],
             });
         }
         return Ok(Solution {
@@ -120,6 +191,7 @@ pub fn solve(problem: &Problem, options: &SolverOptions) -> Result<Solution, LpE
             objective: 0.0,
             x: vec![0.0; n],
             duals: vec![],
+            basis: vec![],
         });
     }
 
@@ -141,6 +213,7 @@ pub fn solve(problem: &Problem, options: &SolverOptions) -> Result<Solution, LpE
                         objective: f64::NAN,
                         x: vec![0.0; n],
                         duals: vec![0.0; m],
+                        basis: vec![],
                     });
                 }
                 drive_out_artificials(&mut tab);
@@ -160,27 +233,30 @@ pub fn solve(problem: &Problem, options: &SolverOptions) -> Result<Solution, LpE
             objective: f64::INFINITY * sign,
             x: vec![0.0; n],
             duals: vec![0.0; m],
+            basis: vec![],
         });
     }
 
     // Extract primal solution.
     let mut x = vec![0.0; n];
+    let mut structural_basis = Vec::new();
     for (row, &b) in tab.basis.iter().enumerate() {
         if b < n {
             x[b] = tab.t.get(row, tab.n_cols - 1);
+            structural_basis.push((row, b));
         }
     }
     // Extract duals: y_i = (z_j - c_j) at row i's initial identity column
     // (its cost is zero in the phase-2 objective), negated when the row was
     // flipped to make its RHS non-negative, and re-signed for minimization.
     let mut duals = vec![0.0; m];
-    for i in 0..m {
+    for (i, d) in duals.iter_mut().enumerate() {
         let col = tab.init_basis_col[i];
         let mut y = tab.zrow[col];
         if tab.row_flipped[i] {
             y = -y;
         }
-        duals[i] = sign * y;
+        *d = sign * y;
     }
     let objective = sign * tab.zrow[tab.n_cols - 1];
 
@@ -189,6 +265,7 @@ pub fn solve(problem: &Problem, options: &SolverOptions) -> Result<Solution, LpE
         objective,
         x,
         duals,
+        basis: structural_basis,
     })
 }
 
@@ -278,8 +355,8 @@ fn build_tableau(problem: &Problem, obj: &[f64], tol: f64) -> Result<Tableau, Lp
         for (i, &b) in basis.iter().enumerate() {
             if is_artificial[b] {
                 // c_B[i] = -1 for this row's basic variable.
-                for j in 0..n_cols {
-                    zrow1[j] -= t.get(i, j);
+                for (j, z) in zrow1.iter_mut().enumerate() {
+                    *z -= t.get(i, j);
                 }
             }
         }
@@ -291,7 +368,11 @@ fn build_tableau(problem: &Problem, obj: &[f64], tol: f64) -> Result<Tableau, Lp
         }
     }
 
-    let zrow = if has_artificials { zrow1 } else { zrow2.clone() };
+    let zrow = if has_artificials {
+        zrow1
+    } else {
+        zrow2.clone()
+    };
 
     Ok(Tableau {
         t,
@@ -382,7 +463,7 @@ fn choose_entering(tab: &Tableau, phase1: bool, bland: bool) -> Option<usize> {
             if bland {
                 return Some(j);
             }
-            if best.map_or(true, |(_, b)| rc < b) {
+            if best.is_none_or(|(_, b)| rc < b) {
                 best = Some((j, rc));
             }
         }
@@ -565,8 +646,16 @@ mod tests {
         p.set_objective(1, -150.0);
         p.set_objective(2, 0.02);
         p.set_objective(3, -6.0);
-        p.add_constraint(&[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], Sense::Le, 0.0);
-        p.add_constraint(&[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], Sense::Le, 0.0);
+        p.add_constraint(
+            &[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+            Sense::Le,
+            0.0,
+        );
+        p.add_constraint(
+            &[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+            Sense::Le,
+            0.0,
+        );
         p.add_constraint(&[(2, 1.0)], Sense::Le, 1.0);
         let s = p.solve().unwrap();
         assert_eq!(s.status, Status::Optimal);
@@ -615,8 +704,7 @@ mod tests {
         // for all i < j and U ⊆ [n] \ {i, j}.
         for i in 0..n {
             for j in (i + 1)..n {
-                let others: Vec<usize> =
-                    (0..n).filter(|&k| k != i && k != j).collect();
+                let others: Vec<usize> = (0..n).filter(|&k| k != i && k != j).collect();
                 for sub in 0..(1usize << others.len()) {
                     let mut u = 0usize;
                     for (pos, &k) in others.iter().enumerate() {

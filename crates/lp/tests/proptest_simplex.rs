@@ -21,10 +21,7 @@ fn random_lp() -> impl Strategy<Value = RandomLp> {
         let obj = proptest::collection::vec(-5.0f64..5.0, n_vars);
         let upper = proptest::collection::vec(0.1f64..20.0, n_vars);
         let rows = proptest::collection::vec(
-            (
-                proptest::collection::vec(0.0f64..3.0, n_vars),
-                1.0f64..50.0,
-            ),
+            (proptest::collection::vec(0.0f64..3.0, n_vars), 1.0f64..50.0),
             0..5,
         );
         (obj, upper, rows).prop_map(move |(objective, upper, extra_rows)| RandomLp {
@@ -45,8 +42,7 @@ fn build(lp: &RandomLp) -> Problem {
         p.add_constraint(&[(j, 1.0)], Sense::Le, u);
     }
     for (coeffs, rhs) in &lp.extra_rows {
-        let sparse: Vec<(usize, f64)> =
-            coeffs.iter().enumerate().map(|(j, &c)| (j, c)).collect();
+        let sparse: Vec<(usize, f64)> = coeffs.iter().enumerate().map(|(j, &c)| (j, c)).collect();
         p.add_constraint(&sparse, Sense::Le, *rhs);
     }
     p

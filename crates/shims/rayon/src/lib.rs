@@ -1,0 +1,133 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so this shim implements the
+//! small slice of the rayon API the workspace uses — `par_iter()` /
+//! `into_par_iter()` on slices and vectors followed by `map(...).collect()`
+//! — on top of `std::thread::scope`. Items are split into one contiguous
+//! chunk per available core; `collect` preserves input order.
+//!
+//! It is a real data-parallel implementation (not a sequential fake), so
+//! `lpb-core`'s `BatchEstimator` genuinely fans out across cores, but it
+//! makes no attempt at rayon's work stealing: chunks are static. That is a
+//! good fit for batch bound computation, where items have similar cost.
+
+use std::num::NonZeroUsize;
+
+fn worker_count(items: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(items).max(1)
+}
+
+/// Run `f` over `items` with one thread per chunk, preserving order.
+fn parallel_map<T: Sync, O: Send, F>(items: &[T], f: F) -> Vec<O>
+where
+    F: Fn(&T) -> O + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count(n);
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let f = &f;
+    let mut parts: Vec<Vec<O>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| scope.spawn(move || slice.iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("parallel map worker panicked"));
+        }
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// A pending parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every item in parallel.
+    pub fn map<O: Send, F: Fn(&T) -> O + Sync>(self, f: F) -> ParMap<'a, T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<'a, T: Sync, O: Send, F: Fn(&T) -> O + Sync> ParMap<'a, T, F> {
+    /// Execute the map and gather the results in input order.
+    pub fn collect<C: From<Vec<O>>>(self) -> C {
+        C::from(parallel_map(self.items, self.f))
+    }
+}
+
+/// Conversion of a collection reference into a parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by the parallel iterator.
+    type Item: Sync + 'a;
+    /// Start a parallel iteration borrowing the collection.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+pub mod prelude {
+    //! Glob-importable parallel-iterator traits, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let input: Vec<u64> = Vec::new();
+        let out: Vec<u64> = input.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+    }
+}

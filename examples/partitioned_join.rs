@@ -59,9 +59,16 @@ fn main() -> Result<(), CoreError> {
     let plain = wcoj_count(&query, &catalog).expect("plain WCOJ");
 
     println!("\nTheorem 2.6 on the triangle query:");
-    println!("  ℓp bound                : 2^{:.2} = {:.0}", bound.log2_bound, bound.bound());
+    println!(
+        "  ℓp bound                : 2^{:.2} = {:.0}",
+        bound.log2_bound,
+        bound.bound()
+    );
     println!("  plain WCOJ output       : {plain}");
-    println!("  partitioned output      : {} ({} sub-queries)", run.output_size, run.sub_queries);
+    println!(
+        "  partitioned output      : {} ({} sub-queries)",
+        run.output_size, run.sub_queries
+    );
     println!("  largest sub-query output: {}", run.max_sub_output);
     assert_eq!(run.output_size, plain);
     assert!((run.output_size.max(1) as f64).log2() <= bound.log2_bound + 1e-9);

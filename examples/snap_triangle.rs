@@ -9,19 +9,28 @@
 use lpbound::datagen::{graph_catalog, snap_like_presets};
 use lpbound::exec::{path2_count, triangle_count};
 use lpbound::{
-    agm_bound, collect_simple_statistics, compute_bound, CollectConfig, Cone, CoreError,
-    JoinQuery, Norm,
+    agm_bound, collect_simple_statistics, compute_bound, CollectConfig, Cone, CoreError, JoinQuery,
+    Norm,
 };
 
 fn main() -> Result<(), CoreError> {
-    println!("{:<24} {:>10} {:>10} {:>10} {:>10}  query", "dataset", "{1}", "{1,inf}", "{2}", "ours");
+    println!(
+        "{:<24} {:>10} {:>10} {:>10} {:>10}  query",
+        "dataset", "{1}", "{1,inf}", "{2}", "ours"
+    );
     for preset in snap_like_presets(1) {
         let catalog = graph_catalog(&preset.config);
         let edge = catalog.get("E")?;
 
         for (query, truth) in [
-            (JoinQuery::triangle("E", "E", "E"), triangle_count(&edge).expect("binary")),
-            (JoinQuery::single_join("E", "E"), path2_count(&edge).expect("binary")),
+            (
+                JoinQuery::triangle("E", "E", "E"),
+                triangle_count(&edge).expect("binary"),
+            ),
+            (
+                JoinQuery::single_join("E", "E"),
+                path2_count(&edge).expect("binary"),
+            ),
         ] {
             let truth = truth.max(1) as f64;
             let stats =
@@ -32,7 +41,11 @@ fn main() -> Result<(), CoreError> {
                 &stats.filter_norms(|n| n == Norm::L1 || n == Norm::Infinity),
                 Cone::Polymatroid,
             )?;
-            let l2 = compute_bound(&query, &stats.filter_norms(|n| n == Norm::L2), Cone::Polymatroid)?;
+            let l2 = compute_bound(
+                &query,
+                &stats.filter_norms(|n| n == Norm::L2),
+                Cone::Polymatroid,
+            )?;
             let agm = agm_bound(&query, &catalog)?;
             println!(
                 "{:<24} {:>10.2} {:>10.2} {:>10.2} {:>10.2}  {}",

@@ -10,11 +10,11 @@
 //! ```
 
 use lpbound::core::example_6_7_database;
-use lpbound::{
-    worst_case_database, Atom, ConcreteStatistic, CoreError, JoinQuery, Norm, StatisticsSet,
-    true_cardinality,
-};
 use lpbound::entropy::{Conditional, VarSet};
+use lpbound::{
+    true_cardinality, worst_case_database, Atom, ConcreteStatistic, CoreError, JoinQuery, Norm,
+    StatisticsSet,
+};
 
 fn main() -> Result<(), CoreError> {
     // Example 6.7: triangle with unary atoms, ℓ4 statistics ‖deg‖₄⁴ ≤ B and
@@ -57,7 +57,11 @@ fn main() -> Result<(), CoreError> {
     // normal database from the optimal step-function coefficients.
     let wc = worst_case_database(&query, &stats)?;
     let achieved = true_cardinality(&query, &wc.catalog).expect("evaluates");
-    println!("polymatroid bound      : 2^{:.2} = {:.0}", wc.bound.log2_bound, wc.bound.bound());
+    println!(
+        "polymatroid bound      : 2^{:.2} = {:.0}",
+        wc.bound.log2_bound,
+        wc.bound.bound()
+    );
     println!(
         "worst-case |Q(D)|      : {} (within 2^{} of the bound — Corollary 6.3)",
         achieved,
@@ -76,6 +80,10 @@ fn main() -> Result<(), CoreError> {
     // The explicit diagonal construction of Example 6.7 matches.
     let (t, catalog) = example_6_7_database(b);
     let diag = true_cardinality(&query, &catalog).expect("evaluates");
-    println!("explicit diagonal T    : |T| = {}, |Q(D)| = {}", t.len(), diag);
+    println!(
+        "explicit diagonal T    : |T| = {}, |Q(D)| = {}",
+        t.len(),
+        diag
+    );
     Ok(())
 }

@@ -58,10 +58,9 @@ pub use lpb_exec as exec;
 pub use lpb_lp as lp;
 
 pub use lpb_core::{
-    agm_bound, collect_simple_statistics, compute_bound, dsb_bound, panda_bound,
-    textbook_estimate, worst_case_database, Atom, BoundResult, BoundStatus, CollectConfig,
-    ConcreteStatistic, Cone, CoreError, Estimator, JoinQuery, LpNormEstimator, StatisticsSet,
-    Witness,
+    agm_bound, collect_simple_statistics, compute_bound, dsb_bound, panda_bound, textbook_estimate,
+    worst_case_database, Atom, BoundResult, BoundStatus, CollectConfig, ConcreteStatistic, Cone,
+    CoreError, Estimator, JoinQuery, LpNormEstimator, StatisticsSet, Witness,
 };
 pub use lpb_data::{Catalog, DegreeSequence, Norm, Relation, RelationBuilder};
 pub use lpb_exec::true_cardinality;

@@ -12,9 +12,9 @@ use lpbound::exec::{
     PartitionSpec,
 };
 use lpbound::{
-    agm_bound, collect_simple_statistics, compute_bound, dsb_bound, panda_bound,
-    textbook_estimate, true_cardinality, worst_case_database, Atom, Catalog, CollectConfig, Cone,
-    JoinQuery, Norm, RelationBuilder,
+    agm_bound, collect_simple_statistics, compute_bound, dsb_bound, panda_bound, textbook_estimate,
+    true_cardinality, worst_case_database, Atom, Catalog, CollectConfig, Cone, JoinQuery, Norm,
+    RelationBuilder,
 };
 
 fn test_graph(seed: u64) -> Catalog {
@@ -61,8 +61,16 @@ fn bounds_are_sound_and_evaluators_agree() {
         let panda = panda_bound(&query, &catalog).unwrap();
 
         assert!(ours.log2_bound >= log2_truth - 1e-6, "{}", query.name());
-        assert!(ours.log2_bound <= panda.log2_bound + 1e-6, "{}", query.name());
-        assert!(panda.log2_bound <= agm.log2_bound + 1e-6, "{}", query.name());
+        assert!(
+            ours.log2_bound <= panda.log2_bound + 1e-6,
+            "{}",
+            query.name()
+        );
+        assert!(
+            panda.log2_bound <= agm.log2_bound + 1e-6,
+            "{}",
+            query.name()
+        );
 
         // The witness inequality certifies the bound: Σ wᵢbᵢ = log bound.
         let dual: f64 = ours
@@ -89,7 +97,11 @@ fn single_join_baseline_relationships() {
     let mut catalog = Catalog::new();
     catalog.insert(alpha_beta_relation(
         "R",
-        &AlphaBetaConfig { m: 2_000, alpha: 0.4, beta: 0.4 },
+        &AlphaBetaConfig {
+            m: 2_000,
+            alpha: 0.4,
+            beta: 0.4,
+        },
     ));
     let query = JoinQuery::single_join("R", "R");
     let truth = true_cardinality(&query, &catalog).unwrap() as f64;
@@ -97,8 +109,12 @@ fn single_join_baseline_relationships() {
     let dsb = dsb_bound(&query, &catalog).unwrap();
     let stats =
         collect_simple_statistics(&query, &catalog, &CollectConfig::with_max_norm(6)).unwrap();
-    let l2 = compute_bound(&query, &stats.filter_norms(|n| n == Norm::L2), Cone::Polymatroid)
-        .unwrap();
+    let l2 = compute_bound(
+        &query,
+        &stats.filter_norms(|n| n == Norm::L2),
+        Cone::Polymatroid,
+    )
+    .unwrap();
     let textbook = textbook_estimate(&query, &catalog).unwrap();
 
     assert!(dsb >= truth - 1e-6);
