@@ -4,17 +4,27 @@
 //! estimate.
 //!
 //! Besides the criterion groups, this bench runs a head-to-head comparison
-//! of the three bound paths and records it in `BENCH_lp.json` at the
-//! workspace root:
+//! of the bound paths and records it in `BENCH_lp.json` at the workspace
+//! root:
 //!
 //! * **dense rebuild** — the seed behaviour: regenerate every Shannon
 //!   elemental row and solve the dense two-phase tableau, per estimate;
 //! * **sparse + cached skeleton** — the current default `compute_bound`:
-//!   cached Shannon block + sparse revised simplex;
-//! * **sparse + warm start** — the same, warm-started from the previous
-//!   solve's basis (the `BatchEstimator` steady state);
+//!   cached Shannon block (shared CSC tail) + sparse revised simplex;
+//! * **sparse + basis replay** — the same, warm-started by replaying the
+//!   previous solve's basis token (kept as the historical comparison: the
+//!   replay is a throughput wash);
+//! * **dual warm start** — the `BatchEstimator` steady state: per-shape
+//!   factorization snapshots re-solved with dual pivots as the statistics'
+//!   log-bounds change (`dual_warm_us`, with `dual_vs_cold_ratio` < 1 the
+//!   acceptance bar);
 //!
 //! plus a sequential-vs-parallel `BatchEstimator` run over a mixed batch.
+//!
+//! Passing `--smoke` (the CI mode: `cargo bench --bench lp_scaling --
+//! --smoke`) runs the same code over the two smallest sizes with the same
+//! cross-checks but writes the JSON to a scratch path, so the emitter is
+//! exercised on every push without clobbering the committed trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lpb_core::{
@@ -88,14 +98,28 @@ struct ComparisonRow {
     dense_us: f64,
     sparse_us: f64,
     warm_us: f64,
+    dual_warm_us: f64,
 }
 
-fn comparison_table(c: &mut Criterion) -> Vec<ComparisonRow> {
+/// Same-shape items whose statistics differ only in their log-bounds (the
+/// RHS of the bound LP): the dual warm-start steady state.
+fn rhs_perturbed_items(q: &JoinQuery, stats: &StatisticsSet, count: usize) -> Vec<BatchItem> {
+    (0..count)
+        .map(|k| {
+            // Deterministic per-item scaling in [0.92, 1.08].
+            let factor = 1.0 + 0.02 * (k as f64 - (count as f64 - 1.0) / 2.0);
+            BatchItem::new(q.clone(), stats.amplify(factor))
+        })
+        .collect()
+}
+
+fn comparison_table(c: &mut Criterion, smoke: bool) -> Vec<ComparisonRow> {
     let catalog = catalog();
     let mut rows = Vec::new();
     let mut group = c.benchmark_group("dense_vs_sparse_polymatroid");
     group.sample_size(10);
-    for len in [2usize, 3, 4, 5, 6, 7] {
+    let lens: &[usize] = if smoke { &[2, 3] } else { &[2, 3, 4, 5, 6, 7] };
+    for &len in lens {
         let q = JoinQuery::path(&vec!["E"; len]);
         let n = q.n_vars();
         let stats =
@@ -129,6 +153,35 @@ fn comparison_table(c: &mut Criterion) -> Vec<ComparisonRow> {
         let warm_us = median_us(|| {
             compute_bound_with(&q, &stats, Cone::Polymatroid, &warm_opts).unwrap();
         });
+
+        // Dual warm starts: a sequential same-shape batch with perturbed
+        // log-bounds; the first item solves cold and publishes its
+        // factorization, the rest re-solve via dual pivots.  Cross-check
+        // against the cold path before timing.
+        let warm_items = rhs_perturbed_items(&q, &stats, 6);
+        let warm_est = BatchEstimator::new()
+            .sequential()
+            .with_cone(Cone::Polymatroid);
+        let cold_est = BatchEstimator::new()
+            .sequential()
+            .without_warm_start()
+            .with_cone(Cone::Polymatroid);
+        for (w, cold) in warm_est
+            .estimate(&warm_items)
+            .iter()
+            .zip(cold_est.estimate(&warm_items).iter())
+        {
+            let (w, cold) = (w.as_ref().unwrap(), cold.as_ref().unwrap());
+            assert!(
+                (w.log2_bound - cold.log2_bound).abs() <= 1e-6,
+                "n={n}: dual warm {} vs cold {}",
+                w.log2_bound,
+                cold.log2_bound
+            );
+        }
+        let dual_warm_us = median_us(|| {
+            warm_est.estimate(&warm_items);
+        }) / warm_items.len() as f64;
         group.bench_with_input(BenchmarkId::new("dense_rebuild", n), &n, |b, _| {
             b.iter(|| seed_dense_bound(n, &stats))
         });
@@ -147,6 +200,7 @@ fn comparison_table(c: &mut Criterion) -> Vec<ComparisonRow> {
             dense_us,
             sparse_us,
             warm_us,
+            dual_warm_us,
         });
     }
     group.finish();
@@ -157,14 +211,16 @@ struct BatchTiming {
     items: usize,
     sequential_ms: f64,
     parallel_ms: f64,
-    warm_ms: f64,
+    dual_warm_ms: f64,
 }
 
-fn batch_comparison() -> BatchTiming {
+fn batch_comparison(smoke: bool) -> BatchTiming {
     let catalog = catalog();
     let mut items = Vec::new();
-    for round in 0..8 {
-        for len in [3usize, 4, 5, 6] {
+    let rounds = if smoke { 2 } else { 8 };
+    let lens: &[usize] = if smoke { &[3, 4] } else { &[3, 4, 5, 6] };
+    for round in 0..rounds {
+        for &len in lens {
             let q = JoinQuery::path(&vec!["E"; len]);
             let stats = collect_simple_statistics(
                 &q,
@@ -175,40 +231,43 @@ fn batch_comparison() -> BatchTiming {
             items.push(BatchItem::new(q, stats));
         }
     }
-    let sequential = BatchEstimator::new().sequential();
+    let sequential = BatchEstimator::new().sequential().without_warm_start();
     let parallel = BatchEstimator::new();
-    let warm = BatchEstimator::new().sequential().with_warm_start();
+    let dual_warm = BatchEstimator::new().sequential();
     let sequential_ms = median_us(|| {
         sequential.estimate(&items);
     }) / 1e3;
     let parallel_ms = median_us(|| {
         parallel.estimate(&items);
     }) / 1e3;
-    let warm_ms = median_us(|| {
-        warm.estimate(&items);
+    let dual_warm_ms = median_us(|| {
+        dual_warm.estimate(&items);
     }) / 1e3;
     BatchTiming {
         items: items.len(),
         sequential_ms,
         parallel_ms,
-        warm_ms,
+        dual_warm_ms,
     }
 }
 
-fn write_bench_json(rows: &[ComparisonRow], batch: &BatchTiming) {
+fn write_bench_json(rows: &[ComparisonRow], batch: &BatchTiming, smoke: bool) {
     let mut out = String::from("{\n  \"bench\": \"lp_scaling\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"n_vars\": {}, \"n_stats\": {}, \"dense_rebuild_us\": {:.1}, \
              \"sparse_skeleton_us\": {:.1}, \"sparse_warm_us\": {:.1}, \
-             \"speedup_sparse\": {:.2}, \"speedup_warm\": {:.2}}}{}\n",
+             \"dual_warm_us\": {:.1}, \"speedup_sparse\": {:.2}, \
+             \"speedup_warm\": {:.2}, \"dual_vs_cold_ratio\": {:.3}}}{}\n",
             r.n_vars,
             r.n_stats,
             r.dense_us,
             r.sparse_us,
             r.warm_us,
+            r.dual_warm_us,
             r.dense_us / r.sparse_us,
             r.dense_us / r.warm_us,
+            r.dual_warm_us / r.sparse_us,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -216,17 +275,27 @@ fn write_bench_json(rows: &[ComparisonRow], batch: &BatchTiming) {
     let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     out.push_str(&format!(
         "  \"batch\": {{\"items\": {}, \"workers\": {}, \"sequential_ms\": {:.2}, \
-         \"parallel_ms\": {:.2}, \"warm_sequential_ms\": {:.2}, \
-         \"parallel_speedup\": {:.2}}}\n}}\n",
+         \"parallel_ms\": {:.2}, \"dual_warm_ms\": {:.2}, \
+         \"parallel_speedup\": {:.2}, \"dual_warm_speedup\": {:.2}}}\n}}\n",
         batch.items,
         workers,
         batch.sequential_ms,
         batch.parallel_ms,
-        batch.warm_ms,
-        batch.sequential_ms / batch.parallel_ms
+        batch.dual_warm_ms,
+        batch.sequential_ms / batch.parallel_ms,
+        batch.sequential_ms / batch.dual_warm_ms
     ));
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lp.json");
-    std::fs::write(path, &out).expect("write BENCH_lp.json");
+    // Smoke runs exercise the emitter end-to-end but must not overwrite the
+    // committed trajectory file with reduced-size numbers.
+    let path = if smoke {
+        std::env::temp_dir()
+            .join("BENCH_lp.smoke.json")
+            .to_string_lossy()
+            .into_owned()
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lp.json").to_string()
+    };
+    std::fs::write(&path, &out).expect("write BENCH_lp.json");
     println!("{out}");
     println!("wrote {path}");
 }
@@ -267,10 +336,13 @@ fn bench_norm_budget(c: &mut Criterion) {
 }
 
 fn bench(c: &mut Criterion) {
-    let rows = comparison_table(c);
-    let batch = batch_comparison();
-    write_bench_json(&rows, &batch);
-    bench_norm_budget(c);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let rows = comparison_table(c, smoke);
+    let batch = batch_comparison(smoke);
+    write_bench_json(&rows, &batch, smoke);
+    if !smoke {
+        bench_norm_budget(c);
+    }
 }
 
 criterion_group! {

@@ -1,25 +1,38 @@
-//! Regression tests for the sparse-solver/cached-skeleton bound path on the
-//! e1–e8 experiment query shapes.
+//! The LP test battery: regression and property tests locking down the
+//! sparse solver, the cached skeletons (Shannon shared tail + normal-cone
+//! step blocks) and the dual-simplex warm-start path, over the e1–e8
+//! experiment query shapes and random LP corpora.
 //!
-//! Three invariants per (query, statistics) pair:
+//! Invariants:
 //!
 //! 1. the sparse revised solver and the dense tableau solver agree on the
 //!    `log₂` bound to `1e-6` (acceptance criterion of the sparse-solver PR);
 //! 2. a second solve through the globally cached Shannon skeleton (and the
 //!    `BatchEstimator`'s warm-started path) equals the from-scratch bound;
-//! 3. the witness stays a valid dual: `Σ wᵢ·bᵢ == log₂ bound`.
+//! 3. the witness stays a valid dual: `Σ wᵢ·bᵢ == log₂ bound`;
+//! 4. the normal-cone skeleton path is **bit-for-bit** identical to the
+//!    direct per-column step-function enumeration it replaced;
+//! 5. `Cone::Normal ≤ Cone::Polymatroid` never inverts (`Nₙ ⊆ Γₙ`);
+//! 6. dual-simplex re-solves from a `WarmHandle` after arbitrary RHS
+//!    perturbations agree with cold primal solves on status, objective and
+//!    the strong-duality identity, across feasible, infeasible and
+//!    unbounded instances.
 
 use lpb_bench::experiments::e7_nonshannon;
 use lpb_core::{
     collect_simple_statistics, compute_bound, compute_bound_with, BatchEstimator, BatchItem,
-    BoundOptions, CollectConfig, Cone, JoinQuery, StatisticsSet,
+    BoundOptions, CollectConfig, Conditional, Cone, JoinQuery, Norm, StatisticsSet, VarSet,
 };
 use lpb_data::Catalog;
 use lpb_datagen::{
     alpha_beta_relation, graph_catalog, job_like_catalog, job_like_queries, AlphaBetaConfig,
     JobLikeConfig, PowerLawGraphConfig,
 };
-use lpb_lp::SolverKind;
+use lpb_entropy::{step_conditional, step_value};
+use lpb_lp::{
+    solve_sparse, solve_sparse_with_handle, Problem, Sense, SolverKind, SolverOptions, Status,
+};
+use proptest::prelude::*;
 
 fn graph() -> Catalog {
     graph_catalog(&PowerLawGraphConfig {
@@ -169,5 +182,257 @@ fn batch_estimator_matches_single_estimates_on_experiment_queries() {
             got.log2_bound,
             single.log2_bound
         );
+    }
+}
+
+/// Rebuild the normal-cone LP the way the seed did — one `step_value` /
+/// `step_conditional` evaluation per (column, statistic) pair — to pin the
+/// skeleton path bit-for-bit.
+fn direct_normal_problem(n: usize, stats: &StatisticsSet) -> Problem {
+    let n_subsets = (1usize << n) - 1;
+    let var_of = |s: VarSet| -> usize { s.index() - 1 };
+    let mut p = Problem::maximize(n_subsets);
+    for mask in 1..=n_subsets {
+        p.set_objective(mask - 1, 1.0);
+    }
+    for s in stats.iter() {
+        let u = s.stat.conditional.u;
+        let v = s.stat.conditional.v;
+        let inv_p = s.stat.norm.reciprocal();
+        let mut coeffs: Vec<(usize, f64)> = Vec::new();
+        for mask in 1u32..=(n_subsets as u32) {
+            let w = VarSet(mask);
+            let c = inv_p * step_value(w, u) + step_conditional(w, v, u);
+            if c != 0.0 {
+                coeffs.push((var_of(w), c));
+            }
+        }
+        p.add_constraint(&coeffs, Sense::Le, s.log_bound);
+    }
+    p
+}
+
+/// The normal-cone skeleton path must reproduce the direct (non-skeleton)
+/// construction bit-for-bit on the e1–e8 corpus: identical status, `log₂`
+/// bound and witness weights, compared with exact `==`.
+#[test]
+fn normal_cone_skeleton_is_bit_for_bit_with_direct_construction() {
+    let mut checked = 0usize;
+    for (name, query, stats) in &experiment_cases() {
+        let n = query.n_vars();
+        if n > lpb_core::NORMAL_VAR_LIMIT {
+            continue;
+        }
+        let skeleton = compute_bound(query, stats, Cone::Normal)
+            .unwrap_or_else(|e| panic!("{name}: normal solve failed: {e}"));
+        let direct_sol = direct_normal_problem(n, stats)
+            .solve()
+            .unwrap_or_else(|e| panic!("{name}: direct normal solve failed: {e}"));
+        match skeleton.status {
+            lpb_core::BoundStatus::Bounded => {
+                assert_eq!(direct_sol.status, Status::Optimal, "{name}");
+                assert_eq!(
+                    skeleton.log2_bound, direct_sol.objective,
+                    "{name}: skeleton bound differs from direct construction"
+                );
+                for (i, w) in skeleton.witness.weights.iter().enumerate() {
+                    let direct_w = direct_sol.duals.get(i).copied().unwrap_or(0.0).max(0.0);
+                    assert_eq!(*w, direct_w, "{name}: witness weight {i}");
+                }
+            }
+            lpb_core::BoundStatus::Unbounded => {
+                assert_eq!(direct_sol.status, Status::Unbounded, "{name}");
+            }
+        }
+        checked += 1;
+    }
+    assert!(checked >= 14, "expected a broad normal-cone case set");
+}
+
+/// `Nₙ ⊆ Γₙ`, so maximizing over the normal cone can never exceed the
+/// polymatroid bound — checked across the experiment corpus.
+#[test]
+fn normal_bound_never_exceeds_polymatroid_on_experiment_queries() {
+    for (name, query, stats) in &experiment_cases() {
+        let n = query.n_vars();
+        if n > lpb_core::POLYMATROID_VAR_LIMIT || n > lpb_core::NORMAL_VAR_LIMIT {
+            continue;
+        }
+        let normal = compute_bound(query, stats, Cone::Normal).unwrap();
+        let poly = compute_bound(query, stats, Cone::Polymatroid).unwrap();
+        if poly.is_bounded() {
+            assert!(
+                normal.is_bounded(),
+                "{name}: normal unbounded while polymatroid is bounded"
+            );
+            assert!(
+                normal.log2_bound <= poly.log2_bound + 1e-6,
+                "{name}: normal {} > polymatroid {}",
+                normal.log2_bound,
+                poly.log2_bound
+            );
+        }
+    }
+}
+
+/// A random all-`≤` LP with non-negative RHS (so the cold solve needs no
+/// phase 1 and yields a `WarmHandle` when bounded) plus a signed RHS
+/// perturbation that can make the re-solved instance infeasible.
+#[derive(Debug, Clone)]
+struct PerturbedLp {
+    n_vars: usize,
+    objective: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>,
+    deltas: Vec<f64>,
+}
+
+fn perturbed_lp() -> impl Strategy<Value = PerturbedLp> {
+    (1usize..5).prop_flat_map(|n_vars| {
+        let obj = proptest::collection::vec(-4.0f64..4.0, n_vars);
+        let rows = proptest::collection::vec(
+            (
+                proptest::collection::vec(-3.0f64..3.0, n_vars),
+                0.0f64..10.0,
+            ),
+            1..6,
+        );
+        (obj, rows).prop_flat_map(move |(objective, rows)| {
+            let n_rows = rows.len();
+            let rows_for_map = rows;
+            let obj_for_map = objective;
+            proptest::collection::vec(-6.0f64..6.0, n_rows).prop_map(move |deltas| PerturbedLp {
+                n_vars,
+                objective: obj_for_map.clone(),
+                rows: rows_for_map.clone(),
+                deltas,
+            })
+        })
+    })
+}
+
+fn build_le_problem(n_vars: usize, objective: &[f64], rows: &[(Vec<f64>, f64)]) -> Problem {
+    let mut p = Problem::maximize(n_vars);
+    for (j, &c) in objective.iter().enumerate() {
+        p.set_objective(j, c);
+    }
+    for (coeffs, rhs) in rows {
+        let sparse: Vec<(usize, f64)> = coeffs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c != 0.0)
+            .map(|(j, &c)| (j, c))
+            .collect();
+        p.add_constraint(&sparse, Sense::Le, *rhs);
+    }
+    p
+}
+
+fn dual_objective(p: &Problem, duals: &[f64]) -> f64 {
+    p.constraints()
+        .iter()
+        .zip(duals)
+        .map(|(c, d)| c.rhs * d)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Dual-simplex re-solves after random RHS perturbations agree with a
+    /// cold primal solve on status, objective (to 1e-6) and the duals'
+    /// strong-duality identity — across feasible, infeasible and unbounded
+    /// instances (unbounded originals yield no handle; perturbed instances
+    /// may turn infeasible via negative RHS).
+    #[test]
+    fn dual_resolve_agrees_with_cold_solve(lp in perturbed_lp()) {
+        let sparse = SolverOptions {
+            solver: SolverKind::SparseRevised,
+            ..SolverOptions::default()
+        };
+        let base = build_le_problem(lp.n_vars, &lp.objective, &lp.rows);
+        let (base_sol, handle) = solve_sparse_with_handle(&base, &sparse).unwrap();
+        if base_sol.status != Status::Optimal {
+            prop_assert_eq!(base_sol.status, Status::Unbounded);
+            prop_assert!(handle.is_none(), "non-optimal solves must not yield handles");
+            return Ok(());
+        }
+        let handle = handle.expect("optimal artificial-free solve yields a handle");
+
+        let perturbed_rows: Vec<(Vec<f64>, f64)> = lp
+            .rows
+            .iter()
+            .zip(&lp.deltas)
+            .map(|((coeffs, rhs), d)| (coeffs.clone(), rhs + d))
+            .collect();
+        let perturbed = build_le_problem(lp.n_vars, &lp.objective, &perturbed_rows);
+        prop_assert!(handle.matches(&perturbed));
+        let warm = handle.resolve(&perturbed, &sparse).unwrap();
+        let cold = solve_sparse(&perturbed, &sparse).unwrap();
+
+        prop_assert_eq!(warm.status, cold.status,
+            "status mismatch on {:?}", lp);
+        if cold.status == Status::Optimal {
+            prop_assert!(
+                (warm.objective - cold.objective).abs() <= 1e-6 * (1.0 + cold.objective.abs()),
+                "objective mismatch: warm {} vs cold {}", warm.objective, cold.objective);
+            for (label, sol) in [("warm", &warm), ("cold", &cold)] {
+                let gap = (dual_objective(&perturbed, &sol.duals) - sol.objective).abs();
+                prop_assert!(gap <= 1e-5 * (1.0 + sol.objective.abs()),
+                    "{} duals violate strong duality: gap {}", label, gap);
+            }
+        }
+    }
+
+    /// On random simple statistics over path queries, the normal-cone bound
+    /// never exceeds the polymatroid bound, and the two agree (Theorem 6.1)
+    /// when both are finite.
+    #[test]
+    fn normal_polymatroid_order_on_random_simple_statistics(
+        len in 2usize..5,
+        bounds in proptest::collection::vec(0.5f64..8.0, 12),
+        norm_picks in proptest::collection::vec(0u8..4, 12),
+    ) {
+        let q = JoinQuery::path(&vec!["E"; len]);
+        let mut stats = StatisticsSet::new();
+        let mut k = 0usize;
+        for atom in 0..q.n_atoms() {
+            let vars: Vec<usize> = q.atom_vars(atom).iter().collect();
+            prop_assert_eq!(vars.len(), 2);
+            // A cardinality statistic plus a degree statistic per atom, with
+            // proptest-chosen norms and log-bounds.
+            stats.push(lpb_core::ConcreteStatistic::new(
+                Conditional::new(q.atom_vars(atom), VarSet::EMPTY),
+                Norm::L1,
+                atom,
+                bounds[k % bounds.len()],
+            ));
+            k += 1;
+            let norm = match norm_picks[k % norm_picks.len()] {
+                0 => Norm::L1,
+                1 => Norm::L2,
+                2 => Norm::finite(4.0),
+                _ => Norm::Infinity,
+            };
+            stats.push(lpb_core::ConcreteStatistic::new(
+                Conditional::new(VarSet::singleton(vars[1]), VarSet::singleton(vars[0])),
+                norm,
+                atom,
+                bounds[k % bounds.len()] / 2.0,
+            ));
+            k += 1;
+        }
+        prop_assert!(stats.is_simple());
+        let normal = compute_bound(&q, &stats, Cone::Normal).unwrap();
+        let poly = compute_bound(&q, &stats, Cone::Polymatroid).unwrap();
+        prop_assert_eq!(normal.is_bounded(), poly.is_bounded());
+        if poly.is_bounded() {
+            prop_assert!(normal.log2_bound <= poly.log2_bound + 1e-6,
+                "normal {} > polymatroid {}", normal.log2_bound, poly.log2_bound);
+            // Theorem 6.1: equality for simple statistics.
+            prop_assert!((normal.log2_bound - poly.log2_bound).abs()
+                <= 1e-6 * (1.0 + poly.log2_bound.abs()),
+                "Theorem 6.1 violated: normal {} vs polymatroid {}",
+                normal.log2_bound, poly.log2_bound);
+        }
     }
 }

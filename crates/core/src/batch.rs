@@ -6,17 +6,28 @@
 //! once:
 //!
 //! * items are fanned out across cores with `rayon`'s parallel iterators;
-//! * all items share the globally cached Shannon skeletons of
-//!   [`crate::skeleton`], so the exponential row block for each variable
-//!   count is built at most once per process;
-//! * optionally ([`BatchEstimator::with_warm_start`]), the optimal basis of
-//!   each solved LP is published (per variable count, cone and statistic
-//!   count) as a warm start for subsequent same-shaped items.  Warm
-//!   starting is **off by default**: on the current basis-replay
-//!   implementation the measured cost of replaying the old basis matches
-//!   the cost of just re-solving (see `BENCH_lp.json`), so it is exposed
-//!   for experimentation, not as a default win — `ROADMAP.md` tracks the
-//!   dual-simplex follow-up that would change that.
+//! * all items share the globally cached Shannon and step-function
+//!   skeletons of [`crate::skeleton`], so the exponential row block for
+//!   each variable count is built at most once per process;
+//! * **warm starting is on by default**: the first solve of each LP
+//!   *shape* publishes a [`lpb_lp::WarmHandle`] — a snapshot of the
+//!   factorized simplex engine at the optimum — and every later item of
+//!   the same shape re-solves from it with a single FTRAN plus a few dual
+//!   pivots instead of a cold solve (measured well under the cold cost;
+//!   see `BENCH_lp.json`, `dual_warm_us` vs `sparse_skeleton_us`).
+//!
+//! Shapes are keyed by the **full statistic shape** — variable count, cone,
+//! and the multiset of `(conditioning set, dependent set, norm)` triples —
+//! not merely by the statistic *count*: two LPs share a key exactly when
+//! their constraint matrices are identical up to row order, and only the
+//! right-hand sides (the statistics' log-bounds) differ — the precondition
+//! for dual warm starts.  A same-key collision that nevertheless produces a
+//! different matrix (the key sorts the multiset, but rows follow statistic
+//! *order*) is caught by the handle's exact matrix comparison: the item is
+//! solved cold and its handle replaces the stale one, so results never
+//! depend on the cache.  Negative log-bounds pass the matrix check
+//! unchanged (they alter only `b`) and are absorbed by the dual pivots
+//! themselves, including their infeasibility certificate.
 //!
 //! ```
 //! use lpb_core::{BatchEstimator, BatchItem, CollectConfig, JoinQuery};
@@ -43,22 +54,51 @@
 //! }
 //! ```
 
-use crate::bound_lp::{compute_bound_with, BoundOptions, BoundResult, Cone};
+use crate::bound_lp::{
+    build_bound_problem, compute_bound_with, solution_to_result, validate_guards, BoundOptions,
+    BoundResult, Cone,
+};
 use crate::error::CoreError;
 use crate::query::JoinQuery;
 use crate::statistics::StatisticsSet;
-use lpb_lp::SolverKind;
+use lpb_lp::{solve_sparse_with_handle, LpError, SolverKind, SolverOptions, WarmHandle};
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-/// Warm-start cache key: `(variable count, cone name, statistic count)`.
-/// The statistic count matters because the polymatroid LP puts statistic
-/// rows first — a basis token recorded against a different count would
-/// replay columns into rows that mean different constraints.
-type LpShape = (usize, &'static str, usize);
-/// A warm-start token (see [`BoundResult::warm_basis`]).
-type WarmBasis = Vec<(usize, usize)>;
+/// Warm-start cache key: the variable count, the cone, and the sorted
+/// multiset of statistic shapes `(U mask, V mask, norm bits)`.  Two items
+/// with equal keys instantiate LPs over the same columns with the same
+/// objective and — up to row order and right-hand sides — the same
+/// constraint matrix, so a [`WarmHandle`] recorded under the key is
+/// (almost always; see the module docs) directly reusable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct LpShape {
+    n_vars: usize,
+    cone: &'static str,
+    stats: Vec<(u32, u32, u64)>,
+}
+
+impl LpShape {
+    fn of(n_vars: usize, cone: Cone, stats: &StatisticsSet) -> LpShape {
+        let mut shapes: Vec<(u32, u32, u64)> = stats
+            .iter()
+            .map(|s| {
+                let norm_bits = match s.stat.norm {
+                    lpb_data::Norm::Finite(p) => p.to_bits(),
+                    lpb_data::Norm::Infinity => u64::MAX,
+                };
+                (s.stat.conditional.u.0, s.stat.conditional.v.0, norm_bits)
+            })
+            .collect();
+        shapes.sort_unstable();
+        LpShape {
+            n_vars,
+            cone: cone.name(),
+            stats: shapes,
+        }
+    }
+}
 
 /// One unit of work for [`BatchEstimator::estimate`].
 #[derive(Debug, Clone)]
@@ -77,7 +117,7 @@ impl BatchItem {
 }
 
 /// Evaluates many bound computations in parallel with shared skeleton and
-/// warm-start caches; see the module docs for an example.
+/// dual warm-start caches; see the module docs for an example.
 #[derive(Debug, Clone)]
 pub struct BatchEstimator {
     cone: Option<Cone>,
@@ -92,15 +132,15 @@ impl Default for BatchEstimator {
             cone: None,
             solver: SolverKind::default(),
             parallel: true,
-            warm_start: false,
+            warm_start: true,
         }
     }
 }
 
 impl BatchEstimator {
-    /// An estimator with automatic cone selection, the sparse solver and
-    /// parallel execution (warm starting off; see
-    /// [`with_warm_start`](Self::with_warm_start)).
+    /// An estimator with automatic cone selection, the sparse solver,
+    /// parallel execution and dual warm starting (see
+    /// [`without_warm_start`](Self::without_warm_start) to disable).
     pub fn new() -> Self {
         Self::default()
     }
@@ -111,7 +151,9 @@ impl BatchEstimator {
         self
     }
 
-    /// Use a specific LP solver (e.g. [`SolverKind::Dense`] to cross-check).
+    /// Use a specific LP solver (e.g. [`SolverKind::Dense`] to cross-check;
+    /// the dense solver has no factorization snapshot, so warm starting is
+    /// bypassed for it).
     pub fn with_solver(mut self, solver: SolverKind) -> Self {
         self.solver = solver;
         self
@@ -124,13 +166,17 @@ impl BatchEstimator {
         self
     }
 
-    /// Enable cross-item warm starting: publish each solved LP's basis per
-    /// shape and replay it into later same-shaped solves.  Results are
-    /// unchanged either way (a mismatched basis is rejected by the solver's
-    /// feasibility check); on the current replay implementation this is a
-    /// wash on throughput, so it is opt-in.
+    /// Enable cross-item warm starting (the default; see the module docs).
     pub fn with_warm_start(mut self) -> Self {
         self.warm_start = true;
+        self
+    }
+
+    /// Disable cross-item warm starting: every item is solved cold.  Useful
+    /// for benchmarking the warm-start win and as the reference path in
+    /// correctness tests — results are identical either way.
+    pub fn without_warm_start(mut self) -> Self {
+        self.warm_start = false;
         self
     }
 
@@ -140,34 +186,63 @@ impl BatchEstimator {
     /// inconsistent statistics) are reported positionally and do not abort
     /// the rest of the batch.
     pub fn estimate(&self, items: &[BatchItem]) -> Vec<Result<BoundResult, CoreError>> {
-        // Last known-good basis per LP shape (variable count + cone).
-        let warm_cache: Mutex<HashMap<LpShape, WarmBasis>> = Mutex::new(HashMap::new());
+        // Factorization snapshot per LP shape, published by the first item
+        // of each shape to solve and reused by the rest.
+        let warm_cache: Mutex<HashMap<LpShape, Arc<WarmHandle>>> = Mutex::new(HashMap::new());
         let run_one = |item: &BatchItem| -> Result<BoundResult, CoreError> {
             let cone = self
                 .cone
                 .unwrap_or_else(|| Cone::auto(&item.query, &item.stats));
-            let shape = (item.query.n_vars(), cone.name(), item.stats.len());
-            let warm = if self.warm_start {
-                warm_cache
-                    .lock()
-                    .expect("warm-start cache poisoned")
-                    .get(&shape)
-                    .cloned()
-            } else {
-                None
-            };
-            let options = BoundOptions {
-                solver: self.solver,
-                warm_start: warm,
-            };
-            let result = compute_bound_with(&item.query, &item.stats, cone, &options)?;
-            if self.warm_start && !result.warm_basis.is_empty() {
-                warm_cache
-                    .lock()
-                    .expect("warm-start cache poisoned")
-                    .insert(shape, result.warm_basis.clone());
+            if !self.warm_start || self.solver == SolverKind::Dense {
+                let options = BoundOptions {
+                    solver: self.solver,
+                    warm_start: None,
+                };
+                return compute_bound_with(&item.query, &item.stats, cone, &options);
             }
-            Ok(result)
+
+            validate_guards(&item.query, &item.stats)?;
+            let problem = build_bound_problem(item.query.n_vars(), &item.stats, cone)?;
+            let shape = LpShape::of(item.query.n_vars(), cone, &item.stats);
+            let handle = warm_cache
+                .lock()
+                .expect("warm-start cache poisoned")
+                .get(&shape)
+                .cloned();
+            let lp_options = SolverOptions {
+                solver: SolverKind::SparseRevised,
+                ..SolverOptions::default()
+            };
+            let solved = match &handle {
+                // The handle re-solves from the cached factorization with
+                // dual pivots.  On a matrix mismatch (same multiset key,
+                // differently ordered rows) solve cold instead and let the
+                // fresh handle replace the stale one below.
+                Some(h) if h.matches(&problem) => {
+                    h.resolve(&problem, &lp_options).map(|sol| (sol, None))
+                }
+                _ => solve_sparse_with_handle(&problem, &lp_options),
+            };
+            let (solution, new_handle) = match solved {
+                Ok(ok) => ok,
+                // Mirror `SolverKind::Auto`: if the sparse path degrades
+                // numerically, the dense tableau is the authority.
+                Err(LpError::NumericalInstability { .. }) => {
+                    let options = BoundOptions {
+                        solver: SolverKind::Dense,
+                        warm_start: None,
+                    };
+                    return compute_bound_with(&item.query, &item.stats, cone, &options);
+                }
+                Err(e) => return Err(e.into()),
+            };
+            if let Some(new_handle) = new_handle {
+                warm_cache
+                    .lock()
+                    .expect("warm-start cache poisoned")
+                    .insert(shape, Arc::new(new_handle));
+            }
+            solution_to_result(&solution, &item.stats, cone)
         };
         if self.parallel && items.len() > 1 {
             items.par_iter().map(run_one).collect()
@@ -182,7 +257,9 @@ mod tests {
     use super::*;
     use crate::collect::{collect_simple_statistics, CollectConfig};
     use crate::compute_bound;
-    use lpb_data::{Catalog, RelationBuilder};
+    use crate::statistics::ConcreteStatistic;
+    use lpb_data::{Catalog, Norm, RelationBuilder};
+    use lpb_entropy::Conditional;
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
@@ -235,15 +312,15 @@ mod tests {
     }
 
     #[test]
-    fn sequential_parallel_warm_and_dense_all_agree() {
+    fn sequential_parallel_warm_cold_and_dense_all_agree() {
         let items = items();
         let parallel = BatchEstimator::new().estimate(&items);
         let sequential = BatchEstimator::new().sequential().estimate(&items);
-        let warm = BatchEstimator::new().with_warm_start().estimate(&items);
+        let cold = BatchEstimator::new().without_warm_start().estimate(&items);
         let dense = BatchEstimator::new()
             .with_solver(SolverKind::Dense)
             .estimate(&items);
-        for (((p, s), c), d) in parallel.iter().zip(&sequential).zip(&warm).zip(&dense) {
+        for (((p, s), c), d) in parallel.iter().zip(&sequential).zip(&cold).zip(&dense) {
             let (p, s, c, d) = (
                 p.as_ref().unwrap(),
                 s.as_ref().unwrap(),
@@ -253,6 +330,88 @@ mod tests {
             assert!((p.log2_bound - s.log2_bound).abs() < 1e-6);
             assert!((p.log2_bound - c.log2_bound).abs() < 1e-6);
             assert!((p.log2_bound - d.log2_bound).abs() < 1e-6);
+        }
+    }
+
+    /// Same statistic *count* but different norm multisets must not share a
+    /// warm-start entry: a heterogeneous batch alternating between the two
+    /// shapes equals the cold sequential reference on every item.
+    #[test]
+    fn shape_key_separates_same_count_different_norms() {
+        let catalog = catalog();
+        let query = JoinQuery::path(&["E"; 3]);
+        let base =
+            collect_simple_statistics(&query, &catalog, &CollectConfig::with_max_norm(2)).unwrap();
+        // A second statistics set with the same length but one norm swapped
+        // from ℓ2 to ℓ3: same #stats, different shape, different matrix.
+        let mut swapped_stats: Vec<ConcreteStatistic> = base.as_slice().to_vec();
+        let swap_at = swapped_stats
+            .iter()
+            .position(|s| s.stat.norm == Norm::L2)
+            .expect("harvest includes an ℓ2 statistic");
+        swapped_stats[swap_at] = ConcreteStatistic::new(
+            Conditional::new(
+                swapped_stats[swap_at].stat.conditional.v,
+                swapped_stats[swap_at].stat.conditional.u,
+            ),
+            Norm::finite(3.0),
+            swapped_stats[swap_at].stat.guard_atom,
+            swapped_stats[swap_at].log_bound,
+        );
+        let swapped = StatisticsSet::from_vec(swapped_stats);
+        assert_eq!(base.len(), swapped.len());
+        assert_ne!(
+            LpShape::of(query.n_vars(), Cone::Polymatroid, &base),
+            LpShape::of(query.n_vars(), Cone::Polymatroid, &swapped),
+            "different norm multisets must produce different shape keys"
+        );
+
+        let mut items = Vec::new();
+        for _ in 0..3 {
+            items.push(BatchItem::new(query.clone(), base.clone()));
+            items.push(BatchItem::new(query.clone(), swapped.clone()));
+        }
+        let warm = BatchEstimator::new().sequential().estimate(&items);
+        let cold = BatchEstimator::new()
+            .sequential()
+            .without_warm_start()
+            .estimate(&items);
+        for (i, (w, c)) in warm.iter().zip(&cold).enumerate() {
+            let (w, c) = (w.as_ref().unwrap(), c.as_ref().unwrap());
+            assert!(
+                (w.log2_bound - c.log2_bound).abs() < 1e-9,
+                "item {i}: warm {} vs cold {}",
+                w.log2_bound,
+                c.log2_bound
+            );
+        }
+    }
+
+    /// Amplified log-bounds change only the RHS, so they share a shape key
+    /// with the original — precisely the dual warm-start sweet spot — and
+    /// still match the cold path exactly.
+    #[test]
+    fn rhs_only_changes_share_shapes_and_stay_exact() {
+        let catalog = catalog();
+        let query = JoinQuery::path(&["E"; 4]);
+        let stats =
+            collect_simple_statistics(&query, &catalog, &CollectConfig::with_max_norm(3)).unwrap();
+        let items: Vec<BatchItem> = [1.0, 1.1, 0.9, 1.05, 1.0]
+            .iter()
+            .map(|&k| BatchItem::new(query.clone(), stats.amplify(k)))
+            .collect();
+        assert!(items.iter().all(
+            |i| LpShape::of(i.query.n_vars(), Cone::Polymatroid, &i.stats)
+                == LpShape::of(query.n_vars(), Cone::Polymatroid, &stats)
+        ));
+        let warm = BatchEstimator::new().sequential().estimate(&items);
+        let cold = BatchEstimator::new()
+            .sequential()
+            .without_warm_start()
+            .estimate(&items);
+        for (w, c) in warm.iter().zip(&cold) {
+            let (w, c) = (w.as_ref().unwrap(), c.as_ref().unwrap());
+            assert!((w.log2_bound - c.log2_bound).abs() < 1e-6);
         }
     }
 

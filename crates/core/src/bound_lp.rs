@@ -3,11 +3,10 @@
 
 use crate::error::CoreError;
 use crate::query::JoinQuery;
-use crate::skeleton::BoundLpSkeleton;
+use crate::skeleton::{BoundLpSkeleton, NormalLpSkeleton};
 use crate::statistics::StatisticsSet;
 use lpb_data::Norm;
-use lpb_entropy::{step_conditional, step_value, VarSet};
-use lpb_lp::{Problem, Sense, SolverKind, SolverOptions, Status};
+use lpb_lp::{Problem, Sense, Solution, SolverKind, SolverOptions, Status};
 
 /// Maximum number of query variables supported by the polymatroid (Γₙ) cone:
 /// the LP has `2^n − 1` variables and `n + C(n,2)·2^{n−2}` Shannon rows, so
@@ -144,10 +143,11 @@ pub struct BoundResult {
     /// Opaque warm-start token: the structural LP columns that were basic at
     /// the optimum.  Feed it to [`BoundOptions::warm_start`] when estimating
     /// another query of the same shape (same variable count, cone and
-    /// statistic count).  Results are identical with or without it; on the
-    /// current basis-replay implementation it is also a throughput wash
-    /// (see `BENCH_lp.json`), so treat it as an experimentation hook rather
-    /// than a guaranteed speedup.  Empty when the LP was unbounded.
+    /// statistic count).  Results are identical with or without it.  Note
+    /// that basis *replay* is a throughput wash (each replayed column costs
+    /// an FTRAN; see `BENCH_lp.json`) — the profitable warm-start path is
+    /// [`crate::BatchEstimator`]'s dual-simplex factorization reuse, which
+    /// bypasses tokens entirely.  Empty when the LP was unbounded.
     pub warm_basis: Vec<(usize, usize)>,
 }
 
@@ -208,7 +208,20 @@ pub fn compute_bound_with(
     options: &BoundOptions,
 ) -> Result<BoundResult, CoreError> {
     validate_guards(query, stats)?;
-    let n = query.n_vars();
+    let p = build_bound_problem(query.n_vars(), stats, cone)?;
+    let sol = p.solve_with(&options.solver_options())?;
+    solution_to_result(&sol, stats, cone)
+}
+
+/// Build the bound LP for `n` query variables over `cone` without solving
+/// it: statistic rows first (their duals are the witness weights), cone
+/// structure after.  Shared with [`crate::BatchEstimator`], which solves the
+/// problem through its dual-simplex warm-start cache instead of cold.
+pub(crate) fn build_bound_problem(
+    n: usize,
+    stats: &StatisticsSet,
+    cone: Cone,
+) -> Result<Problem, CoreError> {
     match cone {
         Cone::Polymatroid => {
             if n > POLYMATROID_VAR_LIMIT {
@@ -218,7 +231,7 @@ pub fn compute_bound_with(
                     cone: "polymatroid",
                 });
             }
-            solve_polymatroid(n, stats, cone, options)
+            Ok(BoundLpSkeleton::polymatroid(n)?.instantiate(stats))
         }
         Cone::Normal => {
             if n > NORMAL_VAR_LIMIT {
@@ -228,13 +241,13 @@ pub fn compute_bound_with(
                     cone: "normal",
                 });
             }
-            solve_normal(n, stats, cone, options)
+            Ok(NormalLpSkeleton::normal(n)?.instantiate(stats))
         }
-        Cone::Modular => solve_modular(n, stats, cone, options),
+        Cone::Modular => Ok(build_modular_problem(n, stats)),
     }
 }
 
-fn validate_guards(query: &JoinQuery, stats: &StatisticsSet) -> Result<(), CoreError> {
+pub(crate) fn validate_guards(query: &JoinQuery, stats: &StatisticsSet) -> Result<(), CoreError> {
     for s in stats.iter() {
         let atom = s.stat.guard_atom;
         if atom >= query.n_atoms()
@@ -252,68 +265,10 @@ fn validate_guards(query: &JoinQuery, stats: &StatisticsSet) -> Result<(), CoreE
     Ok(())
 }
 
-/// LP over the polymatroid cone: one variable per non-empty subset of the
-/// query variables, elemental Shannon inequalities as rows.
-///
-/// The statistic rows come first so their duals are the witness weights; the
-/// Shannon block (written as `−(elemental form) ≤ 0` so the origin stays a
-/// feasible slack basis) is appended from the per-`n` cache maintained by
-/// [`crate::skeleton`].
-fn solve_polymatroid(
-    n: usize,
-    stats: &StatisticsSet,
-    cone: Cone,
-    options: &BoundOptions,
-) -> Result<BoundResult, CoreError> {
-    let skeleton = BoundLpSkeleton::polymatroid(n)?;
-    let p = skeleton.instantiate(stats);
-    finish(p, stats, cone, options)
-}
-
-/// LP over the normal cone: one variable `α_W ≥ 0` per non-empty `W`, one row
-/// per statistic; `h(full) = Σ_W α_W`.
-fn solve_normal(
-    n: usize,
-    stats: &StatisticsSet,
-    cone: Cone,
-    options: &BoundOptions,
-) -> Result<BoundResult, CoreError> {
-    let n_subsets = (1usize << n) - 1;
-    let var_of = |s: VarSet| -> usize { s.index() - 1 };
-
-    let mut p = Problem::maximize(n_subsets);
-    for mask in 1..=n_subsets {
-        // Every non-empty W intersects the full variable set, so h_W(X) = 1.
-        p.set_objective(mask - 1, 1.0);
-    }
-
-    for s in stats.iter() {
-        let u = s.stat.conditional.u;
-        let v = s.stat.conditional.v;
-        let inv_p = s.stat.norm.reciprocal();
-        let mut coeffs: Vec<(usize, f64)> = Vec::new();
-        for mask in 1u32..=(n_subsets as u32) {
-            let w = VarSet(mask);
-            let c = inv_p * step_value(w, u) + step_conditional(w, v, u);
-            if c != 0.0 {
-                coeffs.push((var_of(w), c));
-            }
-        }
-        p.add_constraint(&coeffs, Sense::Le, s.log_bound);
-    }
-
-    finish(p, stats, cone, options)
-}
-
 /// LP over the modular cone: one variable `c_i ≥ 0` per query variable, one
 /// row per statistic; `h(full) = Σ_i c_i`.  This is the (dual of the) LP of
 /// Jayaraman et al. (Appendix B) and is not sound in general.
-fn solve_modular(
-    n: usize,
-    stats: &StatisticsSet,
-    cone: Cone,
-    options: &BoundOptions,
-) -> Result<BoundResult, CoreError> {
+fn build_modular_problem(n: usize, stats: &StatisticsSet) -> Problem {
     let mut p = Problem::maximize(n);
     for i in 0..n {
         p.set_objective(i, 1.0);
@@ -337,16 +292,16 @@ fn solve_modular(
         }
         p.add_constraint(&coeffs, Sense::Le, s.log_bound);
     }
-    finish(p, stats, cone, options)
+    p
 }
 
-fn finish(
-    p: Problem,
+/// Interpret an LP solution of a bound problem (statistic rows first) as a
+/// [`BoundResult`].
+pub(crate) fn solution_to_result(
+    sol: &Solution,
     stats: &StatisticsSet,
     cone: Cone,
-    options: &BoundOptions,
 ) -> Result<BoundResult, CoreError> {
-    let sol = p.solve_with(&options.solver_options())?;
     match sol.status {
         Status::Optimal => {
             let weights: Vec<f64> = (0..stats.len())
@@ -357,8 +312,8 @@ fn finish(
                 log2_bound: sol.objective,
                 cone,
                 witness: Witness { weights },
-                primal: sol.x,
-                warm_basis: sol.basis,
+                primal: sol.x.clone(),
+                warm_basis: sol.basis.clone(),
             })
         }
         Status::Unbounded => Ok(BoundResult {
@@ -379,7 +334,7 @@ fn finish(
 mod tests {
     use super::*;
     use crate::statistics::ConcreteStatistic;
-    use lpb_entropy::Conditional;
+    use lpb_entropy::{Conditional, VarSet};
 
     fn close(a: f64, b: f64) -> bool {
         (a - b).abs() < 1e-6

@@ -1,4 +1,4 @@
-//! Reusable, cached LP skeletons for the polymatroid bound.
+//! Reusable, cached LP skeletons for the polymatroid and normal bounds.
 //!
 //! The polymatroid LP of Theorem 5.2 has two very different kinds of rows:
 //!
@@ -11,18 +11,28 @@
 //!   dozen), which are the only per-query part.
 //!
 //! [`BoundLpSkeleton`] splits the construction accordingly: the Shannon
-//! block is built once per `n` and memoized in a global cache, and
+//! block is built once per `n` and memoized in a global cache — including
+//! its column-major (CSC) form, attached to each instantiated problem as a
+//! [`lpb_lp::SharedRowBlock`] so the solver never transposes it again — and
 //! [`BoundLpSkeleton::instantiate`] only has to append `O(#stats)` fresh
-//! rows. Together with the sparse revised solver and its warm-start support
-//! this turns the per-estimate cost from "rebuild + dense-pivot an
-//! exponential tableau" into "fill statistic rows + a few warm-started
-//! sparse pivots".
+//! rows.  Together with the sparse revised solver and its dual-simplex warm
+//! starts this turns the per-estimate cost from "rebuild + dense-pivot an
+//! exponential tableau" into "fill statistic rows + a few dual pivots".
+//!
+//! The normal-cone LP gets the same treatment from [`NormalLpSkeleton`]:
+//! its rows price the `2^n − 1` step-function columns per statistic, which
+//! the seed implementation re-enumerated with `O(2^n · #stats)`
+//! `step_value` evaluations on every query.  [`NormalStepBlock`] caches the
+//! step-function *column supports* per variable count (one sorted mask list
+//! per conditioning set), so after the first solve at a given `n` building
+//! a statistic row is a cache lookup plus a linear merge — no step-value
+//! enumeration at all.
 
-use crate::bound_lp::POLYMATROID_VAR_LIMIT;
+use crate::bound_lp::{NORMAL_VAR_LIMIT, POLYMATROID_VAR_LIMIT};
 use crate::error::CoreError;
 use crate::statistics::{ConcreteStatistic, StatisticsSet};
-use lpb_entropy::{elemental_inequalities, VarSet};
-use lpb_lp::{Problem, Sense};
+use lpb_entropy::{elemental_inequalities, step_support, VarSet};
+use lpb_lp::{Problem, Sense, SharedRowBlock};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -32,13 +42,15 @@ use std::sync::{Arc, Mutex, OnceLock};
 #[derive(Debug)]
 pub struct ShannonRowBlock {
     n: usize,
-    rows: Vec<Vec<(usize, f64)>>,
+    /// The rows wrapped as a shareable solver tail: all `≤ 0`, with the CSC
+    /// transpose precomputed once and reused verbatim by every solve.
+    tail: Arc<SharedRowBlock>,
 }
 
 impl ShannonRowBlock {
     fn build(n: usize) -> Self {
         let var_of = |s: VarSet| -> usize { s.index() - 1 };
-        let rows = elemental_inequalities(n)
+        let rows: Vec<Vec<(usize, f64)>> = elemental_inequalities(n)
             .iter()
             .map(|ineq| {
                 ineq.terms
@@ -47,7 +59,9 @@ impl ShannonRowBlock {
                     .collect()
             })
             .collect();
-        ShannonRowBlock { n, rows }
+        let rhs = vec![0.0; rows.len()];
+        let tail = Arc::new(SharedRowBlock::new((1usize << n) - 1, rows, rhs));
+        ShannonRowBlock { n, tail }
     }
 
     /// Number of query variables this block is for.
@@ -57,12 +71,17 @@ impl ShannonRowBlock {
 
     /// Number of Shannon rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.tail.n_rows()
     }
 
     /// True when the block has no rows (never happens for `n ≥ 1`).
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.tail.n_rows() == 0
+    }
+
+    /// The rows as a solver-ready shared tail block.
+    pub fn shared_tail(&self) -> &Arc<SharedRowBlock> {
+        &self.tail
     }
 }
 
@@ -156,7 +175,9 @@ impl BoundLpSkeleton {
     }
 
     /// Build the full LP for one statistics set: statistic rows first (so
-    /// their duals are the witness weights), then the cached Shannon block.
+    /// their duals are the witness weights), then the cached Shannon block
+    /// attached as a shared tail — its column-major form is reused by the
+    /// solver as-is, so only the `O(#stats)` head is built per query.
     pub fn instantiate(&self, stats: &StatisticsSet) -> Problem {
         let n = self.n_vars();
         let n_subsets = (1usize << n) - 1;
@@ -167,8 +188,185 @@ impl BoundLpSkeleton {
             let row = polymatroid_stat_row(s);
             p.add_constraint(&row, Sense::Le, s.log_bound);
         }
-        for row in &self.block.rows {
-            p.add_constraint(row, Sense::Le, 0.0);
+        p.set_shared_tail(Arc::clone(self.block.shared_tail()));
+        p
+    }
+}
+
+/// Cached step-function column supports for one variable count: for each
+/// conditioning set `S` encountered so far, the sorted list of masks `W`
+/// with `W ∩ S ≠ ∅` (see [`lpb_entropy::step_support`]).
+///
+/// Statistic rows of the normal-cone LP are linear merges of two supports
+/// (`S = U` and `S = U∪V`), so once a support is cached, building a row
+/// never evaluates a step function again.  Supports are shared process-wide
+/// per `n` (like the Shannon blocks) because conditioning sets repeat
+/// heavily across statistics, norms and queries.
+#[derive(Debug)]
+pub struct NormalStepBlock {
+    n: usize,
+    supports: Mutex<HashMap<u32, Arc<Vec<u32>>>>,
+}
+
+impl NormalStepBlock {
+    fn new(n: usize) -> Self {
+        NormalStepBlock {
+            n,
+            supports: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of query variables this block is for.
+    pub fn n_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Most supports cached per variable count.  Conditioning sets repeat
+    /// heavily in practice (a few dozen per workload), but the key space is
+    /// `2^n` — without a cap, a long-running service cycling through
+    /// distinct sets at `n` near [`NORMAL_VAR_LIMIT`] would pin gigabytes.
+    /// Past the cap, supports are enumerated per call instead of cached.
+    const MAX_CACHED_SUPPORTS: usize = 4096;
+
+    /// The cached support of column set `s`, enumerating it on first use.
+    pub fn support(&self, s: VarSet) -> Arc<Vec<u32>> {
+        let mut cache = self.supports.lock().expect("step support cache poisoned");
+        if let Some(hit) = cache.get(&s.0) {
+            return Arc::clone(hit);
+        }
+        let support = Arc::new(step_support(self.n, s));
+        if cache.len() < Self::MAX_CACHED_SUPPORTS {
+            cache.insert(s.0, Arc::clone(&support));
+        }
+        support
+    }
+
+    /// Number of distinct conditioning sets cached so far.
+    pub fn cached_supports(&self) -> usize {
+        self.supports
+            .lock()
+            .expect("step support cache poisoned")
+            .len()
+    }
+}
+
+fn normal_step_cache() -> &'static Mutex<HashMap<usize, Arc<NormalStepBlock>>> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<NormalStepBlock>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The shared step block for `n` variables, creating it on first use.
+///
+/// # Panics
+///
+/// Panics when `n` is 0 or exceeds [`NORMAL_VAR_LIMIT`]; the supports hold
+/// up to `2^n` masks each.  [`NormalLpSkeleton::normal`] is the checked,
+/// error-returning entry point.
+pub fn normal_step_block(n: usize) -> Arc<NormalStepBlock> {
+    assert!(
+        (1..=NORMAL_VAR_LIMIT).contains(&n),
+        "normal_step_block supports 1..={NORMAL_VAR_LIMIT} variables, got {n}"
+    );
+    let mut cache = normal_step_cache().lock().expect("step cache poisoned");
+    Arc::clone(
+        cache
+            .entry(n)
+            .or_insert_with(|| Arc::new(NormalStepBlock::new(n))),
+    )
+}
+
+/// A reusable skeleton of the normal-cone bound LP for one variable count —
+/// the [`BoundLpSkeleton`] counterpart for [`crate::Cone::Normal`].
+#[derive(Debug, Clone)]
+pub struct NormalLpSkeleton {
+    block: Arc<NormalStepBlock>,
+}
+
+impl NormalLpSkeleton {
+    /// Skeleton of the normal-cone LP over `n` query variables.
+    ///
+    /// Fails with [`CoreError::TooManyVariables`] beyond
+    /// [`NORMAL_VAR_LIMIT`], like [`crate::compute_bound`].
+    pub fn normal(n: usize) -> Result<Self, CoreError> {
+        if n == 0 {
+            return Err(CoreError::InvalidQuery {
+                reason: "the normal-cone LP needs at least one variable".into(),
+            });
+        }
+        if n > NORMAL_VAR_LIMIT {
+            return Err(CoreError::TooManyVariables {
+                n_vars: n,
+                limit: NORMAL_VAR_LIMIT,
+                cone: "normal",
+            });
+        }
+        Ok(NormalLpSkeleton {
+            block: normal_step_block(n),
+        })
+    }
+
+    /// Number of query variables.
+    pub fn n_vars(&self) -> usize {
+        self.block.n_vars()
+    }
+
+    /// The sparse row of one statistic `((V|U), p, b)`: coefficient `1/p`
+    /// on every column in the support of `U` and `1` on the columns in the
+    /// support of `U∪V` but not of `U` — numerically identical (bit for
+    /// bit) to evaluating `(1/p)·h_W(U) + h_W(V|U)` per column, which the
+    /// regression tests assert.
+    pub(crate) fn stat_row(&self, s: &ConcreteStatistic) -> Vec<(usize, f64)> {
+        let u = s.stat.conditional.u;
+        let uv = u.union(s.stat.conditional.v);
+        let inv_p = s.stat.norm.reciprocal();
+        let support_uv = self.block.support(uv);
+        let support_u = if u.is_empty() {
+            None
+        } else {
+            Some(self.block.support(u))
+        };
+        let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(support_uv.len());
+        let mut u_iter = support_u.as_deref().map(|v| v.iter().peekable());
+        for &w in support_uv.iter() {
+            // `U ⊆ U∪V` makes support(U) a sorted subsequence of
+            // support(U∪V), so one forward scan classifies every column.
+            let in_u = match &mut u_iter {
+                Some(it) => {
+                    while it.peek().is_some_and(|&&m| m < w) {
+                        it.next();
+                    }
+                    if it.peek() == Some(&&w) {
+                        it.next();
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => false,
+            };
+            let c = if in_u { inv_p } else { 1.0 };
+            if c != 0.0 {
+                coeffs.push((w as usize - 1, c));
+            }
+        }
+        coeffs
+    }
+
+    /// Build the normal-cone LP for one statistics set: maximize
+    /// `Σ_W α_W` subject to one row per statistic (in statistics order, so
+    /// the duals are the witness weights).
+    pub fn instantiate(&self, stats: &StatisticsSet) -> Problem {
+        let n = self.n_vars();
+        let n_subsets = (1usize << n) - 1;
+        let mut p = Problem::maximize(n_subsets);
+        for mask in 1..=n_subsets {
+            // Every non-empty W intersects the full variable set, so
+            // h_W(X) = 1.
+            p.set_objective(mask - 1, 1.0);
+        }
+        for s in stats.iter() {
+            let row = self.stat_row(s);
+            p.add_constraint(&row, Sense::Le, s.log_bound);
         }
         p
     }
@@ -213,10 +411,110 @@ mod tests {
         let skeleton = BoundLpSkeleton::polymatroid(3).unwrap();
         let p = skeleton.instantiate(&stats);
         assert_eq!(p.n_vars(), 7);
-        assert_eq!(p.n_constraints(), 1 + skeleton.shannon_row_count());
-        // The first row is the statistic row with RHS 5.
+        // Explicit rows are the statistic rows; the Shannon block rides
+        // along as the cached shared tail.
+        assert_eq!(p.n_constraints(), 1);
+        assert_eq!(p.n_rows_total(), 1 + skeleton.shannon_row_count());
         assert_eq!(p.constraints()[0].rhs, 5.0);
-        // The Shannon rows have RHS 0.
-        assert!(p.constraints()[1..].iter().all(|c| c.rhs == 0.0));
+        let tail = p.shared_tail().expect("Shannon tail attached");
+        assert_eq!(tail.n_rows(), skeleton.shannon_row_count());
+        assert!(tail.rhs().iter().all(|&r| r == 0.0));
+        // The tail block is the globally cached one, not a copy.
+        assert!(Arc::ptr_eq(tail, shannon_rows(3).shared_tail()));
+    }
+
+    #[test]
+    fn normal_step_block_is_cached_and_supports_are_shared() {
+        let a = normal_step_block(5);
+        let b = normal_step_block(5);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.n_vars(), 5);
+        let s1 = a.support(VarSet::from_indices([0, 2]));
+        let s2 = a.support(VarSet::from_indices([0, 2]));
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert!(a.cached_supports() >= 1);
+        // |{W : W ∩ S ≠ ∅}| = 2^n − 2^(n−|S|).
+        assert_eq!(s1.len(), (1 << 5) - (1 << 3));
+    }
+
+    #[test]
+    fn normal_skeleton_rejects_oversized_and_empty() {
+        assert!(NormalLpSkeleton::normal(0).is_err());
+        assert!(NormalLpSkeleton::normal(NORMAL_VAR_LIMIT + 1).is_err());
+        let s = NormalLpSkeleton::normal(4).unwrap();
+        assert_eq!(s.n_vars(), 4);
+    }
+
+    #[test]
+    fn normal_stat_row_matches_step_function_pricing() {
+        use lpb_entropy::{step_conditional, step_value, Conditional};
+
+        let skeleton = NormalLpSkeleton::normal(4).unwrap();
+        let cases = [
+            (
+                VarSet::from_indices([1]),
+                VarSet::from_indices([0]),
+                lpb_data::Norm::L2,
+            ),
+            (
+                VarSet::from_indices([2, 3]),
+                VarSet::EMPTY,
+                lpb_data::Norm::L1,
+            ),
+            (
+                VarSet::from_indices([3]),
+                VarSet::from_indices([1]),
+                lpb_data::Norm::Infinity,
+            ),
+            (
+                VarSet::from_indices([0, 2]),
+                VarSet::from_indices([3]),
+                lpb_data::Norm::finite(3.0),
+            ),
+        ];
+        for (v, u, norm) in cases {
+            let stat = ConcreteStatistic::new(Conditional::new(v, u), norm, 0, 1.0);
+            let row = skeleton.stat_row(&stat);
+            // Reference: the direct per-column enumeration the seed used.
+            let u = stat.stat.conditional.u;
+            let v = stat.stat.conditional.v;
+            let inv_p = stat.stat.norm.reciprocal();
+            let mut expected: Vec<(usize, f64)> = Vec::new();
+            for mask in 1u32..(1 << 4) {
+                let w = VarSet(mask);
+                let c = inv_p * step_value(w, u) + step_conditional(w, v, u);
+                if c != 0.0 {
+                    expected.push((mask as usize - 1, c));
+                }
+            }
+            assert_eq!(row, expected, "({v:?}|{u:?}) with {norm:?}");
+        }
+    }
+
+    #[test]
+    fn normal_skeleton_instantiates_one_row_per_statistic() {
+        use crate::statistics::StatisticsSet;
+        use lpb_entropy::Conditional;
+
+        let mut stats = StatisticsSet::new();
+        stats.push(ConcreteStatistic::new(
+            Conditional::new(VarSet::from_indices([0, 1]), VarSet::EMPTY),
+            lpb_data::Norm::L1,
+            0,
+            4.0,
+        ));
+        stats.push(ConcreteStatistic::new(
+            Conditional::new(VarSet::from_indices([2]), VarSet::from_indices([0])),
+            lpb_data::Norm::L2,
+            0,
+            2.0,
+        ));
+        let skeleton = NormalLpSkeleton::normal(3).unwrap();
+        let p = skeleton.instantiate(&stats);
+        assert_eq!(p.n_vars(), 7);
+        assert_eq!(p.n_rows_total(), 2);
+        assert_eq!(p.constraints()[0].rhs, 4.0);
+        assert_eq!(p.constraints()[1].rhs, 2.0);
+        assert!(p.shared_tail().is_none());
     }
 }

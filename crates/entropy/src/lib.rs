@@ -38,7 +38,7 @@ mod varset;
 pub use conditional::Conditional;
 pub use entropy_vec::EntropyVec;
 pub use modular::ModularFunction;
-pub use normal::NormalPolymatroid;
+pub use normal::{step_support, NormalPolymatroid};
 pub use shannon::{elemental_inequalities, ShannonInequality};
 pub use step::{step_conditional, step_function, step_value};
 pub use varset::{VarRegistry, VarSet};

@@ -5,6 +5,26 @@ use crate::step::{step_conditional, step_value};
 use crate::varset::VarSet;
 use std::collections::BTreeMap;
 
+/// The support of the step-function *column* `S`: every non-empty
+/// `W ⊆ [n_vars]` with `h_W(S) = 1` (i.e. `W ∩ S ≠ ∅`), as sorted bitmasks.
+///
+/// This is the building block of the normal-cone LP's constraint rows: a
+/// statistic `((V|U), p)` prices column `W` as
+/// `(1/p)·h_W(U) + h_W(V|U)`, which is `1/p` exactly on `step_support(U)`
+/// and `1` on `step_support(U∪V) ∖ step_support(U)`.  Enumerating the
+/// support once per `(n_vars, S)` — instead of evaluating `step_value` for
+/// every `(W, statistic)` pair on every query — is what the bound engine's
+/// normal-cone skeleton caches (`lpb-core`).
+pub fn step_support(n_vars: usize, s: VarSet) -> Vec<u32> {
+    assert!(
+        n_vars <= 31,
+        "step_support enumerates 2^n_vars masks, got n_vars = {n_vars}"
+    );
+    let full = VarSet::full(n_vars);
+    assert!(s.is_subset_of(full), "step set outside the variable range");
+    (1..=full.0).filter(|w| w & s.0 != 0).collect()
+}
+
 /// A normal polymatroid `h = Σ_W α_W · h_W` with `α_W ≥ 0` (§3 / §6 of the
 /// paper), stored sparsely by the non-zero coefficients.
 ///
@@ -178,5 +198,22 @@ mod tests {
     fn negative_coefficient_rejected() {
         let mut p = NormalPolymatroid::zero(2);
         p.add_step(VarSet::singleton(0), -1.0);
+    }
+
+    #[test]
+    fn step_support_matches_step_value() {
+        use crate::step::step_value;
+        for n in 1..=4usize {
+            for s in VarSet::full(n).subsets() {
+                let support = step_support(n, s);
+                assert!(support.windows(2).all(|w| w[0] < w[1]), "sorted");
+                for w in 1..=VarSet::full(n).0 {
+                    let expected = step_value(VarSet(w), s) == 1.0;
+                    assert_eq!(support.contains(&w), expected, "n={n}, S={s:?}, W={w:b}");
+                }
+            }
+        }
+        assert!(step_support(3, VarSet::EMPTY).is_empty());
+        assert_eq!(step_support(2, VarSet::full(2)).len(), 3);
     }
 }

@@ -1,0 +1,466 @@
+//! Dual simplex phase and warm-start handles for the sparse revised solver.
+//!
+//! The primal simplex keeps `x_B ≥ 0` and chases dual feasibility (all
+//! reduced costs non-positive, in the internal maximization convention); the
+//! dual simplex does the opposite: starting from a **dual-feasible** basis —
+//! which is exactly what the optimal basis of a previous solve is — it keeps
+//! the reduced costs non-positive while driving negative basic values out.
+//! That makes it the natural way to absorb right-hand-side changes: when a
+//! bound engine re-solves the same LP family with new statistics values,
+//! the old optimal basis stays dual feasible and only a handful of dual
+//! pivots are needed, instead of a basis replay plus a full primal run.
+//!
+//! Two consumers:
+//!
+//! * [`crate::solve_sparse`]'s basis-replay warm start calls
+//!   [`dual_simplex`] when the replayed basis turns out primal infeasible
+//!   for the new RHS (previously it fell back to a cold start);
+//! * [`WarmHandle`] snapshots the entire factorized engine at an optimum and
+//!   [`WarmHandle::resolve`]s same-matrix/new-RHS problems with one FTRAN
+//!   plus dual pivots — no replay, no phase 1, no matrix rebuild.  This is
+//!   what makes `BatchEstimator`'s warm starts profitable (`BENCH_lp.json`,
+//!   `dual_warm_us`).
+
+use crate::error::LpError;
+use crate::problem::{Constraint, Direction, Problem, Sense, SharedRowBlock};
+use crate::revised::{
+    btran, extract_solution, ftran, infeasible_solution, solve_sparse, ColKind, Engine, Prepared,
+    PRIMAL_FEAS_TOL,
+};
+use crate::simplex::{Solution, SolverOptions, Status};
+use crate::sparse::CsrMatrix;
+use std::sync::Arc;
+
+/// Outcome of a [`dual_simplex`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DualOutcome {
+    /// All basic values are ≥ `-PRIMAL_FEAS_TOL`; together with the
+    /// maintained dual feasibility the basis is (near-)optimal — a primal
+    /// polish pass confirms it.
+    PrimalFeasible,
+    /// A row with a negative basic value has no eligible entering column:
+    /// `e_rᵀB⁻¹ A x = x_B[r] < 0` with non-negative coefficients over
+    /// `x ≥ 0` is a certificate that the problem is infeasible.
+    Infeasible,
+    /// Numerical drift broke the dual-feasibility invariant (a priced
+    /// reduced cost came out positive) or produced an unusable pivot; the
+    /// caller should fall back to a cold solve.
+    LostDualFeasibility,
+}
+
+/// True when every nonbasic, non-artificial column prices out non-positive
+/// (the dual-feasibility invariant the dual simplex maintains).
+pub(crate) fn is_dual_feasible(engine: &Engine, cost: &[f64]) -> bool {
+    let y = engine.duals_for(cost);
+    (0..engine.n_cols).all(|col| {
+        engine.in_basis[col]
+            || engine.kind[col] == ColKind::Artificial
+            || engine.reduced_cost(col, cost, &y) <= engine.tol
+    })
+}
+
+/// Run dual simplex iterations until the basis is primal feasible, the
+/// problem is proven infeasible, or the iteration cap is hit.
+///
+/// Precondition: the current basis is dual feasible for `cost` (see
+/// [`is_dual_feasible`]); artificial columns never enter.
+pub(crate) fn dual_simplex(
+    engine: &mut Engine,
+    cost: &[f64],
+    max_iter: usize,
+) -> Result<DualOutcome, LpError> {
+    let tol = engine.tol;
+    let bland_threshold = 2 * (engine.m + engine.n_cols);
+    let mut iterations = 0usize;
+    let mut rho = vec![0.0; engine.m];
+    loop {
+        // Leaving row: the most negative basic value (or the lowest such row
+        // once the anti-cycling rule kicks in).
+        let use_bland = iterations > bland_threshold;
+        let mut leaving: Option<usize> = None;
+        let mut most_negative = -PRIMAL_FEAS_TOL;
+        for i in 0..engine.m {
+            if engine.x_b[i] < most_negative {
+                leaving = Some(i);
+                if use_bland {
+                    break;
+                }
+                most_negative = engine.x_b[i];
+            }
+        }
+        let Some(row) = leaving else {
+            return Ok(DualOutcome::PrimalFeasible);
+        };
+        if iterations >= max_iter {
+            return Err(LpError::IterationLimit { limit: max_iter });
+        }
+        iterations += 1;
+
+        // ρ = e_rowᵀ B⁻¹ gives the pivot row of B⁻¹A for pricing.
+        rho.iter_mut().for_each(|v| *v = 0.0);
+        rho[row] = 1.0;
+        btran(&engine.etas, &mut rho);
+        let y = engine.duals_for(cost);
+
+        // Dual ratio test: among nonbasic columns with a negative pivot-row
+        // entry, the smallest |reduced cost / entry| keeps every reduced
+        // cost non-positive after the pivot.
+        let mut entering: Option<(usize, f64)> = None;
+        for col in 0..engine.n_cols {
+            if engine.in_basis[col] || engine.kind[col] == ColKind::Artificial {
+                continue;
+            }
+            let alpha = engine.row_dot_col(col, &rho);
+            if alpha >= -tol {
+                continue;
+            }
+            let rc = engine.reduced_cost(col, cost, &y);
+            if rc > tol {
+                return Ok(DualOutcome::LostDualFeasibility);
+            }
+            let ratio = rc / alpha;
+            // First-wins on ties: columns are scanned in ascending order, so
+            // keeping the incumbent already selects the lowest index among
+            // near-equal ratios (the Bland-style tie-break).
+            let better = match entering {
+                None => true,
+                Some((_, best_ratio)) => ratio < best_ratio - tol,
+            };
+            if better {
+                entering = Some((col, ratio));
+            }
+        }
+        let Some((col, _)) = entering else {
+            return Ok(DualOutcome::Infeasible);
+        };
+
+        engine.column_into_work(col);
+        engine.ftran_work();
+        if engine.work[row] >= -1e-11 {
+            // The freshly FTRANed entry disagrees with the priced ρᵀA_j
+            // (stale eta file numerics); bail out rather than divide by it.
+            return Ok(DualOutcome::LostDualFeasibility);
+        }
+        engine.pivot(row, col);
+    }
+}
+
+/// A snapshot of the sparse solver's state at an optimal basis, reusable to
+/// re-solve LPs that share the **same matrix, objective and senses** but
+/// have different right-hand sides.
+///
+/// Obtained from [`crate::solve_sparse_with_handle`]; consumed by
+/// [`resolve`](Self::resolve).  The snapshot owns its factorization (basis +
+/// eta file) and only borrows shared tail blocks by `Arc`, so it is `Send +
+/// Sync` and can back a cross-thread warm-start cache.  Every `resolve`
+/// clones the factorization, so a handle can be reused any number of times
+/// without accumulating etas.
+#[derive(Clone)]
+pub struct WarmHandle {
+    engine: Engine,
+    cost2: Vec<f64>,
+    sign: f64,
+    n: usize,
+    m: usize,
+    max_iter: usize,
+    row_flipped: Vec<bool>,
+    /// Normalized explicit rows in canonical CSR form, for the cheap
+    /// matrix-identity check in [`resolve`](Self::resolve).
+    rows: CsrMatrix,
+    raw_senses: Vec<Sense>,
+    tail: Option<Arc<SharedRowBlock>>,
+    objective: Vec<f64>,
+    direction: Direction,
+}
+
+impl std::fmt::Debug for WarmHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarmHandle")
+            .field("n_vars", &self.n)
+            .field("n_rows", &self.m)
+            .finish()
+    }
+}
+
+impl WarmHandle {
+    /// Capture the optimized engine of `prepared` (artificial-free problems
+    /// only; enforced by the caller).
+    pub(crate) fn snapshot(problem: &Problem, prepared: Prepared) -> WarmHandle {
+        debug_assert_eq!(prepared.n_artificial, 0);
+        let rows = CsrMatrix::from_rows(prepared.n, &prepared.rows);
+        WarmHandle {
+            engine: prepared.engine,
+            cost2: prepared.cost2,
+            sign: prepared.sign,
+            n: prepared.n,
+            m: prepared.m,
+            max_iter: prepared.max_iter,
+            row_flipped: prepared.row_flipped,
+            rows,
+            raw_senses: problem.constraints().iter().map(|c| c.sense).collect(),
+            tail: prepared.tail,
+            objective: problem.objective().to_vec(),
+            direction: problem.direction(),
+        }
+    }
+
+    /// Number of structural variables of the snapshotted problem.
+    pub fn n_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of constraint rows of the snapshotted problem.
+    pub fn n_rows(&self) -> usize {
+        self.m
+    }
+
+    /// True when `problem` has the same matrix, senses, objective and
+    /// direction as the snapshot, differing at most in right-hand sides —
+    /// the precondition under which [`resolve`](Self::resolve) can reuse the
+    /// factorization.
+    pub fn matches(&self, problem: &Problem) -> bool {
+        if problem.n_vars() != self.n
+            || problem.n_constraints() != self.row_flipped.len()
+            || problem.direction() != self.direction
+            || problem.objective() != self.objective.as_slice()
+        {
+            return false;
+        }
+        match (problem.shared_tail(), &self.tail) {
+            (None, None) => {}
+            (Some(a), Some(b)) if Arc::ptr_eq(a, b) => {}
+            _ => return false,
+        }
+        let constraints = problem.constraints();
+        if constraints
+            .iter()
+            .zip(&self.raw_senses)
+            .any(|(c, &s)| c.sense != s)
+        {
+            return false;
+        }
+        // Renormalize the new rows with the *snapshot's* flip pattern and
+        // compare canonically — O(nnz), far below one simplex iteration.
+        let rows: Vec<Vec<(usize, f64)>> = constraints
+            .iter()
+            .zip(&self.row_flipped)
+            .map(|(c, &flip)| flip_row(c, flip))
+            .collect();
+        CsrMatrix::from_rows(self.n, &rows) == self.rows
+    }
+
+    /// Re-solve `problem` starting from the snapshotted optimal basis,
+    /// absorbing right-hand-side changes with dual pivots.
+    ///
+    /// The answer always matches a cold solve: when the problem's matrix
+    /// does not [`match`](Self::matches) the snapshot, or the dual phase
+    /// loses feasibility numerically, this transparently falls back to
+    /// [`solve_sparse`].  `options` is consulted by that fallback; the fast
+    /// path keeps the snapshot's tolerances.
+    pub fn resolve(&self, problem: &Problem, options: &SolverOptions) -> Result<Solution, LpError> {
+        problem.validate()?;
+        if !self.matches(problem) {
+            return solve_sparse(problem, options);
+        }
+
+        let mut engine = self.engine.clone();
+        // New RHS in the snapshot's row orientation: flipped explicit rows
+        // may yield negative entries — exactly what dual pivots handle.
+        let mut b = vec![0.0; self.m];
+        for (i, con) in problem.constraints().iter().enumerate() {
+            b[i] = if self.row_flipped[i] {
+                -con.rhs
+            } else {
+                con.rhs
+            };
+        }
+        if let Some(t) = &self.tail {
+            let offset = problem.n_constraints();
+            b[offset..].copy_from_slice(t.rhs());
+        }
+        let mut xb = b.clone();
+        ftran(&engine.etas, &mut xb);
+        engine.x_b = xb;
+        engine.b = b;
+        engine.pivots_since_recompute = 0;
+
+        if engine.x_b.iter().any(|&v| v < -PRIMAL_FEAS_TOL) {
+            match dual_simplex(&mut engine, &self.cost2, self.max_iter) {
+                Ok(DualOutcome::PrimalFeasible) => {}
+                Ok(DualOutcome::Infeasible) => {
+                    return Ok(infeasible_solution(self.n, self.m));
+                }
+                Ok(DualOutcome::LostDualFeasibility) | Err(_) => {
+                    return solve_sparse(problem, options);
+                }
+            }
+        }
+        for v in engine.x_b.iter_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+
+        // Primal polish: from a primal- and dual-feasible basis this
+        // normally prices one pass and stops; it also mops up tolerance
+        // drift left by the dual phase.
+        match engine.optimize(&self.cost2, self.max_iter, false) {
+            Ok(Status::Optimal) => Ok(extract_solution(
+                &engine,
+                &self.cost2,
+                self.sign,
+                &self.row_flipped,
+                self.n,
+            )),
+            // Unreachable from a dual-feasible basis unless numerics broke;
+            // the cold path is the authority either way.
+            Ok(Status::Unbounded) | Ok(Status::Infeasible) | Err(_) => {
+                solve_sparse(problem, options)
+            }
+        }
+    }
+}
+
+/// One explicit row's coefficients, negated when its flip bit is set.
+fn flip_row(con: &Constraint, flip: bool) -> Vec<(usize, f64)> {
+    let mult = if flip { -1.0 } else { 1.0 };
+    con.coeffs.iter().map(|&(j, c)| (j, mult * c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::revised::{prepare, Prep};
+    use crate::simplex::SolverKind;
+    use crate::solve_sparse_with_handle;
+
+    fn sparse_opts() -> SolverOptions {
+        SolverOptions {
+            solver: SolverKind::SparseRevised,
+            ..SolverOptions::default()
+        }
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    /// max 3x + 5y s.t. x ≤ c0, 2y ≤ c1, 3x + 2y ≤ c2.
+    fn textbook(c: [f64; 3]) -> Problem {
+        let mut p = Problem::maximize(2);
+        p.set_objective(0, 3.0);
+        p.set_objective(1, 5.0);
+        p.add_constraint(&[(0, 1.0)], Sense::Le, c[0]);
+        p.add_constraint(&[(1, 2.0)], Sense::Le, c[1]);
+        p.add_constraint(&[(0, 3.0), (1, 2.0)], Sense::Le, c[2]);
+        p
+    }
+
+    #[test]
+    fn resolve_absorbs_rhs_changes() {
+        let (base, handle) =
+            solve_sparse_with_handle(&textbook([4.0, 12.0, 18.0]), &sparse_opts()).unwrap();
+        let handle = handle.expect("optimal artificial-free solve yields a handle");
+        assert_close(base.objective, 36.0);
+        assert_eq!(handle.n_vars(), 2);
+        assert_eq!(handle.n_rows(), 3);
+
+        // Tighten and loosen the RHS; compare against cold solves.
+        for rhs in [[4.0, 12.0, 14.0], [2.0, 20.0, 18.0], [6.0, 6.0, 30.0]] {
+            let p = textbook(rhs);
+            assert!(handle.matches(&p));
+            let warm = handle.resolve(&p, &sparse_opts()).unwrap();
+            let cold = solve_sparse(&p, &sparse_opts()).unwrap();
+            assert_eq!(warm.status, cold.status, "rhs {rhs:?}");
+            assert_close(warm.objective, cold.objective);
+        }
+    }
+
+    #[test]
+    fn resolve_detects_infeasibility_from_negative_rhs() {
+        let (_, handle) =
+            solve_sparse_with_handle(&textbook([4.0, 12.0, 18.0]), &sparse_opts()).unwrap();
+        let handle = handle.unwrap();
+        // x ≤ -1 is infeasible over x ≥ 0; the snapshot orientation keeps
+        // the row as-is so the dual phase must certify infeasibility.
+        let p = textbook([-1.0, 12.0, 18.0]);
+        let warm = handle.resolve(&p, &sparse_opts()).unwrap();
+        assert_eq!(warm.status, Status::Infeasible);
+        let cold = solve_sparse(&p, &sparse_opts()).unwrap();
+        assert_eq!(cold.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn resolve_falls_back_on_matrix_changes() {
+        let (_, handle) =
+            solve_sparse_with_handle(&textbook([4.0, 12.0, 18.0]), &sparse_opts()).unwrap();
+        let handle = handle.unwrap();
+        let mut changed = textbook([4.0, 12.0, 18.0]);
+        changed.add_constraint(&[(0, 1.0), (1, 1.0)], Sense::Le, 7.0);
+        assert!(!handle.matches(&changed));
+        let warm = handle.resolve(&changed, &sparse_opts()).unwrap();
+        let cold = solve_sparse(&changed, &sparse_opts()).unwrap();
+        assert_eq!(warm.status, cold.status);
+        assert_close(warm.objective, cold.objective);
+
+        let mut objective_changed = textbook([4.0, 12.0, 18.0]);
+        objective_changed.set_objective(0, 30.0);
+        assert!(!handle.matches(&objective_changed));
+    }
+
+    #[test]
+    fn no_handle_for_problems_needing_phase_one() {
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, 2.0);
+        p.set_objective(1, 3.0);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Sense::Ge, 4.0);
+        let (solution, handle) = solve_sparse_with_handle(&p, &sparse_opts()).unwrap();
+        assert_eq!(solution.status, Status::Optimal);
+        assert!(handle.is_none());
+    }
+
+    #[test]
+    fn dual_simplex_repairs_an_infeasible_start() {
+        // Build the engine cold (slack basis, dual feasible only if the
+        // objective prices non-positive) for a minimization written as
+        // max −2x −3y with x + y ≤ b rows; make one RHS negative so the
+        // slack basis is primal infeasible but dual feasible.
+        let mut p = Problem::maximize(2);
+        p.set_objective(0, -2.0);
+        p.set_objective(1, -3.0);
+        p.add_constraint(&[(0, -1.0), (1, -1.0)], Sense::Le, -4.0);
+        p.add_constraint(&[(0, 1.0)], Sense::Le, 5.0);
+        // prepare() with no flip override flips row 0; force the unflipped
+        // orientation by preparing manually with an explicit pattern.
+        let prep = match prepare(&p, &SolverOptions::default(), Some(&[false, false])) {
+            Prep::Ready(prep) => *prep,
+            Prep::Trivial(_) => unreachable!(),
+        };
+        let mut prepared = prep;
+        assert_eq!(prepared.n_artificial, 0);
+        assert!(prepared.engine.x_b.iter().any(|&v| v < 0.0));
+        assert!(is_dual_feasible(&prepared.engine, &prepared.cost2));
+        let outcome =
+            dual_simplex(&mut prepared.engine, &prepared.cost2, prepared.max_iter).unwrap();
+        assert_eq!(outcome, DualOutcome::PrimalFeasible);
+        for v in prepared.engine.x_b.iter_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        let status = prepared
+            .engine
+            .optimize(&prepared.cost2, prepared.max_iter, false)
+            .unwrap();
+        assert_eq!(status, Status::Optimal);
+        let sol = extract_solution(
+            &prepared.engine,
+            &prepared.cost2,
+            prepared.sign,
+            &prepared.row_flipped,
+            prepared.n,
+        );
+        // min 2x + 3y s.t. x + y ≥ 4, x ≤ 5 → optimum 8 at (4, 0).
+        assert_close(sol.objective, -8.0);
+    }
+}

@@ -27,6 +27,14 @@ pub enum LpError {
     },
     /// The problem has zero variables.
     EmptyProblem,
+    /// The attached shared tail block was built for a different number of
+    /// structural columns than the problem has.
+    SharedTailWidthMismatch {
+        /// Columns the tail block was built for.
+        tail_cols: usize,
+        /// Number of variables in the problem.
+        n_vars: usize,
+    },
     /// The solver reached a numerically inconsistent state (e.g. accumulated
     /// round-off made phase 1 look unbounded); re-solving with the dense
     /// fallback or a looser tolerance is the recommended recovery.
@@ -50,6 +58,11 @@ impl fmt::Display for LpError {
                 write!(f, "simplex iteration limit of {limit} exceeded")
             }
             LpError::EmptyProblem => write!(f, "linear program has no variables"),
+            LpError::SharedTailWidthMismatch { tail_cols, n_vars } => write!(
+                f,
+                "shared tail block built for {tail_cols} columns attached to a \
+                 problem with {n_vars} variables"
+            ),
             LpError::NumericalInstability { detail } => {
                 write!(f, "numerical instability in the solver: {detail}")
             }
@@ -78,6 +91,11 @@ mod tests {
         };
         assert!(e.to_string().contains("row 2"));
         assert!(LpError::EmptyProblem.to_string().contains("no variables"));
+        let e = LpError::SharedTailWidthMismatch {
+            tail_cols: 4,
+            n_vars: 2,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('2'));
         let e = LpError::NumericalInstability {
             detail: "phase 1".into(),
         };

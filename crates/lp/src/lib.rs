@@ -7,10 +7,16 @@
 //! is part of this project's allowed dependency set, so this crate
 //! implements the required solver from scratch:
 //!
-//! * a [`Problem`] builder with sparse constraint rows and named variables,
+//! * a [`Problem`] builder with sparse constraint rows, named variables and
+//!   shared immutable row blocks ([`SharedRowBlock`]) whose column-major
+//!   form is cached across solves,
 //! * a sparse **revised simplex** with an eta-file basis inverse, CSR/CSC
 //!   constraint storage and warm starting ([`revised`], the default
 //!   [`SolverKind`]),
+//! * a **dual simplex** phase ([`dual`]): [`WarmHandle`] snapshots the
+//!   factorized engine at an optimum and re-solves same-matrix LPs whose
+//!   right-hand sides changed with a handful of dual pivots — the engine
+//!   behind profitable cross-query warm starts,
 //! * a dense, two-phase tableau **simplex** method with Bland's
 //!   anti-cycling rule ([`solve_dense`]), kept as a cross-checking
 //!   fallback — property tests assert the two solvers agree on status,
@@ -43,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dual;
 mod error;
 mod matrix;
 mod problem;
@@ -50,10 +57,11 @@ pub mod revised;
 mod simplex;
 pub mod sparse;
 
+pub use dual::WarmHandle;
 pub use error::LpError;
 pub use matrix::DenseMatrix;
-pub use problem::{Constraint, Direction, Problem, Sense};
-pub use revised::solve_sparse;
+pub use problem::{Constraint, Direction, Problem, Sense, SharedRowBlock};
+pub use revised::{solve_sparse, solve_sparse_with_handle};
 pub use simplex::{
     solve, solve_dense, Solution, SolverKind, SolverOptions, Status, DENSE_SMALL_LP_ROWS,
 };

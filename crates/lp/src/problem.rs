@@ -1,7 +1,10 @@
-//! Linear-program builder: variables, objective, sparse constraint rows.
+//! Linear-program builder: variables, objective, sparse constraint rows,
+//! and shared immutable row blocks for problem families.
 
 use crate::error::LpError;
 use crate::simplex::{solve, Solution, SolverOptions};
+use crate::sparse::{CscMatrix, CsrMatrix};
+use std::sync::Arc;
 
 /// Direction of optimization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +42,85 @@ pub struct Constraint {
     pub label: Option<String>,
 }
 
+/// An immutable, shareable block of `≤` rows with non-negative right-hand
+/// sides, appended *after* a problem's explicit constraints at solve time.
+///
+/// Problem families like the polymatroid bound LP share a large constant row
+/// block (the Shannon elemental inequalities) across thousands of solves
+/// that differ only in a handful of leading rows.  Building the block — and
+/// in particular its compressed sparse *column* transpose, which is what the
+/// revised simplex prices against — once and attaching it by `Arc` removes
+/// that per-solve setup cost entirely (see
+/// [`Problem::set_shared_tail`]).
+///
+/// The restriction to `≤` rows with `rhs ≥ 0` is deliberate: such rows never
+/// need sign normalization or phase-1 artificials, so the block can be baked
+/// into the solver's column store verbatim.
+#[derive(Debug)]
+pub struct SharedRowBlock {
+    n_cols: usize,
+    rows: Vec<Vec<(usize, f64)>>,
+    rhs: Vec<f64>,
+    csc: Arc<CscMatrix>,
+}
+
+impl SharedRowBlock {
+    /// Build a block over `n_cols` structural variables from sparse rows and
+    /// their right-hand sides (one per row), validating eagerly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rows` and `rhs` differ in length, a column index is out
+    /// of range, a coefficient or right-hand side is non-finite, or a
+    /// right-hand side is negative.
+    pub fn new(n_cols: usize, rows: Vec<Vec<(usize, f64)>>, rhs: Vec<f64>) -> Self {
+        assert_eq!(rows.len(), rhs.len(), "one rhs per shared row");
+        for (i, row) in rows.iter().enumerate() {
+            assert!(
+                rhs[i].is_finite() && rhs[i] >= 0.0,
+                "shared row {i}: rhs must be finite and non-negative, got {}",
+                rhs[i]
+            );
+            for &(j, c) in row {
+                assert!(j < n_cols, "shared row {i}: column {j} out of range");
+                assert!(c.is_finite(), "shared row {i}: non-finite coefficient");
+            }
+        }
+        let csc = Arc::new(CsrMatrix::from_rows(n_cols, &rows).to_csc());
+        SharedRowBlock {
+            n_cols,
+            rows,
+            rhs,
+            csc,
+        }
+    }
+
+    /// Number of rows in the block.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of structural columns the block was built for.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// The sparse `(column, coefficient)` entries of row `i`.
+    pub fn row(&self, i: usize) -> &[(usize, f64)] {
+        &self.rows[i]
+    }
+
+    /// The right-hand sides, one per row (all non-negative).
+    pub fn rhs(&self) -> &[f64] {
+        &self.rhs
+    }
+
+    /// The cached column-major transpose of the block.
+    pub(crate) fn csc(&self) -> &Arc<CscMatrix> {
+        &self.csc
+    }
+}
+
 /// A linear program over non-negative variables `x >= 0`.
 ///
 /// All variables are implicitly bounded below by zero, which matches the
@@ -51,6 +133,7 @@ pub struct Problem {
     objective: Vec<f64>,
     constraints: Vec<Constraint>,
     var_names: Vec<Option<String>>,
+    shared_tail: Option<Arc<SharedRowBlock>>,
 }
 
 impl Problem {
@@ -74,6 +157,7 @@ impl Problem {
             objective: vec![0.0; n_vars],
             constraints: Vec::new(),
             var_names: vec![None; n_vars],
+            shared_tail: None,
         }
     }
 
@@ -82,9 +166,45 @@ impl Problem {
         self.n_vars
     }
 
-    /// Number of constraints added so far.
+    /// Number of explicit constraints added so far (excluding any shared
+    /// tail block; see [`n_rows_total`](Self::n_rows_total)).
     pub fn n_constraints(&self) -> usize {
         self.constraints.len()
+    }
+
+    /// Total number of constraint rows the solver will see: explicit
+    /// constraints followed by the rows of the shared tail block, if any.
+    pub fn n_rows_total(&self) -> usize {
+        self.constraints.len() + self.shared_tail.as_ref().map_or(0, |t| t.n_rows())
+    }
+
+    /// Attach a shared block of `≤` rows that is appended after the explicit
+    /// constraints at solve time, regardless of when it is set.  The block's
+    /// cached column-major form is reused verbatim by the sparse solver, so
+    /// re-solving a family of problems that share it skips rebuilding the
+    /// bulk of the constraint matrix.  Replaces any previously attached
+    /// block.
+    pub fn set_shared_tail(&mut self, block: Arc<SharedRowBlock>) {
+        self.shared_tail = Some(block);
+    }
+
+    /// The shared tail block, if one is attached.
+    pub fn shared_tail(&self) -> Option<&Arc<SharedRowBlock>> {
+        self.shared_tail.as_ref()
+    }
+
+    /// Iterate every row the solver will see — explicit constraints first,
+    /// then the shared tail rows (always `≤`, non-negative rhs) — as
+    /// `(coefficients, sense, rhs)`.
+    pub fn rows_all(&self) -> impl Iterator<Item = (&[(usize, f64)], Sense, f64)> {
+        self.constraints
+            .iter()
+            .map(|c| (c.coeffs.as_slice(), c.sense, c.rhs))
+            .chain(
+                self.shared_tail
+                    .iter()
+                    .flat_map(|t| (0..t.n_rows()).map(move |i| (t.row(i), Sense::Le, t.rhs()[i]))),
+            )
     }
 
     /// Optimization direction.
@@ -173,6 +293,16 @@ impl Problem {
                 }
             }
         }
+        if let Some(tail) = &self.shared_tail {
+            // The block's own rows were validated at construction; only the
+            // column-count compatibility can go wrong here.
+            if tail.n_cols() != self.n_vars {
+                return Err(LpError::SharedTailWidthMismatch {
+                    tail_cols: tail.n_cols(),
+                    n_vars: self.n_vars,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -244,5 +374,55 @@ mod tests {
     fn set_objective_out_of_range_panics() {
         let mut p = Problem::minimize(1);
         p.set_objective(3, 1.0);
+    }
+
+    #[test]
+    fn shared_tail_rows_behave_like_explicit_constraints() {
+        // max x + y s.t. x <= 2 (explicit), y <= 3 and x + y <= 4 (tail).
+        let tail = Arc::new(SharedRowBlock::new(
+            2,
+            vec![vec![(1, 1.0)], vec![(0, 1.0), (1, 1.0)]],
+            vec![3.0, 4.0],
+        ));
+        assert_eq!(tail.n_rows(), 2);
+        assert_eq!(tail.n_cols(), 2);
+        assert_eq!(tail.row(0), &[(1, 1.0)]);
+        assert_eq!(tail.rhs(), &[3.0, 4.0]);
+        let mut p = Problem::maximize(2);
+        p.set_objective(0, 1.0);
+        p.set_objective(1, 1.0);
+        p.add_constraint(&[(0, 1.0)], Sense::Le, 2.0);
+        p.set_shared_tail(tail.clone());
+        assert_eq!(p.n_constraints(), 1);
+        assert_eq!(p.n_rows_total(), 3);
+        assert!(p.shared_tail().is_some());
+        assert_eq!(p.rows_all().count(), 3);
+        let s = p.solve().unwrap();
+        assert!((s.objective - 4.0).abs() < 1e-6);
+        assert_eq!(s.duals.len(), 3);
+        // Strong duality across explicit + tail rows.
+        let dual_obj: f64 = p.rows_all().zip(&s.duals).map(|((_, _, b), y)| b * y).sum();
+        assert!((dual_obj - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_tail_width() {
+        let tail = Arc::new(SharedRowBlock::new(3, vec![vec![(2, 1.0)]], vec![1.0]));
+        let mut p = Problem::maximize(2);
+        p.set_objective(0, 1.0);
+        p.set_shared_tail(tail);
+        assert!(matches!(
+            p.validate(),
+            Err(LpError::SharedTailWidthMismatch {
+                tail_cols: 3,
+                n_vars: 2
+            })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn shared_block_rejects_negative_rhs() {
+        SharedRowBlock::new(1, vec![vec![(0, 1.0)]], vec![-1.0]);
     }
 }

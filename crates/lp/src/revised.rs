@@ -16,18 +16,27 @@
 //! the two solvers can cross-check each other (see
 //! `tests/proptest_sparse_dense.rs`).
 //!
-//! Additionally this path supports **warm starting**: the caller may pass
-//! the basis of a previous, similarly-shaped solve via
-//! [`crate::SolverOptions::warm_start`]; it is replayed into the starting
-//! basis before optimization begins. Note that on the current replay
-//! implementation this is a throughput *wash*, not a win — replaying the
-//! basis costs about as much as re-solving (`BENCH_lp.json`,
-//! `sparse_warm_us` vs `sparse_skeleton_us`) — so treat it as an
-//! experimentation hook; `ROADMAP.md` tracks the dual-simplex follow-up
-//! that would make it pay off.
+//! Additionally this path supports two forms of **warm starting**:
+//!
+//! * **Basis replay** ([`crate::SolverOptions::warm_start`]): the basis of a
+//!   previous, similarly-shaped solve is replayed into the starting basis
+//!   before optimization begins.  When the replayed basis is primal
+//!   infeasible for the new right-hand side but still dual feasible, the
+//!   [`crate::dual`] phase repairs it with dual pivots instead of falling
+//!   back to a cold start.  Replay itself costs about as much as re-solving
+//!   (each replayed column is one FTRAN through a growing eta file), which
+//!   is why it is a throughput wash on its own (`BENCH_lp.json`).
+//! * **Factorization reuse** ([`crate::WarmHandle`], via
+//!   [`solve_sparse_with_handle`]): the solved engine — basis, eta file and
+//!   column store — is snapshotted at the optimum, and a later LP with the
+//!   *same matrix* but different right-hand sides re-solves from it with a
+//!   single FTRAN plus a few dual pivots, skipping replay entirely.  This is
+//!   the profitable path `BatchEstimator` uses (`BENCH_lp.json`,
+//!   `dual_warm_us` vs `sparse_skeleton_us`).
 
 use crate::error::LpError;
-use crate::problem::{Direction, Problem, Sense};
+use crate::problem::{Direction, Problem, Sense, SharedRowBlock};
+use std::sync::Arc;
 
 /// Residual below which a basic artificial is considered "at zero": the same
 /// threshold phase 1 uses to accept a basis as feasible, so every artificial
@@ -38,7 +47,8 @@ use crate::simplex::{Solution, SolverOptions, Status};
 use crate::sparse::{CscMatrix, CsrMatrix};
 
 /// One eta transformation: pivoting column `w` into basis position `row`.
-struct Eta {
+#[derive(Clone)]
+pub(crate) struct Eta {
     row: usize,
     pivot: f64,
     /// `(i, w_i)` for the nonzero off-pivot entries of the pivot column.
@@ -46,7 +56,7 @@ struct Eta {
 }
 
 /// `x := E⁻¹ x` for each eta in application order (FTRAN).
-fn ftran(etas: &[Eta], x: &mut [f64]) {
+pub(crate) fn ftran(etas: &[Eta], x: &mut [f64]) {
     for eta in etas {
         let xr = x[eta.row];
         if xr != 0.0 {
@@ -60,7 +70,7 @@ fn ftran(etas: &[Eta], x: &mut [f64]) {
 }
 
 /// `yᵀ := yᵀ E⁻¹` for each eta in reverse order (BTRAN).
-fn btran(etas: &[Eta], y: &mut [f64]) {
+pub(crate) fn btran(etas: &[Eta], y: &mut [f64]) {
     for eta in etas.iter().rev() {
         let mut acc = y[eta.row];
         for &(i, w) in &eta.entries {
@@ -72,7 +82,7 @@ fn btran(etas: &[Eta], y: &mut [f64]) {
 
 /// Kind of a column in the working problem.
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum ColKind {
+pub(crate) enum ColKind {
     /// Structural variable `j` of the original problem.
     Structural,
     /// Slack (`+1`) or surplus (`-1`) singleton in some row.
@@ -81,63 +91,97 @@ enum ColKind {
     Artificial,
 }
 
-struct Engine {
-    m: usize,
-    n_structural: usize,
-    n_cols: usize,
-    csc: CscMatrix,
+/// The structural columns of the working problem: the per-solve explicit
+/// rows in CSC form (row indices `0..head_rows`), plus an optional shared
+/// tail block whose cached CSC is borrowed by `Arc` and addressed at a row
+/// offset — the tail is never rebuilt per solve.
+#[derive(Clone)]
+pub(crate) struct ColumnStore {
+    head: CscMatrix,
+    tail: Option<(usize, Arc<CscMatrix>)>,
+}
+
+impl ColumnStore {
+    fn col_dot(&self, j: usize, y: &[f64]) -> f64 {
+        let mut acc = self.head.col_dot(j, y);
+        if let Some((offset, tail)) = &self.tail {
+            acc += tail.col(j).map(|(i, v)| v * y[offset + i]).sum::<f64>();
+        }
+        acc
+    }
+
+    fn scatter_col(&self, j: usize, out: &mut [f64]) {
+        self.head.scatter_col(j, out);
+        if let Some((offset, tail)) = &self.tail {
+            for (i, v) in tail.col(j) {
+                out[offset + i] = v;
+            }
+        }
+    }
+}
+
+#[derive(Clone)]
+pub(crate) struct Engine {
+    pub(crate) m: usize,
+    pub(crate) n_structural: usize,
+    pub(crate) n_cols: usize,
+    pub(crate) cols: ColumnStore,
     /// For slack/surplus/artificial columns: `(row, coefficient)`.
-    singleton: Vec<(usize, f64)>,
-    kind: Vec<ColKind>,
-    basis: Vec<usize>,
-    in_basis: Vec<bool>,
-    etas: Vec<Eta>,
-    x_b: Vec<f64>,
-    b: Vec<f64>,
-    tol: f64,
+    pub(crate) singleton: Vec<(usize, f64)>,
+    pub(crate) kind: Vec<ColKind>,
+    pub(crate) basis: Vec<usize>,
+    pub(crate) in_basis: Vec<bool>,
+    pub(crate) etas: Vec<Eta>,
+    pub(crate) x_b: Vec<f64>,
+    pub(crate) b: Vec<f64>,
+    pub(crate) tol: f64,
     /// Scratch: entering column in dense form.
-    work: Vec<f64>,
-    pivots_since_recompute: usize,
+    pub(crate) work: Vec<f64>,
+    pub(crate) pivots_since_recompute: usize,
 }
 
 impl Engine {
     /// `work := B⁻¹ work` using the eta file.
-    fn ftran_work(&mut self) {
+    pub(crate) fn ftran_work(&mut self) {
         let Engine { etas, work, .. } = self;
         ftran(etas, work);
     }
 
-    fn column_into_work(&mut self, col: usize) {
+    pub(crate) fn column_into_work(&mut self, col: usize) {
         self.work.iter_mut().for_each(|v| *v = 0.0);
         if col < self.n_structural {
-            let (csc, work) = (&self.csc, &mut self.work);
-            csc.scatter_col(col, work);
+            let (cols, work) = (&self.cols, &mut self.work);
+            cols.scatter_col(col, work);
         } else {
             let (row, coef) = self.singleton[col];
             self.work[row] = coef;
         }
     }
 
-    /// Reduced cost of column `col` given `y = c_Bᵀ B⁻¹`.
-    fn reduced_cost(&self, col: usize, cost: &[f64], y: &[f64]) -> f64 {
-        let ya = if col < self.n_structural {
-            self.csc.col_dot(col, y)
+    /// `ρᵀ A_j` for a dense row vector `ρ` (dual-simplex pricing).
+    pub(crate) fn row_dot_col(&self, col: usize, rho: &[f64]) -> f64 {
+        if col < self.n_structural {
+            self.cols.col_dot(col, rho)
         } else {
             let (row, coef) = self.singleton[col];
-            coef * y[row]
-        };
-        cost[col] - ya
+            coef * rho[row]
+        }
+    }
+
+    /// Reduced cost of column `col` given `y = c_Bᵀ B⁻¹`.
+    pub(crate) fn reduced_cost(&self, col: usize, cost: &[f64], y: &[f64]) -> f64 {
+        cost[col] - self.row_dot_col(col, y)
     }
 
     /// `y = c_Bᵀ B⁻¹` for the given cost vector.
-    fn duals_for(&self, cost: &[f64]) -> Vec<f64> {
+    pub(crate) fn duals_for(&self, cost: &[f64]) -> Vec<f64> {
         let mut y: Vec<f64> = self.basis.iter().map(|&b| cost[b]).collect();
         btran(&self.etas, &mut y);
         y
     }
 
     /// Current objective `c_Bᵀ x_B`.
-    fn objective_for(&self, cost: &[f64]) -> f64 {
+    pub(crate) fn objective_for(&self, cost: &[f64]) -> f64 {
         self.basis
             .iter()
             .zip(self.x_b.iter())
@@ -154,7 +198,7 @@ impl Engine {
     /// solver's explicit `drive_out_artificials` pass.  The caller zeroes
     /// the pinned residual before pivoting (see [`Engine::optimize`]), so
     /// the entering variable comes in at exactly zero.
-    fn ratio_test(&self) -> Option<usize> {
+    pub(crate) fn ratio_test(&self) -> Option<usize> {
         let tol = self.tol;
         let mut pivot_row: Option<usize> = None;
         let mut best_ratio = f64::INFINITY;
@@ -187,7 +231,7 @@ impl Engine {
 
     /// Pivot `col` into basis position `row` using the entering column
     /// currently held in `self.work`.
-    fn pivot(&mut self, row: usize, col: usize) {
+    pub(crate) fn pivot(&mut self, row: usize, col: usize) {
         let pivot = self.work[row];
         debug_assert!(pivot.abs() > 1e-12, "pivot element too small");
         let theta = self.x_b[row] / pivot;
@@ -212,7 +256,7 @@ impl Engine {
 
     /// Record the eta for the entering column held in `self.work` and swap
     /// `col` into basis position `row` — bookkeeping only, `x_b` untouched.
-    fn basis_replace(&mut self, row: usize, col: usize) {
+    pub(crate) fn basis_replace(&mut self, row: usize, col: usize) {
         let pivot = self.work[row];
         let entries: Vec<(usize, f64)> = (0..self.m)
             .filter(|&i| i != row && self.work[i].abs() > 1e-12)
@@ -232,7 +276,7 @@ impl Engine {
     /// Run simplex on `cost` until optimal/unbounded or the iteration cap.
     ///
     /// `allow_artificial_entering` is true only in phase 1.
-    fn optimize(
+    pub(crate) fn optimize(
         &mut self,
         cost: &[f64],
         max_iter: usize,
@@ -300,13 +344,48 @@ impl Engine {
     }
 }
 
-/// Solve `problem` with the sparse revised simplex.
+/// Primal-feasibility slack shared by the replay acceptance check and the
+/// dual simplex: basic values above `-PRIMAL_FEAS_TOL` count as feasible
+/// (and are clamped to zero before primal iterations resume).
+pub(crate) const PRIMAL_FEAS_TOL: f64 = 1e-7;
+
+/// A problem normalized and ready to optimize, plus everything needed to
+/// interpret the engine's answer in the caller's original coordinates.
+pub(crate) struct Prepared {
+    pub(crate) n: usize,
+    pub(crate) m: usize,
+    pub(crate) sign: f64,
+    /// Explicit-row flip pattern (tail rows are never flipped).
+    pub(crate) row_flipped: Vec<bool>,
+    /// Normalized explicit rows (coefficients after flipping).
+    pub(crate) rows: Vec<Vec<(usize, f64)>>,
+    pub(crate) tail: Option<Arc<SharedRowBlock>>,
+    pub(crate) n_artificial: usize,
+    /// Phase-2 cost vector over all working columns.
+    pub(crate) cost2: Vec<f64>,
+    pub(crate) engine: Engine,
+    pub(crate) max_iter: usize,
+}
+
+/// Outcome of [`prepare`]: either a ready engine or an immediately decided
+/// solution (problems with no rows at all).
+pub(crate) enum Prep {
+    Ready(Box<Prepared>),
+    Trivial(Solution),
+}
+
+/// Normalize `problem` and build the revised-simplex engine.
 ///
-/// Status classification, dual signs and the strong-duality identity
-/// `objective == Σ dualsᵢ · rhsᵢ` all match the dense solver.
-pub fn solve_sparse(problem: &Problem, options: &SolverOptions) -> Result<Solution, LpError> {
+/// `flips` overrides the per-explicit-row sign normalization: `None` flips
+/// rows so every RHS is non-negative (the cold-start invariant phase 1
+/// relies on), while [`crate::WarmHandle::resolve`] passes its recorded
+/// pattern so the matrix matches the snapshot bit-for-bit and only `b`
+/// changes — dual pivots absorb any resulting negative entries.
+pub(crate) fn prepare(problem: &Problem, options: &SolverOptions, flips: Option<&[bool]>) -> Prep {
     let n = problem.n_vars();
-    let m = problem.n_constraints();
+    let m_explicit = problem.n_constraints();
+    let tail = problem.shared_tail().cloned();
+    let m = m_explicit + tail.as_ref().map_or(0, |t| t.n_rows());
     // Floor the pivot tolerance: the ratio test only admits pivot entries
     // larger than `tol`, and the eta factorization needs those entries
     // comfortably away from zero.
@@ -322,31 +401,35 @@ pub fn solve_sparse(problem: &Problem, options: &SolverOptions) -> Result<Soluti
     }
 
     if m == 0 {
-        if obj.iter().any(|&c| c > tol) {
-            return Ok(Solution {
-                status: Status::Unbounded,
-                objective: f64::INFINITY * sign,
-                x: vec![0.0; n],
-                duals: vec![],
-                basis: vec![],
-            });
-        }
-        return Ok(Solution {
-            status: Status::Optimal,
-            objective: 0.0,
+        let status = if obj.iter().any(|&c| c > tol) {
+            Status::Unbounded
+        } else {
+            Status::Optimal
+        };
+        return Prep::Trivial(Solution {
+            status,
+            objective: if status == Status::Unbounded {
+                f64::INFINITY * sign
+            } else {
+                0.0
+            },
             x: vec![0.0; n],
             duals: vec![],
             basis: vec![],
         });
     }
 
-    // Normalize rows so every RHS is non-negative, mirroring the dense path.
-    let mut row_flipped = vec![false; m];
+    // Normalize explicit rows, mirroring the dense path; tail rows are `<=`
+    // with non-negative RHS by construction and are appended untouched.
+    let mut row_flipped = vec![false; m_explicit];
     let mut b = vec![0.0; m];
     let mut senses = Vec::with_capacity(m);
-    let mut sparse_rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+    let mut sparse_rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m_explicit);
     for (i, con) in problem.constraints().iter().enumerate() {
-        let flip = con.rhs < 0.0;
+        let flip = match flips {
+            Some(f) => f[i],
+            None => con.rhs < 0.0,
+        };
         row_flipped[i] = flip;
         let mult = if flip { -1.0 } else { 1.0 };
         b[i] = mult * con.rhs;
@@ -357,8 +440,17 @@ pub fn solve_sparse(problem: &Problem, options: &SolverOptions) -> Result<Soluti
         });
         sparse_rows.push(con.coeffs.iter().map(|&(j, c)| (j, mult * c)).collect());
     }
-    let csr = CsrMatrix::from_rows(n, &sparse_rows);
-    let csc = csr.to_csc();
+    if let Some(t) = &tail {
+        for (i, &rhs) in t.rhs().iter().enumerate() {
+            b[m_explicit + i] = rhs;
+            senses.push(Sense::Le);
+        }
+    }
+    let head_csc = CsrMatrix::from_rows(n, &sparse_rows).to_csc();
+    let cols = ColumnStore {
+        head: head_csc,
+        tail: tail.as_ref().map(|t| (m_explicit, Arc::clone(t.csc()))),
+    };
 
     // Column layout: structural, then one slack/surplus per Le/Ge row, then
     // one artificial per Ge/Eq row — identical to the dense tableau.
@@ -400,11 +492,11 @@ pub fn solve_sparse(problem: &Problem, options: &SolverOptions) -> Result<Soluti
         in_basis[col] = true;
     }
 
-    let mut engine = Engine {
+    let engine = Engine {
         m,
         n_structural: n,
         n_cols,
-        csc,
+        cols,
         singleton,
         kind,
         basis,
@@ -426,17 +518,118 @@ pub fn solve_sparse(problem: &Problem, options: &SolverOptions) -> Result<Soluti
     let mut cost2 = vec![0.0; n_cols];
     cost2[..n].copy_from_slice(&obj);
 
+    Prep::Ready(Box::new(Prepared {
+        n,
+        m,
+        sign,
+        row_flipped,
+        rows: sparse_rows,
+        tail,
+        n_artificial,
+        cost2,
+        engine,
+        max_iter,
+    }))
+}
+
+/// The all-zero solution reported for infeasible problems.
+pub(crate) fn infeasible_solution(n: usize, m: usize) -> Solution {
+    Solution {
+        status: Status::Infeasible,
+        objective: f64::NAN,
+        x: vec![0.0; n],
+        duals: vec![0.0; m],
+        basis: vec![],
+    }
+}
+
+/// Read the optimal primal/dual solution out of an optimized engine, undoing
+/// the explicit-row flips and the direction sign.
+pub(crate) fn extract_solution(
+    engine: &Engine,
+    cost2: &[f64],
+    sign: f64,
+    row_flipped: &[bool],
+    n: usize,
+) -> Solution {
+    let mut x = vec![0.0; n];
+    let mut structural_basis = Vec::new();
+    for (row, &col) in engine.basis.iter().enumerate() {
+        if col < n {
+            x[col] = engine.x_b[row];
+            structural_basis.push((row, col));
+        }
+    }
+    let y = engine.duals_for(cost2);
+    let mut duals = vec![0.0; engine.m];
+    for i in 0..engine.m {
+        let mut v = y[i];
+        if i < row_flipped.len() && row_flipped[i] {
+            v = -v;
+        }
+        duals[i] = sign * v;
+    }
+    let objective = sign * engine.objective_for(cost2);
+    Solution {
+        status: Status::Optimal,
+        objective,
+        x,
+        duals,
+        basis: structural_basis,
+    }
+}
+
+/// Solve `problem` with the sparse revised simplex.
+///
+/// Status classification, dual signs and the strong-duality identity
+/// `objective == Σ dualsᵢ · rhsᵢ` all match the dense solver.
+pub fn solve_sparse(problem: &Problem, options: &SolverOptions) -> Result<Solution, LpError> {
+    solve_sparse_inner(problem, options, false).map(|(solution, _)| solution)
+}
+
+/// [`solve_sparse`], additionally returning a [`crate::WarmHandle`] that
+/// snapshots the factorized engine at the optimum.  The handle can later
+/// [`resolve`](crate::WarmHandle::resolve) problems with the same matrix but
+/// different right-hand sides via dual pivots, which is far cheaper than a
+/// fresh solve.  `None` when the solve did not end at a reusable optimal
+/// basis (non-optimal status, or the problem needed phase-1 artificials).
+pub fn solve_sparse_with_handle(
+    problem: &Problem,
+    options: &SolverOptions,
+) -> Result<(Solution, Option<crate::dual::WarmHandle>), LpError> {
+    // Unlike `solve_sparse` (whose callers go through `Problem::solve_with`),
+    // this is called directly by warm-start caches; validate here so invalid
+    // problems fail identically on the warm and cold paths.
+    problem.validate()?;
+    solve_sparse_inner(problem, options, true)
+}
+
+fn solve_sparse_inner(
+    problem: &Problem,
+    options: &SolverOptions,
+    want_handle: bool,
+) -> Result<(Solution, Option<crate::dual::WarmHandle>), LpError> {
+    let mut p = match prepare(problem, options, None) {
+        Prep::Trivial(solution) => return Ok((solution, None)),
+        Prep::Ready(p) => *p,
+    };
+    let (n, m) = (p.n, p.m);
+    let sign = p.sign;
+    let max_iter = p.max_iter;
+
     // Warm start: replay the previous basis while no artificials constrain
     // us. Each warm `(row, column)` pair is pivoted back into its recorded
     // row (skipping rows no longer held by an initial slack and pivots that
     // have become numerically tiny), so re-solving the same LP reproduces
     // the optimal vertex exactly and re-solving a perturbed one lands next
-    // to it. One feasibility check at the end either accepts the replayed
-    // basis or falls back to the cold slack start — this is immune to the
-    // degenerate-ratio wandering a feasibility-driven crash suffers on LPs
-    // whose RHS is mostly zero.
-    if n_artificial == 0 {
+    // to it. If the replayed basis is primal infeasible for this RHS but
+    // still prices dual feasible, the dual simplex repairs it in place;
+    // otherwise we fall back to the cold slack start — this is immune to
+    // the degenerate-ratio wandering a feasibility-driven crash suffers on
+    // LPs whose RHS is mostly zero.
+    if p.n_artificial == 0 {
         if let Some(warm) = &options.warm_start {
+            let engine = &mut p.engine;
             let initial_basis = engine.basis.clone();
             let mut changed = false;
             for &(row, col) in warm {
@@ -457,40 +650,52 @@ pub fn solve_sparse(problem: &Problem, options: &SolverOptions) -> Result<Soluti
             if changed {
                 let mut xb = engine.b.clone();
                 ftran(&engine.etas, &mut xb);
-                if xb.iter().all(|&v| v >= -1e-7) {
+                engine.pivots_since_recompute = 0;
+                if xb.iter().all(|&v| v >= -PRIMAL_FEAS_TOL) {
                     engine.x_b = xb.into_iter().map(|v| v.max(0.0)).collect();
                 } else {
-                    // The old basis is infeasible for this RHS; start cold.
-                    engine.etas.clear();
-                    engine.in_basis.iter_mut().for_each(|v| *v = false);
-                    engine.basis = initial_basis;
-                    for &col in &engine.basis {
-                        engine.in_basis[col] = true;
+                    engine.x_b = xb;
+                    let repaired = crate::dual::is_dual_feasible(engine, &p.cost2)
+                        && matches!(
+                            crate::dual::dual_simplex(engine, &p.cost2, max_iter),
+                            Ok(crate::dual::DualOutcome::PrimalFeasible)
+                        );
+                    if repaired {
+                        for v in engine.x_b.iter_mut() {
+                            if *v < 0.0 {
+                                *v = 0.0;
+                            }
+                        }
+                    } else {
+                        // Not repairable from here (dual infeasible, lost
+                        // feasibility, or even genuinely infeasible — let
+                        // phase 2 from the cold start decide); start cold.
+                        engine.etas.clear();
+                        engine.in_basis.iter_mut().for_each(|v| *v = false);
+                        engine.basis = initial_basis;
+                        for &col in &engine.basis {
+                            engine.in_basis[col] = true;
+                        }
+                        engine.x_b = engine.b.clone();
+                        engine.pivots_since_recompute = 0;
                     }
-                    engine.x_b = engine.b.clone();
                 }
-                engine.pivots_since_recompute = 0;
             }
         }
     }
 
-    if n_artificial > 0 {
-        let cost1: Vec<f64> = engine
+    if p.n_artificial > 0 {
+        let cost1: Vec<f64> = p
+            .engine
             .kind
             .iter()
             .map(|k| if *k == ColKind::Artificial { -1.0 } else { 0.0 })
             .collect();
-        match engine.optimize(&cost1, max_iter, true)? {
+        match p.engine.optimize(&cost1, max_iter, true)? {
             Status::Optimal => {
-                let phase1 = engine.objective_for(&cost1);
+                let phase1 = p.engine.objective_for(&cost1);
                 if phase1 < -1e-6 {
-                    return Ok(Solution {
-                        status: Status::Infeasible,
-                        objective: f64::NAN,
-                        x: vec![0.0; n],
-                        duals: vec![0.0; m],
-                        basis: vec![],
-                    });
+                    return Ok((infeasible_solution(n, m), None));
                 }
             }
             // The phase-1 objective is bounded above by zero, so an
@@ -508,45 +713,27 @@ pub fn solve_sparse(problem: &Problem, options: &SolverOptions) -> Result<Soluti
         }
     }
 
-    let status = engine.optimize(&cost2, max_iter, false)?;
+    let status = p.engine.optimize(&p.cost2, max_iter, false)?;
     if status == Status::Unbounded {
-        return Ok(Solution {
-            status,
-            objective: f64::INFINITY * sign,
-            x: vec![0.0; n],
-            duals: vec![0.0; m],
-            basis: vec![],
-        });
+        return Ok((
+            Solution {
+                status,
+                objective: f64::INFINITY * sign,
+                x: vec![0.0; n],
+                duals: vec![0.0; m],
+                basis: vec![],
+            },
+            None,
+        ));
     }
 
-    // Primal solution.
-    let mut x = vec![0.0; n];
-    let mut structural_basis = Vec::new();
-    for (row, &col) in engine.basis.iter().enumerate() {
-        if col < n {
-            x[col] = engine.x_b[row];
-            structural_basis.push((row, col));
-        }
-    }
-    // Duals: y = c_Bᵀ B⁻¹; undo the row flip and the direction sign.
-    let y = engine.duals_for(&cost2);
-    let mut duals = vec![0.0; m];
-    for i in 0..m {
-        let mut v = y[i];
-        if row_flipped[i] {
-            v = -v;
-        }
-        duals[i] = sign * v;
-    }
-    let objective = sign * engine.objective_for(&cost2);
-
-    Ok(Solution {
-        status: Status::Optimal,
-        objective,
-        x,
-        duals,
-        basis: structural_basis,
-    })
+    let solution = extract_solution(&p.engine, &p.cost2, sign, &p.row_flipped, n);
+    let handle = if want_handle && p.n_artificial == 0 {
+        Some(crate::dual::WarmHandle::snapshot(problem, p))
+    } else {
+        None
+    };
+    Ok((solution, handle))
 }
 
 #[cfg(test)]

@@ -141,7 +141,7 @@ struct Tableau {
 pub fn solve(problem: &Problem, options: &SolverOptions) -> Result<Solution, LpError> {
     match options.solver {
         SolverKind::Auto => {
-            if problem.n_constraints() < DENSE_SMALL_LP_ROWS && options.warm_start.is_none() {
+            if problem.n_rows_total() < DENSE_SMALL_LP_ROWS && options.warm_start.is_none() {
                 solve_dense(problem, options)
             } else {
                 // The dense tableau really is the fallback: if the sparse
@@ -161,7 +161,7 @@ pub fn solve(problem: &Problem, options: &SolverOptions) -> Result<Solution, LpE
 /// cross-checking fallback; see [`SolverKind`]).
 pub fn solve_dense(problem: &Problem, options: &SolverOptions) -> Result<Solution, LpError> {
     let n = problem.n_vars();
-    let m = problem.n_constraints();
+    let m = problem.n_rows_total();
     let tol = options.tolerance;
 
     // Internally always maximize.
@@ -271,14 +271,14 @@ pub fn solve_dense(problem: &Problem, options: &SolverOptions) -> Result<Solutio
 
 fn build_tableau(problem: &Problem, obj: &[f64], tol: f64) -> Result<Tableau, LpError> {
     let n = problem.n_vars();
-    let m = problem.n_constraints();
+    let m = problem.n_rows_total();
 
-    // Count extra columns.
+    // Count extra columns over every row the solver sees, shared tail rows
+    // included (those are always `<=` with non-negative rhs).
     let mut n_slack = 0usize;
     let mut n_artificial = 0usize;
-    for con in problem.constraints() {
-        let rhs_negative = con.rhs < 0.0;
-        let sense = effective_sense(con.sense, rhs_negative);
+    for (_, sense, rhs) in problem.rows_all() {
+        let sense = effective_sense(sense, rhs < 0.0);
         match sense {
             Sense::Le => n_slack += 1,
             Sense::Ge => {
@@ -299,15 +299,15 @@ fn build_tableau(problem: &Problem, obj: &[f64], tol: f64) -> Result<Tableau, Lp
     let mut next_slack = n;
     let mut next_artificial = n + n_slack;
 
-    for (i, con) in problem.constraints().iter().enumerate() {
-        let flip = con.rhs < 0.0;
+    for (i, (coeffs, sense, rhs)) in problem.rows_all().enumerate() {
+        let flip = rhs < 0.0;
         row_flipped[i] = flip;
         let mult = if flip { -1.0 } else { 1.0 };
-        for &(j, c) in &con.coeffs {
+        for &(j, c) in coeffs {
             t.add(i, j, mult * c);
         }
-        t.set(i, n_cols - 1, mult * con.rhs);
-        let sense = effective_sense(con.sense, flip);
+        t.set(i, n_cols - 1, mult * rhs);
+        let sense = effective_sense(sense, flip);
         match sense {
             Sense::Le => {
                 t.set(i, next_slack, 1.0);
