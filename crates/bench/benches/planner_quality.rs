@@ -1,0 +1,150 @@
+//! Planner-quality benchmark: does the bound-driven optimizer actually pick
+//! better plans than greedy-by-size, and what does planning cost?
+//!
+//! For every planner-adversarial workload of `lpb-datagen` (plus a JOB-like
+//! acyclic query), this harness:
+//!
+//! 1. plans with [`lpb_exec::Optimizer`] (timing the call — this includes
+//!    batch-bounding every connected sub-join through the warm-started
+//!    `BatchEstimator`),
+//! 2. executes the chosen physical plan and the greedy-by-size hash chain,
+//!    recording every node's materialized rows via `IntermediateCounters`,
+//! 3. emits `BENCH_planner.json` at the workspace root with plan time,
+//!    chosen order/strategy, chosen-vs-greedy peak intermediates and the
+//!    estimator's shape-cache hit counters.
+//!
+//! Passing `--smoke` (the CI mode: `cargo bench --bench planner_quality --
+//! --smoke`) runs the same pipeline at the test scale and writes the JSON
+//! to a scratch path, so the emitter is exercised on every push without
+//! clobbering the committed trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lpb_datagen::{job_like_catalog, job_like_queries, planner_workloads, JobLikeConfig};
+use lpb_exec::{execute_physical, execute_plan, JoinPlan, Optimizer};
+use std::time::Instant;
+
+struct PlannerRow {
+    workload: String,
+    plan_us: f64,
+    strategy: &'static str,
+    order: Vec<usize>,
+    chosen_max_intermediate: usize,
+    greedy_max_intermediate: usize,
+    output_size: usize,
+    subqueries_bounded: usize,
+    shape_cache_hits: usize,
+}
+
+fn measure(c: &mut Criterion, smoke: bool) -> Vec<PlannerRow> {
+    let scale = if smoke { 1 } else { 4 };
+    let mut workloads = planner_workloads(scale);
+    // One JOB-like acyclic query rounds out the suite.
+    let job = job_like_catalog(&JobLikeConfig {
+        movies: if smoke { 200 } else { 2_000 },
+        link_fanout: 2,
+        seed: 23,
+        ..JobLikeConfig::default()
+    });
+    if let Some(jq) = job_like_queries().into_iter().nth(3) {
+        workloads.push(lpb_datagen::PlannerWorkload {
+            name: "job-like",
+            query: jq.query,
+            catalog: job,
+        });
+    }
+
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("planner_quality");
+    group.sample_size(10);
+    for w in &workloads {
+        // One optimizer per workload: the first plan() call is the cold
+        // measurement, the criterion loop below shows the warm steady state.
+        let optimizer = Optimizer::new();
+        let started = Instant::now();
+        let plan = optimizer.plan(&w.query, &w.catalog).expect("planning");
+        let plan_us = started.elapsed().as_secs_f64() * 1e6;
+        // Hits of the cold planning call alone (the criterion loop below
+        // would inflate them).
+        let shape_cache_hits = optimizer.estimator().shape_cache_hits();
+
+        let chosen = execute_physical(&w.query, &w.catalog, &plan.physical).expect("chosen plan");
+        let greedy_plan = JoinPlan::greedy_by_size(&w.query, &w.catalog).expect("greedy");
+        let greedy = execute_plan(&w.query, &w.catalog, &greedy_plan).expect("greedy plan");
+        assert_eq!(
+            chosen.output_size(),
+            greedy.output_size(),
+            "{}: plans disagree on the output",
+            w.name
+        );
+
+        group.bench_with_input(BenchmarkId::new("plan", w.name), &w, |b, w| {
+            b.iter(|| optimizer.plan(&w.query, &w.catalog).unwrap())
+        });
+
+        rows.push(PlannerRow {
+            workload: w.name.to_string(),
+            plan_us,
+            strategy: plan.strategy(),
+            order: plan.order.clone(),
+            chosen_max_intermediate: chosen.max_intermediate(),
+            greedy_max_intermediate: greedy.max_intermediate(),
+            output_size: chosen.output_size(),
+            subqueries_bounded: plan.subqueries_bounded,
+            shape_cache_hits,
+        });
+    }
+    group.finish();
+    rows
+}
+
+fn write_bench_json(rows: &[PlannerRow], smoke: bool) {
+    let mut out = String::from("{\n  \"bench\": \"planner_quality\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let order: Vec<String> = r.order.iter().map(|a| a.to_string()).collect();
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"plan_us\": {:.1}, \"strategy\": \"{}\", \
+             \"chosen_order\": [{}], \"chosen_max_intermediate\": {}, \
+             \"greedy_max_intermediate\": {}, \"peak_ratio_greedy_over_chosen\": {:.2}, \
+             \"output_size\": {}, \"subqueries_bounded\": {}, \
+             \"shape_cache_hits\": {}}}{}\n",
+            r.workload,
+            r.plan_us,
+            r.strategy,
+            order.join(", "),
+            r.chosen_max_intermediate,
+            r.greedy_max_intermediate,
+            r.greedy_max_intermediate as f64 / r.chosen_max_intermediate.max(1) as f64,
+            r.output_size,
+            r.subqueries_bounded,
+            r.shape_cache_hits,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    // Smoke runs exercise the emitter end-to-end but must not overwrite the
+    // committed trajectory file with reduced-size numbers.
+    let path = if smoke {
+        std::env::temp_dir()
+            .join("BENCH_planner.smoke.json")
+            .to_string_lossy()
+            .into_owned()
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_planner.json").to_string()
+    };
+    std::fs::write(&path, &out).expect("write BENCH_planner.json");
+    println!("{out}");
+    println!("wrote {path}");
+}
+
+fn bench(c: &mut Criterion) {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let rows = measure(c, smoke);
+    write_bench_json(&rows, smoke);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -249,6 +249,56 @@ fn normal_cone_skeleton_is_bit_for_bit_with_direct_construction() {
     assert!(checked >= 14, "expected a broad normal-cone case set");
 }
 
+/// The normal LP's statistic rows are now built once per `(U, V, norm)`
+/// shape and shared — including the whole per-shape matrix, attached to
+/// problems as a sparse-column [`lpb_lp::SharedRowBlock`] tail.  Both the
+/// cached rows and the shared matrix must stay **bit for bit** identical to
+/// the dense per-column enumeration across the e1–e8 corpus.
+#[test]
+fn normal_stat_rows_and_shared_matrix_match_dense_rows_bit_for_bit() {
+    use lpb_core::skeleton::NormalLpSkeleton;
+
+    let mut checked_rows = 0usize;
+    for (name, query, stats) in &experiment_cases() {
+        let n = query.n_vars();
+        if n > lpb_core::NORMAL_VAR_LIMIT {
+            continue;
+        }
+        let skeleton = NormalLpSkeleton::normal(n).unwrap();
+        let dense_reference = direct_normal_problem(n, stats);
+        for (i, s) in stats.iter().enumerate() {
+            let dense_row = &dense_reference.constraints()[i].coeffs;
+            let cached = skeleton.stat_row(s);
+            assert_eq!(
+                cached.as_slice(),
+                dense_row.as_slice(),
+                "{name}: cached row {i} differs from the dense enumeration"
+            );
+            checked_rows += 1;
+        }
+        // The instantiated problem carries the same rows as a shared tail
+        // (when the log-bounds permit it) with the bounds as its rhs.
+        let p = skeleton.instantiate(stats);
+        if let Some(tail) = p.shared_tail() {
+            assert_eq!(tail.n_rows(), stats.len(), "{name}");
+            for (i, s) in stats.iter().enumerate() {
+                assert_eq!(
+                    tail.row(i),
+                    dense_reference.constraints()[i].coeffs.as_slice(),
+                    "{name}: shared-tail row {i}"
+                );
+                assert_eq!(p.tail_rhs().unwrap()[i], s.log_bound, "{name}: rhs {i}");
+            }
+        } else {
+            assert_eq!(p.n_constraints(), stats.len(), "{name}");
+        }
+    }
+    assert!(
+        checked_rows > 100,
+        "expected a broad row corpus, checked {checked_rows}"
+    );
+}
+
 /// `Nₙ ⊆ Γₙ`, so maximizing over the normal cone can never exceed the
 /// polymatroid bound — checked across the experiment corpus.
 #[test]

@@ -16,6 +16,15 @@
 //!   pivots instead of a cold solve (measured well under the cold cost;
 //!   see `BENCH_lp.json`, `dual_warm_us` vs `sparse_skeleton_us`).
 //!
+//! The warm cache lives inside the estimator (shared by clones via `Arc`),
+//! so it persists across [`BatchEstimator::estimate`] calls: a query
+//! optimizer keeps one configured instance (or clones per thread) and every
+//! planning call warms the next.  [`BatchEstimator::bound_subqueries`] is
+//! the planner entry point: all sub-joins of a DP enumeration, bounded in
+//! one batch.  Cache effectiveness is observable through
+//! [`BatchEstimator::shape_cache_hits`] /
+//! [`shape_cache_misses`](BatchEstimator::shape_cache_misses).
+//!
 //! Shapes are keyed by the **full statistic shape** — variable count, cone,
 //! and the multiset of `(conditioning set, dependent set, norm)` triples —
 //! not merely by the statistic *count*: two LPs share a key exactly when
@@ -58,12 +67,15 @@ use crate::bound_lp::{
     build_bound_problem, compute_bound_with, solution_to_result, validate_guards, BoundOptions,
     BoundResult, Cone,
 };
+use crate::collect::{collect_simple_statistics, CollectConfig};
 use crate::error::CoreError;
 use crate::query::JoinQuery;
 use crate::statistics::StatisticsSet;
+use lpb_data::Catalog;
 use lpb_lp::{solve_sparse_with_handle, LpError, SolverKind, SolverOptions, WarmHandle};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Warm-start cache key: the variable count, the cone, and the sorted
@@ -116,14 +128,32 @@ impl BatchItem {
     }
 }
 
+/// The estimator's persistent warm-start state: factorization snapshots per
+/// LP shape plus hit/miss instrumentation.  Lives behind an `Arc` so that
+/// cloned estimators — e.g. one configured instance shared across planner
+/// threads — pool their warm starts instead of each re-solving every shape
+/// cold.
+#[derive(Debug, Default)]
+struct WarmCache {
+    handles: Mutex<HashMap<LpShape, Arc<WarmHandle>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
 /// Evaluates many bound computations in parallel with shared skeleton and
 /// dual warm-start caches; see the module docs for an example.
+///
+/// The warm-start cache persists across [`estimate`](Self::estimate) calls
+/// and is shared by clones, so a query optimizer can keep one configured
+/// estimator alive (or hand clones to worker threads) and every
+/// optimization call warms the next.
 #[derive(Debug, Clone)]
 pub struct BatchEstimator {
     cone: Option<Cone>,
     solver: SolverKind,
     parallel: bool,
     warm_start: bool,
+    cache: Arc<WarmCache>,
 }
 
 impl Default for BatchEstimator {
@@ -133,6 +163,7 @@ impl Default for BatchEstimator {
             solver: SolverKind::default(),
             parallel: true,
             warm_start: true,
+            cache: Arc::new(WarmCache::default()),
         }
     }
 }
@@ -180,15 +211,33 @@ impl BatchEstimator {
         self
     }
 
+    /// Number of times an item's LP shape found a reusable factorization
+    /// snapshot in the warm-start cache (cumulative over this estimator and
+    /// every clone sharing its cache).
+    pub fn shape_cache_hits(&self) -> usize {
+        self.cache.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of items whose shape had no reusable snapshot and solved cold.
+    pub fn shape_cache_misses(&self) -> usize {
+        self.cache.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct LP shapes currently holding a snapshot.
+    pub fn shape_cache_len(&self) -> usize {
+        self.cache
+            .handles
+            .lock()
+            .expect("warm-start cache poisoned")
+            .len()
+    }
+
     /// Compute the bound for every item, in input order.
     ///
     /// Per-item failures (unguarded statistics, oversized queries,
     /// inconsistent statistics) are reported positionally and do not abort
     /// the rest of the batch.
     pub fn estimate(&self, items: &[BatchItem]) -> Vec<Result<BoundResult, CoreError>> {
-        // Factorization snapshot per LP shape, published by the first item
-        // of each shape to solve and reused by the rest.
-        let warm_cache: Mutex<HashMap<LpShape, Arc<WarmHandle>>> = Mutex::new(HashMap::new());
         let run_one = |item: &BatchItem| -> Result<BoundResult, CoreError> {
             let cone = self
                 .cone
@@ -204,7 +253,9 @@ impl BatchEstimator {
             validate_guards(&item.query, &item.stats)?;
             let problem = build_bound_problem(item.query.n_vars(), &item.stats, cone)?;
             let shape = LpShape::of(item.query.n_vars(), cone, &item.stats);
-            let handle = warm_cache
+            let handle = self
+                .cache
+                .handles
                 .lock()
                 .expect("warm-start cache poisoned")
                 .get(&shape)
@@ -219,9 +270,13 @@ impl BatchEstimator {
                 // differently ordered rows) solve cold instead and let the
                 // fresh handle replace the stale one below.
                 Some(h) if h.matches(&problem) => {
+                    self.cache.hits.fetch_add(1, Ordering::Relaxed);
                     h.resolve(&problem, &lp_options).map(|sol| (sol, None))
                 }
-                _ => solve_sparse_with_handle(&problem, &lp_options),
+                _ => {
+                    self.cache.misses.fetch_add(1, Ordering::Relaxed);
+                    solve_sparse_with_handle(&problem, &lp_options)
+                }
             };
             let (solution, new_handle) = match solved {
                 Ok(ok) => ok,
@@ -237,7 +292,8 @@ impl BatchEstimator {
                 Err(e) => return Err(e.into()),
             };
             if let Some(new_handle) = new_handle {
-                warm_cache
+                self.cache
+                    .handles
                     .lock()
                     .expect("warm-start cache poisoned")
                     .insert(shape, Arc::new(new_handle));
@@ -249,6 +305,54 @@ impl BatchEstimator {
         } else {
             items.iter().map(run_one).collect()
         }
+    }
+
+    /// Bound every sub-join of a plan enumeration in one warm-started batch:
+    /// for each atom subset, build the [`JoinQuery::subquery`], harvest its
+    /// statistics with `config`, and estimate all of them together.
+    ///
+    /// This is the optimizer entry point: a dynamic-programming join-order
+    /// enumeration asks for bounds on *every* connected sub-join at once —
+    /// exactly the heavy same-shaped fan-out the per-shape dual warm starts
+    /// were built for (sub-joins of a self-join workload collapse onto a few
+    /// shapes).  Results are positional; a subset whose statistics cannot be
+    /// harvested or whose LP exceeds the cone limits reports its error
+    /// without aborting the rest.
+    pub fn bound_subqueries(
+        &self,
+        query: &JoinQuery,
+        catalog: &Catalog,
+        subsets: &[Vec<usize>],
+        config: &CollectConfig,
+    ) -> Vec<Result<BoundResult, CoreError>> {
+        let mut items = Vec::with_capacity(subsets.len());
+        // One slot per subset: the preparation error, or `None` meaning "the
+        // next estimated bound in order" — preserves positional reporting
+        // without cloning the prepared items.
+        let slots: Vec<Option<CoreError>> = subsets
+            .iter()
+            .map(|atoms| {
+                let prepared = query.subquery(atoms).and_then(|sub| {
+                    let stats = collect_simple_statistics(&sub, catalog, config)?;
+                    Ok(BatchItem::new(sub, stats))
+                });
+                match prepared {
+                    Ok(item) => {
+                        items.push(item);
+                        None
+                    }
+                    Err(e) => Some(e),
+                }
+            })
+            .collect();
+        let mut bounds = self.estimate(&items).into_iter();
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                None => bounds.next().expect("one bound per prepared item"),
+                Some(e) => Err(e),
+            })
+            .collect()
     }
 }
 
@@ -413,6 +517,91 @@ mod tests {
             let (w, c) = (w.as_ref().unwrap(), c.as_ref().unwrap());
             assert!((w.log2_bound - c.log2_bound).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn warm_cache_persists_across_calls_and_is_shared_by_clones() {
+        let items = items();
+        let est = BatchEstimator::new().sequential();
+        let first = est.estimate(&items);
+        // Three shapes, each appearing twice: second occurrences hit.
+        assert!(
+            est.shape_cache_hits() >= 3,
+            "hits {}",
+            est.shape_cache_hits()
+        );
+        assert!(est.shape_cache_misses() >= 3);
+        assert!(est.shape_cache_len() >= 3);
+        let after_first = est.shape_cache_hits();
+
+        // A clone shares the cache: every item of the repeat batch hits, and
+        // results stay identical.
+        let clone = est.clone();
+        let second = clone.estimate(&items);
+        assert!(
+            est.shape_cache_hits() >= after_first + items.len(),
+            "expected all {} repeat items to hit, hits {} -> {}",
+            items.len(),
+            after_first,
+            est.shape_cache_hits()
+        );
+        for (a, b) in first.iter().zip(&second) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert!((a.log2_bound - b.log2_bound).abs() < 1e-9);
+        }
+
+        // The shared cache is also usable from worker threads.
+        let before = est.shape_cache_hits();
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let est = est.clone();
+                let items = items.clone();
+                std::thread::spawn(move || {
+                    for r in est.estimate(&items) {
+                        r.unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(est.shape_cache_hits() >= before + 2 * items.len());
+    }
+
+    #[test]
+    fn bound_subqueries_bounds_every_subset_positionally() {
+        let catalog = catalog();
+        let query = JoinQuery::triangle("E", "E", "E");
+        let subsets = vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![0, 2],
+            vec![0, 1, 2],
+            vec![0, 7], // out of range: positional error
+        ];
+        let est = BatchEstimator::new().sequential();
+        let bounds =
+            est.bound_subqueries(&query, &catalog, &subsets, &CollectConfig::with_max_norm(3));
+        assert_eq!(bounds.len(), subsets.len());
+        for b in &bounds[..4] {
+            assert!(b.as_ref().unwrap().is_bounded());
+        }
+        assert!(matches!(bounds[4], Err(CoreError::InvalidQuery { .. })));
+        // Sub-joins {0,1} and {1,2} intern their variables onto identical
+        // bit patterns, so the DP fan-out exercises the warm cache.
+        assert!(
+            est.shape_cache_hits() >= 1,
+            "hits {}",
+            est.shape_cache_hits()
+        );
+        // Every pair bound coincides (identical sub-join up to renaming).
+        let (a, b, c) = (
+            bounds[0].as_ref().unwrap().log2_bound,
+            bounds[1].as_ref().unwrap().log2_bound,
+            bounds[2].as_ref().unwrap().log2_bound,
+        );
+        assert!((a - b).abs() < 1e-6 && (b - c).abs() < 1e-6);
     }
 
     #[test]

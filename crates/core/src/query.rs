@@ -145,6 +145,30 @@ impl JoinQuery {
         self.atoms.iter().all(|a| a.vars.len() == 2)
     }
 
+    /// The sub-join over a subset of this query's atoms (given by index, in
+    /// the given order): the query a plan enumerator bounds when costing the
+    /// intermediate that joins exactly those atoms.  Variable *names* are
+    /// preserved, so results join back against the parent query's
+    /// intermediates; bit positions are re-interned per subquery.
+    pub fn subquery(&self, atoms: &[usize]) -> Result<JoinQuery, CoreError> {
+        let mut seen = vec![false; self.atoms.len()];
+        let mut selected = Vec::with_capacity(atoms.len());
+        for &j in atoms {
+            if j >= self.atoms.len() || seen[j] {
+                return Err(CoreError::InvalidQuery {
+                    reason: format!(
+                        "subquery atoms must be distinct indices below {}, got {atoms:?}",
+                        self.atoms.len()
+                    ),
+                });
+            }
+            seen[j] = true;
+            selected.push(self.atoms[j].clone());
+        }
+        let indices: Vec<String> = atoms.iter().map(|j| j.to_string()).collect();
+        JoinQuery::new(format!("{}[{}]", self.name, indices.join(",")), selected)
+    }
+
     // ------------------------------------------------------------------
     // Builders for the paper's running examples.
     // ------------------------------------------------------------------
@@ -302,6 +326,23 @@ mod tests {
         assert_eq!(q.n_atoms(), 2);
         assert_eq!(q.atoms()[0].relation, q.atoms()[1].relation);
         assert_eq!(q.n_vars(), 3);
+    }
+
+    #[test]
+    fn subquery_preserves_names_and_rejects_bad_indices() {
+        let q = JoinQuery::triangle("R", "S", "T");
+        let sub = q.subquery(&[2, 0]).unwrap();
+        assert_eq!(sub.n_atoms(), 2);
+        assert_eq!(sub.atoms()[0].relation, "T");
+        assert_eq!(sub.atoms()[1].relation, "R");
+        // Variables X, Y, Z keep their names; Z comes first in the new
+        // registry because T(Z, X) is the first atom.
+        assert_eq!(sub.n_vars(), 3);
+        assert_eq!(sub.registry().name(0), "Z");
+        assert!(sub.name().contains("triangle"));
+        assert!(q.subquery(&[0, 3]).is_err());
+        assert!(q.subquery(&[1, 1]).is_err());
+        assert!(q.subquery(&[]).is_err());
     }
 
     #[test]

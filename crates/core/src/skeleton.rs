@@ -193,6 +193,23 @@ impl BoundLpSkeleton {
     }
 }
 
+/// Cache key of one normal-LP statistic row: the conditioning set `U`, the
+/// dependent set `V` and the norm (IEEE bits; `u64::MAX` for ℓ∞).  The row's
+/// coefficients are fully determined by this triple — the statistic's
+/// log-bound only moves the right-hand side.
+type NormalRowKey = (u32, u32, u64);
+
+fn normal_row_key(s: &ConcreteStatistic) -> NormalRowKey {
+    let norm_bits = match s.stat.norm {
+        lpb_data::Norm::Finite(p) => p.to_bits(),
+        lpb_data::Norm::Infinity => u64::MAX,
+    };
+    (s.stat.conditional.u.0, s.stat.conditional.v.0, norm_bits)
+}
+
+/// A cached sparse statistic row of the normal LP.
+type SharedNormalRow = Arc<Vec<(usize, f64)>>;
+
 /// Cached step-function column supports for one variable count: for each
 /// conditioning set `S` encountered so far, the sorted list of masks `W`
 /// with `W ∩ S ≠ ∅` (see [`lpb_entropy::step_support`]).
@@ -202,10 +219,25 @@ impl BoundLpSkeleton {
 /// never evaluates a step function again.  Supports are shared process-wide
 /// per `n` (like the Shannon blocks) because conditioning sets repeat
 /// heavily across statistics, norms and queries.
+///
+/// Two further caches ride on top of the supports:
+///
+/// * **rows** — the merged sparse row per `(U, V, norm)` triple, shared by
+///   `Arc` so repeated statistics never re-merge their supports;
+/// * **matrices** — the whole statistic-row matrix per *ordered shape list*,
+///   packaged as a [`SharedRowBlock`] whose compressed sparse **column**
+///   form is built once and reused verbatim by every solve
+///   ([`NormalLpSkeleton::instantiate`] attaches it as the problem's shared
+///   tail with a per-query right-hand-side override).  This is the sparse
+///   column representation of the normal LP's dense rows: per-query work
+///   drops from `O(nnz)` row building plus a CSR→CSC transpose per solve to
+///   a hash lookup plus copying `#stats` right-hand sides.
 #[derive(Debug)]
 pub struct NormalStepBlock {
     n: usize,
     supports: Mutex<HashMap<u32, Arc<Vec<u32>>>>,
+    rows: Mutex<HashMap<NormalRowKey, SharedNormalRow>>,
+    matrices: Mutex<HashMap<Vec<NormalRowKey>, Arc<SharedRowBlock>>>,
 }
 
 impl NormalStepBlock {
@@ -213,6 +245,8 @@ impl NormalStepBlock {
         NormalStepBlock {
             n,
             supports: Mutex::new(HashMap::new()),
+            rows: Mutex::new(HashMap::new()),
+            matrices: Mutex::new(HashMap::new()),
         }
     }
 
@@ -247,6 +281,93 @@ impl NormalStepBlock {
             .lock()
             .expect("step support cache poisoned")
             .len()
+    }
+
+    /// Most merged rows / shape matrices cached per variable count, for the
+    /// same reason as [`Self::MAX_CACHED_SUPPORTS`].
+    const MAX_CACHED_ROWS: usize = 4096;
+    const MAX_CACHED_MATRICES: usize = 256;
+
+    /// The cached sparse row of one statistic shape, merging the supports on
+    /// first use (see [`NormalLpSkeleton::stat_row`] for the semantics).
+    fn row(&self, s: &ConcreteStatistic) -> SharedNormalRow {
+        let key = normal_row_key(s);
+        if let Some(hit) = self
+            .rows
+            .lock()
+            .expect("normal row cache poisoned")
+            .get(&key)
+        {
+            return Arc::clone(hit);
+        }
+        let row = Arc::new(self.merge_row(s));
+        let mut cache = self.rows.lock().expect("normal row cache poisoned");
+        if cache.len() < Self::MAX_CACHED_ROWS {
+            cache.insert(key, Arc::clone(&row));
+        }
+        row
+    }
+
+    /// Merge the two supports of a statistic into its sparse LP row.
+    fn merge_row(&self, s: &ConcreteStatistic) -> Vec<(usize, f64)> {
+        let u = s.stat.conditional.u;
+        let uv = u.union(s.stat.conditional.v);
+        let inv_p = s.stat.norm.reciprocal();
+        let support_uv = self.support(uv);
+        let support_u = if u.is_empty() {
+            None
+        } else {
+            Some(self.support(u))
+        };
+        let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(support_uv.len());
+        let mut u_iter = support_u.as_deref().map(|v| v.iter().peekable());
+        for &w in support_uv.iter() {
+            // `U ⊆ U∪V` makes support(U) a sorted subsequence of
+            // support(U∪V), so one forward scan classifies every column.
+            let in_u = match &mut u_iter {
+                Some(it) => {
+                    while it.peek().is_some_and(|&&m| m < w) {
+                        it.next();
+                    }
+                    if it.peek() == Some(&&w) {
+                        it.next();
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => false,
+            };
+            let c = if in_u { inv_p } else { 1.0 };
+            if c != 0.0 {
+                coeffs.push((w as usize - 1, c));
+            }
+        }
+        coeffs
+    }
+
+    /// The statistic-row matrix for an ordered shape list, as a shareable
+    /// block (placeholder rhs of zero; callers override it per query), built
+    /// — including its CSC transpose — at most once per shape list.
+    fn matrix(&self, stats: &StatisticsSet) -> Arc<SharedRowBlock> {
+        let key: Vec<NormalRowKey> = stats.iter().map(normal_row_key).collect();
+        if let Some(hit) = self
+            .matrices
+            .lock()
+            .expect("normal matrix cache poisoned")
+            .get(&key)
+        {
+            return Arc::clone(hit);
+        }
+        let rows: Vec<Vec<(usize, f64)>> =
+            stats.iter().map(|s| self.row(s).as_ref().clone()).collect();
+        let n_cols = (1usize << self.n) - 1;
+        let block = Arc::new(SharedRowBlock::new(n_cols, rows, vec![0.0; stats.len()]));
+        let mut cache = self.matrices.lock().expect("normal matrix cache poisoned");
+        if cache.len() < Self::MAX_CACHED_MATRICES {
+            cache.insert(key, Arc::clone(&block));
+        }
+        block
     }
 }
 
@@ -314,47 +435,23 @@ impl NormalLpSkeleton {
     /// on every column in the support of `U` and `1` on the columns in the
     /// support of `U∪V` but not of `U` — numerically identical (bit for
     /// bit) to evaluating `(1/p)·h_W(U) + h_W(V|U)` per column, which the
-    /// regression tests assert.
-    pub(crate) fn stat_row(&self, s: &ConcreteStatistic) -> Vec<(usize, f64)> {
-        let u = s.stat.conditional.u;
-        let uv = u.union(s.stat.conditional.v);
-        let inv_p = s.stat.norm.reciprocal();
-        let support_uv = self.block.support(uv);
-        let support_u = if u.is_empty() {
-            None
-        } else {
-            Some(self.block.support(u))
-        };
-        let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(support_uv.len());
-        let mut u_iter = support_u.as_deref().map(|v| v.iter().peekable());
-        for &w in support_uv.iter() {
-            // `U ⊆ U∪V` makes support(U) a sorted subsequence of
-            // support(U∪V), so one forward scan classifies every column.
-            let in_u = match &mut u_iter {
-                Some(it) => {
-                    while it.peek().is_some_and(|&&m| m < w) {
-                        it.next();
-                    }
-                    if it.peek() == Some(&&w) {
-                        it.next();
-                        true
-                    } else {
-                        false
-                    }
-                }
-                None => false,
-            };
-            let c = if in_u { inv_p } else { 1.0 };
-            if c != 0.0 {
-                coeffs.push((w as usize - 1, c));
-            }
-        }
-        coeffs
+    /// regression tests assert.  Rows are cached per `(U, V, norm)` shape
+    /// and shared by `Arc`, so a repeated shape never re-merges supports.
+    pub fn stat_row(&self, s: &ConcreteStatistic) -> Arc<Vec<(usize, f64)>> {
+        self.block.row(s)
     }
 
-    /// Build the normal-cone LP for one statistics set: maximize
-    /// `Σ_W α_W` subject to one row per statistic (in statistics order, so
-    /// the duals are the witness weights).
+    /// Build the normal-cone LP for one statistics set: maximize `Σ_W α_W`
+    /// subject to one row per statistic (in statistics order, so the duals
+    /// are the witness weights).
+    ///
+    /// The statistic rows depend only on the statistics' *shapes*; the
+    /// log-bounds are pure right-hand sides.  When every log-bound is
+    /// non-negative (always true for norms harvested from real relations)
+    /// the whole matrix is therefore attached as a shape-cached
+    /// [`SharedRowBlock`] — sparse columns prebuilt, shared across queries —
+    /// with a per-query rhs override; synthetic negative log-bounds fall
+    /// back to explicit per-problem rows, which the solvers sign-normalize.
     pub fn instantiate(&self, stats: &StatisticsSet) -> Problem {
         let n = self.n_vars();
         let n_subsets = (1usize << n) - 1;
@@ -364,9 +461,15 @@ impl NormalLpSkeleton {
             // h_W(X) = 1.
             p.set_objective(mask - 1, 1.0);
         }
-        for s in stats.iter() {
-            let row = self.stat_row(s);
-            p.add_constraint(&row, Sense::Le, s.log_bound);
+        let rhs: Vec<f64> = stats.iter().map(|s| s.log_bound).collect();
+        if !stats.is_empty() && rhs.iter().all(|&b| b.is_finite() && b >= 0.0) {
+            p.set_shared_tail(self.block.matrix(stats));
+            p.set_shared_tail_rhs(rhs);
+        } else {
+            for s in stats.iter() {
+                let row = self.stat_row(s);
+                p.add_constraint(&row, Sense::Le, s.log_bound);
+            }
         }
         p
     }
@@ -487,12 +590,14 @@ mod tests {
                     expected.push((mask as usize - 1, c));
                 }
             }
-            assert_eq!(row, expected, "({v:?}|{u:?}) with {norm:?}");
+            assert_eq!(*row, expected, "({v:?}|{u:?}) with {norm:?}");
+            // The cache hands back the same shared row on a repeat request.
+            let again = skeleton.stat_row(&stat);
+            assert!(Arc::ptr_eq(&row, &again));
         }
     }
 
-    #[test]
-    fn normal_skeleton_instantiates_one_row_per_statistic() {
+    fn two_stats() -> crate::statistics::StatisticsSet {
         use crate::statistics::StatisticsSet;
         use lpb_entropy::Conditional;
 
@@ -509,12 +614,53 @@ mod tests {
             0,
             2.0,
         ));
+        stats
+    }
+
+    #[test]
+    fn normal_skeleton_instantiates_one_shared_row_per_statistic() {
+        let stats = two_stats();
         let skeleton = NormalLpSkeleton::normal(3).unwrap();
         let p = skeleton.instantiate(&stats);
         assert_eq!(p.n_vars(), 7);
         assert_eq!(p.n_rows_total(), 2);
-        assert_eq!(p.constraints()[0].rhs, 4.0);
-        assert_eq!(p.constraints()[1].rhs, 2.0);
+        // The statistic rows live in a shape-cached shared block (sparse
+        // columns prebuilt) with the log-bounds as a per-query rhs override.
+        assert_eq!(p.n_constraints(), 0);
+        let tail = p.shared_tail().expect("statistic rows shared as a tail");
+        assert_eq!(tail.n_rows(), 2);
+        assert_eq!(p.tail_rhs(), Some(&[4.0, 2.0][..]));
+        // Same shape list → the very same cached block; changed log-bounds
+        // only move the rhs.
+        let q = skeleton.instantiate(&stats.amplify(1.5));
+        assert!(Arc::ptr_eq(tail, q.shared_tail().unwrap()));
+        assert_eq!(q.tail_rhs(), Some(&[6.0, 3.0][..]));
+        // Tail rows are bit-for-bit the cached stat rows.
+        for (i, s) in stats.iter().enumerate() {
+            assert_eq!(tail.row(i), skeleton.stat_row(s).as_slice());
+        }
+    }
+
+    #[test]
+    fn normal_skeleton_falls_back_to_explicit_rows_for_negative_bounds() {
+        let stats = two_stats().amplify(-1.0);
+        let skeleton = NormalLpSkeleton::normal(3).unwrap();
+        let p = skeleton.instantiate(&stats);
         assert!(p.shared_tail().is_none());
+        assert_eq!(p.n_constraints(), 2);
+        assert_eq!(p.constraints()[0].rhs, -4.0);
+        // Both representations solve to the same bound on sign-safe data.
+        let pos = two_stats();
+        let shared = skeleton.instantiate(&pos).solve().unwrap();
+        let mut explicit = Problem::maximize(7);
+        for mask in 1..=7usize {
+            explicit.set_objective(mask - 1, 1.0);
+        }
+        for s in pos.iter() {
+            explicit.add_constraint(&skeleton.stat_row(s), Sense::Le, s.log_bound);
+        }
+        let explicit = explicit.solve().unwrap();
+        assert_eq!(shared.status, explicit.status);
+        assert!((shared.objective - explicit.objective).abs() < 1e-9);
     }
 }

@@ -15,7 +15,12 @@
 //!   degree sequences, in both linear and log₂ space;
 //! * [`Catalog`] — a named collection of relations with a cached statistics
 //!   store, mirroring the paper's assumption that ℓp-norms are precomputed
-//!   and available at estimation time.
+//!   and available at estimation time;
+//! * [`StatisticsCollector`] — the eager counterpart: materialize the
+//!   simple degree conditionals and [`Norm::standard_set`] ℓp-norms of
+//!   whole relations into the catalog cache and a
+//!   [`stats::StatisticsSet`] snapshot, so plan-time statistics harvesting
+//!   is pure lookups.
 //!
 //! The crate is deliberately free of any query-processing or bound-computation
 //! logic; those live in `lpb-exec` and `lpb-core` respectively.
@@ -31,6 +36,7 @@ mod index;
 mod norms;
 mod relation;
 mod schema;
+pub mod stats;
 mod value;
 
 pub use builder::RelationBuilder;
@@ -41,4 +47,5 @@ pub use index::HashIndex;
 pub use norms::Norm;
 pub use relation::Relation;
 pub use schema::{AttrId, Schema};
+pub use stats::{StatisticEntry, StatisticsCollector};
 pub use value::{Dictionary, Value};

@@ -12,7 +12,11 @@
 //!   in the DSB-gap and cycle-optimality analyses;
 //! * [`job_like_catalog`] / [`job_like_queries`] — a snowflake schema with
 //!   skewed key–foreign-key joins and a 33-query acyclic suite mirroring the
-//!   Figure-1 workload shape.
+//!   Figure-1 workload shape;
+//! * [`planner_workloads`] — planner-adversarial workloads (skewed
+//!   power-law triangles, hub-fan-out chains) on which greedy-by-size join
+//!   ordering provably blows up while degree-sequence ℓp-norms see the
+//!   danger.
 //!
 //! All generators are deterministic given their seed.
 
@@ -21,11 +25,15 @@
 
 mod alphabeta;
 mod job_like;
+mod planner;
 mod powerlaw;
 mod rng;
 
 pub use alphabeta::{alpha_beta_relation, AlphaBetaConfig};
 pub use job_like::{job_like_catalog, job_like_queries, JobLikeConfig, JobLikeQuery};
+pub use planner::{
+    misleading_chain_workload, planner_workloads, skewed_triangle_workload, PlannerWorkload,
+};
 pub use powerlaw::{power_law_graph, snap_like_presets, PowerLawGraphConfig, SnapLikePreset};
 pub use rng::{sample_cdf, seeded_rng, zipf_cdf};
 

@@ -1,0 +1,170 @@
+//! Planner-adversarial workloads: queries on which the textbook
+//! greedy-by-size join order is provably bad.
+//!
+//! The bound-driven optimizer in `lpb-exec` is only worth its planning time
+//! if relation sizes alone mislead.  These generators construct exactly
+//! that situation, two ways:
+//!
+//! * [`skewed_triangle_workload`] — a heavy-tailed power-law triangle: any
+//!   left-deep hash plan must materialize a two-edge path intermediate of
+//!   size `Σ_v deg(v)²`, which skew makes enormous, while the triangle
+//!   output (and the WCOJ that produces it) stays small.  Degree-sequence
+//!   ℓp-norms see the skew; `|E|` does not.
+//! * [`misleading_chain_workload`] — a 3-atom chain `R ⋈ S ⋈ T` where `R`
+//!   is the *smallest* relation but joins `S` on a hub value with a huge
+//!   fan-out, so greedy (which starts from `R`) materializes `|R| · fanout`
+//!   rows; starting from the selective `T` side keeps every intermediate
+//!   tiny.  The `ℓ∞`/`ℓ2` norms of `deg_S(· | b)` expose the hub.
+//!
+//! Both are deterministic given their seeds and sized so that true
+//! cardinalities stay computable in tests and CI.
+
+use crate::powerlaw::{power_law_graph, PowerLawGraphConfig};
+use lpb_core::{Atom, JoinQuery};
+use lpb_data::{Catalog, RelationBuilder};
+
+/// A ready-to-plan workload: a query, its catalog, and a display name.
+#[derive(Debug)]
+pub struct PlannerWorkload {
+    /// Display name for reports.
+    pub name: &'static str,
+    /// The query to plan.
+    pub query: JoinQuery,
+    /// The data it runs on.
+    pub catalog: Catalog,
+}
+
+/// The skewed power-law triangle; see the module docs.  `scale = 1` is the
+/// test size (~1.2k edge samples); benchmarks pass larger scales.
+pub fn skewed_triangle_workload(scale: usize) -> PlannerWorkload {
+    let scale = scale.max(1);
+    let catalog_config = PowerLawGraphConfig {
+        nodes: 150 * scale,
+        edges: 600 * scale,
+        exponent: 1.6,
+        symmetric: true,
+        seed: 0xBAD_5EED,
+    };
+    let mut catalog = Catalog::new();
+    catalog.insert(power_law_graph("E", &catalog_config));
+    PlannerWorkload {
+        name: "skewed-triangle",
+        query: JoinQuery::triangle("E", "E", "E"),
+        catalog,
+    }
+}
+
+/// The hub-fan-out chain; see the module docs.  `scale = 1` gives
+/// `|R| = 20`, `|S| = 2·1000`, `|T| = 30`; `R` is strictly smallest so
+/// greedy-by-size always seeds its order with the hub join.
+pub fn misleading_chain_workload(scale: usize) -> PlannerWorkload {
+    let scale = scale.max(1) as u64;
+    let r_rows = 20 * scale;
+    let hub_fanout = 1000 * scale;
+    let spread = 1000 * scale;
+    let t_rows = 30 * scale;
+
+    // R(a, b): the smallest relation; every row hits the hub b = 0.
+    let r = RelationBuilder::binary_from_pairs("R", "a", "b", (0..r_rows).map(|i| (i, 0u64)));
+    // S(b, c): half the rows fan out of the hub b = 0, the rest spread over
+    // distinct b values; every c value is unique, so deg_S(b | c) has
+    // ℓ∞ = 1 — joining S from the c side is provably harmless.
+    let s = RelationBuilder::binary_from_pairs(
+        "S",
+        "b",
+        "c",
+        (0..hub_fanout)
+            .map(|i| (0u64, i))
+            .chain((0..spread).map(|i| (i + 1, hub_fanout + i))),
+    );
+    // T(c, d): small and selective — only a few c values, most of them from
+    // the spread region, a handful from the hub region so the output is
+    // non-empty.
+    let t = RelationBuilder::binary_from_pairs(
+        "T",
+        "c",
+        "d",
+        (0..t_rows).map(|i| {
+            let c = if i < 5 {
+                i // hub region: c ∈ Π_c(S where b = 0)
+            } else {
+                hub_fanout + (i - 5) * 7 % spread // spread region
+            };
+            (c, i)
+        }),
+    );
+    let mut catalog = Catalog::new();
+    catalog.insert(r);
+    catalog.insert(s);
+    catalog.insert(t);
+    PlannerWorkload {
+        name: "misleading-chain",
+        query: JoinQuery::new(
+            "chain",
+            vec![
+                Atom::new("R", &["A", "B"]),
+                Atom::new("S", &["B", "C"]),
+                Atom::new("T", &["C", "D"]),
+            ],
+        )
+        .expect("chain query is well formed"),
+        catalog,
+    }
+}
+
+/// Every planner workload at the given scale (used by the
+/// `planner_quality` benchmark).
+pub fn planner_workloads(scale: usize) -> Vec<PlannerWorkload> {
+    vec![
+        skewed_triangle_workload(scale),
+        misleading_chain_workload(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpb_data::Norm;
+
+    #[test]
+    fn triangle_workload_is_deterministic_and_skewed() {
+        let a = skewed_triangle_workload(1);
+        let b = skewed_triangle_workload(1);
+        let ea = a.catalog.get("E").unwrap();
+        let eb = b.catalog.get("E").unwrap();
+        assert_eq!(ea.len(), eb.len());
+        assert!(ea.len() > 300);
+        // Heavy tail: the max degree dwarfs the average.
+        let deg = ea.degree_sequence(&["dst"], &["src"]).unwrap();
+        assert!(
+            deg.max_degree() as f64 > 8.0 * deg.average_degree(),
+            "max {} avg {}",
+            deg.max_degree(),
+            deg.average_degree()
+        );
+    }
+
+    #[test]
+    fn chain_workload_sizes_mislead_greedy() {
+        let w = misleading_chain_workload(1);
+        let r = w.catalog.get("R").unwrap();
+        let s = w.catalog.get("S").unwrap();
+        let t = w.catalog.get("T").unwrap();
+        // R is the smallest (greedy's seed), but its hub join explodes.
+        assert!(r.len() < t.len() && t.len() < s.len());
+        // The hub: every R row matches 1000 S rows.
+        let linf = w
+            .catalog
+            .log_norm("S", &["c"], &["b"], Norm::Infinity)
+            .unwrap();
+        assert!((linf - 1000.0f64.log2()).abs() < 1e-9);
+        // ...while from the c side S is a key join.
+        let linf_rev = w
+            .catalog
+            .log_norm("S", &["b"], &["c"], Norm::Infinity)
+            .unwrap();
+        assert_eq!(linf_rev, 0.0);
+        // The workload has a non-empty output (T hits the hub region).
+        assert_eq!(w.query.n_atoms(), 3);
+    }
+}

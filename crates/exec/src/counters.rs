@@ -1,13 +1,86 @@
-//! Specialized counters for the query shapes used in the experiments.
+//! Execution counters: per-node intermediate-size tracking for physical
+//! plans, plus specialized closed-shape output counters for the experiment
+//! queries.
 //!
-//! The benchmark harness needs *true* cardinalities for graphs with hundreds
-//! of thousands of edges; the generic algorithms work but these closed-shape
-//! counters are much faster and serve as an independent cross-check in
-//! tests.
+//! [`IntermediateCounters`] is threaded through every node of a
+//! [`crate::PhysicalPlan`] execution; its peak row count is the planner's
+//! quality metric (misestimation shows up exactly here, as a blown-up
+//! intermediate).  The closed-shape counters below provide *true*
+//! cardinalities for graphs with hundreds of thousands of edges; the
+//! generic algorithms work but these are much faster and serve as an
+//! independent cross-check in tests.
 
 use crate::error::ExecError;
 use lpb_data::Relation;
 use std::collections::{HashMap, HashSet};
+
+/// One recorded execution step: a human-readable label (which plan node
+/// produced the rows) and the number of rows it materialized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepCount {
+    /// Which node produced the rows, e.g. `scan E` or `⋈ E`.
+    pub label: String,
+    /// Rows materialized by the step.
+    pub rows: usize,
+}
+
+/// Per-step intermediate sizes of one plan execution.
+///
+/// Every [`crate::PhysicalPlan`] node records the row count of what it
+/// materializes — scans, hash-join intermediates, WCOJ outputs, reduced
+/// relations — so plans can be compared by their **maximum intermediate**,
+/// the memory-blowup metric that motivates bound-driven planning.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntermediateCounters {
+    steps: Vec<StepCount>,
+}
+
+impl IntermediateCounters {
+    /// An empty recording.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one step.
+    pub fn record(&mut self, label: impl Into<String>, rows: usize) {
+        self.steps.push(StepCount {
+            label: label.into(),
+            rows,
+        });
+    }
+
+    /// The recorded steps, in execution order.
+    pub fn steps(&self) -> &[StepCount] {
+        &self.steps
+    }
+
+    /// The row counts alone, in execution order.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.steps.iter().map(|s| s.rows).collect()
+    }
+
+    /// The largest number of rows any step materialized (0 when nothing was
+    /// recorded).
+    pub fn max_intermediate(&self) -> usize {
+        self.steps.iter().map(|s| s.rows).max().unwrap_or(0)
+    }
+
+    /// Total rows materialized across all steps — a proxy for the work (and
+    /// allocation traffic) the plan did.
+    pub fn total_rows(&self) -> usize {
+        self.steps.iter().map(|s| s.rows).sum()
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
 
 /// Count the output of the directed triangle query
 /// `Q(X,Y,Z) = E(X,Y) ∧ E(Y,Z) ∧ E(Z,X)` on a binary edge relation.
@@ -215,5 +288,20 @@ mod tests {
         assert_eq!(triangle_count(&empty).unwrap(), 0);
         assert_eq!(path2_count(&empty).unwrap(), 0);
         assert_eq!(cycle_count(&empty, 4).unwrap(), 0);
+    }
+
+    #[test]
+    fn intermediate_counters_track_steps_and_peaks() {
+        let mut c = IntermediateCounters::new();
+        assert!(c.is_empty());
+        assert_eq!(c.max_intermediate(), 0);
+        c.record("scan R", 10);
+        c.record("⋈ S", 400);
+        c.record("⋈ T", 7);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.sizes(), vec![10, 400, 7]);
+        assert_eq!(c.max_intermediate(), 400);
+        assert_eq!(c.total_rows(), 417);
+        assert_eq!(c.steps()[1].label, "⋈ S");
     }
 }

@@ -10,6 +10,15 @@
 //! * [`hash_join`] / [`semi_join`] and left-deep [`JoinPlan`]s — the baseline
 //!   evaluation strategy (and the source of true cardinalities for small
 //!   queries);
+//! * a two-level plan IR: [`LogicalPlan`] (the join graph over atoms, with
+//!   connected-subset enumeration and cyclic-core detection) lowered to a
+//!   [`PhysicalPlan`] strategy tree (hash chains, leapfrog WCOJ cores,
+//!   Yannakakis-reduced residues), executed by [`execute_physical`] with
+//!   [`IntermediateCounters`] threaded through every node;
+//! * [`Optimizer`] — the bound-driven planner: every connected sub-join is
+//!   bounded in one warm-started [`lpb_core::BatchEstimator`] batch and a
+//!   bottleneck DP picks the order/strategy whose largest provable
+//!   intermediate is smallest;
 //! * [`yannakakis_count`] — output-size counting for α-acyclic queries by
 //!   weighted message passing over a GYO join tree, used for the JOB-like
 //!   acyclic suite whose outputs are too large to materialize;
@@ -27,20 +36,28 @@
 mod counters;
 mod error;
 mod hash_join;
+mod logical;
+mod optimizer;
 mod panda_eval;
 mod partition;
-mod plan;
+mod physical;
 mod trie;
 mod tuples;
 mod wcoj;
 mod yannakakis;
 
-pub use counters::{cycle_count, join2_count, path2_count, triangle_count};
+pub use counters::{
+    cycle_count, join2_count, path2_count, triangle_count, IntermediateCounters, StepCount,
+};
 pub use error::ExecError;
 pub use hash_join::{hash_join, semi_join};
+pub use logical::{validate_atom_permutation, JoinPlan, LogicalPlan};
+pub use optimizer::{OptimizedPlan, Optimizer, PlannerConfig};
 pub use panda_eval::{partitioned_join_count, PartitionSpec, PartitionedRun};
 pub use partition::{partition_by_degree, partition_for_statistic, DegreePart};
-pub use plan::{execute_plan, join_size, JoinPlan, PlanResult};
+pub use physical::{
+    execute_physical, execute_plan, join_size, PhysicalNode, PhysicalPlan, PhysicalRun, PlanResult,
+};
 pub use trie::{AtomTrie, TrieNode};
 pub use tuples::Tuples;
 pub use wcoj::{build_tries, generic_join_with, wcoj_count, wcoj_count_tries, wcoj_materialize};

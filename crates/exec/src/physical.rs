@@ -1,0 +1,477 @@
+//! Physical plans: an executable strategy tree lowered from a logical plan.
+//!
+//! Where [`crate::JoinPlan`] is a bare left-deep atom order, a
+//! [`PhysicalPlan`] chooses an evaluation *strategy* per subtree:
+//!
+//! * [`PhysicalNode::Scan`] / [`PhysicalNode::HashChain`] — the classic
+//!   left-deep hash-join pipeline;
+//! * [`PhysicalNode::Wcoj`] — materialize a (cyclic) sub-join with the
+//!   leapfrog worst-case-optimal join, whose intermediates never exceed its
+//!   output;
+//! * [`PhysicalNode::Reduced`] — Yannakakis semi-join reduction (full
+//!   reducer) over an acyclic sub-join before hash-joining, so dangling
+//!   tuples never reach an intermediate.
+//!
+//! [`execute_physical`] walks the tree and threads an
+//! [`IntermediateCounters`] through every node, recording what each step
+//! materializes; the peak is the metric the bound-driven
+//! [`crate::Optimizer`] minimizes.  The legacy [`execute_plan`] /
+//! [`join_size`] entry points lower a `JoinPlan` to a pure hash chain and
+//! report the identical per-step sizes they always did.
+
+use crate::counters::IntermediateCounters;
+use crate::error::ExecError;
+use crate::hash_join::hash_join;
+use crate::logical::JoinPlan;
+use crate::tuples::Tuples;
+use crate::wcoj::wcoj_materialize;
+use crate::yannakakis::full_reducer;
+use lpb_core::JoinQuery;
+use lpb_data::Catalog;
+
+/// One node of a physical plan; see the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhysicalNode {
+    /// Bind one atom's relation.
+    Scan {
+        /// Atom index in the parent query.
+        atom: usize,
+    },
+    /// Left-deep continuation: hash-join `input` with each atom in order.
+    HashChain {
+        /// Sub-plan producing the left input.
+        input: Box<PhysicalNode>,
+        /// Atoms joined one at a time, in order.
+        atoms: Vec<usize>,
+    },
+    /// Materialize the sub-join over `atoms` with the leapfrog WCOJ.
+    Wcoj {
+        /// Atom indices of the (typically cyclic) sub-join.
+        atoms: Vec<usize>,
+    },
+    /// Yannakakis: run the full reducer over the acyclic sub-join spanned by
+    /// `atoms`, then hash-join the reduced relations in the given order.
+    Reduced {
+        /// Atom indices, in join order (must form an acyclic sub-join).
+        atoms: Vec<usize>,
+    },
+}
+
+impl PhysicalNode {
+    /// Compact description, e.g. `wcoj[0,1,2]⋈[3,4]`.
+    fn describe(&self) -> String {
+        let list = |atoms: &[usize]| {
+            atoms
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        match self {
+            PhysicalNode::Scan { atom } => format!("scan[{atom}]"),
+            PhysicalNode::HashChain { input, atoms } => {
+                format!("{}⋈[{}]", input.describe(), list(atoms))
+            }
+            PhysicalNode::Wcoj { atoms } => format!("wcoj[{}]", list(atoms)),
+            PhysicalNode::Reduced { atoms } => format!("yannakakis[{}]", list(atoms)),
+        }
+    }
+
+    /// The atom indices this node (recursively) evaluates, in join order.
+    fn atom_order(&self, out: &mut Vec<usize>) {
+        match self {
+            PhysicalNode::Scan { atom } => out.push(*atom),
+            PhysicalNode::HashChain { input, atoms } => {
+                input.atom_order(out);
+                out.extend_from_slice(atoms);
+            }
+            PhysicalNode::Wcoj { atoms } | PhysicalNode::Reduced { atoms } => {
+                out.extend_from_slice(atoms)
+            }
+        }
+    }
+}
+
+/// An executable strategy tree over a query's atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhysicalPlan {
+    root: PhysicalNode,
+}
+
+impl PhysicalPlan {
+    /// A pure left-deep hash-join chain in the given atom order.
+    ///
+    /// The order must be a non-empty permutation prefix of distinct atom
+    /// indices; full validation against a query happens at execution time.
+    pub fn hash_chain(order: Vec<usize>) -> Self {
+        assert!(!order.is_empty(), "a hash chain needs at least one atom");
+        let input = Box::new(PhysicalNode::Scan { atom: order[0] });
+        let atoms = order[1..].to_vec();
+        PhysicalPlan {
+            root: if atoms.is_empty() {
+                *input
+            } else {
+                PhysicalNode::HashChain { input, atoms }
+            },
+        }
+    }
+
+    /// Evaluate the whole query with the worst-case-optimal join.
+    pub fn wcoj(atoms: Vec<usize>) -> Self {
+        assert!(!atoms.is_empty(), "wcoj needs at least one atom");
+        PhysicalPlan {
+            root: PhysicalNode::Wcoj { atoms },
+        }
+    }
+
+    /// Yannakakis: full reducer plus a hash chain in the given order.
+    pub fn reduced(atoms: Vec<usize>) -> Self {
+        assert!(!atoms.is_empty(), "reduction needs at least one atom");
+        PhysicalPlan {
+            root: PhysicalNode::Reduced { atoms },
+        }
+    }
+
+    /// Hybrid: WCOJ over a cyclic core, then hash-join the remaining atoms
+    /// onto it in order.
+    pub fn wcoj_then_chain(core: Vec<usize>, tail: Vec<usize>) -> Self {
+        assert!(!core.is_empty(), "the wcoj core needs at least one atom");
+        let wcoj = PhysicalNode::Wcoj { atoms: core };
+        PhysicalPlan {
+            root: if tail.is_empty() {
+                wcoj
+            } else {
+                PhysicalNode::HashChain {
+                    input: Box::new(wcoj),
+                    atoms: tail,
+                }
+            },
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &PhysicalNode {
+        &self.root
+    }
+
+    /// Short strategy label for reports: `hash-chain`, `wcoj`,
+    /// `yannakakis` or `wcoj+hash-chain`.
+    pub fn strategy(&self) -> &'static str {
+        match &self.root {
+            PhysicalNode::Scan { .. } => "scan",
+            PhysicalNode::Wcoj { .. } => "wcoj",
+            PhysicalNode::Reduced { .. } => "yannakakis",
+            PhysicalNode::HashChain { input, .. } => match **input {
+                PhysicalNode::Wcoj { .. } => "wcoj+hash-chain",
+                PhysicalNode::Reduced { .. } => "yannakakis+hash-chain",
+                _ => "hash-chain",
+            },
+        }
+    }
+
+    /// Compact description of the tree, e.g. `wcoj[0,1,2]⋈[3]`.
+    pub fn describe(&self) -> String {
+        self.root.describe()
+    }
+
+    /// The atom indices the plan evaluates, in join order.
+    pub fn atom_order(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.root.atom_order(&mut out);
+        out
+    }
+}
+
+/// Result of executing a physical plan: the materialized output plus the
+/// per-node intermediate sizes recorded along the way.
+#[derive(Debug, Clone)]
+pub struct PhysicalRun {
+    /// The materialized output (columns in the order produced by the plan).
+    pub output: Tuples,
+    /// What every plan node materialized, in execution order.
+    pub counters: IntermediateCounters,
+}
+
+impl PhysicalRun {
+    /// Number of output tuples.
+    pub fn output_size(&self) -> usize {
+        self.output.len()
+    }
+
+    /// The largest intermediate any node materialized.
+    pub fn max_intermediate(&self) -> usize {
+        self.counters.max_intermediate()
+    }
+}
+
+/// Execute a physical plan, threading intermediate-size tracking through
+/// every node.
+pub fn execute_physical(
+    query: &JoinQuery,
+    catalog: &Catalog,
+    plan: &PhysicalPlan,
+) -> Result<PhysicalRun, ExecError> {
+    let mut counters = IntermediateCounters::new();
+    let output = eval(&plan.root, query, catalog, &mut counters)?;
+    Ok(PhysicalRun { output, counters })
+}
+
+fn eval(
+    node: &PhysicalNode,
+    query: &JoinQuery,
+    catalog: &Catalog,
+    counters: &mut IntermediateCounters,
+) -> Result<Tuples, ExecError> {
+    match node {
+        PhysicalNode::Scan { atom } => {
+            let t = Tuples::from_atom(query, catalog, *atom)?;
+            counters.record(format!("scan {}", query.atoms()[*atom].relation), t.len());
+            Ok(t)
+        }
+        PhysicalNode::HashChain { input, atoms } => {
+            let mut acc = eval(input, query, catalog, counters)?;
+            for &j in atoms {
+                let next = Tuples::from_atom(query, catalog, j)?;
+                acc = hash_join(&acc, &next);
+                counters.record(format!("⋈ {}", query.atoms()[j].relation), acc.len());
+            }
+            Ok(acc)
+        }
+        PhysicalNode::Wcoj { atoms } => {
+            let sub = query.subquery(atoms)?;
+            let out = wcoj_materialize(&sub, catalog)?;
+            counters.record(format!("wcoj {}", sub.name()), out.len());
+            Ok(out)
+        }
+        PhysicalNode::Reduced { atoms } => {
+            let sub = query.subquery(atoms)?;
+            let reduced = full_reducer(&sub, catalog)?;
+            let mut iter = reduced.into_iter().enumerate();
+            let (_, mut acc) = iter.next().expect("reduction has at least one atom");
+            counters.record(
+                format!("reduce {}", query.atoms()[atoms[0]].relation),
+                acc.len(),
+            );
+            for (i, next) in iter {
+                counters.record(
+                    format!("reduce {}", query.atoms()[atoms[i]].relation),
+                    next.len(),
+                );
+                acc = hash_join(&acc, &next);
+                counters.record(format!("⋈ {}", query.atoms()[atoms[i]].relation), acc.len());
+            }
+            Ok(acc)
+        }
+    }
+}
+
+/// Result of executing a left-deep [`JoinPlan`]: the full output plus
+/// per-step intermediate sizes (useful for demonstrating how misestimation
+/// blows up memory).
+#[derive(Debug, Clone)]
+pub struct PlanResult {
+    /// The materialized output, columns in the order produced by the plan.
+    pub output: Tuples,
+    /// Row counts of every intermediate (after each join step, including the
+    /// initial scan).
+    pub intermediate_sizes: Vec<usize>,
+}
+
+impl PlanResult {
+    /// Number of output tuples (the true cardinality `|Q(D)|`).
+    pub fn output_size(&self) -> usize {
+        self.output.len()
+    }
+
+    /// The largest intermediate produced while executing the plan.
+    pub fn max_intermediate(&self) -> usize {
+        self.intermediate_sizes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Execute a left-deep hash-join plan and return the output with
+/// per-intermediate statistics.  (Lowered to a [`PhysicalPlan`] hash chain
+/// under the hood; the recorded sizes are unchanged from the historical
+/// implementation: the first scan, then every join result.)
+pub fn execute_plan(
+    query: &JoinQuery,
+    catalog: &Catalog,
+    plan: &JoinPlan,
+) -> Result<PlanResult, ExecError> {
+    let physical = PhysicalPlan::hash_chain(plan.order().to_vec());
+    let run = execute_physical(query, catalog, &physical)?;
+    Ok(PlanResult {
+        output: run.output,
+        intermediate_sizes: run.counters.sizes(),
+    })
+}
+
+/// Convenience: the true output cardinality `|Q(D)|` via a left-deep plan in
+/// greedy order.  Because the query is full (every variable is an output
+/// variable) the hash-join result has no duplicates.
+pub fn join_size(query: &JoinQuery, catalog: &Catalog) -> Result<usize, ExecError> {
+    let plan = JoinPlan::greedy_by_size(query, catalog)?;
+    Ok(execute_plan(query, catalog, &plan)?.output_size())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpb_data::RelationBuilder;
+
+    fn triangle_catalog() -> Catalog {
+        // A clique on 4 nodes (directed, no self loops): 12 edges,
+        // 4·3·2 = 24 directed triangles.
+        let mut edges = Vec::new();
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let mut catalog = Catalog::new();
+        catalog.insert(RelationBuilder::binary_from_pairs("E", "a", "b", edges));
+        catalog
+    }
+
+    #[test]
+    fn triangle_join_size_on_a_clique() {
+        let catalog = triangle_catalog();
+        let q = JoinQuery::triangle("E", "E", "E");
+        assert_eq!(join_size(&q, &catalog).unwrap(), 24);
+    }
+
+    #[test]
+    fn plan_orders_agree_on_the_output() {
+        let catalog = triangle_catalog();
+        let q = JoinQuery::triangle("E", "E", "E");
+        let a = execute_plan(&q, &catalog, &JoinPlan::in_query_order(&q)).unwrap();
+        let b = execute_plan(
+            &q,
+            &catalog,
+            &JoinPlan::with_order(&q, vec![2, 0, 1]).unwrap(),
+        )
+        .unwrap();
+        let c = execute_plan(
+            &q,
+            &catalog,
+            &JoinPlan::greedy_by_size(&q, &catalog).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(a.output_size(), 24);
+        assert_eq!(b.output_size(), 24);
+        assert_eq!(c.output_size(), 24);
+        assert!(a.max_intermediate() >= a.output_size());
+        assert_eq!(a.intermediate_sizes.len(), 3);
+    }
+
+    #[test]
+    fn path_query_sizes_track_intermediates() {
+        let mut catalog = Catalog::new();
+        catalog.insert(RelationBuilder::binary_from_pairs(
+            "E",
+            "a",
+            "b",
+            (0..20u64).map(|i| (i % 5, i % 7)),
+        ));
+        let q = JoinQuery::path(&["E", "E", "E"]);
+        let r = execute_plan(&q, &catalog, &JoinPlan::in_query_order(&q)).unwrap();
+        assert_eq!(r.intermediate_sizes.len(), 3);
+        assert!(r.output_size() > 0);
+        // Greedy plan computes the same output size.
+        assert_eq!(join_size(&q, &catalog).unwrap(), r.output_size());
+    }
+
+    #[test]
+    fn missing_relation_errors() {
+        let catalog = Catalog::new();
+        let q = JoinQuery::triangle("E", "E", "E");
+        assert!(join_size(&q, &catalog).is_err());
+    }
+
+    #[test]
+    fn every_strategy_computes_the_same_triangle_output() {
+        let catalog = triangle_catalog();
+        let q = JoinQuery::triangle("E", "E", "E");
+        let chain =
+            execute_physical(&q, &catalog, &PhysicalPlan::hash_chain(vec![0, 1, 2])).unwrap();
+        let wcoj = execute_physical(&q, &catalog, &PhysicalPlan::wcoj(vec![0, 1, 2])).unwrap();
+        assert_eq!(chain.output_size(), 24);
+        assert_eq!(wcoj.output_size(), 24);
+        // The WCOJ never materializes the two-edge intermediate.
+        assert!(wcoj.max_intermediate() <= chain.max_intermediate());
+        assert_eq!(wcoj.counters.len(), 1);
+        assert_eq!(chain.counters.len(), 3);
+        // Step labels name the relations.
+        assert!(chain.counters.steps()[0].label.contains('E'));
+    }
+
+    #[test]
+    fn reduced_strategy_matches_hash_chain_on_acyclic_queries() {
+        let mut catalog = Catalog::new();
+        catalog.insert(RelationBuilder::binary_from_pairs(
+            "R",
+            "a",
+            "b",
+            vec![(1, 10), (2, 20), (3, 30)],
+        ));
+        catalog.insert(RelationBuilder::binary_from_pairs(
+            "S",
+            "b",
+            "c",
+            vec![(10, 100), (10, 101), (40, 400)],
+        ));
+        let q = JoinQuery::single_join("R", "S");
+        let chain = execute_physical(&q, &catalog, &PhysicalPlan::hash_chain(vec![0, 1])).unwrap();
+        let reduced = execute_physical(&q, &catalog, &PhysicalPlan::reduced(vec![0, 1])).unwrap();
+        assert_eq!(chain.output_size(), 2);
+        assert_eq!(reduced.output_size(), 2);
+        // The reducer drops dangling tuples before joining: no reduced
+        // relation is larger than its input, and the dangling S(40, 400) and
+        // R(2,·)/R(3,·) rows are gone.
+        assert_eq!(reduced.counters.sizes(), vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn hybrid_wcoj_chain_extends_a_cyclic_core() {
+        // Triangle plus a pendant edge P(X, W).
+        let mut catalog = triangle_catalog();
+        catalog.insert(RelationBuilder::binary_from_pairs(
+            "P",
+            "a",
+            "b",
+            (0..4u64).map(|i| (i, i + 100)),
+        ));
+        let q = JoinQuery::new(
+            "tri-tail",
+            vec![
+                lpb_core::Atom::new("E", &["X", "Y"]),
+                lpb_core::Atom::new("E", &["Y", "Z"]),
+                lpb_core::Atom::new("E", &["Z", "X"]),
+                lpb_core::Atom::new("P", &["X", "W"]),
+            ],
+        )
+        .unwrap();
+        let hybrid = PhysicalPlan::wcoj_then_chain(vec![0, 1, 2], vec![3]);
+        assert_eq!(hybrid.strategy(), "wcoj+hash-chain");
+        assert_eq!(hybrid.atom_order(), vec![0, 1, 2, 3]);
+        assert!(hybrid.describe().contains("wcoj[0,1,2]"));
+        let run = execute_physical(&q, &catalog, &hybrid).unwrap();
+        let chain =
+            execute_physical(&q, &catalog, &PhysicalPlan::hash_chain(vec![0, 1, 2, 3])).unwrap();
+        assert_eq!(run.output_size(), chain.output_size());
+        assert_eq!(run.output_size(), 24); // every triangle extends uniquely
+    }
+
+    #[test]
+    fn physical_plan_constructors_validate_shapes() {
+        assert_eq!(PhysicalPlan::hash_chain(vec![0]).strategy(), "scan");
+        assert_eq!(PhysicalPlan::wcoj(vec![0, 1]).strategy(), "wcoj");
+        assert_eq!(PhysicalPlan::reduced(vec![0, 1]).strategy(), "yannakakis");
+        assert_eq!(
+            PhysicalPlan::wcoj_then_chain(vec![0], vec![]).strategy(),
+            "wcoj"
+        );
+    }
+}

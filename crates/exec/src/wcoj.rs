@@ -126,7 +126,8 @@ pub fn wcoj_materialize(query: &JoinQuery, catalog: &Catalog) -> Result<Tuples, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::{execute_plan, JoinPlan};
+    use crate::logical::JoinPlan;
+    use crate::physical::execute_plan;
     use lpb_data::RelationBuilder;
 
     fn clique_catalog(k: u64) -> Catalog {

@@ -222,7 +222,7 @@ pub fn full_reducer(query: &JoinQuery, catalog: &Catalog) -> Result<Vec<Tuples>,
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::join_size;
+    use crate::physical::join_size;
     use lpb_data::RelationBuilder;
 
     fn catalog_with_edges(name: &str, edges: Vec<(u64, u64)>) -> Catalog {

@@ -274,9 +274,9 @@ impl WarmHandle {
                 con.rhs
             };
         }
-        if let Some(t) = &self.tail {
+        if self.tail.is_some() {
             let offset = problem.n_constraints();
-            b[offset..].copy_from_slice(t.rhs());
+            b[offset..].copy_from_slice(problem.tail_rhs().expect("matched tail has rhs"));
         }
         let mut xb = b.clone();
         ftran(&engine.etas, &mut xb);
@@ -406,6 +406,45 @@ mod tests {
         let mut objective_changed = textbook([4.0, 12.0, 18.0]);
         objective_changed.set_objective(0, 30.0);
         assert!(!handle.matches(&objective_changed));
+    }
+
+    #[test]
+    fn resolve_absorbs_tail_rhs_overrides() {
+        use crate::problem::SharedRowBlock;
+
+        // All per-instance data in the tail rhs: max x + y, tail rows
+        // x <= a, y <= b, x + y <= c.
+        let tail = Arc::new(SharedRowBlock::new(
+            2,
+            vec![vec![(0, 1.0)], vec![(1, 1.0)], vec![(0, 1.0), (1, 1.0)]],
+            vec![4.0, 12.0, 14.0],
+        ));
+        let build = |rhs: Option<Vec<f64>>| {
+            let mut p = Problem::maximize(2);
+            p.set_objective(0, 3.0);
+            p.set_objective(1, 5.0);
+            p.set_shared_tail(Arc::clone(&tail));
+            if let Some(rhs) = rhs {
+                p.set_shared_tail_rhs(rhs);
+            }
+            p
+        };
+        let (base, handle) = solve_sparse_with_handle(&build(None), &sparse_opts()).unwrap();
+        let handle = handle.expect("tail-only problems never need phase 1");
+        // y = 12, then x + y <= 14 pins x = 2: objective 3·2 + 5·12 = 66.
+        assert_close(base.objective, 66.0);
+        for rhs in [
+            vec![2.0, 6.0, 7.0],
+            vec![10.0, 1.0, 5.0],
+            vec![0.0, 0.0, 9.0],
+        ] {
+            let p = build(Some(rhs.clone()));
+            assert!(handle.matches(&p), "override must not break the match");
+            let warm = handle.resolve(&p, &sparse_opts()).unwrap();
+            let cold = solve_sparse(&p, &sparse_opts()).unwrap();
+            assert_eq!(warm.status, cold.status, "rhs {rhs:?}");
+            assert_close(warm.objective, cold.objective);
+        }
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub use dual::WarmHandle;
 pub use error::LpError;
 pub use matrix::DenseMatrix;
 pub use problem::{Constraint, Direction, Problem, Sense, SharedRowBlock};
-pub use revised::{solve_sparse, solve_sparse_with_handle};
+pub use revised::{eta_refactorization_count, solve_sparse, solve_sparse_with_handle};
 pub use simplex::{
     solve, solve_dense, Solution, SolverKind, SolverOptions, Status, DENSE_SMALL_LP_ROWS,
 };

@@ -36,7 +36,20 @@
 
 use crate::error::LpError;
 use crate::problem::{Direction, Problem, Sense, SharedRowBlock};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Process-wide count of eta-file refactorizations (see
+/// [`SolverOptions::eta_refactor_cap`]).  Exposed so tests and benchmarks can
+/// assert that the cap actually triggers on long runs.
+static ETA_REFACTORIZATIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of times any sparse-solver engine in this process refactorized its
+/// eta file from scratch after hitting
+/// [`SolverOptions::eta_refactor_cap`].
+pub fn eta_refactorization_count() -> usize {
+    ETA_REFACTORIZATIONS.load(Ordering::Relaxed)
+}
 
 /// Residual below which a basic artificial is considered "at zero": the same
 /// threshold phase 1 uses to accept a basis as feasible, so every artificial
@@ -138,6 +151,8 @@ pub(crate) struct Engine {
     /// Scratch: entering column in dense form.
     pub(crate) work: Vec<f64>,
     pub(crate) pivots_since_recompute: usize,
+    /// Refactorize the eta file from scratch once it grows past this length.
+    pub(crate) eta_cap: usize,
 }
 
 impl Engine {
@@ -245,13 +260,62 @@ impl Engine {
         }
         self.x_b[row] = theta;
         self.basis_replace(row, col);
-        if self.pivots_since_recompute >= 64 {
+        if self.etas.len() > self.eta_cap {
+            self.refactorize();
+        } else if self.pivots_since_recompute >= 64 {
             // Re-derive x_B = B⁻¹ b to keep incremental drift in check.
             let mut xb = self.b.clone();
             ftran(&self.etas, &mut xb);
             self.x_b = xb;
             self.pivots_since_recompute = 0;
         }
+    }
+
+    /// Rebuild the eta file from scratch for the current basis: at most one
+    /// eta per row instead of one per pivot ever taken.  The product form is
+    /// reconstructed by pivoting each basis column into its row; positions
+    /// whose pivot entry is still tiny are deferred to a later pass (a
+    /// nonsingular basis always admits some elimination order).  If numerics
+    /// leave a position unpivotable, the old (correct, just long) eta file is
+    /// kept and the cap is doubled so the solve does not thrash on retries.
+    pub(crate) fn refactorize(&mut self) {
+        let m = self.m;
+        let mut new_etas: Vec<Eta> = Vec::with_capacity(m);
+        let mut pending: Vec<usize> = (0..m).collect();
+        while !pending.is_empty() {
+            let before = pending.len();
+            let mut still_pending = Vec::new();
+            for r in pending {
+                self.column_into_work(self.basis[r]);
+                ftran(&new_etas, &mut self.work);
+                let pivot = self.work[r];
+                if pivot.abs() <= 1e-10 {
+                    still_pending.push(r);
+                    continue;
+                }
+                let entries: Vec<(usize, f64)> = (0..m)
+                    .filter(|&i| i != r && self.work[i].abs() > 1e-12)
+                    .map(|i| (i, self.work[i]))
+                    .collect();
+                new_etas.push(Eta {
+                    row: r,
+                    pivot,
+                    entries,
+                });
+            }
+            if still_pending.len() == before {
+                // No progress: keep the existing (longer but valid) file.
+                self.eta_cap = self.eta_cap.saturating_mul(2);
+                return;
+            }
+            pending = still_pending;
+        }
+        self.etas = new_etas;
+        let mut xb = self.b.clone();
+        ftran(&self.etas, &mut xb);
+        self.x_b = xb;
+        self.pivots_since_recompute = 0;
+        ETA_REFACTORIZATIONS.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record the eta for the entering column held in `self.work` and swap
@@ -440,8 +504,9 @@ pub(crate) fn prepare(problem: &Problem, options: &SolverOptions, flips: Option<
         });
         sparse_rows.push(con.coeffs.iter().map(|&(j, c)| (j, mult * c)).collect());
     }
-    if let Some(t) = &tail {
-        for (i, &rhs) in t.rhs().iter().enumerate() {
+    if tail.is_some() {
+        let tail_rhs = problem.tail_rhs().expect("tail present implies rhs");
+        for (i, &rhs) in tail_rhs.iter().enumerate() {
             b[m_explicit + i] = rhs;
             senses.push(Sense::Le);
         }
@@ -507,6 +572,9 @@ pub(crate) fn prepare(problem: &Problem, options: &SolverOptions, flips: Option<
         tol,
         work: vec![0.0; m],
         pivots_since_recompute: 0,
+        // Refactorization itself leaves up to one eta per row, so a cap
+        // below m refactorizes after every pivot — correct, just eager.
+        eta_cap: options.eta_refactor_cap.max(1),
     };
 
     // Per-phase iteration cap, matching the dense solver's semantics.
@@ -831,6 +899,63 @@ mod tests {
         let warm = build(6.0).solve_with(&warm_opts).unwrap();
         let reference = build(6.0).solve_with(&sparse_opts()).unwrap();
         assert_close(warm.objective, reference.objective);
+    }
+
+    #[test]
+    fn eta_cap_triggers_refactorization_and_preserves_the_optimum() {
+        // A problem with enough pivots that a tiny cap must trigger: maximize
+        // Σ x_j over a chain of coupled rows.
+        let n = 24usize;
+        let mut p = Problem::maximize(n);
+        for j in 0..n {
+            p.set_objective(j, 1.0 + (j as f64) * 0.01);
+            p.add_constraint(&[(j, 1.0)], Sense::Le, 1.0 + (j % 3) as f64);
+        }
+        for j in 0..n - 1 {
+            p.add_constraint(&[(j, 1.0), (j + 1, 1.0)], Sense::Le, 2.5);
+        }
+        let capped_opts = SolverOptions {
+            eta_refactor_cap: 4,
+            ..sparse_opts()
+        };
+        let before = eta_refactorization_count();
+        let capped = p.solve_with(&capped_opts).unwrap();
+        let after = eta_refactorization_count();
+        assert!(
+            after > before,
+            "a cap of 4 etas must refactorize at least once \
+             (count {before} -> {after})"
+        );
+        let reference = p.solve_with(&sparse_opts()).unwrap();
+        assert_eq!(capped.status, reference.status);
+        assert_close(capped.objective, reference.objective);
+        let dense = p.solve_with(&SolverOptions::dense()).unwrap();
+        assert_close(capped.objective, dense.objective);
+    }
+
+    #[test]
+    fn refactorized_engine_keeps_duals_and_basis_consistent() {
+        let mut p = Problem::maximize(6);
+        for j in 0..6 {
+            p.set_objective(j, (j + 1) as f64);
+            p.add_constraint(&[(j, 1.0)], Sense::Le, 3.0);
+        }
+        p.add_constraint(&[(0, 1.0), (2, 1.0), (4, 1.0)], Sense::Le, 5.0);
+        p.add_constraint(&[(1, 1.0), (3, 1.0), (5, 1.0)], Sense::Le, 4.0);
+        let capped = p
+            .solve_with(&SolverOptions {
+                eta_refactor_cap: 1,
+                ..sparse_opts()
+            })
+            .unwrap();
+        assert_eq!(capped.status, Status::Optimal);
+        // Strong duality must survive refactorization.
+        let dual_obj: f64 = p
+            .rows_all()
+            .zip(&capped.duals)
+            .map(|((_, _, b), y)| b * y)
+            .sum();
+        assert_close(dual_obj, capped.objective);
     }
 
     #[test]

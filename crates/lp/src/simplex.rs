@@ -55,6 +55,13 @@ pub struct SolverOptions {
     /// solver replays them into the starting basis (ignored by the dense
     /// solver, and ignored whenever the problem needs a phase 1).
     pub warm_start: Option<Vec<(usize, usize)>>,
+    /// Maximum length of the sparse solver's eta file before it is
+    /// refactorized from scratch (see
+    /// [`crate::revised::eta_refactorization_count`]).  Long runs — many
+    /// pivots in one solve, or dual warm starts layered on a snapshotted
+    /// factorization — would otherwise accumulate an unbounded product of
+    /// eta transformations, making every FTRAN/BTRAN slower and noisier.
+    pub eta_refactor_cap: usize,
 }
 
 impl Default for SolverOptions {
@@ -64,6 +71,7 @@ impl Default for SolverOptions {
             max_iterations: None,
             solver: SolverKind::default(),
             warm_start: None,
+            eta_refactor_cap: 512,
         }
     }
 }
