@@ -7,20 +7,24 @@
 //! 1. plans with [`lpb_exec::Optimizer`] (timing the call — this includes
 //!    batch-bounding every connected sub-join through the warm-started
 //!    `BatchEstimator`),
-//! 2. executes the chosen physical plan and the greedy-by-size hash chain,
-//!    recording every node's materialized rows via `IntermediateCounters`,
+//! 2. executes the chosen physical plan (checking every node's bound
+//!    certificate), the greedy-by-size hash chain, and the best
+//!    **left-deep** DP order as a hash chain — the join-tree-shape baseline
+//!    the bushy DP is measured against,
 //! 3. emits `BENCH_planner.json` at the workspace root with plan time,
-//!    chosen order/strategy, chosen-vs-greedy peak intermediates and the
+//!    chosen order/strategy, chosen-vs-greedy and bushy-vs-left-deep peak
+//!    intermediates, certificate-violation counts (asserted zero) and the
 //!    estimator's shape-cache hit counters.
 //!
 //! Passing `--smoke` (the CI mode: `cargo bench --bench planner_quality --
 //! --smoke`) runs the same pipeline at the test scale and writes the JSON
 //! to a scratch path, so the emitter is exercised on every push without
-//! clobbering the committed trajectory.
+//! clobbering the committed trajectory; CI greps the scratch output for
+//! zero certificate violations.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lpb_datagen::{job_like_catalog, job_like_queries, planner_workloads, JobLikeConfig};
-use lpb_exec::{execute_physical, execute_plan, JoinPlan, Optimizer};
+use lpb_exec::{execute_physical, execute_plan, JoinPlan, Optimizer, PhysicalPlan};
 use std::time::Instant;
 
 struct PlannerRow {
@@ -30,8 +34,12 @@ struct PlannerRow {
     order: Vec<usize>,
     chosen_max_intermediate: usize,
     greedy_max_intermediate: usize,
+    leftdeep_max_intermediate: usize,
+    certificate_violations: usize,
+    certificates_checked: usize,
     output_size: usize,
     subqueries_bounded: usize,
+    bound_fallbacks: usize,
     shape_cache_hits: usize,
 }
 
@@ -68,12 +76,37 @@ fn measure(c: &mut Criterion, smoke: bool) -> Vec<PlannerRow> {
         let shape_cache_hits = optimizer.estimator().shape_cache_hits();
 
         let chosen = execute_physical(&w.query, &w.catalog, &plan.physical).expect("chosen plan");
+        assert_eq!(
+            chosen.certificate_violations(),
+            0,
+            "{}: an executed intermediate exceeded its bound certificate",
+            w.name
+        );
+        assert_eq!(
+            plan.bound_fallbacks, 0,
+            "{}: a sub-join bound fell back to the product bound",
+            w.name
+        );
         let greedy_plan = JoinPlan::greedy_by_size(&w.query, &w.catalog).expect("greedy");
         let greedy = execute_plan(&w.query, &w.catalog, &greedy_plan).expect("greedy plan");
+        // The join-tree-shape baseline: the best left-deep order the same
+        // bounds produce, evaluated as a pure hash chain.
+        let leftdeep = execute_physical(
+            &w.query,
+            &w.catalog,
+            &PhysicalPlan::hash_chain(plan.leftdeep_order.clone()),
+        )
+        .expect("left-deep plan");
         assert_eq!(
             chosen.output_size(),
             greedy.output_size(),
             "{}: plans disagree on the output",
+            w.name
+        );
+        assert_eq!(
+            chosen.output_size(),
+            leftdeep.output_size(),
+            "{}: the left-deep baseline disagrees on the output",
             w.name
         );
 
@@ -88,8 +121,12 @@ fn measure(c: &mut Criterion, smoke: bool) -> Vec<PlannerRow> {
             order: plan.order.clone(),
             chosen_max_intermediate: chosen.max_intermediate(),
             greedy_max_intermediate: greedy.max_intermediate(),
+            leftdeep_max_intermediate: leftdeep.max_intermediate(),
+            certificate_violations: chosen.certificate_violations(),
+            certificates_checked: chosen.counters.certificates_checked(),
             output_size: chosen.output_size(),
             subqueries_bounded: plan.subqueries_bounded,
+            bound_fallbacks: plan.bound_fallbacks,
             shape_cache_hits,
         });
     }
@@ -105,7 +142,9 @@ fn write_bench_json(rows: &[PlannerRow], smoke: bool) {
             "    {{\"workload\": \"{}\", \"plan_us\": {:.1}, \"strategy\": \"{}\", \
              \"chosen_order\": [{}], \"chosen_max_intermediate\": {}, \
              \"greedy_max_intermediate\": {}, \"peak_ratio_greedy_over_chosen\": {:.2}, \
-             \"output_size\": {}, \"subqueries_bounded\": {}, \
+             \"leftdeep_max_intermediate\": {}, \"bushy_vs_leftdeep_peak\": {:.2}, \
+             \"certificates_checked\": {}, \"certificate_violations\": {}, \
+             \"output_size\": {}, \"subqueries_bounded\": {}, \"bound_fallbacks\": {}, \
              \"shape_cache_hits\": {}}}{}\n",
             r.workload,
             r.plan_us,
@@ -114,8 +153,20 @@ fn write_bench_json(rows: &[PlannerRow], smoke: bool) {
             r.chosen_max_intermediate,
             r.greedy_max_intermediate,
             r.greedy_max_intermediate as f64 / r.chosen_max_intermediate.max(1) as f64,
+            r.leftdeep_max_intermediate,
+            // Only a genuinely bushy plan claims a bushy-vs-left-deep win;
+            // non-bushy strategies report 1.00 (their left-deep gap is
+            // visible from the raw leftdeep_max_intermediate column).
+            if r.strategy == "bushy" {
+                r.leftdeep_max_intermediate as f64 / r.chosen_max_intermediate.max(1) as f64
+            } else {
+                1.0
+            },
+            r.certificates_checked,
+            r.certificate_violations,
             r.output_size,
             r.subqueries_bounded,
+            r.bound_fallbacks,
             r.shape_cache_hits,
             if i + 1 == rows.len() { "" } else { "," }
         ));

@@ -14,9 +14,10 @@
 //!   skewed key–foreign-key joins and a 33-query acyclic suite mirroring the
 //!   Figure-1 workload shape;
 //! * [`planner_workloads`] — planner-adversarial workloads (skewed
-//!   power-law triangles, hub-fan-out chains) on which greedy-by-size join
-//!   ordering provably blows up while degree-sequence ℓp-norms see the
-//!   danger.
+//!   power-law triangles, hub-fan-out chains, and bridged heavy chains on
+//!   which every left-deep order blows up but a bushy plan stays small) —
+//!   greedy-by-size misplans all of them while degree-sequence ℓp-norms see
+//!   the danger.
 //!
 //! All generators are deterministic given their seed.
 
@@ -32,7 +33,8 @@ mod rng;
 pub use alphabeta::{alpha_beta_relation, AlphaBetaConfig};
 pub use job_like::{job_like_catalog, job_like_queries, JobLikeConfig, JobLikeQuery};
 pub use planner::{
-    misleading_chain_workload, planner_workloads, skewed_triangle_workload, PlannerWorkload,
+    bridged_chains_workload, misleading_chain_workload, planner_workloads,
+    skewed_triangle_workload, PlannerWorkload,
 };
 pub use powerlaw::{power_law_graph, snap_like_presets, PowerLawGraphConfig, SnapLikePreset};
 pub use rng::{sample_cdf, seeded_rng, zipf_cdf};

@@ -15,9 +15,20 @@
 //!   fan-out, so greedy (which starts from `R`) materializes `|R| · fanout`
 //!   rows; starting from the selective `T` side keeps every intermediate
 //!   tiny.  The `ℓ∞`/`ℓ2` norms of `deg_S(· | b)` expose the hub.
+//! * [`bridged_chains_workload`] — the **bushy-vs-left-deep** adversary:
+//!   two heavy 2-atom chains joined by a light bridge,
+//!   `A1 ⋈ A2 ⋈ B ⋈ C1 ⋈ C2`.  Each chain collapses to a tiny result on
+//!   its own (the selective outer atom keys into the heavy inner one), but
+//!   *every* left-deep order must, one step before completing, hold a
+//!   4-atom prefix that spans the bridge into the far heavy relation's
+//!   `K`-fan-out — a `K/keep`-times-larger intermediate (40× at the
+//!   default `K = 400`, `keep = 10`) than anything the bushy plan
+//!   `(A1⋈A2⋈B) ⋈ (C1⋈C2)` materializes.  This is the classic
+//!   bridged star/chain shape on which left-deep-only DPs are provably
+//!   worse than bushy trees.
 //!
-//! Both are deterministic given their seeds and sized so that true
-//! cardinalities stay computable in tests and CI.
+//! All three are deterministic and sized so that true cardinalities stay
+//! computable in tests and CI.
 
 use crate::powerlaw::{power_law_graph, PowerLawGraphConfig};
 use lpb_core::{Atom, JoinQuery};
@@ -112,12 +123,92 @@ pub fn misleading_chain_workload(scale: usize) -> PlannerWorkload {
     }
 }
 
+/// The bridged heavy chains; see the module docs.  `scale = 1` gives 8 hub
+/// values, fan-out `K = 400` and 10 selective tuples per hub on each side:
+/// `|A2| = |C1| = 3200`, `|A1| = |C2| = 80`, `|B| = 8`, output 800.
+///
+/// Shape (variables `X0 – X5`, one atom per consecutive pair):
+///
+/// ```text
+/// A1(X0,X1) ⋈ A2(X1,X2) ⋈ B(X2,X3) ⋈ C1(X3,X4) ⋈ C2(X4,X5)
+///  selective    heavy      bridge     heavy       selective
+/// ```
+///
+/// Per hub `h`: `A2` fans `X2 = h` out to `K` distinct `X1` values of which
+/// `A1` keeps exactly one (with 10 `X0` choices); mirrored on the `C` side.
+/// Any left-deep order ends with a 4-atom prefix (`{A1,A2,B,C1}` or
+/// `{A2,B,C1,C2}`) whose true size is `10 · hubs · K` — the far chain's
+/// fan-out amplified by the near chain's kept tuples — while the bushy plan
+/// joins two ~`10 · hubs`-row halves.  The ℓ∞ norms of `deg(· | X1)` /
+/// `deg(· | X4)` prove both halves tiny, and `|A1| · |C2|` bounds the
+/// output, so the bound-driven DP sees the bushy win at plan time.
+pub fn bridged_chains_workload(scale: usize) -> PlannerWorkload {
+    let scale = scale.max(1) as u64;
+    let hubs = 8 * scale;
+    let fanout = 400u64; // K: rows per hub in each heavy relation
+    let keep = 10u64; // selective tuples per hub in A1 / C2
+
+    // A1(a, b): per hub, `keep` rows all keyed to the single X1 value the
+    // heavy A2 row j = 0 carries.
+    let a1 = RelationBuilder::binary_from_pairs(
+        "A1",
+        "a",
+        "b",
+        (0..hubs).flat_map(|h| (0..keep).map(move |t| (h * keep + t, h * fanout))),
+    );
+    // A2(b, c): per hub h, `fanout` rows (h·K + j, h); X1 values are unique,
+    // so deg_{A2}(c | b) has ℓ∞ = 1 — extending A1 through A2 is provably
+    // harmless, while deg_{A2}(b | c) has ℓ∞ = K — entering A2 from the
+    // bridge side is provably explosive.
+    let a2 = RelationBuilder::binary_from_pairs(
+        "A2",
+        "b",
+        "c",
+        (0..hubs).flat_map(|h| (0..fanout).map(move |j| (h * fanout + j, h))),
+    );
+    // B(c, d): the light bridge, one row per hub.
+    let b = RelationBuilder::binary_from_pairs("B", "c", "d", (0..hubs).map(|h| (h, h)));
+    // C1(d, e) / C2(e, f): the A side mirrored.
+    let c1 = RelationBuilder::binary_from_pairs(
+        "C1",
+        "d",
+        "e",
+        (0..hubs).flat_map(|h| (0..fanout).map(move |j| (h, h * fanout + j))),
+    );
+    let c2 = RelationBuilder::binary_from_pairs(
+        "C2",
+        "e",
+        "f",
+        (0..hubs).flat_map(|h| (0..keep).map(move |t| (h * fanout, h * keep + t))),
+    );
+    let mut catalog = Catalog::new();
+    for rel in [a1, a2, b, c1, c2] {
+        catalog.insert(rel);
+    }
+    PlannerWorkload {
+        name: "bridged-chains",
+        query: JoinQuery::new(
+            "bridged",
+            vec![
+                Atom::new("A1", &["X0", "X1"]),
+                Atom::new("A2", &["X1", "X2"]),
+                Atom::new("B", &["X2", "X3"]),
+                Atom::new("C1", &["X3", "X4"]),
+                Atom::new("C2", &["X4", "X5"]),
+            ],
+        )
+        .expect("bridged query is well formed"),
+        catalog,
+    }
+}
+
 /// Every planner workload at the given scale (used by the
 /// `planner_quality` benchmark).
 pub fn planner_workloads(scale: usize) -> Vec<PlannerWorkload> {
     vec![
         skewed_triangle_workload(scale),
         misleading_chain_workload(scale),
+        bridged_chains_workload(scale),
     ]
 }
 
@@ -166,5 +257,39 @@ mod tests {
         assert_eq!(linf_rev, 0.0);
         // The workload has a non-empty output (T hits the hub region).
         assert_eq!(w.query.n_atoms(), 3);
+    }
+
+    #[test]
+    fn bridged_chains_shape_is_adversarial_for_left_deep_orders() {
+        let w = bridged_chains_workload(1);
+        let (a1, a2, b, c1, c2) = (
+            w.catalog.get("A1").unwrap(),
+            w.catalog.get("A2").unwrap(),
+            w.catalog.get("B").unwrap(),
+            w.catalog.get("C1").unwrap(),
+            w.catalog.get("C2").unwrap(),
+        );
+        // Two heavy chains, light bridge, selective ends.
+        assert_eq!(a2.len(), c1.len());
+        assert!(b.len() < a1.len() && a1.len() < a2.len());
+        assert_eq!(a1.len(), c2.len());
+        // Walking outward-in is provably harmless (key joins)…
+        let harmless = w
+            .catalog
+            .log_norm("A2", &["c"], &["b"], Norm::Infinity)
+            .unwrap();
+        assert_eq!(harmless, 0.0);
+        // …while entering a heavy chain from the bridge side fans out 400×.
+        let explosive = w
+            .catalog
+            .log_norm("A2", &["b"], &["c"], Norm::Infinity)
+            .unwrap();
+        assert!((explosive - 400.0f64.log2()).abs() < 1e-9);
+        let mirrored = w
+            .catalog
+            .log_norm("C1", &["e"], &["d"], Norm::Infinity)
+            .unwrap();
+        assert!((mirrored - 400.0f64.log2()).abs() < 1e-9);
+        assert_eq!(w.query.n_atoms(), 5);
     }
 }

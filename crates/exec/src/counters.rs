@@ -16,13 +16,33 @@ use std::collections::{HashMap, HashSet};
 
 /// One recorded execution step: a human-readable label (which plan node
 /// produced the rows) and the number of rows it materialized.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StepCount {
     /// Which node produced the rows, e.g. `scan E` or `⋈ E`.
     pub label: String,
     /// Rows materialized by the step.
     pub rows: usize,
+    /// The bound certificate the step was checked against, if the plan
+    /// carried one: `log₂` of a provable upper bound on `rows`.
+    pub log2_bound: Option<f64>,
 }
+
+impl StepCount {
+    /// True when the step carried a certificate and the observed row count
+    /// exceeded it — which the ℓp-norm bounds guarantee never happens, so a
+    /// `true` here means a planner or estimator bug.
+    pub fn violates_certificate(&self) -> bool {
+        match self.log2_bound {
+            Some(bound) => (self.rows.max(1) as f64).log2() > bound + CERTIFICATE_SLACK,
+            None => false,
+        }
+    }
+}
+
+/// Tolerance when comparing an observed `log₂` row count against a
+/// certificate: absorbs the floating-point noise of the LP optimum without
+/// masking any real violation (bounds and sizes differ by whole rows).
+pub const CERTIFICATE_SLACK: f64 = 1e-6;
 
 /// Per-step intermediate sizes of one plan execution.
 ///
@@ -30,9 +50,11 @@ pub struct StepCount {
 /// materializes — scans, hash-join intermediates, WCOJ outputs, reduced
 /// relations — so plans can be compared by their **maximum intermediate**,
 /// the memory-blowup metric that motivates bound-driven planning.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IntermediateCounters {
     steps: Vec<StepCount>,
+    certificates_checked: usize,
+    certificate_violations: usize,
 }
 
 impl IntermediateCounters {
@@ -41,12 +63,41 @@ impl IntermediateCounters {
         Self::default()
     }
 
-    /// Record one step.
+    /// Record one step without a certificate.
     pub fn record(&mut self, label: impl Into<String>, rows: usize) {
-        self.steps.push(StepCount {
+        self.record_checked(label, rows, None);
+    }
+
+    /// Record one step and, when the plan attached a bound certificate,
+    /// check the observed size against it.  A violation is counted (and
+    /// trips a `debug_assert`): the ℓp-norm bounds are *guarantees*, so an
+    /// intermediate exceeding its certificate means the planner attached a
+    /// bound to the wrong sub-join or the estimator under-bounded.
+    pub fn record_checked(
+        &mut self,
+        label: impl Into<String>,
+        rows: usize,
+        log2_bound: Option<f64>,
+    ) {
+        let step = StepCount {
             label: label.into(),
             rows,
-        });
+            log2_bound,
+        };
+        if log2_bound.is_some() {
+            self.certificates_checked += 1;
+            if step.violates_certificate() {
+                self.certificate_violations += 1;
+                debug_assert!(
+                    false,
+                    "bound certificate violated: step `{}` materialized {} rows > 2^{:.4}",
+                    step.label,
+                    step.rows,
+                    step.log2_bound.unwrap_or(f64::NAN)
+                );
+            }
+        }
+        self.steps.push(step);
     }
 
     /// The recorded steps, in execution order.
@@ -69,6 +120,19 @@ impl IntermediateCounters {
     /// allocation traffic) the plan did.
     pub fn total_rows(&self) -> usize {
         self.steps.iter().map(|s| s.rows).sum()
+    }
+
+    /// How many steps carried (and were checked against) a bound
+    /// certificate.
+    pub fn certificates_checked(&self) -> usize {
+        self.certificates_checked
+    }
+
+    /// How many checked steps exceeded their certificate.  Always zero when
+    /// the bounds are sound; planner tests and the `planner_quality`
+    /// benchmark assert exactly that.
+    pub fn certificate_violations(&self) -> usize {
+        self.certificate_violations
     }
 
     /// Number of recorded steps.
@@ -303,5 +367,36 @@ mod tests {
         assert_eq!(c.max_intermediate(), 400);
         assert_eq!(c.total_rows(), 417);
         assert_eq!(c.steps()[1].label, "⋈ S");
+        assert_eq!(c.certificates_checked(), 0);
+        assert_eq!(c.certificate_violations(), 0);
+    }
+
+    #[test]
+    fn certificates_are_checked_and_satisfied_sizes_pass() {
+        let mut c = IntermediateCounters::new();
+        // Exactly at the bound (1024 = 2^10) and strictly under it.
+        c.record_checked("⋈ S", 1024, Some(10.0));
+        c.record_checked("⋈ T", 3, Some(10.0));
+        c.record("scan R", 99);
+        // Empty intermediates satisfy any finite certificate.
+        c.record_checked("⋈ U", 0, Some(0.0));
+        assert_eq!(c.certificates_checked(), 3);
+        assert_eq!(c.certificate_violations(), 0);
+        assert!(c.steps().iter().all(|s| !s.violates_certificate()));
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "bound certificate violated")
+    )]
+    fn certificate_violations_are_counted() {
+        let mut c = IntermediateCounters::new();
+        // 2048 rows against a 2^10 certificate: a planner bug by definition.
+        c.record_checked("⋈ S", 2048, Some(10.0));
+        // Only reached in release builds, where the debug_assert is compiled
+        // out and the violation is merely counted.
+        assert_eq!(c.certificate_violations(), 1);
+        assert!(c.steps()[0].violates_certificate());
     }
 }

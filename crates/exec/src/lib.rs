@@ -12,13 +12,20 @@
 //!   queries);
 //! * a two-level plan IR: [`LogicalPlan`] (the join graph over atoms, with
 //!   connected-subset enumeration and cyclic-core detection) lowered to a
-//!   [`PhysicalPlan`] strategy tree (hash chains, leapfrog WCOJ cores,
-//!   Yannakakis-reduced residues), executed by [`execute_physical`] with
-//!   [`IntermediateCounters`] threaded through every node;
+//!   [`PhysicalPlan`] strategy tree (hash chains, **bushy** binary hash
+//!   joins, leapfrog WCOJ cores, Yannakakis-reduced residues), executed by
+//!   [`execute_physical`] with [`IntermediateCounters`] threaded through
+//!   every node;
 //! * [`Optimizer`] — the bound-driven planner: every connected sub-join is
 //!   bounded in one warm-started [`lpb_core::BatchEstimator`] batch and a
-//!   bottleneck DP picks the order/strategy whose largest provable
-//!   intermediate is smallest;
+//!   bottleneck DP over **bushy trees** (left-deep extension *and*
+//!   connected two-way splits) picks the shape/order/strategy whose largest
+//!   provable intermediate is smallest, costing the Yannakakis reducer's
+//!   semi-join passes rather than assuming them free;
+//! * **bound certificates** — the DP's sub-join bounds are attached to the
+//!   emitted plan nodes, and execution checks every observed intermediate
+//!   against them ([`IntermediateCounters::certificate_violations`] stays
+//!   zero exactly because the paper's bounds are guarantees);
 //! * [`yannakakis_count`] — output-size counting for α-acyclic queries by
 //!   weighted message passing over a GYO join tree, used for the JOB-like
 //!   acyclic suite whose outputs are too large to materialize;
@@ -48,6 +55,7 @@ mod yannakakis;
 
 pub use counters::{
     cycle_count, join2_count, path2_count, triangle_count, IntermediateCounters, StepCount,
+    CERTIFICATE_SLACK,
 };
 pub use error::ExecError;
 pub use hash_join::{hash_join, semi_join};
@@ -61,7 +69,9 @@ pub use physical::{
 pub use trie::{AtomTrie, TrieNode};
 pub use tuples::Tuples;
 pub use wcoj::{build_tries, generic_join_with, wcoj_count, wcoj_count_tries, wcoj_materialize};
-pub use yannakakis::{full_reducer, gyo_join_tree, is_acyclic, yannakakis_count, JoinTree};
+pub use yannakakis::{
+    full_reducer, full_reducer_counted, gyo_join_tree, is_acyclic, yannakakis_count, JoinTree,
+};
 
 /// Compute the true output cardinality of a query with the most appropriate
 /// algorithm: the Yannakakis counter for α-acyclic queries, the generic

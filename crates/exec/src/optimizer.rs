@@ -8,25 +8,43 @@
 //! [`BatchEstimator::bound_subqueries`] for all their bounds in **one
 //! warm-started batch** (sub-joins of a self-join workload collapse onto a
 //! few LP shapes, so most solves are a handful of dual pivots), and runs a
-//! bottleneck dynamic program over the subset lattice: the cost of a
-//! left-deep order is the largest bound of any of its prefixes — exactly
-//! the worst intermediate a hash-join pipeline can materialize.
+//! bottleneck dynamic program over the subset lattice — over **bushy**
+//! plans, not just left-deep orders:
+//!
+//! ```text
+//! best[S] = min(  min over j  max(best[S∖{j}], bound[S]),            // extend
+//!                 min over S₁⊎S₂=S  max(best[S₁], best[S₂], bound[S]) )  // split
+//! ```
+//!
+//! where splits range over connected, variable-sharing halves.  The cost of
+//! a plan is the largest bound of any sub-join it materializes — exactly
+//! the worst intermediate the pipeline can produce.  A hash chain's probe
+//! relations stream and are not charged; a bushy split materializes both
+//! branches, so each branch's scans *are* charged.  The Yannakakis
+//! reducer's semi-join passes are charged too (each pass materializes up to
+//! a full base relation), instead of being assumed free.
 //!
 //! Lowering picks a strategy per subtree:
 //!
-//! * α-acyclic query → Yannakakis semi-join reduction, then the DP order;
+//! * bushy split strictly better than every left-deep strategy → a
+//!   [`crate::PhysicalNode::HashJoin`] tree;
+//! * α-acyclic query → Yannakakis semi-join reduction then the DP order,
+//!   unless the reduction's pass cost exceeds the best chain's bottleneck;
 //! * cyclic core covering everything → leapfrog WCOJ when the output bound
 //!   beats the best chain's bottleneck, else the DP hash chain;
 //! * cyclic core plus acyclic residue → WCOJ over the core, hash-joining
 //!   the residue on afterwards (greedily ordered by sub-join bounds).
 //!
 //! Every bound is a provable upper bound on the sub-join's true size, so a
-//! plan chosen here comes with a guarantee: no intermediate can exceed the
-//! predicted bottleneck.
+//! plan chosen here comes with a guarantee — and the guarantee is carried
+//! into the plan as **bound certificates**: every emitted node is annotated
+//! with its sub-join's `log₂` bound, and [`crate::execute_physical`] checks
+//! each observed intermediate against it (see
+//! [`crate::IntermediateCounters::certificate_violations`]).
 
 use crate::error::ExecError;
-use crate::logical::{JoinPlan, LogicalPlan};
-use crate::physical::PhysicalPlan;
+use crate::logical::{validate_atom_permutation, JoinPlan, LogicalPlan};
+use crate::physical::{PhysicalNode, PhysicalPlan};
 use lpb_core::{BatchEstimator, CollectConfig, JoinQuery};
 use lpb_data::{Catalog, StatisticsCollector};
 use std::collections::HashMap;
@@ -46,6 +64,10 @@ pub struct PlannerConfig {
     /// the catalog cache before planning, so the per-subset statistics
     /// harvest is pure lookups (see [`StatisticsCollector`]).
     pub prewarm_statistics: bool,
+    /// Consider bushy splits in the bottleneck DP (both halves ≥ 2 atoms;
+    /// singleton splits are dominated by left-deep extension).  Off, the DP
+    /// is the classic left-deep-only enumeration.
+    pub enable_bushy: bool,
 }
 
 impl Default for PlannerConfig {
@@ -54,6 +76,7 @@ impl Default for PlannerConfig {
             max_norm: 4,
             max_dp_atoms: 12,
             prewarm_statistics: true,
+            enable_bushy: true,
         }
     }
 }
@@ -62,21 +85,40 @@ impl Default for PlannerConfig {
 /// about how it was chosen.
 #[derive(Debug, Clone)]
 pub struct OptimizedPlan {
-    /// The executable strategy tree.
+    /// The executable strategy tree, certified with the DP's sub-join
+    /// bounds wherever a node corresponds to a bounded sub-join.
     pub physical: PhysicalPlan,
-    /// The atom order the plan evaluates (join order of the chain parts).
+    /// The atom order the plan evaluates (join order of the tree leaves).
     pub order: Vec<usize>,
     /// `log₂` of the predicted bottleneck: the largest sub-join bound any
     /// step of the chosen plan can materialize.  `NaN` when the planner fell
     /// back to greedy without bounding (too many atoms, disconnected graph).
     pub predicted_log2_cost: f64,
+    /// The best **left-deep** order the same DP finds without bushy splits,
+    /// for bushy-vs-left-deep comparisons.  Equal to `order` when the
+    /// chosen plan is not bushy.
+    pub leftdeep_order: Vec<usize>,
+    /// `log₂` of the left-deep order's predicted bottleneck (`NaN` when not
+    /// costed).  `bushy_vs_leftdeep` gains are
+    /// `leftdeep_predicted_log2_cost − predicted_log2_cost` in log₂ space.
+    pub leftdeep_predicted_log2_cost: f64,
     /// The greedy-by-size order, for comparison.
     pub greedy_order: Vec<usize>,
     /// `log₂` of the greedy order's predicted bottleneck under the same
-    /// bounds (`NaN` when not costed).
+    /// bounds (`NaN` when not costed).  Prefixes the bound batch did not
+    /// cover — cross-product prefixes of a greedy order that leaves a
+    /// connected component early — are costed with the pessimistic
+    /// per-atom product fallback, never silently skipped.
     pub greedy_predicted_log2_cost: f64,
-    /// Number of sub-joins bounded while planning.
+    /// Number of sub-joins **successfully** bounded while planning (LP
+    /// solved to a finite bound).  Requested-but-fallen-back sub-joins are
+    /// counted in [`bound_fallbacks`](Self::bound_fallbacks) instead.
     pub subqueries_bounded: usize,
+    /// Number of sub-joins whose bound attempt failed (statistics harvest
+    /// error, unbounded LP) and fell back to the pessimistic per-atom
+    /// product bound.  Zero on healthy corpora; planner-quality tests
+    /// assert exactly that.
+    pub bound_fallbacks: usize,
     /// Wall-clock planning time.
     pub plan_time: Duration,
 }
@@ -86,6 +128,31 @@ impl OptimizedPlan {
     pub fn strategy(&self) -> &'static str {
         self.physical.strategy()
     }
+}
+
+/// How the bottleneck DP proved `best[S]`: a single scan, a left-deep
+/// extension by one atom, or a bushy split into two connected halves.
+#[derive(Debug, Clone, Copy)]
+enum Choice {
+    Leaf(usize),
+    Extend(usize),
+    Split(u64),
+}
+
+/// Everything the bound batch produced, keyed for the DP.
+struct Bounds {
+    /// `log₂` bound (or pessimistic product fallback) per connected subset
+    /// mask, plus `log₂` scan size per singleton.
+    log2: HashMap<u64, f64>,
+    /// `log₂` scan size per atom.
+    scan_log2: Vec<f64>,
+    /// The enumerated connected subsets, ascending (so every proper subset
+    /// precedes its supersets) — the DP iterates these.
+    subsets: Vec<u64>,
+    /// Sub-joins whose LP produced a finite bound.
+    bounded: usize,
+    /// Sub-joins that fell back to the product bound.
+    fallbacks: usize,
 }
 
 /// Bound-driven planner; see the module docs.
@@ -129,6 +196,94 @@ impl Optimizer {
         &self.config
     }
 
+    /// Bound every connected sub-join of `query` in one warm-started batch
+    /// and fold the results into the DP's lookup table.  Singletons cost
+    /// their scan size; a multi-atom subset whose bound attempt fails costs
+    /// the pessimistic per-atom product.
+    fn harvest_bounds(
+        &self,
+        query: &JoinQuery,
+        catalog: &Catalog,
+        logical: &LogicalPlan,
+    ) -> Result<Bounds, ExecError> {
+        let m = query.n_atoms();
+        let subsets = logical.connected_subsets();
+        let multi: Vec<u64> = subsets
+            .iter()
+            .copied()
+            .filter(|s| s.count_ones() >= 2)
+            .collect();
+        let subset_atoms: Vec<Vec<usize>> = multi
+            .iter()
+            .map(|&mask| logical.atoms_of(mask).collect())
+            .collect();
+        let config = CollectConfig::with_max_norm(self.config.max_norm);
+        let bounds = self
+            .estimator
+            .bound_subqueries(query, catalog, &subset_atoms, &config);
+
+        let mut scan_log2 = Vec::with_capacity(m);
+        let mut log2: HashMap<u64, f64> = HashMap::new();
+        for j in 0..m {
+            let size = catalog.get(&query.atoms()[j].relation)?.len();
+            let s = (size.max(1) as f64).log2();
+            scan_log2.push(s);
+            log2.insert(1u64 << j, s);
+        }
+        let mut bounded = 0usize;
+        let mut fallbacks = 0usize;
+        for (i, &mask) in multi.iter().enumerate() {
+            let value = match &bounds[i] {
+                Ok(b) if b.is_bounded() => {
+                    bounded += 1;
+                    b.log2_bound
+                }
+                _ => {
+                    fallbacks += 1;
+                    logical.atoms_of(mask).map(|j| scan_log2[j]).sum()
+                }
+            };
+            log2.insert(mask, value);
+        }
+        Ok(Bounds {
+            log2,
+            scan_log2,
+            subsets,
+            bounded,
+            fallbacks,
+        })
+    }
+
+    /// Predicted `log₂` bottleneck of evaluating `order` as a left-deep
+    /// hash chain, under the same sub-join bounds [`Optimizer::plan`] uses.
+    /// Prefixes that are not connected sub-joins (cross-product prefixes)
+    /// are costed with the pessimistic per-atom product bound — the join of
+    /// unrelated atoms can reach the full product, and a costing that
+    /// skipped them would understate the order's bottleneck.
+    ///
+    /// Unlike [`Optimizer::plan`], this costs *any* permutation of *any*
+    /// query (connected or not) with at most
+    /// [`PlannerConfig::max_dp_atoms`] atoms.
+    pub fn cost_order(
+        &self,
+        query: &JoinQuery,
+        catalog: &Catalog,
+        order: &[usize],
+    ) -> Result<f64, ExecError> {
+        validate_atom_permutation(query.n_atoms(), order)?;
+        if query.n_atoms() > self.config.max_dp_atoms.min(63) {
+            return Err(ExecError::NotApplicable {
+                reason: format!(
+                    "cost_order enumerates connected sub-joins; {} atoms exceeds max_dp_atoms",
+                    query.n_atoms()
+                ),
+            });
+        }
+        let logical = LogicalPlan::of(query);
+        let bounds = self.harvest_bounds(query, catalog, &logical)?;
+        Ok(order_bottleneck(order, &bounds))
+    }
+
     /// Choose a physical plan for `query` over `catalog`.
     pub fn plan(&self, query: &JoinQuery, catalog: &Catalog) -> Result<OptimizedPlan, ExecError> {
         let started = Instant::now();
@@ -148,11 +303,14 @@ impl Optimizer {
             };
             OptimizedPlan {
                 physical,
-                order: greedy.order().to_vec(),
+                order: order.clone(),
                 predicted_log2_cost: f64::NAN,
-                greedy_order: greedy.order().to_vec(),
+                leftdeep_order: order.clone(),
+                leftdeep_predicted_log2_cost: f64::NAN,
+                greedy_order: order,
                 greedy_predicted_log2_cost: f64::NAN,
                 subqueries_bounded: 0,
+                bound_fallbacks: 0,
                 plan_time: started.elapsed(),
             }
         };
@@ -179,105 +337,147 @@ impl Optimizer {
         }
 
         // --- Bound every connected sub-join in one warm-started batch. ---
-        let subsets = logical.connected_subsets();
-        let multi: Vec<u64> = subsets
-            .iter()
-            .copied()
-            .filter(|s| s.count_ones() >= 2)
-            .collect();
-        let subset_atoms: Vec<Vec<usize>> = multi
-            .iter()
-            .map(|&mask| logical.atoms_of(mask).collect())
-            .collect();
-        let config = CollectConfig::with_max_norm(self.config.max_norm);
-        let bounds = self
-            .estimator
-            .bound_subqueries(query, catalog, &subset_atoms, &config);
-
-        // log₂ scan size per singleton; log₂ bound (or a pessimistic
-        // product fallback) per multi-atom subset.
-        let mut bound_log2: HashMap<u64, f64> = HashMap::new();
-        for j in 0..m {
-            let size = catalog.get(&query.atoms()[j].relation)?.len();
-            bound_log2.insert(1u64 << j, (size.max(1) as f64).log2());
-        }
-        for (i, &mask) in multi.iter().enumerate() {
-            let fallback = || {
-                logical
-                    .atoms_of(mask)
-                    .map(|j| bound_log2[&(1u64 << j)])
-                    .sum::<f64>()
-            };
-            let value = match &bounds[i] {
-                Ok(b) if b.is_bounded() => b.log2_bound,
-                _ => fallback(),
-            };
-            bound_log2.insert(mask, value);
-        }
+        let bounds = self.harvest_bounds(query, catalog, &logical)?;
+        let bound_log2 = &bounds.log2;
+        let scan_log2 = &bounds.scan_log2;
 
         // --- Bottleneck DP over the connected-subset lattice. ---
-        // best[S] = the smallest achievable "largest prefix bound" over
-        // left-deep orders of S with connected prefixes, with back-pointers.
-        let mut best: HashMap<u64, (f64, usize)> = HashMap::new();
-        for j in 0..m {
-            best.insert(1u64 << j, (bound_log2[&(1u64 << j)], j));
+        // best_ld[S]: smallest achievable "largest materialized bound" over
+        // left-deep orders of S with connected prefixes.  best[S]: the same
+        // over bushy trees whose every subtree is connected (split branches
+        // both materialize, so a split charges both halves; extension
+        // streams its probe atom and charges only the joined result).
+        let subsets = &bounds.subsets;
+        let mut best_ld: HashMap<u64, (f64, usize)> = HashMap::new();
+        let mut best: HashMap<u64, (f64, Choice)> = HashMap::new();
+        for (j, &scan) in scan_log2.iter().enumerate() {
+            best_ld.insert(1u64 << j, (scan, j));
+            best.insert(1u64 << j, (scan, Choice::Leaf(j)));
         }
-        for &mask in &subsets {
+        for &mask in subsets {
             if mask.count_ones() < 2 {
                 continue;
             }
             let own = bound_log2[&mask];
-            let mut choice: Option<(f64, usize)> = None;
+            let mut ld_choice: Option<(f64, usize)> = None;
+            let mut choice: Option<(f64, Choice)> = None;
             for j in logical.atoms_of(mask) {
                 let rest = mask & !(1u64 << j);
-                let Some(&(rest_cost, _)) = best.get(&rest) else {
+                let Some(&(rest_cost, _)) = best_ld.get(&rest) else {
                     continue; // disconnected prefix
                 };
                 let cost = rest_cost.max(own);
-                if choice.is_none_or(|(c, _)| cost < c) {
-                    choice = Some((cost, j));
+                if ld_choice.is_none_or(|(c, _)| cost < c) {
+                    ld_choice = Some((cost, j));
                 }
+                // The bushy table may have improved the rest through an
+                // inner split.
+                let (rest_bushy, _) = best[&rest];
+                let cost = rest_bushy.max(own);
+                if choice.is_none_or(|(c, _)| cost < c) {
+                    choice = Some((cost, Choice::Extend(j)));
+                }
+            }
+            if self.config.enable_bushy && mask.count_ones() >= 4 {
+                // Both halves ≥ 2 atoms: singleton splits are dominated by
+                // extension (they additionally charge the singleton's scan).
+                // Connected halves of a connected set always share a
+                // variable, so every considered split is a genuine join.
+                let mut half = (mask - 1) & mask;
+                while half != 0 {
+                    let other = mask & !half;
+                    if half < other && half.count_ones() >= 2 && other.count_ones() >= 2 {
+                        if let (Some(&(a, _)), Some(&(b, _))) = (best.get(&half), best.get(&other))
+                        {
+                            let cost = a.max(b).max(own);
+                            if choice.is_none_or(|(c, _)| cost < c) {
+                                choice = Some((cost, Choice::Split(half)));
+                            }
+                        }
+                    }
+                    half = (half - 1) & mask;
+                }
+            }
+            if let Some(c) = ld_choice {
+                best_ld.insert(mask, c);
             }
             if let Some(c) = choice {
                 best.insert(mask, c);
             }
         }
-        let chain_cost = best[&full].0;
+        let chain_cost = best_ld[&full].0;
+        let bushy_cost = best[&full].0;
         let mut dp_order = Vec::with_capacity(m);
         let mut mask = full;
         while mask != 0 {
-            let (_, last) = best[&mask];
+            let (_, last) = best_ld[&mask];
             dp_order.push(last);
             mask &= !(1u64 << last);
         }
         dp_order.reverse();
 
-        // Greedy order's predicted bottleneck under the same bounds.
-        let mut greedy_cost = f64::NEG_INFINITY;
-        let mut prefix = 0u64;
-        for &j in greedy.order() {
-            prefix |= 1u64 << j;
-            if let Some(&b) = bound_log2.get(&prefix) {
-                greedy_cost = greedy_cost.max(b);
-            }
-        }
+        // Greedy order's predicted bottleneck under the same bounds (with
+        // the product fallback for any cross-product prefix).
+        let greedy_cost = order_bottleneck(greedy.order(), &bounds);
 
-        // --- Strategy selection. ---
+        // Certified left-deep chain over `order`: scan certificate on the
+        // first atom, prefix-bound certificates on every join step.
+        let certified_chain = |order: &[usize]| -> PhysicalPlan {
+            let input = Box::new(PhysicalNode::Scan {
+                atom: order[0],
+                log2_bound: Some(scan_log2[order[0]]),
+            });
+            if order.len() == 1 {
+                return PhysicalPlan::from_root(*input);
+            }
+            PhysicalPlan::from_root(PhysicalNode::HashChain {
+                input,
+                atoms: order[1..].to_vec(),
+                step_bounds: prefix_step_bounds(1u64 << order[0], &order[1..], bound_log2),
+            })
+        };
+        // Certified Yannakakis plan: scan certificates bound every
+        // semi-join pass and reduced relation (reduction only shrinks);
+        // prefix bounds certify the chain steps over the reduced inputs
+        // (the leading `None` pads the slot of the order's first atom,
+        // which joins nothing).
+        let certified_reduced = |order: &[usize]| -> PhysicalPlan {
+            let scan_bounds = order.iter().map(|&j| Some(scan_log2[j])).collect();
+            let mut step_bounds = vec![None];
+            step_bounds.extend(prefix_step_bounds(
+                1u64 << order[0],
+                &order[1..],
+                bound_log2,
+            ));
+            PhysicalPlan::from_root(PhysicalNode::Reduced {
+                atoms: order.to_vec(),
+                scan_bounds,
+                step_bounds,
+            })
+        };
+
+        // --- Strategy selection among left-deep lowerings. ---
         let core = logical.cyclic_core();
-        let (physical, order, predicted) = if core.is_empty() {
-            // Acyclic: semi-join-reduce, then the DP chain order.  The
-            // reducer only shrinks inputs, so the chain bound still holds.
-            (
-                PhysicalPlan::reduced(dp_order.clone()),
-                dp_order,
-                chain_cost,
-            )
+        let max_scan = scan_log2.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let (mut physical, mut order, mut predicted) = if core.is_empty() {
+            // Acyclic: the full reducer's semi-join passes materialize up
+            // to every base relation once, so reduction costs
+            // max(chain bottleneck, largest scan) — no longer assumed free.
+            let reduced_cost = chain_cost.max(max_scan);
+            if chain_cost < reduced_cost {
+                (certified_chain(&dp_order), dp_order.clone(), chain_cost)
+            } else {
+                // Ties go to the reducer: same predicted peak, and dangling
+                // tuples never reach an intermediate.
+                (certified_reduced(&dp_order), dp_order.clone(), reduced_cost)
+            }
         } else {
             let core_mask: u64 = core.iter().map(|&j| 1u64 << j).sum();
             let core_bound = bound_log2.get(&core_mask).copied().unwrap_or(f64::INFINITY);
             // Extend the core greedily by the smallest-bound connected
             // extension; the hybrid's bottleneck is the max along the way.
             let mut tail = Vec::new();
+            let mut tail_bounds = Vec::new();
             let mut s = core_mask;
             let mut hybrid_cost = core_bound;
             while s != full {
@@ -294,6 +494,7 @@ impl Optimizer {
                 }
                 let (b, j) = pick.expect("connected query always extends");
                 tail.push(j);
+                tail_bounds.push(if b.is_finite() { Some(b) } else { None });
                 s |= 1u64 << j;
                 hybrid_cost = hybrid_cost.max(b);
             }
@@ -303,29 +504,124 @@ impl Optimizer {
             if hybrid_cost <= chain_cost {
                 let mut order = core.clone();
                 order.extend_from_slice(&tail);
-                (
-                    PhysicalPlan::wcoj_then_chain(core, tail),
-                    order,
-                    hybrid_cost,
-                )
+                let wcoj = PhysicalNode::Wcoj {
+                    atoms: core,
+                    log2_bound: bound_log2.get(&core_mask).copied(),
+                };
+                let root = if tail.is_empty() {
+                    wcoj
+                } else {
+                    PhysicalNode::HashChain {
+                        input: Box::new(wcoj),
+                        atoms: tail,
+                        step_bounds: tail_bounds,
+                    }
+                };
+                (PhysicalPlan::from_root(root), order, hybrid_cost)
             } else {
-                (
-                    PhysicalPlan::hash_chain(dp_order.clone()),
-                    dp_order,
-                    chain_cost,
-                )
+                (certified_chain(&dp_order), dp_order.clone(), chain_cost)
             }
         };
+
+        // --- A strictly better bushy tree overrides the left-deep pick. ---
+        if self.config.enable_bushy && bushy_cost < predicted {
+            let root = build_bushy(full, &best, &bounds);
+            let plan = PhysicalPlan::from_root(root);
+            order = plan.atom_order();
+            physical = plan;
+            predicted = bushy_cost;
+        }
 
         Ok(OptimizedPlan {
             physical,
             order,
             predicted_log2_cost: predicted,
+            leftdeep_order: dp_order,
+            leftdeep_predicted_log2_cost: chain_cost,
             greedy_order: greedy.order().to_vec(),
             greedy_predicted_log2_cost: greedy_cost,
-            subqueries_bounded: multi.len(),
+            subqueries_bounded: bounds.bounded,
+            bound_fallbacks: bounds.fallbacks,
             plan_time: started.elapsed(),
         })
+    }
+}
+
+/// Certificates for a left-deep run: starting from the (already evaluated)
+/// atoms of `start_mask`, join `atoms` one at a time and look up each grown
+/// prefix's bound.  This is the single source of truth for step-bound
+/// alignment — `step_bounds[i]` always certifies the intermediate right
+/// after `atoms[i]` joins.
+fn prefix_step_bounds(
+    start_mask: u64,
+    atoms: &[usize],
+    log2: &HashMap<u64, f64>,
+) -> Vec<Option<f64>> {
+    let mut prefix = start_mask;
+    atoms
+        .iter()
+        .map(|&j| {
+            prefix |= 1u64 << j;
+            log2.get(&prefix).copied()
+        })
+        .collect()
+}
+
+/// Predicted bottleneck of a left-deep order: the largest prefix bound,
+/// with the pessimistic per-atom product fallback for prefixes the bound
+/// table does not cover (cross-product prefixes are not connected
+/// sub-joins, but their intermediates are real — up to the full product).
+fn order_bottleneck(order: &[usize], bounds: &Bounds) -> f64 {
+    let mut cost = f64::NEG_INFINITY;
+    let mut prefix = 0u64;
+    for &j in order {
+        prefix |= 1u64 << j;
+        let b = bounds.log2.get(&prefix).copied().unwrap_or_else(|| {
+            bounds
+                .scan_log2
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| prefix & (1u64 << k) != 0)
+                .map(|(_, &s)| s)
+                .sum()
+        });
+        cost = cost.max(b);
+    }
+    cost
+}
+
+/// Reconstruct the certified physical tree the bushy DP proved optimal for
+/// `mask`: scans at the leaves, left-deep [`PhysicalNode::HashChain`] runs
+/// for extension choices, [`PhysicalNode::HashJoin`] nodes for splits —
+/// every node annotated with its sub-join's bound.
+fn build_bushy(mask: u64, best: &HashMap<u64, (f64, Choice)>, bounds: &Bounds) -> PhysicalNode {
+    match best[&mask].1 {
+        Choice::Leaf(j) => PhysicalNode::Scan {
+            atom: j,
+            log2_bound: Some(bounds.scan_log2[j]),
+        },
+        Choice::Split(half) => PhysicalNode::HashJoin {
+            left: Box::new(build_bushy(half, best, bounds)),
+            right: Box::new(build_bushy(mask & !half, best, bounds)),
+            log2_bound: bounds.log2.get(&mask).copied(),
+        },
+        Choice::Extend(_) => {
+            // Collect the maximal run of extensions into one chain node.
+            let mut atoms_rev = Vec::new();
+            let mut s = mask;
+            while let (_, Choice::Extend(j)) = best[&s] {
+                atoms_rev.push(j);
+                s &= !(1u64 << j);
+            }
+            let input = Box::new(build_bushy(s, best, bounds));
+            let atoms: Vec<usize> = atoms_rev.into_iter().rev().collect();
+            let step_bounds = prefix_step_bounds(s, &atoms, &bounds.log2);
+            PhysicalNode::HashChain {
+                input,
+                atoms,
+                step_bounds,
+            }
+        }
     }
 }
 
@@ -357,6 +653,7 @@ mod tests {
         let plan = optimizer.plan(&q, &catalog).unwrap();
         assert_eq!(plan.strategy(), "wcoj");
         assert_eq!(plan.subqueries_bounded, 4); // three pairs + the full set
+        assert_eq!(plan.bound_fallbacks, 0);
         assert!(plan.predicted_log2_cost.is_finite());
         assert!(plan.predicted_log2_cost <= plan.greedy_predicted_log2_cost);
         // Plan-time batch bounding goes through the warm-started estimator:
@@ -366,9 +663,12 @@ mod tests {
             "expected warm-start hits, got {}",
             optimizer.estimator().shape_cache_hits()
         );
-        // The chosen plan executes to the right answer.
+        // The chosen plan executes to the right answer, and its WCOJ output
+        // is certified by the full query's bound.
         let run = execute_physical(&q, &catalog, &plan.physical).unwrap();
         assert_eq!(run.output_size(), 6 * 5 * 4);
+        assert!(run.counters.certificates_checked() > 0);
+        assert_eq!(run.certificate_violations(), 0);
     }
 
     #[test]
@@ -380,6 +680,9 @@ mod tests {
         assert_eq!(plan.order.len(), 3);
         let run = execute_physical(&q, &catalog, &plan.physical).unwrap();
         assert!(run.output_size() > 0);
+        // Semi-join passes and chain steps all checked their certificates.
+        assert!(run.counters.certificates_checked() >= 3);
+        assert_eq!(run.certificate_violations(), 0);
     }
 
     #[test]
@@ -398,9 +701,13 @@ mod tests {
         });
         let plan = optimizer.plan(&q, &catalog).unwrap();
         assert!(plan.predicted_log2_cost.is_nan());
+        assert!(plan.leftdeep_predicted_log2_cost.is_nan());
         assert_eq!(plan.subqueries_bounded, 0);
+        assert_eq!(plan.bound_fallbacks, 0);
         assert_eq!(plan.strategy(), "yannakakis");
         assert_eq!(plan.order, plan.greedy_order);
+        // Fallback plans carry no certificates.
+        assert!(plan.physical.certificates().is_empty());
     }
 
     #[test]
@@ -417,5 +724,70 @@ mod tests {
         assert_eq!(plan.strategy(), "scan");
         let run = execute_physical(&q, &catalog, &plan.physical).unwrap();
         assert_eq!(run.output_size(), 1);
+    }
+
+    #[test]
+    fn cost_order_uses_the_product_fallback_for_cross_product_prefixes() {
+        // Path R – S – T; the order [R, T, S] crosses the cross-product
+        // prefix {R, T} (its atoms share no variable), which no connected
+        // sub-join bound covers.  The costing must charge the pessimistic
+        // product |R|·|T|, not skip the prefix.
+        let mut catalog = Catalog::new();
+        catalog.insert(RelationBuilder::binary_from_pairs(
+            "R",
+            "a",
+            "b",
+            (0..16u64).map(|i| (i, i % 4)),
+        ));
+        catalog.insert(RelationBuilder::binary_from_pairs(
+            "S",
+            "b",
+            "c",
+            (0..8u64).map(|i| (i % 4, i)),
+        ));
+        catalog.insert(RelationBuilder::binary_from_pairs(
+            "T",
+            "c",
+            "d",
+            (0..32u64).map(|i| (i % 8, i)),
+        ));
+        let q = JoinQuery::new(
+            "rst",
+            vec![
+                lpb_core::Atom::new("R", &["A", "B"]),
+                lpb_core::Atom::new("S", &["B", "C"]),
+                lpb_core::Atom::new("T", &["C", "D"]),
+            ],
+        )
+        .unwrap();
+        let optimizer = Optimizer::new();
+        let crossing = optimizer.cost_order(&q, &catalog, &[0, 2, 1]).unwrap();
+        // The cross-product prefix costs exactly log2(|R|·|T|) = log2(512);
+        // nothing later in the order can exceed it here.
+        assert!(
+            crossing >= (16f64 * 32f64).log2() - 1e-9,
+            "cross-product prefix must be charged, got 2^{crossing:.3}"
+        );
+        // A connected order is strictly cheaper than the crossing one.
+        let connected = optimizer.cost_order(&q, &catalog, &[0, 1, 2]).unwrap();
+        assert!(connected < crossing);
+        // Malformed orders are rejected.
+        assert!(optimizer.cost_order(&q, &catalog, &[0, 1]).is_err());
+        assert!(optimizer.cost_order(&q, &catalog, &[0, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn greedy_costing_never_understates_a_cross_product_prefix() {
+        // Disconnected queries skip bound costing entirely (NaN), so the
+        // greedy-costing loop only ever sees connected queries today — but
+        // its missing-prefix fallback must still be pessimistic, which
+        // cost_order (same helper) locks in above.  Here: on a connected
+        // query the greedy predicted cost always has a finite value and is
+        // an upper bound max over *all* its prefixes.
+        let catalog = clique_catalog();
+        let q = JoinQuery::path(&["E", "E", "E"]);
+        let plan = Optimizer::new().plan(&q, &catalog).unwrap();
+        assert!(plan.greedy_predicted_log2_cost.is_finite());
+        assert!(plan.greedy_predicted_log2_cost >= plan.predicted_log2_cost);
     }
 }

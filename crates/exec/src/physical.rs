@@ -5,19 +5,26 @@
 //!
 //! * [`PhysicalNode::Scan`] / [`PhysicalNode::HashChain`] — the classic
 //!   left-deep hash-join pipeline;
+//! * [`PhysicalNode::HashJoin`] — a **bushy** binary join of two
+//!   independently evaluated sub-plans (both branches materialize, both are
+//!   counted), the shape the optimizer's bushy bottleneck DP emits;
 //! * [`PhysicalNode::Wcoj`] — materialize a (cyclic) sub-join with the
 //!   leapfrog worst-case-optimal join, whose intermediates never exceed its
 //!   output;
 //! * [`PhysicalNode::Reduced`] — Yannakakis semi-join reduction (full
 //!   reducer) over an acyclic sub-join before hash-joining, so dangling
-//!   tuples never reach an intermediate.
+//!   tuples never reach an intermediate.  The reducer's semi-join passes
+//!   are recorded (and costed by the planner) — they are not free.
 //!
-//! [`execute_physical`] walks the tree and threads an
-//! [`IntermediateCounters`] through every node, recording what each step
-//! materializes; the peak is the metric the bound-driven
-//! [`crate::Optimizer`] minimizes.  The legacy [`execute_plan`] /
-//! [`join_size`] entry points lower a `JoinPlan` to a pure hash chain and
-//! report the identical per-step sizes they always did.
+//! Every node can carry a **bound certificate**: `log₂` of a provable upper
+//! bound on what the node materializes, threaded in from the optimizer's
+//! per-sub-join ℓp-norm bounds.  [`execute_physical`] walks the tree,
+//! threads an [`IntermediateCounters`] through every node, and checks each
+//! observed intermediate against its certificate (a violation trips a
+//! `debug_assert` and the counters' `certificate_violations`).  The legacy
+//! [`execute_plan`] / [`join_size`] entry points lower a `JoinPlan` to an
+//! uncertified hash chain and report the identical per-step sizes they
+//! always did.
 
 use crate::counters::IntermediateCounters;
 use crate::error::ExecError;
@@ -25,17 +32,25 @@ use crate::hash_join::hash_join;
 use crate::logical::JoinPlan;
 use crate::tuples::Tuples;
 use crate::wcoj::wcoj_materialize;
-use crate::yannakakis::full_reducer;
+use crate::yannakakis::full_reducer_counted;
 use lpb_core::JoinQuery;
 use lpb_data::Catalog;
 
 /// One node of a physical plan; see the module docs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The `log2_bound` / `step_bounds` fields are optional bound certificates:
+/// `log₂` of a provable upper bound on the rows the node (or each of its
+/// steps) materializes.  `None` / empty means uncertified, which is how the
+/// legacy constructors build plans; the bound-driven [`crate::Optimizer`]
+/// fills them in from its DP's sub-join bounds.
+#[derive(Debug, Clone, PartialEq)]
 pub enum PhysicalNode {
     /// Bind one atom's relation.
     Scan {
         /// Atom index in the parent query.
         atom: usize,
+        /// Certificate on the scan size (trivially the relation size).
+        log2_bound: Option<f64>,
     },
     /// Left-deep continuation: hash-join `input` with each atom in order.
     HashChain {
@@ -43,17 +58,42 @@ pub enum PhysicalNode {
         input: Box<PhysicalNode>,
         /// Atoms joined one at a time, in order.
         atoms: Vec<usize>,
+        /// Per-step certificates, aligned with `atoms`: `step_bounds[i]`
+        /// bounds the intermediate after joining `atoms[i]`.  Empty when
+        /// uncertified.
+        step_bounds: Vec<Option<f64>>,
+    },
+    /// Bushy binary join: evaluate both sub-plans, then hash-join them on
+    /// their shared variables.
+    HashJoin {
+        /// Left sub-plan.
+        left: Box<PhysicalNode>,
+        /// Right sub-plan.
+        right: Box<PhysicalNode>,
+        /// Certificate on the join result (the union sub-join's bound).
+        log2_bound: Option<f64>,
     },
     /// Materialize the sub-join over `atoms` with the leapfrog WCOJ.
     Wcoj {
         /// Atom indices of the (typically cyclic) sub-join.
         atoms: Vec<usize>,
+        /// Certificate on the WCOJ output (the sub-join's bound).
+        log2_bound: Option<f64>,
     },
     /// Yannakakis: run the full reducer over the acyclic sub-join spanned by
     /// `atoms`, then hash-join the reduced relations in the given order.
     Reduced {
         /// Atom indices, in join order (must form an acyclic sub-join).
         atoms: Vec<usize>,
+        /// Certificates on everything derived from each atom's base relation
+        /// by semi-joins (reduction only shrinks, so the scan size bounds
+        /// every pass), aligned with `atoms`.  Empty when uncertified.
+        scan_bounds: Vec<Option<f64>>,
+        /// Per-step certificates on the chain intermediates, aligned with
+        /// `atoms` (`step_bounds[i]` bounds the join of `atoms[..=i]`;
+        /// reduction only shrinks inputs, so the unreduced sub-join bounds
+        /// still hold).  Empty when uncertified.
+        step_bounds: Vec<Option<f64>>,
     },
 }
 
@@ -68,32 +108,104 @@ impl PhysicalNode {
                 .join(",")
         };
         match self {
-            PhysicalNode::Scan { atom } => format!("scan[{atom}]"),
-            PhysicalNode::HashChain { input, atoms } => {
+            PhysicalNode::Scan { atom, .. } => format!("scan[{atom}]"),
+            PhysicalNode::HashChain { input, atoms, .. } => {
                 format!("{}⋈[{}]", input.describe(), list(atoms))
             }
-            PhysicalNode::Wcoj { atoms } => format!("wcoj[{}]", list(atoms)),
-            PhysicalNode::Reduced { atoms } => format!("yannakakis[{}]", list(atoms)),
+            PhysicalNode::HashJoin { left, right, .. } => {
+                format!("({}⋈{})", left.describe(), right.describe())
+            }
+            PhysicalNode::Wcoj { atoms, .. } => format!("wcoj[{}]", list(atoms)),
+            PhysicalNode::Reduced { atoms, .. } => format!("yannakakis[{}]", list(atoms)),
         }
     }
 
     /// The atom indices this node (recursively) evaluates, in join order.
     fn atom_order(&self, out: &mut Vec<usize>) {
         match self {
-            PhysicalNode::Scan { atom } => out.push(*atom),
-            PhysicalNode::HashChain { input, atoms } => {
+            PhysicalNode::Scan { atom, .. } => out.push(*atom),
+            PhysicalNode::HashChain { input, atoms, .. } => {
                 input.atom_order(out);
                 out.extend_from_slice(atoms);
             }
-            PhysicalNode::Wcoj { atoms } | PhysicalNode::Reduced { atoms } => {
+            PhysicalNode::HashJoin { left, right, .. } => {
+                left.atom_order(out);
+                right.atom_order(out);
+            }
+            PhysicalNode::Wcoj { atoms, .. } | PhysicalNode::Reduced { atoms, .. } => {
                 out.extend_from_slice(atoms)
+            }
+        }
+    }
+
+    /// True when this subtree contains a bushy [`PhysicalNode::HashJoin`].
+    fn contains_hash_join(&self) -> bool {
+        match self {
+            PhysicalNode::HashJoin { .. } => true,
+            PhysicalNode::HashChain { input, .. } => input.contains_hash_join(),
+            _ => false,
+        }
+    }
+
+    /// The certificates attached to this subtree, paired with a description
+    /// of what they bound (used by reports and tests).
+    fn collect_certificates(&self, out: &mut Vec<(String, f64)>) {
+        match self {
+            PhysicalNode::Scan { atom, log2_bound } => {
+                if let Some(b) = log2_bound {
+                    out.push((format!("scan[{atom}]"), *b));
+                }
+            }
+            PhysicalNode::HashChain {
+                input,
+                atoms,
+                step_bounds,
+            } => {
+                input.collect_certificates(out);
+                for (j, b) in atoms.iter().zip(step_bounds) {
+                    if let Some(b) = b {
+                        out.push((format!("⋈[{j}]"), *b));
+                    }
+                }
+            }
+            PhysicalNode::HashJoin {
+                left,
+                right,
+                log2_bound,
+            } => {
+                left.collect_certificates(out);
+                right.collect_certificates(out);
+                if let Some(b) = log2_bound {
+                    out.push((self.describe(), *b));
+                }
+            }
+            PhysicalNode::Wcoj { atoms, log2_bound } => {
+                if let Some(b) = log2_bound {
+                    out.push((format!("wcoj[{:?}]", atoms), *b));
+                }
+            }
+            PhysicalNode::Reduced {
+                atoms,
+                scan_bounds,
+                step_bounds,
+            } => {
+                for (j, b) in atoms.iter().zip(scan_bounds) {
+                    if let Some(b) = b {
+                        out.push((format!("reduce[{j}]"), *b));
+                    }
+                }
+                for (j, b) in atoms.iter().zip(step_bounds) {
+                    if let Some(b) = b {
+                        out.push((format!("⋈[{j}]"), *b));
+                    }
+                }
             }
         }
     }
 }
 
 /// An executable strategy tree over a query's atoms.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhysicalPlan {
     root: PhysicalNode,
 }
@@ -105,13 +217,20 @@ impl PhysicalPlan {
     /// indices; full validation against a query happens at execution time.
     pub fn hash_chain(order: Vec<usize>) -> Self {
         assert!(!order.is_empty(), "a hash chain needs at least one atom");
-        let input = Box::new(PhysicalNode::Scan { atom: order[0] });
+        let input = Box::new(PhysicalNode::Scan {
+            atom: order[0],
+            log2_bound: None,
+        });
         let atoms = order[1..].to_vec();
         PhysicalPlan {
             root: if atoms.is_empty() {
                 *input
             } else {
-                PhysicalNode::HashChain { input, atoms }
+                PhysicalNode::HashChain {
+                    input,
+                    atoms,
+                    step_bounds: Vec::new(),
+                }
             },
         }
     }
@@ -120,7 +239,10 @@ impl PhysicalPlan {
     pub fn wcoj(atoms: Vec<usize>) -> Self {
         assert!(!atoms.is_empty(), "wcoj needs at least one atom");
         PhysicalPlan {
-            root: PhysicalNode::Wcoj { atoms },
+            root: PhysicalNode::Wcoj {
+                atoms,
+                log2_bound: None,
+            },
         }
     }
 
@@ -128,7 +250,11 @@ impl PhysicalPlan {
     pub fn reduced(atoms: Vec<usize>) -> Self {
         assert!(!atoms.is_empty(), "reduction needs at least one atom");
         PhysicalPlan {
-            root: PhysicalNode::Reduced { atoms },
+            root: PhysicalNode::Reduced {
+                atoms,
+                scan_bounds: Vec::new(),
+                step_bounds: Vec::new(),
+            },
         }
     }
 
@@ -136,7 +262,10 @@ impl PhysicalPlan {
     /// onto it in order.
     pub fn wcoj_then_chain(core: Vec<usize>, tail: Vec<usize>) -> Self {
         assert!(!core.is_empty(), "the wcoj core needs at least one atom");
-        let wcoj = PhysicalNode::Wcoj { atoms: core };
+        let wcoj = PhysicalNode::Wcoj {
+            atoms: core,
+            log2_bound: None,
+        };
         PhysicalPlan {
             root: if tail.is_empty() {
                 wcoj
@@ -144,9 +273,17 @@ impl PhysicalPlan {
                 PhysicalNode::HashChain {
                     input: Box::new(wcoj),
                     atoms: tail,
+                    step_bounds: Vec::new(),
                 }
             },
         }
+    }
+
+    /// A plan with an explicitly constructed (possibly certified, possibly
+    /// bushy) root node — the optimizer's entry point for trees the shape
+    /// constructors above cannot express.
+    pub fn from_root(root: PhysicalNode) -> Self {
+        PhysicalPlan { root }
     }
 
     /// The root node.
@@ -155,18 +292,30 @@ impl PhysicalPlan {
     }
 
     /// Short strategy label for reports: `hash-chain`, `wcoj`,
-    /// `yannakakis` or `wcoj+hash-chain`.
+    /// `yannakakis`, `wcoj+hash-chain` or `bushy`.
     pub fn strategy(&self) -> &'static str {
+        if self.root.contains_hash_join() {
+            return "bushy";
+        }
         match &self.root {
             PhysicalNode::Scan { .. } => "scan",
             PhysicalNode::Wcoj { .. } => "wcoj",
             PhysicalNode::Reduced { .. } => "yannakakis",
+            PhysicalNode::HashJoin { .. } => "bushy",
             PhysicalNode::HashChain { input, .. } => match **input {
                 PhysicalNode::Wcoj { .. } => "wcoj+hash-chain",
                 PhysicalNode::Reduced { .. } => "yannakakis+hash-chain",
                 _ => "hash-chain",
             },
         }
+    }
+
+    /// Every certificate attached to the plan, as `(what, log2_bound)`
+    /// pairs in tree order.  Empty for uncertified (legacy) plans.
+    pub fn certificates(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        self.root.collect_certificates(&mut out);
+        out
     }
 
     /// Compact description of the tree, e.g. `wcoj[0,1,2]⋈[3]`.
@@ -202,6 +351,12 @@ impl PhysicalRun {
     pub fn max_intermediate(&self) -> usize {
         self.counters.max_intermediate()
     }
+
+    /// How many executed steps exceeded their bound certificate (always zero
+    /// when the planner's bounds are sound).
+    pub fn certificate_violations(&self) -> usize {
+        self.counters.certificate_violations()
+    }
 }
 
 /// Execute a physical plan, threading intermediate-size tracking through
@@ -223,42 +378,91 @@ fn eval(
     counters: &mut IntermediateCounters,
 ) -> Result<Tuples, ExecError> {
     match node {
-        PhysicalNode::Scan { atom } => {
+        PhysicalNode::Scan { atom, log2_bound } => {
             let t = Tuples::from_atom(query, catalog, *atom)?;
-            counters.record(format!("scan {}", query.atoms()[*atom].relation), t.len());
+            counters.record_checked(
+                format!("scan {}", query.atoms()[*atom].relation),
+                t.len(),
+                *log2_bound,
+            );
             Ok(t)
         }
-        PhysicalNode::HashChain { input, atoms } => {
+        PhysicalNode::HashChain {
+            input,
+            atoms,
+            step_bounds,
+        } => {
             let mut acc = eval(input, query, catalog, counters)?;
-            for &j in atoms {
+            for (i, &j) in atoms.iter().enumerate() {
                 let next = Tuples::from_atom(query, catalog, j)?;
                 acc = hash_join(&acc, &next);
-                counters.record(format!("⋈ {}", query.atoms()[j].relation), acc.len());
+                counters.record_checked(
+                    format!("⋈ {}", query.atoms()[j].relation),
+                    acc.len(),
+                    step_bounds.get(i).copied().flatten(),
+                );
             }
             Ok(acc)
         }
-        PhysicalNode::Wcoj { atoms } => {
-            let sub = query.subquery(atoms)?;
-            let out = wcoj_materialize(&sub, catalog)?;
-            counters.record(format!("wcoj {}", sub.name()), out.len());
+        PhysicalNode::HashJoin {
+            left,
+            right,
+            log2_bound,
+        } => {
+            let l = eval(left, query, catalog, counters)?;
+            let r = eval(right, query, catalog, counters)?;
+            let out = hash_join(&l, &r);
+            let label = |n: &PhysicalNode| {
+                let mut atoms = Vec::new();
+                n.atom_order(&mut atoms);
+                atoms
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            counters.record_checked(
+                format!("⋈ bushy[{}|{}]", label(left), label(right)),
+                out.len(),
+                *log2_bound,
+            );
             Ok(out)
         }
-        PhysicalNode::Reduced { atoms } => {
+        PhysicalNode::Wcoj { atoms, log2_bound } => {
             let sub = query.subquery(atoms)?;
-            let reduced = full_reducer(&sub, catalog)?;
+            let out = wcoj_materialize(&sub, catalog)?;
+            counters.record_checked(format!("wcoj {}", sub.name()), out.len(), *log2_bound);
+            Ok(out)
+        }
+        PhysicalNode::Reduced {
+            atoms,
+            scan_bounds,
+            step_bounds,
+        } => {
+            let sub = query.subquery(atoms)?;
+            // The reducer's semi-join passes are real work: each pass is
+            // recorded (certified by the pass target's scan bound — semi-
+            // joins only shrink).
+            let reduced = full_reducer_counted(&sub, catalog, counters, scan_bounds)?;
             let mut iter = reduced.into_iter().enumerate();
             let (_, mut acc) = iter.next().expect("reduction has at least one atom");
-            counters.record(
+            counters.record_checked(
                 format!("reduce {}", query.atoms()[atoms[0]].relation),
                 acc.len(),
+                scan_bounds.first().copied().flatten(),
             );
             for (i, next) in iter {
-                counters.record(
+                counters.record_checked(
                     format!("reduce {}", query.atoms()[atoms[i]].relation),
                     next.len(),
+                    scan_bounds.get(i).copied().flatten(),
                 );
                 acc = hash_join(&acc, &next);
-                counters.record(format!("⋈ {}", query.atoms()[atoms[i]].relation), acc.len());
+                counters.record_checked(
+                    format!("⋈ {}", query.atoms()[atoms[i]].relation),
+                    acc.len(),
+                    step_bounds.get(i).copied().flatten(),
+                );
             }
             Ok(acc)
         }
@@ -429,8 +633,85 @@ mod tests {
         assert_eq!(reduced.output_size(), 2);
         // The reducer drops dangling tuples before joining: no reduced
         // relation is larger than its input, and the dangling S(40, 400) and
-        // R(2,·)/R(3,·) rows are gone.
-        assert_eq!(reduced.counters.sizes(), vec![1, 2, 2]);
+        // R(2,·)/R(3,·) rows are gone.  The two semi-join passes (S ⋉ R,
+        // then R ⋉ S) are recorded first — they are work, not free.
+        assert_eq!(reduced.counters.sizes(), vec![2, 1, 1, 2, 2]);
+        let labels: Vec<&str> = reduced
+            .counters
+            .steps()
+            .iter()
+            .map(|s| s.label.as_str())
+            .collect();
+        assert_eq!(labels, vec!["⋉ S", "⋉ R", "reduce R", "reduce S", "⋈ S"]);
+    }
+
+    #[test]
+    fn bushy_hash_join_matches_the_left_deep_chain() {
+        // Path of four atoms: ((0⋈1)⋈(2⋈3)) must equal the chain.
+        let mut catalog = Catalog::new();
+        catalog.insert(RelationBuilder::binary_from_pairs(
+            "E",
+            "a",
+            "b",
+            (0..40u64).map(|i| (i % 6, (i * 3 + 1) % 8)),
+        ));
+        let q = JoinQuery::path(&["E", "E", "E", "E"]);
+        let scan = |atom| {
+            Box::new(PhysicalNode::Scan {
+                atom,
+                log2_bound: None,
+            })
+        };
+        let pair = |a, b| {
+            Box::new(PhysicalNode::HashJoin {
+                left: scan(a),
+                right: scan(b),
+                log2_bound: None,
+            })
+        };
+        let bushy = PhysicalPlan::from_root(PhysicalNode::HashJoin {
+            left: pair(0, 1),
+            right: pair(2, 3),
+            log2_bound: None,
+        });
+        assert_eq!(bushy.strategy(), "bushy");
+        assert_eq!(bushy.atom_order(), vec![0, 1, 2, 3]);
+        assert!(bushy.describe().contains("⋈"));
+        let run = execute_physical(&q, &catalog, &bushy).unwrap();
+        let chain =
+            execute_physical(&q, &catalog, &PhysicalPlan::hash_chain(vec![0, 1, 2, 3])).unwrap();
+        assert_eq!(run.output_size(), chain.output_size());
+        // Four scans + three joins are recorded (both branches count).
+        assert_eq!(run.counters.len(), 7);
+    }
+
+    #[test]
+    fn certificates_are_checked_during_execution() {
+        let catalog = triangle_catalog();
+        let q = JoinQuery::triangle("E", "E", "E");
+        let scan_log2 = (12f64).log2();
+        // A generously certified chain: scans at their true size, joins at
+        // the product bound.
+        let certified = PhysicalPlan::from_root(PhysicalNode::HashChain {
+            input: Box::new(PhysicalNode::Scan {
+                atom: 0,
+                log2_bound: Some(scan_log2),
+            }),
+            atoms: vec![1, 2],
+            step_bounds: vec![Some(2.0 * scan_log2), Some(3.0 * scan_log2)],
+        });
+        let run = execute_physical(&q, &catalog, &certified).unwrap();
+        assert_eq!(run.output_size(), 24);
+        assert_eq!(run.counters.certificates_checked(), 3);
+        assert_eq!(run.certificate_violations(), 0);
+        assert_eq!(certified.certificates().len(), 3);
+        // Uncertified plans check nothing.
+        let plain =
+            execute_physical(&q, &catalog, &PhysicalPlan::hash_chain(vec![0, 1, 2])).unwrap();
+        assert_eq!(plain.counters.certificates_checked(), 0);
+        assert!(PhysicalPlan::hash_chain(vec![0, 1, 2])
+            .certificates()
+            .is_empty());
     }
 
     #[test]

@@ -195,6 +195,22 @@ fn var_positions(query: &JoinQuery, _atom: usize, vars: VarSet, tuples: &Tuples)
 /// atom.  Provided for completeness of the classical algorithm and used in
 /// tests to validate the counter.
 pub fn full_reducer(query: &JoinQuery, catalog: &Catalog) -> Result<Vec<Tuples>, ExecError> {
+    let mut scratch = crate::counters::IntermediateCounters::new();
+    full_reducer_counted(query, catalog, &mut scratch, &[])
+}
+
+/// [`full_reducer`], with every semi-join pass recorded in `counters` — the
+/// reducer's passes materialize real intermediates and the bound-driven
+/// planner costs them instead of assuming them free.  `scan_bounds[j]`, when
+/// provided (one entry per atom, or empty for uncertified runs), certifies
+/// every pass targeting atom `j`: semi-joins only shrink, so the atom's scan
+/// size is a provable upper bound on each pass result.
+pub fn full_reducer_counted(
+    query: &JoinQuery,
+    catalog: &Catalog,
+    counters: &mut crate::counters::IntermediateCounters,
+    scan_bounds: &[Option<f64>],
+) -> Result<Vec<Tuples>, ExecError> {
     let Some(tree) = gyo_join_tree(query) else {
         return Err(ExecError::NotApplicable {
             reason: "the full reducer needs an acyclic query".into(),
@@ -203,17 +219,28 @@ pub fn full_reducer(query: &JoinQuery, catalog: &Catalog) -> Result<Vec<Tuples>,
     let mut rels: Vec<Tuples> = (0..query.n_atoms())
         .map(|j| Tuples::from_atom(query, catalog, j))
         .collect::<Result<_, _>>()?;
+    let pass = |rels: &mut Vec<Tuples>,
+                target: usize,
+                other: usize,
+                counters: &mut crate::counters::IntermediateCounters| {
+        rels[target] = semi_join(&rels[target], &rels[other]);
+        counters.record_checked(
+            format!("⋉ {}", query.atoms()[target].relation),
+            rels[target].len(),
+            scan_bounds.get(target).copied().flatten(),
+        );
+    };
 
     // Upward pass (leaves to root): parent ⋉ child.
     for &atom in &tree.elimination_order {
         if let Some(parent) = tree.parent[atom] {
-            rels[parent] = semi_join(&rels[parent], &rels[atom]);
+            pass(&mut rels, parent, atom, counters);
         }
     }
     // Downward pass (root to leaves): child ⋉ parent.
     for &atom in tree.elimination_order.iter().rev() {
         if let Some(parent) = tree.parent[atom] {
-            rels[atom] = semi_join(&rels[atom], &rels[parent]);
+            pass(&mut rels, atom, parent, counters);
         }
     }
     Ok(rels)

@@ -1,21 +1,33 @@
 //! Planner-quality regression tests: on planner-adversarial workloads the
 //! bound-driven optimizer must (a) never pick a plan whose measured peak
 //! intermediate exceeds greedy-by-size's, (b) beat greedy by at least 2× on
-//! at least one skewed workload, and (c) only ever trust bounds that really
-//! do upper-bound the true sub-join sizes.
+//! at least one skewed workload, (c) only ever trust bounds that really do
+//! upper-bound the true sub-join sizes, (d) beat every left-deep order with
+//! a bushy tree on the bridged-chains workload, and (e) never observe an
+//! executed intermediate above its attached bound certificate.
 
-use lpb_core::{BatchEstimator, CollectConfig, JoinQuery};
-use lpb_data::Catalog;
-use lpb_datagen::{misleading_chain_workload, planner_workloads, skewed_triangle_workload};
+use lpb_core::{Atom, BatchEstimator, CollectConfig, JoinQuery};
+use lpb_data::{Catalog, RelationBuilder};
+use lpb_datagen::{
+    bridged_chains_workload, misleading_chain_workload, planner_workloads, skewed_triangle_workload,
+};
 use lpb_exec::{
     execute_physical, execute_plan, true_cardinality, JoinPlan, LogicalPlan, Optimizer,
+    PhysicalPlan,
 };
 
 /// Measured peak intermediates of the optimizer's plan vs greedy-by-size.
+/// Also asserts that no executed node violates its bound certificate.
 fn measured_peaks(query: &JoinQuery, catalog: &Catalog) -> (usize, usize, usize) {
     let optimizer = Optimizer::new();
     let plan = optimizer.plan(query, catalog).unwrap();
     let chosen = execute_physical(query, catalog, &plan.physical).unwrap();
+    assert_eq!(
+        chosen.certificate_violations(),
+        0,
+        "{}: an intermediate exceeded its bound certificate",
+        query.name()
+    );
     let greedy = JoinPlan::greedy_by_size(query, catalog).unwrap();
     let greedy_run = execute_plan(query, catalog, &greedy).unwrap();
     assert_eq!(
@@ -79,6 +91,167 @@ fn plan_time_bounding_goes_through_the_warm_started_batch_estimator() {
     let before = optimizer.estimator().shape_cache_hits();
     optimizer.plan(&w.query, &w.catalog).unwrap();
     assert!(optimizer.estimator().shape_cache_hits() > before);
+}
+
+/// On the bridged heavy chains, every left-deep order must hold a 4-atom
+/// prefix spanning the bridge into the far chain's fan-out; the bushy tree
+/// joins the two small halves instead.  The DP must find the bushy plan and
+/// its measured peak must beat the best left-deep DP plan's by ≥ 2×.
+#[test]
+fn bushy_plan_beats_every_left_deep_order_on_bridged_chains() {
+    let w = bridged_chains_workload(1);
+    let optimizer = Optimizer::new();
+    let plan = optimizer.plan(&w.query, &w.catalog).unwrap();
+    assert_eq!(
+        plan.strategy(),
+        "bushy",
+        "plan: {}",
+        plan.physical.describe()
+    );
+    assert_eq!(plan.bound_fallbacks, 0);
+    assert!(plan.predicted_log2_cost <= plan.leftdeep_predicted_log2_cost);
+    assert!(!plan.physical.certificates().is_empty());
+
+    let bushy = execute_physical(&w.query, &w.catalog, &plan.physical).unwrap();
+    assert_eq!(bushy.certificate_violations(), 0);
+    // The best *left-deep* plan the same bounds produce: the bottleneck
+    // DP's left-deep order, evaluated as a hash chain.
+    let leftdeep = execute_physical(
+        &w.query,
+        &w.catalog,
+        &PhysicalPlan::hash_chain(plan.leftdeep_order.clone()),
+    )
+    .unwrap();
+    assert_eq!(bushy.output_size(), leftdeep.output_size());
+    assert!(bushy.output_size() > 0);
+    assert!(
+        2 * bushy.max_intermediate() <= leftdeep.max_intermediate(),
+        "expected a >= 2x bushy-vs-left-deep peak win, got bushy {} vs left-deep {}",
+        bushy.max_intermediate(),
+        leftdeep.max_intermediate()
+    );
+}
+
+/// With bushy splits disabled the planner must still work (and report the
+/// same left-deep order it would otherwise compare against).
+#[test]
+fn disabling_bushy_falls_back_to_the_left_deep_dp() {
+    let w = bridged_chains_workload(1);
+    let config = lpb_exec::PlannerConfig {
+        enable_bushy: false,
+        ..lpb_exec::PlannerConfig::default()
+    };
+    let plan = Optimizer::new()
+        .with_config(config)
+        .plan(&w.query, &w.catalog)
+        .unwrap();
+    assert_ne!(plan.strategy(), "bushy");
+    assert_eq!(plan.predicted_log2_cost, plan.leftdeep_predicted_log2_cost);
+    let run = execute_physical(&w.query, &w.catalog, &plan.physical).unwrap();
+    assert_eq!(run.certificate_violations(), 0);
+}
+
+/// All sub-join bound attempts must succeed on the healthy planner corpus:
+/// `subqueries_bounded` counts successes only, and `bound_fallbacks` (the
+/// pessimistic product fallbacks) must be zero.
+#[test]
+fn planner_corpus_bounds_every_subjoin_without_fallbacks() {
+    for w in planner_workloads(1) {
+        let logical = LogicalPlan::of(&w.query);
+        let requested = logical
+            .connected_subsets()
+            .into_iter()
+            .filter(|m| m.count_ones() >= 2)
+            .count();
+        let plan = Optimizer::new().plan(&w.query, &w.catalog).unwrap();
+        assert_eq!(
+            plan.subqueries_bounded, requested,
+            "{}: every requested sub-join must be bounded",
+            w.name
+        );
+        assert_eq!(plan.bound_fallbacks, 0, "{}: no fallbacks allowed", w.name);
+    }
+}
+
+/// Disconnected queries plan (greedy fallback), execute end to end through
+/// the cross-product hash chain, and report NaN costs — without panicking
+/// in the hybrid tail's extension loop.
+#[test]
+fn disconnected_queries_plan_and_execute_end_to_end() {
+    let mut catalog = Catalog::new();
+    catalog.insert(RelationBuilder::binary_from_pairs(
+        "R",
+        "a",
+        "b",
+        (0..6u64).map(|i| (i, i % 3)),
+    ));
+    catalog.insert(RelationBuilder::binary_from_pairs(
+        "S",
+        "b",
+        "c",
+        (0..4u64).map(|i| (i % 3, i)),
+    ));
+    catalog.insert(RelationBuilder::binary_from_pairs(
+        "T",
+        "x",
+        "y",
+        vec![(100, 200), (101, 201), (102, 202)],
+    ));
+
+    // Acyclic two-component query: (R ⋈ S) × T.
+    let q = JoinQuery::new(
+        "disconnected",
+        vec![
+            Atom::new("R", &["A", "B"]),
+            Atom::new("S", &["B", "C"]),
+            Atom::new("T", &["X", "Y"]),
+        ],
+    )
+    .unwrap();
+    let optimizer = Optimizer::new();
+    let plan = optimizer.plan(&q, &catalog).unwrap();
+    assert!(plan.predicted_log2_cost.is_nan());
+    assert!(plan.greedy_predicted_log2_cost.is_nan());
+    assert!(plan.leftdeep_predicted_log2_cost.is_nan());
+    assert_eq!(plan.subqueries_bounded, 0);
+    assert_eq!(plan.bound_fallbacks, 0);
+    let run = execute_physical(&q, &catalog, &plan.physical).unwrap();
+    let rs = execute_physical(&q, &catalog, &PhysicalPlan::hash_chain(vec![0, 1, 2])).unwrap();
+    assert_eq!(run.output_size(), rs.output_size());
+    let joined = lpb_exec::join2_count(&catalog.get("R").unwrap(), &catalog.get("S").unwrap())
+        .unwrap() as usize;
+    assert_eq!(run.output_size(), joined * 3);
+
+    // Cyclic component plus an isolated atom: triangle × T.
+    let mut edges = Vec::new();
+    for a in 0..4u64 {
+        for b in 0..4u64 {
+            if a != b {
+                edges.push((a, b));
+            }
+        }
+    }
+    catalog.insert(RelationBuilder::binary_from_pairs("E", "a", "b", edges));
+    let q = JoinQuery::new(
+        "tri-x",
+        vec![
+            Atom::new("E", &["X", "Y"]),
+            Atom::new("E", &["Y", "Z"]),
+            Atom::new("E", &["Z", "X"]),
+            Atom::new("T", &["U", "V"]),
+        ],
+    )
+    .unwrap();
+    let plan = optimizer.plan(&q, &catalog).unwrap();
+    assert!(plan.predicted_log2_cost.is_nan());
+    let run = execute_physical(&q, &catalog, &plan.physical).unwrap();
+    assert_eq!(run.output_size(), 24 * 3);
+
+    // cost_order still costs orders of disconnected queries — crossing
+    // prefixes get the pessimistic product bound.
+    let cost = optimizer.cost_order(&q, &catalog, &[3, 0, 1, 2]).unwrap();
+    assert!(cost.is_finite());
+    assert!(cost >= (3f64 * 12f64).log2() - 1e-9);
 }
 
 /// Every bound used to cost the DP must upper-bound the true size of its
