@@ -8,13 +8,16 @@
 //!    batch-bounding every connected sub-join through the warm-started
 //!    `BatchEstimator`),
 //! 2. executes the chosen physical plan (checking every node's bound
-//!    certificate), the greedy-by-size hash chain, and the best
-//!    **left-deep** DP order as a hash chain — the join-tree-shape baseline
-//!    the bushy DP is measured against,
+//!    certificate), the greedy-by-size hash chain, the best **left-deep**
+//!    DP order as a hash chain — the join-tree-shape baseline the bushy DP
+//!    is measured against — and the best **monolithic** plan (partitioning
+//!    disabled) — the baseline degree-partitioned plans are measured
+//!    against,
 //! 3. emits `BENCH_planner.json` at the workspace root with plan time,
-//!    chosen order/strategy, chosen-vs-greedy and bushy-vs-left-deep peak
-//!    intermediates, certificate-violation counts (asserted zero) and the
-//!    estimator's shape-cache hit counters.
+//!    chosen order/strategy, chosen-vs-greedy, bushy-vs-left-deep and
+//!    partitioned-vs-monolithic peak intermediates, the planned part count,
+//!    certificate-violation counts (asserted zero) and the estimator's
+//!    shape-cache hit counters.
 //!
 //! Passing `--smoke` (the CI mode: `cargo bench --bench planner_quality --
 //! --smoke`) runs the same pipeline at the test scale and writes the JSON
@@ -24,7 +27,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lpb_datagen::{job_like_catalog, job_like_queries, planner_workloads, JobLikeConfig};
-use lpb_exec::{execute_physical, execute_plan, JoinPlan, Optimizer, PhysicalPlan};
+use lpb_exec::{execute_physical, execute_plan, JoinPlan, Optimizer, PhysicalPlan, PlannerConfig};
 use std::time::Instant;
 
 struct PlannerRow {
@@ -35,6 +38,8 @@ struct PlannerRow {
     chosen_max_intermediate: usize,
     greedy_max_intermediate: usize,
     leftdeep_max_intermediate: usize,
+    monolithic_max_intermediate: usize,
+    parts_planned: usize,
     certificate_violations: usize,
     certificates_checked: usize,
     output_size: usize,
@@ -87,6 +92,29 @@ fn measure(c: &mut Criterion, smoke: bool) -> Vec<PlannerRow> {
             "{}: a sub-join bound fell back to the product bound",
             w.name
         );
+        assert_eq!(
+            plan.partition_bound_fallbacks, 0,
+            "{}: a per-part bound fell back to the product bound",
+            w.name
+        );
+        // The degree-partitioning baseline: the same planner with
+        // partitioning disabled.  Identical to the chosen plan on
+        // workloads where no partition was worth it.
+        let mono_plan = Optimizer::new()
+            .with_config(PlannerConfig {
+                enable_partitioning: false,
+                ..PlannerConfig::default()
+            })
+            .plan(&w.query, &w.catalog)
+            .expect("monolithic planning");
+        let mono =
+            execute_physical(&w.query, &w.catalog, &mono_plan.physical).expect("monolithic plan");
+        assert_eq!(
+            chosen.output_size(),
+            mono.output_size(),
+            "{}: the monolithic baseline disagrees on the output",
+            w.name
+        );
         let greedy_plan = JoinPlan::greedy_by_size(&w.query, &w.catalog).expect("greedy");
         let greedy = execute_plan(&w.query, &w.catalog, &greedy_plan).expect("greedy plan");
         // The join-tree-shape baseline: the best left-deep order the same
@@ -122,6 +150,8 @@ fn measure(c: &mut Criterion, smoke: bool) -> Vec<PlannerRow> {
             chosen_max_intermediate: chosen.max_intermediate(),
             greedy_max_intermediate: greedy.max_intermediate(),
             leftdeep_max_intermediate: leftdeep.max_intermediate(),
+            monolithic_max_intermediate: mono.max_intermediate(),
+            parts_planned: plan.parts_planned,
             certificate_violations: chosen.certificate_violations(),
             certificates_checked: chosen.counters.certificates_checked(),
             output_size: chosen.output_size(),
@@ -143,6 +173,7 @@ fn write_bench_json(rows: &[PlannerRow], smoke: bool) {
              \"chosen_order\": [{}], \"chosen_max_intermediate\": {}, \
              \"greedy_max_intermediate\": {}, \"peak_ratio_greedy_over_chosen\": {:.2}, \
              \"leftdeep_max_intermediate\": {}, \"bushy_vs_leftdeep_peak\": {:.2}, \
+             \"partitioned_vs_monolithic_peak\": {:.2}, \"parts_planned\": {}, \
              \"certificates_checked\": {}, \"certificate_violations\": {}, \
              \"output_size\": {}, \"subqueries_bounded\": {}, \"bound_fallbacks\": {}, \
              \"shape_cache_hits\": {}}}{}\n",
@@ -162,6 +193,14 @@ fn write_bench_json(rows: &[PlannerRow], smoke: bool) {
             } else {
                 1.0
             },
+            // Likewise, only a partitioned plan claims the sum-of-parts
+            // win over the best monolithic plan's measured peak.
+            if r.parts_planned > 0 {
+                r.monolithic_max_intermediate as f64 / r.chosen_max_intermediate.max(1) as f64
+            } else {
+                1.0
+            },
+            r.parts_planned,
             r.certificates_checked,
             r.certificate_violations,
             r.output_size,

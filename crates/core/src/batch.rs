@@ -325,13 +325,36 @@ impl BatchEstimator {
         subsets: &[Vec<usize>],
         config: &CollectConfig,
     ) -> Vec<Result<BoundResult, CoreError>> {
-        let mut items = Vec::with_capacity(subsets.len());
-        // One slot per subset: the preparation error, or `None` meaning "the
-        // next estimated bound in order" — preserves positional reporting
-        // without cloning the prepared items.
-        let slots: Vec<Option<CoreError>> = subsets
-            .iter()
-            .map(|atoms| {
+        self.bound_subqueries_multi(&[(query, catalog)], subsets, config)
+            .pop()
+            .expect("one result group per run")
+    }
+
+    /// Bound the **cross product** of runs × sub-joins in one warm-started
+    /// batch: every `(query, catalog)` run is bounded on every atom subset,
+    /// and all resulting LPs share this estimator's per-shape skeleton and
+    /// warm-start caches.
+    ///
+    /// This is the partition-aware planner entry point.  The runs of a
+    /// degree partition pose the *same* query over per-part sub-catalogs:
+    /// their sub-join LPs have identical constraint matrices and differ only
+    /// in the right-hand sides (each part's statistics), so after the first
+    /// run warms a shape, every further part re-solves with a handful of
+    /// dual pivots (see [`lpb_lp::WarmHandle`]).  Results are positional:
+    /// `out[r][s]` is run `r`'s bound on subset `s`.
+    pub fn bound_subqueries_multi(
+        &self,
+        runs: &[(&JoinQuery, &Catalog)],
+        subsets: &[Vec<usize>],
+        config: &CollectConfig,
+    ) -> Vec<Vec<Result<BoundResult, CoreError>>> {
+        let mut items = Vec::with_capacity(runs.len() * subsets.len());
+        // One slot per (run, subset): the preparation error, or `None`
+        // meaning "the next estimated bound in order" — preserves positional
+        // reporting without cloning the prepared items.
+        let mut slots: Vec<Option<CoreError>> = Vec::with_capacity(runs.len() * subsets.len());
+        for (query, catalog) in runs {
+            for atoms in subsets {
                 let prepared = query.subquery(atoms).and_then(|sub| {
                     let stats = collect_simple_statistics(&sub, catalog, config)?;
                     Ok(BatchItem::new(sub, stats))
@@ -339,19 +362,19 @@ impl BatchEstimator {
                 match prepared {
                     Ok(item) => {
                         items.push(item);
-                        None
+                        slots.push(None);
                     }
-                    Err(e) => Some(e),
+                    Err(e) => slots.push(Some(e)),
                 }
-            })
-            .collect();
+            }
+        }
         let mut bounds = self.estimate(&items).into_iter();
-        slots
-            .into_iter()
-            .map(|slot| match slot {
-                None => bounds.next().expect("one bound per prepared item"),
-                Some(e) => Err(e),
-            })
+        let mut flat = slots.into_iter().map(|slot| match slot {
+            None => bounds.next().expect("one bound per prepared item"),
+            Some(e) => Err(e),
+        });
+        runs.iter()
+            .map(|_| flat.by_ref().take(subsets.len()).collect())
             .collect()
     }
 }
@@ -602,6 +625,52 @@ mod tests {
             bounds[2].as_ref().unwrap().log2_bound,
         );
         assert!((a - b).abs() < 1e-6 && (b - c).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bound_subqueries_multi_covers_runs_times_subsets_in_one_batch() {
+        // Two "parts" of E (derived sub-catalogs rebinding E to a subset of
+        // its rows) plus the base: same query shape, different RHS — the
+        // exact cross product the partition-aware planner batches.
+        let catalog = catalog();
+        let rows: Vec<Vec<u64>> = catalog.get("E").unwrap().rows().collect();
+        // Parts keep the original name so the query binds them.
+        let part = |range: std::ops::Range<usize>| {
+            let mut b = RelationBuilder::new("E", ["src", "dst"]).unwrap();
+            for row in &rows[range] {
+                b.push_codes(row).unwrap();
+            }
+            catalog.derive_with(b.build())
+        };
+        let light = part(0..40);
+        let heavy = part(40..rows.len());
+        let query = JoinQuery::triangle("E", "E", "E");
+        let subsets = vec![vec![0, 1], vec![0, 1, 2]];
+        let est = BatchEstimator::new().sequential();
+        let runs: Vec<(&JoinQuery, &Catalog)> =
+            vec![(&query, &catalog), (&query, &light), (&query, &heavy)];
+        let grouped = est.bound_subqueries_multi(&runs, &subsets, &CollectConfig::with_max_norm(3));
+        assert_eq!(grouped.len(), 3);
+        assert!(grouped.iter().all(|g| g.len() == subsets.len()));
+        // Same-shape LPs across runs warm each other inside the one batch.
+        assert!(
+            est.shape_cache_hits() >= 2,
+            "hits {}",
+            est.shape_cache_hits()
+        );
+        // Positional results match per-run bound_subqueries calls.
+        for ((q, c), group) in runs.iter().zip(&grouped) {
+            let single = BatchEstimator::new().sequential().bound_subqueries(
+                q,
+                c,
+                &subsets,
+                &CollectConfig::with_max_norm(3),
+            );
+            for (a, b) in group.iter().zip(&single) {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert!((a.log2_bound - b.log2_bound).abs() < 1e-6);
+            }
+        }
     }
 
     #[test]

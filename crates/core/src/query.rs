@@ -169,6 +169,29 @@ impl JoinQuery {
         JoinQuery::new(format!("{}[{}]", self.name, indices.join(",")), selected)
     }
 
+    /// The same query with atom `atom`'s relation name replaced — the query
+    /// a partition-aware planner evaluates against one **part** of a degree
+    /// partition.  Variables (and hence the registry and every variable bit
+    /// position) are unchanged, so plans, bounds and sub-join masks computed
+    /// for `self` apply to the rebound query unchanged.
+    pub fn with_atom_relation(
+        &self,
+        atom: usize,
+        relation: impl Into<String>,
+    ) -> Result<JoinQuery, CoreError> {
+        if atom >= self.atoms.len() {
+            return Err(CoreError::InvalidQuery {
+                reason: format!(
+                    "atom index {atom} out of range for a {}-atom query",
+                    self.atoms.len()
+                ),
+            });
+        }
+        let mut atoms = self.atoms.clone();
+        atoms[atom].relation = relation.into();
+        JoinQuery::new(self.name.clone(), atoms)
+    }
+
     // ------------------------------------------------------------------
     // Builders for the paper's running examples.
     // ------------------------------------------------------------------
@@ -343,6 +366,21 @@ mod tests {
         assert!(q.subquery(&[0, 3]).is_err());
         assert!(q.subquery(&[1, 1]).is_err());
         assert!(q.subquery(&[]).is_err());
+    }
+
+    #[test]
+    fn with_atom_relation_rebinds_one_atom_and_keeps_the_registry() {
+        let q = JoinQuery::triangle("E", "E", "E");
+        let part = q.with_atom_relation(0, "E#heavy").unwrap();
+        assert_eq!(part.atoms()[0].relation, "E#heavy");
+        assert_eq!(part.atoms()[1].relation, "E");
+        assert_eq!(part.atoms()[2].relation, "E");
+        // Same variables, same bit positions.
+        assert_eq!(part.n_vars(), q.n_vars());
+        for j in 0..q.n_atoms() {
+            assert_eq!(part.atom_vars(j), q.atom_vars(j));
+        }
+        assert!(q.with_atom_relation(3, "X").is_err());
     }
 
     #[test]

@@ -5,11 +5,25 @@
 //! available at estimation time (§2.1).  [`Catalog`] plays that role: the
 //! first request for `log₂‖deg_R(V|U)‖_p` computes the degree sequence and
 //! caches the value; later requests are served from the cache.
+//!
+//! Two system-catalog features ride on top of the cache:
+//!
+//! * **Derived sub-catalogs** ([`Catalog::derive_with`]) — a cheap copy that
+//!   shares every relation by `Arc` but rebinds one name to a new relation
+//!   (e.g. one part of a degree partition), carrying over every cached
+//!   statistic that is still valid.  The partition-aware planner derives one
+//!   sub-catalog per part and plans against it.
+//! * **Persistence** ([`Catalog::save_statistics`] /
+//!   [`Catalog::load_statistics`]) — the cache serializes to a plain-text
+//!   catalog file (one statistic per line) and loads back bit-for-bit, so a
+//!   system can collect statistics once and start up from the file without
+//!   rescanning any relation.
 
 use crate::error::DataError;
 use crate::norms::Norm;
 use crate::relation::Relation;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::{Arc, RwLock};
 
 /// Cache key identifying one concrete statistic
@@ -141,6 +155,143 @@ impl Catalog {
             .expect("statistics cache lock poisoned")
             .len()
     }
+
+    /// A derived catalog: every relation of `self` is shared (by `Arc`, not
+    /// copied) and `relation` is registered under its own name, replacing
+    /// any relation previously bound to it.  Cached statistics of the
+    /// replaced name are dropped; everything else carries over, so a
+    /// derived catalog starts warm.
+    ///
+    /// This is how the partition-aware planner builds **per-part
+    /// sub-catalogs**: one `derive_with(part)` per part of a degree
+    /// partition, each ready for per-part statistics collection and
+    /// planning without touching the base catalog.  Accepts an
+    /// `Arc<Relation>` directly so a part carried inside a plan rebinds in
+    /// O(1) — no tuple copy per execution.
+    pub fn derive_with(&self, relation: impl Into<Arc<Relation>>) -> Catalog {
+        let relation = relation.into();
+        let name = relation.name().to_string();
+        let mut relations = self.relations.clone();
+        let mut stats = self
+            .stats
+            .read()
+            .expect("statistics cache lock poisoned")
+            .clone();
+        stats.retain(|k, _| k.relation != name);
+        relations.insert(name, relation);
+        Catalog {
+            relations,
+            stats: RwLock::new(stats),
+        }
+    }
+
+    /// Serialize every cached statistic to a plain-text catalog file, one
+    /// line per statistic (`relation \t V \t U \t norm \t log₂-norm`, with
+    /// attribute sets comma-joined), sorted for determinism.  Returns the
+    /// number of lines written.  Values are written with Rust's
+    /// shortest-roundtrip float formatting, so a
+    /// [`load_statistics`](Self::load_statistics) of the file reproduces
+    /// every cached value **bit for bit**.
+    pub fn save_statistics<P: AsRef<Path>>(&self, path: P) -> Result<usize, DataError> {
+        let stats = self.stats.read().expect("statistics cache lock poisoned");
+        let mut lines: Vec<String> = Vec::with_capacity(stats.len());
+        for (key, &value) in stats.iter() {
+            for name in std::iter::once(&key.relation)
+                .chain(key.v.iter())
+                .chain(key.u.iter())
+            {
+                if name.contains(['\t', '\n', '\r', ',']) {
+                    return Err(DataError::Persistence {
+                        reason: format!(
+                            "name `{name}` contains a delimiter and cannot be serialized"
+                        ),
+                    });
+                }
+            }
+            // The first field starts the line: a '#' prefix would read back
+            // as a comment, and surrounding whitespace would not survive
+            // the reader — refuse rather than roundtrip wrongly.
+            if key.relation.starts_with('#') || key.relation.trim() != key.relation {
+                return Err(DataError::Persistence {
+                    reason: format!(
+                        "relation name `{}` would not survive a save/load roundtrip",
+                        key.relation
+                    ),
+                });
+            }
+            let norm = match key.norm() {
+                Norm::Infinity => "inf".to_string(),
+                Norm::Finite(p) => format!("{p:?}"),
+            };
+            lines.push(format!(
+                "{}\t{}\t{}\t{}\t{:?}",
+                key.relation,
+                key.v.join(","),
+                key.u.join(","),
+                norm,
+                value
+            ));
+        }
+        lines.sort_unstable();
+        let mut out = String::from("# lpbound statistics catalog v1\n");
+        out.push_str("# relation\tV\tU\tnorm\tlog2_norm\n");
+        for line in &lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        std::fs::write(path.as_ref(), out).map_err(|e| DataError::Persistence {
+            reason: format!("writing `{}`: {e}", path.as_ref().display()),
+        })?;
+        Ok(lines.len())
+    }
+
+    /// Load a statistics catalog file written by
+    /// [`save_statistics`](Self::save_statistics) into the cache, returning
+    /// the number of statistics loaded.  Loaded entries are served exactly
+    /// like computed ones, so a catalog whose statistics were collected in a
+    /// previous run starts up without rescanning any relation.
+    pub fn load_statistics<P: AsRef<Path>>(&self, path: P) -> Result<usize, DataError> {
+        let text = std::fs::read_to_string(path.as_ref()).map_err(|e| DataError::Persistence {
+            reason: format!("reading `{}`: {e}", path.as_ref().display()),
+        })?;
+        let mut loaded = 0usize;
+        let mut stats = self.stats.write().expect("statistics cache lock poisoned");
+        for (lineno, line) in text.lines().enumerate() {
+            // No trimming of content lines: field values are taken verbatim
+            // (save_statistics refuses names that would not survive this).
+            if line.trim().is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let malformed = |what: &str| DataError::Persistence {
+                reason: format!("line {}: {what} in `{line}`", lineno + 1),
+            };
+            let fields: Vec<&str> = line.split('\t').collect();
+            let [relation, v, u, norm, value] = fields[..] else {
+                return Err(malformed("expected 5 tab-separated fields"));
+            };
+            fn split(s: &str) -> Vec<&str> {
+                if s.is_empty() {
+                    Vec::new()
+                } else {
+                    s.split(',').collect()
+                }
+            }
+            let norm = if norm == "inf" {
+                Norm::Infinity
+            } else {
+                Norm::Finite(
+                    norm.parse::<f64>()
+                        .map_err(|_| malformed("unparsable norm"))?,
+                )
+            };
+            let value: f64 = value
+                .parse()
+                .map_err(|_| malformed("unparsable log2-norm value"))?;
+            stats.insert(StatsKey::new(relation, &split(v), &split(u), norm), value);
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
 }
 
 #[cfg(test)]
@@ -223,5 +374,113 @@ mod tests {
         let b = RelationBuilder::new("E", ["a", "b"]).unwrap();
         c.insert(b.build());
         assert_eq!(c.log_norm("E", &["a"], &["b"], Norm::L2).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn derive_with_shares_relations_and_carries_the_cache() {
+        let mut c = catalog();
+        c.insert(RelationBuilder::binary_from_pairs(
+            "S",
+            "y",
+            "z",
+            vec![(10, 1), (11, 2)],
+        ));
+        c.log_norm("R", &["y"], &["x"], Norm::L1).unwrap();
+        c.log_norm("S", &["z"], &["y"], Norm::L1).unwrap();
+        assert_eq!(c.cached_stats(), 2);
+
+        // Replace R by a one-row part: S's statistic carries over, R's is
+        // dropped, and the base catalog is untouched.
+        let part = RelationBuilder::binary_from_pairs("R", "x", "y", vec![(1, 10)]);
+        let derived = c.derive_with(part);
+        assert_eq!(derived.len(), 2);
+        assert_eq!(derived.cached_stats(), 1);
+        assert_eq!(derived.get("R").unwrap().len(), 1);
+        assert_eq!(c.get("R").unwrap().len(), 3);
+        assert_eq!(c.cached_stats(), 2);
+        // Recomputing R's statistic on the derived catalog sees the part.
+        let v = derived.log_norm("R", &["y"], &["x"], Norm::L1).unwrap();
+        assert!((v - 0.0).abs() < 1e-12);
+        // A relation under a fresh name is simply added.
+        let extra = RelationBuilder::binary_from_pairs("T", "a", "b", vec![(7, 8)]);
+        assert_eq!(c.derive_with(extra).len(), 3);
+    }
+
+    #[test]
+    fn statistics_save_load_roundtrip_is_bit_identical() {
+        let c = catalog();
+        for norm in [Norm::L1, Norm::L2, Norm::Finite(3.0), Norm::Infinity] {
+            c.log_norm("R", &["y"], &["x"], norm).unwrap();
+        }
+        c.log_norm("R", &["x", "y"], &[], Norm::L1).unwrap();
+        let path = std::env::temp_dir().join("lpbound_catalog_roundtrip_test.stats");
+        let written = c.save_statistics(&path).unwrap();
+        assert_eq!(written, c.cached_stats());
+
+        let loaded_catalog = catalog();
+        assert_eq!(loaded_catalog.cached_stats(), 0);
+        let loaded = loaded_catalog.load_statistics(&path).unwrap();
+        assert_eq!(loaded, written);
+        assert_eq!(loaded_catalog.cached_stats(), written);
+        for norm in [Norm::L1, Norm::L2, Norm::Finite(3.0), Norm::Infinity] {
+            let a = c.log_norm("R", &["y"], &["x"], norm).unwrap();
+            let b = loaded_catalog.log_norm("R", &["y"], &["x"], norm).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "norm {norm:?} must roundtrip");
+        }
+        // Loading is cache-only: no recomputation happened above.
+        assert_eq!(loaded_catalog.cached_stats(), written);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_statistics_files_are_reported() {
+        let c = Catalog::new();
+        assert!(matches!(
+            c.load_statistics("/nonexistent/lpbound.stats"),
+            Err(DataError::Persistence { .. })
+        ));
+        let path = std::env::temp_dir().join("lpbound_catalog_malformed_test.stats");
+        std::fs::write(&path, "R\tx\t\tinf\n").unwrap(); // 4 fields, not 5
+        assert!(matches!(
+            c.load_statistics(&path),
+            Err(DataError::Persistence { .. })
+        ));
+        std::fs::write(&path, "R\tx\t\tnotanorm\t1.0\n").unwrap();
+        assert!(matches!(
+            c.load_statistics(&path),
+            Err(DataError::Persistence { .. })
+        ));
+        std::fs::write(&path, "R\tx\t\tinf\tnotanumber\n").unwrap();
+        assert!(matches!(
+            c.load_statistics(&path),
+            Err(DataError::Persistence { .. })
+        ));
+        // Comments and blank lines are skipped.
+        std::fs::write(&path, "# header\n\nR\tx\t\tinf\t2.5\n").unwrap();
+        assert_eq!(c.load_statistics(&path).unwrap(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn names_that_cannot_roundtrip_are_rejected_at_save_time() {
+        // A '#'-prefixed relation name would read back as a comment and a
+        // whitespace-padded one would be skipped or re-keyed — both must be
+        // save errors, never silent data loss.
+        let path = std::env::temp_dir().join("lpbound_catalog_badnames_test.stats");
+        for bad in ["#tmp", " R", "R ", "a,b", "a\tb"] {
+            let mut c = Catalog::new();
+            c.insert(RelationBuilder::binary_from_pairs(
+                bad,
+                "x",
+                "y",
+                vec![(1, 2)],
+            ));
+            c.log_norm(bad, &["y"], &["x"], Norm::L1).unwrap();
+            assert!(
+                matches!(c.save_statistics(&path), Err(DataError::Persistence { .. })),
+                "name `{bad}` must be rejected"
+            );
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -34,6 +34,12 @@ pub enum DataError {
         /// Human readable description.
         reason: String,
     },
+    /// Saving or loading the persistent statistics catalog failed (I/O
+    /// error, or a malformed line in the catalog file).
+    Persistence {
+        /// Human readable description.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -59,6 +65,9 @@ impl fmt::Display for DataError {
             }
             DataError::InvalidConditional { reason } => {
                 write!(f, "invalid conditional: {reason}")
+            }
+            DataError::Persistence { reason } => {
+                write!(f, "statistics persistence failed: {reason}")
             }
         }
     }
@@ -92,5 +101,9 @@ mod tests {
             reason: "empty V".into(),
         };
         assert!(e.to_string().contains("empty V"));
+        let e = DataError::Persistence {
+            reason: "no such file".into(),
+        };
+        assert!(e.to_string().contains("no such file"));
     }
 }

@@ -15,7 +15,10 @@
 //!   degree sequences, in both linear and log₂ space;
 //! * [`Catalog`] — a named collection of relations with a cached statistics
 //!   store, mirroring the paper's assumption that ℓp-norms are precomputed
-//!   and available at estimation time;
+//!   and available at estimation time; the cache persists to a plain-text
+//!   catalog file ([`Catalog::save_statistics`] /
+//!   [`Catalog::load_statistics`]) and derives cheap per-part sub-catalogs
+//!   ([`Catalog::derive_with`]) for partition-aware planning;
 //! * [`StatisticsCollector`] — the eager counterpart: materialize the
 //!   simple degree conditionals and [`Norm::standard_set`] ℓp-norms of
 //!   whole relations into the catalog cache and a

@@ -27,7 +27,17 @@
 //!   bridged star/chain shape on which left-deep-only DPs are provably
 //!   worse than bushy trees.
 //!
-//! All three are deterministic and sized so that true cardinalities stay
+//! * [`partition_skew_workload`] — the **degree-partitioning** adversary: a
+//!   chain `R ⋈ S ⋈ T` whose middle relation is skewed in *both*
+//!   directions (a few `b`-hubs fanning 400× into unique `c`s, plus a few
+//!   `c`-hubs fanning 400× into unique `b`s).  Every monolithic order must
+//!   enter `S` through one of the hub directions and pay its full fan-out,
+//!   so the monolithic bound is provably loose; splitting `S` into its
+//!   light and heavy degree parts gives each part one harmless entry side,
+//!   and the sum of the per-part bounds (and the measured per-part peaks)
+//!   undercuts the monolithic plan by more than an order of magnitude.
+//!
+//! All are deterministic and sized so that true cardinalities stay
 //! computable in tests and CI.
 
 use crate::powerlaw::{power_law_graph, PowerLawGraphConfig};
@@ -202,6 +212,90 @@ pub fn bridged_chains_workload(scale: usize) -> PlannerWorkload {
     }
 }
 
+/// The degree-partitioning adversary; see the module docs.  `scale = 1`
+/// gives 8 hubs per direction, fan-out `K = 400` and `keep = 10` selective
+/// tuples per hub: `|S| = 6400`, `|R| = |T| = 88`, output 160.
+///
+/// Shape (chain `R(A,B) ⋈ S(B,C) ⋈ T(C,D)`), with `S = S_bhub ∪ S_chub`:
+///
+/// ```text
+/// S_bhub: b ∈ {0..h}        each fanning out to K unique c values
+/// S_chub: c ∈ {c₀..c₀+h}    each fanned into by K unique b values
+/// ```
+///
+/// `R` holds every `b`-hub once plus `keep` of each `c`-hub's unique `b`
+/// values; `T` mirrors it (`keep` of each `b`-hub's unique `c` values plus
+/// every `c`-hub once).  Joining `R ⋈ S` explodes through the `b`-hubs
+/// (`h·K` rows) and `S ⋈ T` explodes through the `c`-hubs, so **every**
+/// monolithic order materializes `≥ h·K` rows (orders starting at `S` scan
+/// `2·h·K`).  Partitioning `S` by `deg(c|b)` separates the two hub
+/// directions: the heavy part (`S_bhub`) is harmless entered from `T`
+/// (`deg(b|c) = 1`), the light part (`S_chub`) is harmless entered from `R`
+/// (`deg(c|b) = 1`), and the ℓ∞ norms prove both at plan time — per-part
+/// peaks stay at `h·keep` rows, a `(K+keep)/(2·keep) ≈ 20×` win.
+pub fn partition_skew_workload(scale: usize) -> PlannerWorkload {
+    let scale = scale.max(1) as u64;
+    let hubs = 8 * scale;
+    let fanout = 400u64; // K: rows per hub in each direction of S
+    let keep = 10u64; // selective tuples per hub in R / T
+
+    // Disjoint id regions keep the two hub directions from colliding.
+    let c_heavy = 1_000_000u64; // c values fanned out of the b-hubs
+    let c_hub = 2_000_000u64; // the c-hubs themselves
+    let b_light = 3_000_000u64; // b values fanning into the c-hubs
+
+    // S(b, c): b-hubs fan out (deg(c|b) = K, c unique), c-hubs fan in
+    // (deg(b|c) = K, b unique).
+    let s = RelationBuilder::binary_from_pairs(
+        "S",
+        "b",
+        "c",
+        (0..hubs)
+            .flat_map(|h| (0..fanout).map(move |j| (h, c_heavy + h * fanout + j)))
+            .chain(
+                (0..hubs)
+                    .flat_map(|i| (0..fanout).map(move |j| (b_light + i * fanout + j, c_hub + i))),
+            ),
+    );
+    // R(a, b): every b-hub once (the explosive side) plus `keep` rows into
+    // each c-hub's unique-b region (the selective side).
+    let r = RelationBuilder::binary_from_pairs(
+        "R",
+        "a",
+        "b",
+        (0..hubs).map(|h| (h, h)).chain((0..hubs).flat_map(|i| {
+            (0..keep).map(move |t| (10_000 + i * keep + t, b_light + i * fanout + t))
+        })),
+    );
+    // T(c, d): `keep` rows into each b-hub's unique-c region plus every
+    // c-hub once — R mirrored.
+    let t = RelationBuilder::binary_from_pairs(
+        "T",
+        "c",
+        "d",
+        (0..hubs)
+            .flat_map(|h| (0..keep).map(move |tt| (c_heavy + h * fanout + tt, h * keep + tt)))
+            .chain((0..hubs).map(|i| (c_hub + i, 20_000 + i))),
+    );
+    let mut catalog = Catalog::new();
+    catalog.insert(r);
+    catalog.insert(s);
+    catalog.insert(t);
+    PlannerWorkload {
+        name: "partition-skew",
+        query: JoinQuery::new(
+            "partition-skew",
+            vec![
+                Atom::new("R", &["A", "B"]),
+                Atom::new("S", &["B", "C"]),
+                Atom::new("T", &["C", "D"]),
+            ],
+        )
+        .expect("partition-skew query is well formed"),
+        catalog,
+    }
+}
+
 /// Every planner workload at the given scale (used by the
 /// `planner_quality` benchmark).
 pub fn planner_workloads(scale: usize) -> Vec<PlannerWorkload> {
@@ -209,6 +303,7 @@ pub fn planner_workloads(scale: usize) -> Vec<PlannerWorkload> {
         skewed_triangle_workload(scale),
         misleading_chain_workload(scale),
         bridged_chains_workload(scale),
+        partition_skew_workload(scale),
     ]
 }
 
@@ -256,6 +351,44 @@ mod tests {
             .unwrap();
         assert_eq!(linf_rev, 0.0);
         // The workload has a non-empty output (T hits the hub region).
+        assert_eq!(w.query.n_atoms(), 3);
+    }
+
+    #[test]
+    fn partition_skew_shape_is_hub_skewed_in_both_directions() {
+        let w = partition_skew_workload(1);
+        let (r, s, t) = (
+            w.catalog.get("R").unwrap(),
+            w.catalog.get("S").unwrap(),
+            w.catalog.get("T").unwrap(),
+        );
+        assert_eq!(s.len(), 6400);
+        assert_eq!(r.len(), 88);
+        assert_eq!(t.len(), 88);
+        // Both directions of S are hub-skewed with 400-way fan-outs…
+        let out = w
+            .catalog
+            .log_norm("S", &["c"], &["b"], lpb_data::Norm::Infinity)
+            .unwrap();
+        assert!((out - 400.0f64.log2()).abs() < 1e-9);
+        let into = w
+            .catalog
+            .log_norm("S", &["b"], &["c"], lpb_data::Norm::Infinity)
+            .unwrap();
+        assert!((into - 400.0f64.log2()).abs() < 1e-9);
+        // …while the average degree stays ≈ 2: the monolithic ℓ∞ is loose.
+        let avg = s.len() as f64 / s.distinct_count(&["b"]).unwrap() as f64;
+        assert!(avg < 4.0, "avg degree {avg}");
+        // R and T are flat — only S is a partition candidate.
+        for (rel, v, u) in [
+            ("R", "a", "b"),
+            ("R", "b", "a"),
+            ("T", "c", "d"),
+            ("T", "d", "c"),
+        ] {
+            let linf = w.catalog.log_norm(rel, &[v], &[u], Norm::Infinity).unwrap();
+            assert_eq!(linf, 0.0, "{rel} deg({v}|{u}) must be flat");
+        }
         assert_eq!(w.query.n_atoms(), 3);
     }
 

@@ -55,6 +55,8 @@ pub struct IntermediateCounters {
     steps: Vec<StepCount>,
     certificates_checked: usize,
     certificate_violations: usize,
+    parts_planned: usize,
+    part_peaks: Vec<usize>,
 }
 
 impl IntermediateCounters {
@@ -133,6 +135,50 @@ impl IntermediateCounters {
     /// benchmark assert exactly that.
     pub fn certificate_violations(&self) -> usize {
         self.certificate_violations
+    }
+
+    /// How many degree-partition parts the executed plan declared (the part
+    /// count of every [`crate::PhysicalNode::PartitionedUnion`] node summed;
+    /// zero for monolithic plans).
+    pub fn parts_planned(&self) -> usize {
+        self.parts_planned
+    }
+
+    /// How many parts actually executed (each contributing one entry to
+    /// [`part_peaks`](Self::part_peaks)).  Equal to
+    /// [`parts_planned`](Self::parts_planned) after a complete execution.
+    pub fn parts_executed(&self) -> usize {
+        self.part_peaks.len()
+    }
+
+    /// The peak intermediate each executed part materialized, in execution
+    /// order.  The partitioned plan's overall peak is the max of these and
+    /// the union sizes — partitioning wins exactly when that max undercuts
+    /// the monolithic plan's peak.
+    pub fn part_peaks(&self) -> &[usize] {
+        &self.part_peaks
+    }
+
+    /// Declare that a partitioned node is about to execute `n` parts.
+    pub(crate) fn note_parts_planned(&mut self, n: usize) {
+        self.parts_planned += n;
+    }
+
+    /// Roll one part's counters up into this (parent) recording: steps are
+    /// re-labelled with the part name, certificate checks and violations
+    /// accumulate, and the part's peak intermediate is remembered.
+    pub(crate) fn absorb_part(&mut self, part: &str, child: IntermediateCounters) {
+        self.certificates_checked += child.certificates_checked;
+        self.certificate_violations += child.certificate_violations;
+        self.parts_planned += child.parts_planned;
+        self.part_peaks.push(child.max_intermediate());
+        self.part_peaks.extend(child.part_peaks);
+        for step in child.steps {
+            self.steps.push(StepCount {
+                label: format!("[{part}] {}", step.label),
+                ..step
+            });
+        }
     }
 
     /// Number of recorded steps.
@@ -369,6 +415,31 @@ mod tests {
         assert_eq!(c.steps()[1].label, "⋈ S");
         assert_eq!(c.certificates_checked(), 0);
         assert_eq!(c.certificate_violations(), 0);
+    }
+
+    #[test]
+    fn part_counters_roll_up_into_the_parent() {
+        let mut parent = IntermediateCounters::new();
+        assert_eq!(parent.parts_planned(), 0);
+        assert_eq!(parent.parts_executed(), 0);
+        parent.note_parts_planned(2);
+
+        let mut light = IntermediateCounters::new();
+        light.record_checked("scan S#light", 40, Some(6.0));
+        light.record("⋈ T", 12);
+        let mut heavy = IntermediateCounters::new();
+        heavy.record_checked("scan S#heavy", 100, Some(7.0));
+        parent.absorb_part("S#light", light);
+        parent.absorb_part("S#heavy", heavy);
+
+        assert_eq!(parent.parts_planned(), 2);
+        assert_eq!(parent.parts_executed(), 2);
+        assert_eq!(parent.part_peaks(), &[40, 100]);
+        assert_eq!(parent.certificates_checked(), 2);
+        assert_eq!(parent.certificate_violations(), 0);
+        assert_eq!(parent.len(), 3);
+        assert!(parent.steps()[0].label.starts_with("[S#light]"));
+        assert_eq!(parent.max_intermediate(), 100);
     }
 
     #[test]

@@ -21,7 +21,12 @@
 //!   bottleneck DP over **bushy trees** (left-deep extension *and*
 //!   connected two-way splits) picks the shape/order/strategy whose largest
 //!   provable intermediate is smallest, costing the Yannakakis reducer's
-//!   semi-join passes rather than assuming them free;
+//!   semi-join passes rather than assuming them free; when a skewed
+//!   relation makes the monolithic bound loose, the planner splits it
+//!   light/heavy ([`split_light_heavy`]), re-runs the same DP per part on
+//!   per-part statistics (one warm-started batch covers parts ×
+//!   sub-joins), and emits a [`PhysicalNode::PartitionedUnion`] whenever
+//!   the max-over-parts bottleneck beats the monolithic one;
 //! * **bound certificates** — the DP's sub-join bounds are attached to the
 //!   emitted plan nodes, and execution checks every observed intermediate
 //!   against them ([`IntermediateCounters::certificate_violations`] stays
@@ -62,9 +67,10 @@ pub use hash_join::{hash_join, semi_join};
 pub use logical::{validate_atom_permutation, JoinPlan, LogicalPlan};
 pub use optimizer::{OptimizedPlan, Optimizer, PlannerConfig};
 pub use panda_eval::{partitioned_join_count, PartitionSpec, PartitionedRun};
-pub use partition::{partition_by_degree, partition_for_statistic, DegreePart};
+pub use partition::{partition_by_degree, partition_for_statistic, split_light_heavy, DegreePart};
 pub use physical::{
-    execute_physical, execute_plan, join_size, PhysicalNode, PhysicalPlan, PhysicalRun, PlanResult,
+    execute_physical, execute_plan, join_size, PartitionBranch, PhysicalNode, PhysicalPlan,
+    PhysicalRun, PlanResult,
 };
 pub use trie::{AtomTrie, TrieNode};
 pub use tuples::Tuples;

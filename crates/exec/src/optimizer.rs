@@ -41,12 +41,31 @@
 //! with its sub-join's `log₂` bound, and [`crate::execute_physical`] checks
 //! each observed intermediate against it (see
 //! [`crate::IntermediateCounters::certificate_violations`]).
+//!
+//! **Degree-partitioned planning** (the paper's Lemma 2.5 put to work at
+//! plan time): ℓp bounds are dramatically tighter on relations whose
+//! degrees are homogeneous, so when an atom's relation is skewed
+//! (`log₂(max/avg degree)` past [`PlannerConfig::partition_skew_log2`])
+//! the planner splits it into a light and a heavy part
+//! ([`crate::split_light_heavy`]), derives a per-part sub-catalog
+//! ([`lpb_data::Catalog::derive_with`]) with per-part statistics, bounds
+//! the **cross product of parts × connected sub-joins in one warm-started
+//! batch** (same LP shapes, per-part right-hand sides — the dual
+//! warm-start sweet spot), and runs the same bottleneck DP independently
+//! per part.  Each part may choose a *different* join order — the whole
+//! point under two-sided skew.  The partitioned plan (max-over-parts
+//! bottleneck, plus the sum-of-parts union bound) replaces the monolithic
+//! pick exactly when its predicted cost is lower, so the decision is made
+//! from LP bounds alone; per-part bounds ride into the
+//! [`crate::PhysicalNode::PartitionedUnion`] as certificates like
+//! everywhere else.
 
 use crate::error::ExecError;
 use crate::logical::{validate_atom_permutation, JoinPlan, LogicalPlan};
-use crate::physical::{PhysicalNode, PhysicalPlan};
+use crate::partition::split_light_heavy;
+use crate::physical::{PartitionBranch, PhysicalNode, PhysicalPlan};
 use lpb_core::{BatchEstimator, CollectConfig, JoinQuery};
-use lpb_data::{Catalog, StatisticsCollector};
+use lpb_data::{Catalog, Norm, StatisticsCollector};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -68,6 +87,22 @@ pub struct PlannerConfig {
     /// singleton splits are dominated by left-deep extension).  Off, the DP
     /// is the classic left-deep-only enumeration.
     pub enable_bushy: bool,
+    /// Consider degree-partitioned plans: split a skewed relation into a
+    /// light and a heavy part ([`crate::split_light_heavy`]), plan each part
+    /// independently on per-part statistics, and pick the partitioned plan
+    /// when its max-over-parts bottleneck (plus the sum-of-parts output
+    /// bound) beats the monolithic one.
+    pub enable_partitioning: bool,
+    /// How many skew candidates (atom, conditional) the partitioned search
+    /// tries per planning call, most-skewed first.  Each candidate costs one
+    /// extra warm-started bound batch over parts × connected sub-joins.
+    pub max_partition_candidates: usize,
+    /// Minimum skew — `log₂(max degree / average degree)` of a conditional —
+    /// before an atom is considered for partitioning.  The default of 2
+    /// requires the heaviest value to exceed 4× the average fan-out; below
+    /// that, per-part bounds cannot meaningfully undercut the monolithic
+    /// bound.
+    pub partition_skew_log2: f64,
 }
 
 impl Default for PlannerConfig {
@@ -77,6 +112,9 @@ impl Default for PlannerConfig {
             max_dp_atoms: 12,
             prewarm_statistics: true,
             enable_bushy: true,
+            enable_partitioning: true,
+            max_partition_candidates: 2,
+            partition_skew_log2: 2.0,
         }
     }
 }
@@ -119,6 +157,23 @@ pub struct OptimizedPlan {
     /// product bound.  Zero on healthy corpora; planner-quality tests
     /// assert exactly that.
     pub bound_fallbacks: usize,
+    /// `log₂` of the best **monolithic** (non-partitioned) plan's predicted
+    /// bottleneck — what the planner would have chosen with partitioning
+    /// disabled.  Equal to [`predicted_log2_cost`](Self::predicted_log2_cost)
+    /// when the chosen plan is not partitioned; the gap is the sum-of-parts
+    /// win the partition proved at plan time.
+    pub monolithic_predicted_log2_cost: f64,
+    /// Number of degree-partition parts the chosen plan evaluates (zero for
+    /// monolithic plans, the light/heavy part count otherwise).
+    pub parts_planned: usize,
+    /// Sub-joins successfully bounded **for per-part planning** (across all
+    /// partition candidates tried), on top of
+    /// [`subqueries_bounded`](Self::subqueries_bounded).
+    pub partition_subqueries_bounded: usize,
+    /// Per-part bound attempts that fell back to the pessimistic product
+    /// bound.  Zero on healthy corpora, like
+    /// [`bound_fallbacks`](Self::bound_fallbacks).
+    pub partition_bound_fallbacks: usize,
     /// Wall-clock planning time.
     pub plan_time: Duration,
 }
@@ -206,7 +261,24 @@ impl Optimizer {
         catalog: &Catalog,
         logical: &LogicalPlan,
     ) -> Result<Bounds, ExecError> {
-        let m = query.n_atoms();
+        let mut all = self.harvest_bounds_multi(&[(query, catalog)], logical)?;
+        Ok(all.pop().expect("one bound table per run"))
+    }
+
+    /// [`harvest_bounds`](Self::harvest_bounds) over several runs at once:
+    /// the cross product of runs × connected sub-joins goes through **one**
+    /// warm-started [`BatchEstimator::bound_subqueries_multi`] batch.  All
+    /// runs must share the query's join graph (`logical`) — exactly the
+    /// situation of a degree partition, where every part poses the same
+    /// query (one atom rebound to the part) over a per-part sub-catalog, so
+    /// each sub-join's LP shape is solved cold once and every other part
+    /// re-solves it from the shared warm handle with a new RHS.
+    fn harvest_bounds_multi(
+        &self,
+        runs: &[(&JoinQuery, &Catalog)],
+        logical: &LogicalPlan,
+    ) -> Result<Vec<Bounds>, ExecError> {
+        let m = logical.n_atoms();
         let subsets = logical.connected_subsets();
         let multi: Vec<u64> = subsets
             .iter()
@@ -218,40 +290,44 @@ impl Optimizer {
             .map(|&mask| logical.atoms_of(mask).collect())
             .collect();
         let config = CollectConfig::with_max_norm(self.config.max_norm);
-        let bounds = self
+        let grouped = self
             .estimator
-            .bound_subqueries(query, catalog, &subset_atoms, &config);
+            .bound_subqueries_multi(runs, &subset_atoms, &config);
 
-        let mut scan_log2 = Vec::with_capacity(m);
-        let mut log2: HashMap<u64, f64> = HashMap::new();
-        for j in 0..m {
-            let size = catalog.get(&query.atoms()[j].relation)?.len();
-            let s = (size.max(1) as f64).log2();
-            scan_log2.push(s);
-            log2.insert(1u64 << j, s);
+        let mut out = Vec::with_capacity(runs.len());
+        for ((query, catalog), bounds) in runs.iter().zip(grouped) {
+            let mut scan_log2 = Vec::with_capacity(m);
+            let mut log2: HashMap<u64, f64> = HashMap::new();
+            for j in 0..m {
+                let size = catalog.get(&query.atoms()[j].relation)?.len();
+                let s = (size.max(1) as f64).log2();
+                scan_log2.push(s);
+                log2.insert(1u64 << j, s);
+            }
+            let mut bounded = 0usize;
+            let mut fallbacks = 0usize;
+            for (i, &mask) in multi.iter().enumerate() {
+                let value = match &bounds[i] {
+                    Ok(b) if b.is_bounded() => {
+                        bounded += 1;
+                        b.log2_bound
+                    }
+                    _ => {
+                        fallbacks += 1;
+                        logical.atoms_of(mask).map(|j| scan_log2[j]).sum()
+                    }
+                };
+                log2.insert(mask, value);
+            }
+            out.push(Bounds {
+                log2,
+                scan_log2,
+                subsets: subsets.clone(),
+                bounded,
+                fallbacks,
+            });
         }
-        let mut bounded = 0usize;
-        let mut fallbacks = 0usize;
-        for (i, &mask) in multi.iter().enumerate() {
-            let value = match &bounds[i] {
-                Ok(b) if b.is_bounded() => {
-                    bounded += 1;
-                    b.log2_bound
-                }
-                _ => {
-                    fallbacks += 1;
-                    logical.atoms_of(mask).map(|j| scan_log2[j]).sum()
-                }
-            };
-            log2.insert(mask, value);
-        }
-        Ok(Bounds {
-            log2,
-            scan_log2,
-            subsets,
-            bounded,
-            fallbacks,
-        })
+        Ok(out)
     }
 
     /// Predicted `log₂` bottleneck of evaluating `order` as a left-deep
@@ -311,6 +387,10 @@ impl Optimizer {
                 greedy_predicted_log2_cost: f64::NAN,
                 subqueries_bounded: 0,
                 bound_fallbacks: 0,
+                monolithic_predicted_log2_cost: f64::NAN,
+                parts_planned: 0,
+                partition_subqueries_bounded: 0,
+                partition_bound_fallbacks: 0,
                 plan_time: started.elapsed(),
             }
         };
@@ -338,6 +418,60 @@ impl Optimizer {
 
         // --- Bound every connected sub-join in one warm-started batch. ---
         let bounds = self.harvest_bounds(query, catalog, &logical)?;
+
+        // Greedy order's predicted bottleneck under the same bounds (with
+        // the product fallback for any cross-product prefix).
+        let greedy_cost = order_bottleneck(greedy.order(), &bounds);
+
+        // --- DP + lowering over the monolithic bound table. ---
+        let chosen = self.choose(&logical, &bounds);
+        let monolithic_predicted = chosen.predicted;
+        let mut physical = chosen.physical;
+        let mut order = chosen.order;
+        let mut predicted = chosen.predicted;
+
+        // --- Degree-partitioned alternative: split a skewed relation,
+        // plan each part on its own statistics, and switch when the
+        // max-over-parts bottleneck beats the monolithic one. ---
+        let mut parts_planned = 0usize;
+        let mut partition_stats = PartitionSearchStats::default();
+        if self.config.enable_partitioning {
+            if let Some(pick) =
+                self.partitioned_plan(query, catalog, &logical, predicted, &mut partition_stats)?
+            {
+                let plan = PhysicalPlan::from_root(pick.node);
+                order = plan.atom_order();
+                physical = plan;
+                predicted = pick.cost;
+                parts_planned = pick.parts;
+            }
+        }
+
+        Ok(OptimizedPlan {
+            physical,
+            order,
+            predicted_log2_cost: predicted,
+            leftdeep_order: chosen.leftdeep_order,
+            leftdeep_predicted_log2_cost: chosen.leftdeep_cost,
+            greedy_order: greedy.order().to_vec(),
+            greedy_predicted_log2_cost: greedy_cost,
+            subqueries_bounded: bounds.bounded,
+            bound_fallbacks: bounds.fallbacks,
+            monolithic_predicted_log2_cost: monolithic_predicted,
+            parts_planned,
+            partition_subqueries_bounded: partition_stats.bounded,
+            partition_bound_fallbacks: partition_stats.fallbacks,
+            plan_time: started.elapsed(),
+        })
+    }
+
+    /// Run the bottleneck DP over one bound table and lower the winner to a
+    /// certified physical plan; see the module docs for the recurrence and
+    /// the strategy selection.  Shared by monolithic planning and by every
+    /// part of a degree partition (each part brings its own [`Bounds`]).
+    fn choose(&self, logical: &LogicalPlan, bounds: &Bounds) -> Chosen {
+        let m = logical.n_atoms();
+        let full: u64 = (1u64 << m) - 1;
         let bound_log2 = &bounds.log2;
         let scan_log2 = &bounds.scan_log2;
 
@@ -415,10 +549,6 @@ impl Optimizer {
             mask &= !(1u64 << last);
         }
         dp_order.reverse();
-
-        // Greedy order's predicted bottleneck under the same bounds (with
-        // the product fallback for any cross-product prefix).
-        let greedy_cost = order_bottleneck(greedy.order(), &bounds);
 
         // Certified left-deep chain over `order`: scan certificate on the
         // first atom, prefix-bound certificates on every join step.
@@ -525,26 +655,192 @@ impl Optimizer {
 
         // --- A strictly better bushy tree overrides the left-deep pick. ---
         if self.config.enable_bushy && bushy_cost < predicted {
-            let root = build_bushy(full, &best, &bounds);
+            let root = build_bushy(full, &best, bounds);
             let plan = PhysicalPlan::from_root(root);
             order = plan.atom_order();
             physical = plan;
             predicted = bushy_cost;
         }
 
-        Ok(OptimizedPlan {
+        Chosen {
             physical,
             order,
-            predicted_log2_cost: predicted,
+            predicted,
             leftdeep_order: dp_order,
-            leftdeep_predicted_log2_cost: chain_cost,
-            greedy_order: greedy.order().to_vec(),
-            greedy_predicted_log2_cost: greedy_cost,
-            subqueries_bounded: bounds.bounded,
-            bound_fallbacks: bounds.fallbacks,
-            plan_time: started.elapsed(),
-        })
+            leftdeep_cost: chain_cost,
+        }
     }
+
+    /// Search for a degree-partitioned plan that beats `monolithic_cost`.
+    ///
+    /// Candidates are the query atoms whose relation has a skewed simple
+    /// conditional (`log₂(max/avg degree) ≥`
+    /// [`PlannerConfig::partition_skew_log2`]), most-skewed first.  For each
+    /// candidate the relation is split light/heavy
+    /// ([`crate::split_light_heavy`]), per-part sub-catalogs are derived and
+    /// their statistics materialized, **one** warm-started batch bounds the
+    /// cross product of parts × connected sub-joins, and the shared
+    /// [`Optimizer::choose`] DP plans each part independently.  The
+    /// partitioned cost is the max over parts of the per-part bottleneck,
+    /// combined with the sum-of-parts output bound that certifies the final
+    /// union; the best candidate is returned only when that cost strictly
+    /// beats the monolithic prediction — so the decision is made from LP
+    /// bounds alone.
+    fn partitioned_plan(
+        &self,
+        query: &JoinQuery,
+        catalog: &Catalog,
+        logical: &LogicalPlan,
+        monolithic_cost: f64,
+        stats: &mut PartitionSearchStats,
+    ) -> Result<Option<PartitionedPick>, ExecError> {
+        if !monolithic_cost.is_finite() {
+            return Ok(None);
+        }
+        // --- Skew detection over the prewarmed simple conditionals. ---
+        let mut candidates: Vec<(f64, usize, Vec<String>, Vec<String>)> = Vec::new();
+        for j in 0..query.n_atoms() {
+            let rel_name = &query.atoms()[j].relation;
+            let rel = catalog.get(rel_name)?;
+            if rel.arity() < 2 || rel.is_empty() {
+                continue;
+            }
+            let attrs: Vec<String> = rel.schema().attrs().to_vec();
+            for (pos, u_attr) in attrs.iter().enumerate() {
+                let v: Vec<&str> = attrs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != pos)
+                    .map(|(_, a)| a.as_str())
+                    .collect();
+                let u = [u_attr.as_str()];
+                let linf = catalog.log_norm(rel_name, &v, &u, Norm::Infinity)?;
+                let l1 = catalog.log_norm(rel_name, &v, &u, Norm::L1)?;
+                let distinct_u = catalog.log_norm(rel_name, &u, &[], Norm::L1)?;
+                // log₂(max degree / average degree).
+                let skew = linf - (l1 - distinct_u);
+                if skew >= self.config.partition_skew_log2 {
+                    candidates.push((
+                        skew,
+                        j,
+                        v.iter().map(|s| s.to_string()).collect(),
+                        vec![u_attr.clone()],
+                    ));
+                }
+            }
+        }
+        candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        candidates.truncate(self.config.max_partition_candidates);
+
+        let m = query.n_atoms();
+        let full: u64 = (1u64 << m) - 1;
+        let mut best: Option<PartitionedPick> = None;
+        for (_skew, j, v, u) in candidates {
+            let rel = catalog.get(&query.atoms()[j].relation)?;
+            let v_refs: Vec<&str> = v.iter().map(String::as_str).collect();
+            let u_refs: Vec<&str> = u.iter().map(String::as_str).collect();
+            let Some((light, heavy)) = split_light_heavy(&rel, &v_refs, &u_refs)? else {
+                continue;
+            };
+            // Per-part sub-catalogs with per-part statistics: the derived
+            // catalog shares every other relation (and its cached
+            // statistics) and materializes the part's own degree norms.
+            let mut runs: Vec<(JoinQuery, Catalog, lpb_data::Relation)> = Vec::new();
+            for part in [light, heavy] {
+                if part.is_empty() {
+                    continue;
+                }
+                let part_catalog = catalog.derive_with(part.clone());
+                if self.config.prewarm_statistics {
+                    let collector = StatisticsCollector::with_norms(
+                        CollectConfig::with_max_norm(self.config.max_norm).norms,
+                    );
+                    collector.materialize_relation(&part_catalog, part.name())?;
+                }
+                let part_query = query.with_atom_relation(j, part.name())?;
+                runs.push((part_query, part_catalog, part));
+            }
+            if runs.len() < 2 {
+                continue;
+            }
+            // One warm-started batch across parts × connected sub-joins:
+            // same LP shapes, per-part right-hand sides.
+            let run_refs: Vec<(&JoinQuery, &Catalog)> =
+                runs.iter().map(|(q, c, _)| (q, c)).collect();
+            let part_bounds = self.harvest_bounds_multi(&run_refs, logical)?;
+
+            // Plan each part independently with the shared DP.
+            let mut cost = f64::NEG_INFINITY;
+            let mut union_bound = f64::NEG_INFINITY;
+            let mut branches = Vec::with_capacity(runs.len());
+            for ((_, _, part), bounds) in runs.into_iter().zip(&part_bounds) {
+                stats.bounded += bounds.bounded;
+                stats.fallbacks += bounds.fallbacks;
+                let part_output_bound = bounds.log2.get(&full).copied();
+                let chosen = self.choose(logical, bounds);
+                cost = cost.max(chosen.predicted);
+                union_bound = log2_sum(union_bound, part_output_bound.unwrap_or(f64::INFINITY));
+                branches.push(PartitionBranch {
+                    relation: part.into(),
+                    plan: chosen.physical,
+                    log2_bound: part_output_bound,
+                });
+            }
+            // The union materializes the sum of the parts' outputs; charge
+            // it so a partition never hides its own final materialization.
+            let total_cost = cost.max(union_bound);
+            if total_cost < monolithic_cost && best.as_ref().is_none_or(|b| total_cost < b.cost) {
+                best = Some(PartitionedPick {
+                    parts: branches.len(),
+                    node: PhysicalNode::PartitionedUnion {
+                        atom: j,
+                        parts: branches,
+                        log2_bound: Some(union_bound),
+                    },
+                    cost: total_cost,
+                });
+            }
+        }
+        Ok(best)
+    }
+}
+
+/// What [`Optimizer::choose`] proved for one bound table: the lowered plan,
+/// its predicted bottleneck, and the left-deep comparison baseline.
+struct Chosen {
+    physical: PhysicalPlan,
+    order: Vec<usize>,
+    predicted: f64,
+    leftdeep_order: Vec<usize>,
+    leftdeep_cost: f64,
+}
+
+/// A partitioned plan that beat the monolithic prediction.
+struct PartitionedPick {
+    node: PhysicalNode,
+    cost: f64,
+    parts: usize,
+}
+
+/// Bound-work accounting for the partitioned search (across every candidate
+/// tried, picked or not).
+#[derive(Debug, Default)]
+struct PartitionSearchStats {
+    bounded: usize,
+    fallbacks: usize,
+}
+
+/// `log₂(2^a + 2^b)` without overflowing: the sum-of-parts combination of
+/// two `log₂` bounds.
+fn log2_sum(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (1.0 + (lo - hi).exp2()).log2()
 }
 
 /// Certificates for a left-deep run: starting from the (already evaluated)
@@ -724,6 +1020,54 @@ mod tests {
         assert_eq!(plan.strategy(), "scan");
         let run = execute_physical(&q, &catalog, &plan.physical).unwrap();
         assert_eq!(run.output_size(), 1);
+    }
+
+    #[test]
+    fn flat_catalogs_never_partition_and_the_knob_disables_the_search() {
+        // The 6-clique has zero skew: no candidate passes the gate.
+        let catalog = clique_catalog();
+        let q = JoinQuery::triangle("E", "E", "E");
+        let plan = Optimizer::new().plan(&q, &catalog).unwrap();
+        assert_eq!(plan.parts_planned, 0);
+        assert_eq!(plan.partition_subqueries_bounded, 0);
+        assert_eq!(
+            plan.predicted_log2_cost, plan.monolithic_predicted_log2_cost,
+            "non-partitioned plans keep both predictions equal"
+        );
+
+        // A skewed self-join partitions by default…
+        let mut skewed = Catalog::new();
+        let mut edges: Vec<(u64, u64)> = Vec::new();
+        for hub in 0..2u64 {
+            for j in 0..40u64 {
+                edges.push((hub, 10 + j));
+                edges.push((10 + j, hub));
+            }
+        }
+        for i in 0..30u64 {
+            edges.push((100 + i, 100 + (i + 1) % 30));
+        }
+        skewed.insert(RelationBuilder::binary_from_pairs("E", "a", "b", edges));
+        let plan = Optimizer::new().plan(&q, &skewed).unwrap();
+        if plan.parts_planned > 0 {
+            assert_eq!(plan.strategy(), "partitioned");
+            assert!(plan.predicted_log2_cost < plan.monolithic_predicted_log2_cost);
+            assert!(plan.partition_subqueries_bounded > 0);
+            let run = execute_physical(&q, &skewed, &plan.physical).unwrap();
+            assert_eq!(run.certificate_violations(), 0);
+            assert_eq!(run.counters.parts_executed(), plan.parts_planned);
+        }
+        // …and the knob turns the whole search off.
+        let off = Optimizer::new()
+            .with_config(PlannerConfig {
+                enable_partitioning: false,
+                ..PlannerConfig::default()
+            })
+            .plan(&q, &skewed)
+            .unwrap();
+        assert_eq!(off.parts_planned, 0);
+        assert_ne!(off.strategy(), "partitioned");
+        assert_eq!(off.partition_subqueries_bounded, 0);
     }
 
     #[test]

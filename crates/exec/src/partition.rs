@@ -7,6 +7,18 @@
 //! ℓp assertion is equivalent to an ℓ1 assertion on `|Π_U|` together with an
 //! ℓ∞ assertion on the maximum degree (eq. 22).  This is the reduction that
 //! lets the PANDA-style evaluation handle arbitrary ℓp statistics.
+//!
+//! Partitioning is not only an evaluation device ([`crate::
+//! partitioned_join_count`]) — it is a **planning** device: the ℓp-norm
+//! bound of a skewed relation is dominated by its few heavy `U`-values, so
+//! the sum of per-part bounds can undercut the monolithic bound by orders
+//! of magnitude (the PANDA-style sum-of-parts argument).
+//! [`split_light_heavy`] coarsens the Lemma 2.5 buckets into the two-part
+//! **light/heavy** split the bound-driven [`crate::Optimizer`] plans with:
+//! the light part has a small maximum degree (tight ℓ∞), the heavy part has
+//! few distinct `U`-values (small ℓ1 on the conditioning side), and the
+//! planner bounds and plans each part independently before executing them
+//! under a [`crate::PhysicalNode::PartitionedUnion`].
 
 use crate::error::ExecError;
 use lpb_data::{Norm, Relation};
@@ -190,6 +202,51 @@ pub fn partition_for_statistic(
     Ok(parts)
 }
 
+/// Coarsen the degree buckets of `(V | U)` into a two-way **light/heavy**
+/// split: bucket the `U`-values by degree ([`partition_by_degree`]), then
+/// merge every bucket whose maximum degree is at most the geometric mean of
+/// the extreme bucket maxima into the *light* part and the rest into the
+/// *heavy* part.  Returns `None` when the relation has fewer than two
+/// degree buckets (no skew worth splitting).
+///
+/// The parts are named `{rel}#light` / `{rel}#heavy`, keep the input
+/// schema, and partition the input tuples (disjoint and complete) — the
+/// shape [`crate::Optimizer`] feeds per-part planning and the
+/// [`crate::PhysicalNode::PartitionedUnion`] executor.
+pub fn split_light_heavy(
+    rel: &Relation,
+    v: &[&str],
+    u: &[&str],
+) -> Result<Option<(Relation, Relation)>, ExecError> {
+    let parts = partition_by_degree(rel, v, u)?;
+    if parts.len() < 2 {
+        return Ok(None);
+    }
+    let log_deg = |p: &DegreePart| (p.max_degree.max(1) as f64).log2();
+    let dmin = parts.iter().map(&log_deg).fold(f64::INFINITY, f64::min);
+    let dmax = parts.iter().map(&log_deg).fold(f64::NEG_INFINITY, f64::max);
+    if dmax <= dmin {
+        return Ok(None);
+    }
+    let tau = (dmin + dmax) / 2.0;
+    let attrs: Vec<String> = rel.schema().attrs().to_vec();
+    let merge = |label: &str, keep: &dyn Fn(&DegreePart) -> bool| -> Relation {
+        let mut builder =
+            lpb_data::RelationBuilder::new(format!("{}#{label}", rel.name()), attrs.clone())
+                .expect("schema attribute names are valid");
+        for part in parts.iter().filter(|p| keep(p)) {
+            for row in part.relation.rows() {
+                builder.push_codes(&row).expect("row arity matches schema");
+            }
+        }
+        builder.build()
+    };
+    let light = merge("light", &|p| log_deg(p) <= tau);
+    let heavy = merge("heavy", &|p| log_deg(p) > tau);
+    debug_assert_eq!(light.len() + heavy.len(), rel.len());
+    Ok(Some((light, heavy)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,5 +342,45 @@ mod tests {
     fn unknown_attributes_error() {
         let rel = skewed_relation();
         assert!(partition_by_degree(&rel, &["nope"], &["y"]).is_err());
+        assert!(split_light_heavy(&rel, &["nope"], &["y"]).is_err());
+    }
+
+    #[test]
+    fn light_heavy_split_partitions_and_separates_degrees() {
+        let rel = skewed_relation();
+        let (light, heavy) = split_light_heavy(&rel, &["x"], &["y"])
+            .unwrap()
+            .expect("several degree buckets");
+        assert_eq!(light.name(), "R#light");
+        assert_eq!(heavy.name(), "R#heavy");
+        // Complete and disjoint: the parts' rows are exactly the input rows.
+        let mut rows: Vec<Vec<u64>> = light.rows().chain(heavy.rows()).collect();
+        rows.sort_unstable();
+        let mut orig: Vec<Vec<u64>> = rel.rows().collect();
+        orig.sort_unstable();
+        assert_eq!(rows, orig);
+        // Degrees separate: the geometric-mean cut lands at 2^2.5, so the
+        // degree-16 bucket is heavy and the degree-1..5 buckets are light.
+        let light_max = light
+            .degree_sequence(&["x"], &["y"])
+            .map(|d| d.max_degree())
+            .unwrap();
+        let heavy_min_bucket = heavy
+            .degree_sequence(&["x"], &["y"])
+            .map(|d| d.as_slice().iter().copied().min().unwrap())
+            .unwrap();
+        assert!(light_max < heavy_min_bucket);
+        assert_eq!(
+            heavy.degree_sequence(&["x"], &["y"]).unwrap().max_degree(),
+            16
+        );
+    }
+
+    #[test]
+    fn uniform_relations_do_not_split() {
+        let rel =
+            RelationBuilder::binary_from_pairs("U", "x", "y", (0..20u64).map(|i| (i, i % 10)));
+        // Every y has degree 2: one bucket, nothing to split.
+        assert!(split_light_heavy(&rel, &["x"], &["y"]).unwrap().is_none());
     }
 }

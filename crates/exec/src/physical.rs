@@ -15,6 +15,13 @@
 //!   reducer) over an acyclic sub-join before hash-joining, so dangling
 //!   tuples never reach an intermediate.  The reducer's semi-join passes
 //!   are recorded (and costed by the planner) — they are not free.
+//! * [`PhysicalNode::PartitionedUnion`] — one atom's relation split into
+//!   disjoint degree parts (Lemma 2.5 light/heavy), each part evaluated by
+//!   its **own** per-part plan against a derived sub-catalog and with its
+//!   own counters (rolled up into the parent), the outputs unioned without
+//!   deduplication (disjointness is asserted).  This is how the optimizer
+//!   exploits the sum-of-parts bound when a skewed relation makes the
+//!   monolithic bound loose.
 //!
 //! Every node can carry a **bound certificate**: `log₂` of a provable upper
 //! bound on what the node materializes, threaded in from the optimizer's
@@ -95,6 +102,42 @@ pub enum PhysicalNode {
         /// still hold).  Empty when uncertified.
         step_bounds: Vec<Option<f64>>,
     },
+    /// Degree-partitioned union: atom `atom`'s relation has been split into
+    /// disjoint parts (a Lemma 2.5 light/heavy split), each
+    /// [`PartitionBranch`] evaluates the full query with the atom rebound
+    /// to one part — with its **own plan**, planned against that part's
+    /// statistics — and the node unions the branch outputs.  Because the
+    /// parts partition the relation's tuples (asserted at execution time),
+    /// every output tuple comes from exactly one branch and the union is
+    /// exact without deduplication.
+    PartitionedUnion {
+        /// Index of the query atom whose relation was partitioned.
+        atom: usize,
+        /// One branch per part; every branch is executed with its own
+        /// [`IntermediateCounters`], rolled up into the parent recording.
+        parts: Vec<PartitionBranch>,
+        /// Certificate on the union output: `log₂` of the **sum** of the
+        /// per-part output bounds (the PANDA-style sum-of-parts bound that
+        /// motivates partitioned planning).
+        log2_bound: Option<f64>,
+    },
+}
+
+/// One part of a [`PhysicalNode::PartitionedUnion`]: the materialized part
+/// relation plus the plan chosen for the query over it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionBranch {
+    /// The part (same schema as the partitioned relation, uniquely named,
+    /// e.g. `S#heavy`).  Carried in the plan — behind an `Arc`, so cloning
+    /// the plan or deriving the part's sub-catalog at execution time never
+    /// copies tuples.
+    pub relation: std::sync::Arc<lpb_data::Relation>,
+    /// The plan for the query with the partitioned atom rebound to
+    /// [`relation`](Self::relation), certified with that part's bounds.
+    pub plan: PhysicalPlan,
+    /// Certificate on this branch's output (the part's full sub-join
+    /// bound).
+    pub log2_bound: Option<f64>,
 }
 
 impl PhysicalNode {
@@ -117,6 +160,13 @@ impl PhysicalNode {
             }
             PhysicalNode::Wcoj { atoms, .. } => format!("wcoj[{}]", list(atoms)),
             PhysicalNode::Reduced { atoms, .. } => format!("yannakakis[{}]", list(atoms)),
+            PhysicalNode::PartitionedUnion { parts, .. } => {
+                let branches: Vec<String> = parts
+                    .iter()
+                    .map(|b| format!("{}: {}", b.relation.name(), b.plan.root.describe()))
+                    .collect();
+                format!("∪[{}]", branches.join(" | "))
+            }
         }
     }
 
@@ -134,6 +184,13 @@ impl PhysicalNode {
             }
             PhysicalNode::Wcoj { atoms, .. } | PhysicalNode::Reduced { atoms, .. } => {
                 out.extend_from_slice(atoms)
+            }
+            PhysicalNode::PartitionedUnion { parts, .. } => {
+                // Every branch evaluates the same atom set; report the first
+                // branch's order as the representative one.
+                if let Some(first) = parts.first() {
+                    first.plan.root.atom_order(out);
+                }
             }
         }
     }
@@ -198,6 +255,19 @@ impl PhysicalNode {
                     if let Some(b) = b {
                         out.push((format!("⋈[{j}]"), *b));
                     }
+                }
+            }
+            PhysicalNode::PartitionedUnion {
+                parts, log2_bound, ..
+            } => {
+                for branch in parts {
+                    branch.plan.root.collect_certificates(out);
+                    if let Some(b) = branch.log2_bound {
+                        out.push((format!("part {}", branch.relation.name()), b));
+                    }
+                }
+                if let Some(b) = log2_bound {
+                    out.push(("∪ partitioned".to_string(), *b));
                 }
             }
         }
@@ -292,8 +362,11 @@ impl PhysicalPlan {
     }
 
     /// Short strategy label for reports: `hash-chain`, `wcoj`,
-    /// `yannakakis`, `wcoj+hash-chain` or `bushy`.
+    /// `yannakakis`, `wcoj+hash-chain`, `bushy` or `partitioned`.
     pub fn strategy(&self) -> &'static str {
+        if let PhysicalNode::PartitionedUnion { .. } = self.root {
+            return "partitioned";
+        }
         if self.root.contains_hash_join() {
             return "bushy";
         }
@@ -302,6 +375,7 @@ impl PhysicalPlan {
             PhysicalNode::Wcoj { .. } => "wcoj",
             PhysicalNode::Reduced { .. } => "yannakakis",
             PhysicalNode::HashJoin { .. } => "bushy",
+            PhysicalNode::PartitionedUnion { .. } => "partitioned",
             PhysicalNode::HashChain { input, .. } => match **input {
                 PhysicalNode::Wcoj { .. } => "wcoj+hash-chain",
                 PhysicalNode::Reduced { .. } => "yannakakis+hash-chain",
@@ -465,6 +539,59 @@ fn eval(
                 );
             }
             Ok(acc)
+        }
+        PhysicalNode::PartitionedUnion {
+            atom,
+            parts,
+            log2_bound,
+        } => {
+            // The union is exact only because the parts partition the
+            // original relation's tuples; a shared row would double-count
+            // its output tuples.  The O(rows) scan is debug-only, like the
+            // per-step certificate asserts — release executions trust the
+            // planner's split (which debug-asserts the same property when
+            // the parts are built).
+            #[cfg(debug_assertions)]
+            {
+                let mut seen = std::collections::HashSet::new();
+                for branch in parts {
+                    for row in branch.relation.rows() {
+                        assert!(
+                            seen.insert(row),
+                            "partitioned-union parts of atom {atom} are not disjoint"
+                        );
+                    }
+                }
+            }
+            counters.note_parts_planned(parts.len());
+            let mut union: Option<Tuples> = None;
+            for branch in parts {
+                // Each branch runs the query with the atom rebound to its
+                // part, against a derived sub-catalog, with its own
+                // counters — rolled up (and re-labelled) into the parent.
+                let part_query = query.with_atom_relation(*atom, branch.relation.name())?;
+                let part_catalog = catalog.derive_with(branch.relation.clone());
+                let mut part_counters = IntermediateCounters::new();
+                let rows = eval(
+                    &branch.plan.root,
+                    &part_query,
+                    &part_catalog,
+                    &mut part_counters,
+                )?;
+                part_counters.record_checked(
+                    format!("output {}", branch.relation.name()),
+                    rows.len(),
+                    branch.log2_bound,
+                );
+                counters.absorb_part(branch.relation.name(), part_counters);
+                match &mut union {
+                    None => union = Some(rows),
+                    Some(acc) => acc.extend_reordered(&rows),
+                }
+            }
+            let out = union.expect("a partitioned union has at least one part");
+            counters.record_checked("∪ partitioned", out.len(), *log2_bound);
+            Ok(out)
         }
     }
 }
@@ -743,6 +870,81 @@ mod tests {
             execute_physical(&q, &catalog, &PhysicalPlan::hash_chain(vec![0, 1, 2, 3])).unwrap();
         assert_eq!(run.output_size(), chain.output_size());
         assert_eq!(run.output_size(), 24); // every triangle extends uniquely
+    }
+
+    #[test]
+    fn partitioned_union_matches_the_monolithic_chain() {
+        // Split E's rows by source-degree and union two per-part chains:
+        // the result must equal the monolithic chain on a path query, the
+        // per-part counters must roll up, and the union must carry its
+        // certificate.
+        let mut catalog = Catalog::new();
+        let mut edges: Vec<(u64, u64)> = Vec::new();
+        for j in 0..12u64 {
+            edges.push((0, j)); // one heavy source
+        }
+        for i in 1..9u64 {
+            edges.push((i, i + 1)); // light sources
+        }
+        catalog.insert(RelationBuilder::binary_from_pairs("E", "a", "b", edges));
+        let q = JoinQuery::path(&["E", "E"]);
+        let rel = catalog.get("E").unwrap();
+        let (light, heavy) = crate::partition::split_light_heavy(&rel, &["b"], &["a"])
+            .unwrap()
+            .expect("skewed relation splits");
+        let branch = |relation: lpb_data::Relation| PartitionBranch {
+            relation: relation.into(),
+            plan: PhysicalPlan::hash_chain(vec![0, 1]),
+            log2_bound: Some(20.0),
+        };
+        let union = PhysicalPlan::from_root(PhysicalNode::PartitionedUnion {
+            atom: 0,
+            parts: vec![branch(light), branch(heavy)],
+            log2_bound: Some(21.0),
+        });
+        assert_eq!(union.strategy(), "partitioned");
+        assert!(union.describe().contains("E#light"));
+        assert_eq!(union.atom_order(), vec![0, 1]);
+        // Certificates: per-branch output + union, on top of nothing else
+        // (the inner chains are uncertified).
+        assert_eq!(union.certificates().len(), 3);
+
+        let run = execute_physical(&q, &catalog, &union).unwrap();
+        let mono = execute_physical(&q, &catalog, &PhysicalPlan::hash_chain(vec![0, 1])).unwrap();
+        assert_eq!(run.output_size(), mono.output_size());
+        assert!(run.output_size() > 0);
+        assert_eq!(run.counters.parts_planned(), 2);
+        assert_eq!(run.counters.parts_executed(), 2);
+        assert_eq!(run.counters.part_peaks().len(), 2);
+        assert_eq!(run.certificate_violations(), 0);
+        assert!(run.counters.certificates_checked() >= 3);
+        // Branch steps are re-labelled with their part.
+        assert!(run
+            .counters
+            .steps()
+            .iter()
+            .any(|s| s.label.starts_with("[E#light]")));
+    }
+
+    #[test]
+    #[should_panic(expected = "not disjoint")]
+    fn overlapping_partition_parts_are_rejected() {
+        let mut catalog = Catalog::new();
+        let rel = RelationBuilder::binary_from_pairs("E", "a", "b", vec![(1, 2), (3, 4)]);
+        catalog.insert(rel.clone());
+        let q = JoinQuery::path(&["E", "E"]);
+        // Both "parts" are the whole relation: rows overlap.
+        let branch = |name: &str| PartitionBranch {
+            relation: rel.with_name(name.to_string()).into(),
+            plan: PhysicalPlan::hash_chain(vec![0, 1]),
+            log2_bound: None,
+        };
+        let union = PhysicalPlan::from_root(PhysicalNode::PartitionedUnion {
+            atom: 0,
+            parts: vec![branch("E#light"), branch("E#heavy")],
+            log2_bound: None,
+        });
+        let _ = execute_physical(&q, &catalog, &union);
     }
 
     #[test]

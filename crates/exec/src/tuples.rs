@@ -125,6 +125,16 @@ impl Tuples {
         assert_eq!(vars.len(), self.vars.len(), "reorder needs a permutation");
         self.project(vars)
     }
+
+    /// Append `other`'s rows onto this result, reordering `other`'s columns
+    /// to this result's variable order (both must cover the same variable
+    /// set).  No deduplication happens here: the partitioned-union executor
+    /// relies on its parts being disjoint.
+    pub fn extend_reordered(&mut self, other: &Tuples) {
+        let vars: Vec<&str> = self.vars.iter().map(String::as_str).collect();
+        let aligned = other.reorder(&vars);
+        self.rows.extend(aligned.rows);
+    }
 }
 
 #[cfg(test)]

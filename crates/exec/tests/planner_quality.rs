@@ -9,11 +9,12 @@
 use lpb_core::{Atom, BatchEstimator, CollectConfig, JoinQuery};
 use lpb_data::{Catalog, RelationBuilder};
 use lpb_datagen::{
-    bridged_chains_workload, misleading_chain_workload, planner_workloads, skewed_triangle_workload,
+    bridged_chains_workload, misleading_chain_workload, partition_skew_workload, planner_workloads,
+    skewed_triangle_workload,
 };
 use lpb_exec::{
     execute_physical, execute_plan, true_cardinality, JoinPlan, LogicalPlan, Optimizer,
-    PhysicalPlan,
+    PhysicalPlan, PlannerConfig,
 };
 
 /// Measured peak intermediates of the optimizer's plan vs greedy-by-size.
@@ -129,6 +130,60 @@ fn bushy_plan_beats_every_left_deep_order_on_bridged_chains() {
         "expected a >= 2x bushy-vs-left-deep peak win, got bushy {} vs left-deep {}",
         bushy.max_intermediate(),
         leftdeep.max_intermediate()
+    );
+}
+
+/// On the partition-skew workload every monolithic order must pay one hub
+/// direction's full fan-out, while the light/heavy split of `S` gives each
+/// part a harmless entry side.  The DP must choose the partitioned plan
+/// from LP bounds alone, execute it with zero certificate violations, and
+/// beat the best monolithic plan's measured peak by ≥ 2×.
+#[test]
+fn partitioned_plan_beats_the_best_monolithic_plan_on_partition_skew() {
+    let w = partition_skew_workload(1);
+    let optimizer = Optimizer::new();
+    let plan = optimizer.plan(&w.query, &w.catalog).unwrap();
+    assert_eq!(
+        plan.strategy(),
+        "partitioned",
+        "plan: {}",
+        plan.physical.describe()
+    );
+    assert_eq!(plan.parts_planned, 2);
+    // Chosen from bounds alone: the partitioned prediction undercuts the
+    // monolithic one before anything executes.
+    assert!(plan.predicted_log2_cost < plan.monolithic_predicted_log2_cost);
+    assert_eq!(plan.bound_fallbacks, 0);
+    assert_eq!(plan.partition_bound_fallbacks, 0);
+    assert!(plan.partition_subqueries_bounded > 0);
+    assert!(!plan.physical.certificates().is_empty());
+
+    let run = execute_physical(&w.query, &w.catalog, &plan.physical).unwrap();
+    assert_eq!(run.certificate_violations(), 0);
+    assert!(run.counters.certificates_checked() > 0);
+    assert_eq!(run.counters.parts_planned(), 2);
+    assert_eq!(run.counters.parts_executed(), 2);
+    assert_eq!(run.counters.part_peaks().len(), 2);
+
+    // The monolithic baseline: the same planner with partitioning off.
+    let mono_plan = Optimizer::new()
+        .with_config(PlannerConfig {
+            enable_partitioning: false,
+            ..PlannerConfig::default()
+        })
+        .plan(&w.query, &w.catalog)
+        .unwrap();
+    assert_ne!(mono_plan.strategy(), "partitioned");
+    assert_eq!(mono_plan.parts_planned, 0);
+    let mono = execute_physical(&w.query, &w.catalog, &mono_plan.physical).unwrap();
+    assert_eq!(mono.counters.parts_planned(), 0);
+    assert_eq!(run.output_size(), mono.output_size());
+    assert!(run.output_size() > 0);
+    assert!(
+        2 * run.max_intermediate() <= mono.max_intermediate(),
+        "expected a >= 2x partitioned-vs-monolithic peak win, got {} vs {}",
+        run.max_intermediate(),
+        mono.max_intermediate()
     );
 }
 

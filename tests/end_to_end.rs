@@ -227,6 +227,49 @@ fn partitioned_evaluation_matches_bound() {
     assert!((run.output_size.max(1) as f64).log2() <= bound.log2_bound + 1e-6);
 }
 
+/// The persistent statistics catalog end to end: collect eagerly, save to a
+/// plain-text file, load into a fresh catalog at "startup", and compute
+/// **bit-identical** bounds from the loaded statistics without recomputing a
+/// single norm.
+#[test]
+fn persisted_statistics_reproduce_bounds_bit_for_bit() {
+    use lpbound::data::StatisticsCollector;
+
+    let catalog = test_graph(17);
+    let config = CollectConfig::with_max_norm(4);
+    let collector = StatisticsCollector::with_norms(config.norms.clone());
+    collector.materialize_catalog(&catalog).unwrap();
+    let path = std::env::temp_dir().join("lpbound_end_to_end_roundtrip.stats");
+    let written = catalog.save_statistics(&path).unwrap();
+    assert_eq!(written, catalog.cached_stats());
+
+    // "Startup": same relations, empty cache, statistics loaded from disk.
+    let reloaded = test_graph(17);
+    assert_eq!(reloaded.cached_stats(), 0);
+    assert_eq!(reloaded.load_statistics(&path).unwrap(), written);
+
+    for query in [
+        JoinQuery::single_join("E", "E"),
+        JoinQuery::triangle("E", "E", "E"),
+        JoinQuery::path(&["E", "E", "E"]),
+    ] {
+        let fresh = collect_simple_statistics(&query, &catalog, &config).unwrap();
+        let loaded = collect_simple_statistics(&query, &reloaded, &config).unwrap();
+        let a = compute_bound(&query, &fresh, Cone::Polymatroid).unwrap();
+        let b = compute_bound(&query, &loaded, Cone::Polymatroid).unwrap();
+        assert_eq!(
+            a.log2_bound.to_bits(),
+            b.log2_bound.to_bits(),
+            "{}: bound from persisted statistics must be bit-identical",
+            query.name()
+        );
+    }
+    // Every harvest above was served from the loaded cache — nothing was
+    // recomputed, which is the point of a persistent catalog.
+    assert_eq!(reloaded.cached_stats(), written);
+    std::fs::remove_file(&path).ok();
+}
+
 /// Amplified statistics scale the bound linearly in log-space (the
 /// k-amplification of Appendix D.2).
 #[test]
