@@ -13,11 +13,17 @@
 //!    is measured against — and the best **monolithic** plan (partitioning
 //!    disabled) — the baseline degree-partitioned plans are measured
 //!    against,
-//! 3. emits `BENCH_planner.json` at the workspace root with plan time,
+//! 3. re-executes the chosen plan through the vectorized columnar engine
+//!    and the morsel-parallel engine ([`lpb_exec::execute_physical_mode`]),
+//!    asserting all three agree on the result multiset with zero
+//!    certificate violations, and wall-clocks each mode,
+//! 4. emits `BENCH_planner.json` at the workspace root with plan time,
 //!    chosen order/strategy, chosen-vs-greedy, bushy-vs-left-deep and
 //!    partitioned-vs-monolithic peak intermediates, the planned part count,
-//!    certificate-violation counts (asserted zero) and the estimator's
-//!    shape-cache hit counters.
+//!    certificate-violation counts (asserted zero), the estimator's
+//!    shape-cache hit counters, and the per-mode execution times
+//!    (`exec_scalar_us` / `exec_vectorized_us` / `exec_parallel_us`) with
+//!    `speedup_vs_scalar` = scalar over the best vectorized mode.
 //!
 //! Passing `--smoke` (the CI mode: `cargo bench --bench planner_quality --
 //! --smoke`) runs the same pipeline at the test scale and writes the JSON
@@ -25,9 +31,12 @@
 //! clobbering the committed trajectory; CI greps the scratch output for
 //! zero certificate violations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use lpb_datagen::{job_like_catalog, job_like_queries, planner_workloads, JobLikeConfig};
-use lpb_exec::{execute_physical, execute_plan, JoinPlan, Optimizer, PhysicalPlan, PlannerConfig};
+use lpb_exec::{
+    execute_physical, execute_physical_mode, execute_plan, ExecMode, JoinPlan, Optimizer,
+    PhysicalPlan, PlannerConfig,
+};
 use std::time::Instant;
 
 struct PlannerRow {
@@ -46,6 +55,26 @@ struct PlannerRow {
     subqueries_bounded: usize,
     bound_fallbacks: usize,
     shape_cache_hits: usize,
+    exec_scalar_us: f64,
+    exec_vectorized_us: f64,
+    exec_parallel_us: f64,
+    speedup_vs_scalar: f64,
+}
+
+/// Wall-clock one executor configuration: one warm-up call sizes an
+/// iteration count that keeps tiny (smoke-scale) workloads averaged over
+/// enough runs to be meaningful, then the mean over that loop is reported
+/// in microseconds.
+fn time_exec_us(mut run: impl FnMut() -> usize) -> f64 {
+    let warm = Instant::now();
+    black_box(run());
+    let single = warm.elapsed().as_secs_f64();
+    let iters = (0.05 / single.max(1e-9)).ceil().clamp(1.0, 25.0) as u32;
+    let started = Instant::now();
+    for _ in 0..iters {
+        black_box(run());
+    }
+    started.elapsed().as_secs_f64() * 1e6 / f64::from(iters)
 }
 
 fn measure(c: &mut Criterion, smoke: bool) -> Vec<PlannerRow> {
@@ -138,6 +167,47 @@ fn measure(c: &mut Criterion, smoke: bool) -> Vec<PlannerRow> {
             w.name
         );
 
+        // Executor wall-clock: the same chosen plan through the legacy
+        // scalar engine and the vectorized engine (single-threaded and
+        // morsel-parallel).  Before timing, assert the engines agree on the
+        // result multiset and that no mode violates a certificate — the
+        // speedup column is only meaningful over bit-identical answers.
+        let mut chosen_rows = chosen.output.rows().to_vec();
+        chosen_rows.sort_unstable();
+        for mode in [ExecMode::Vectorized, ExecMode::Parallel] {
+            let run = execute_physical_mode(&w.query, &w.catalog, &plan.physical, mode)
+                .expect("vectorized plan");
+            assert_eq!(
+                run.certificate_violations(),
+                0,
+                "{}: {mode:?} execution violated a bound certificate",
+                w.name
+            );
+            let mut rows = run.output.to_tuples().rows().to_vec();
+            rows.sort_unstable();
+            assert_eq!(
+                rows, chosen_rows,
+                "{}: {mode:?} execution disagrees with the scalar engine",
+                w.name
+            );
+        }
+        let exec_scalar_us = time_exec_us(|| {
+            execute_physical(&w.query, &w.catalog, &plan.physical)
+                .expect("scalar exec")
+                .output_size()
+        });
+        let exec_vectorized_us = time_exec_us(|| {
+            execute_physical_mode(&w.query, &w.catalog, &plan.physical, ExecMode::Vectorized)
+                .expect("vectorized exec")
+                .output_size()
+        });
+        let exec_parallel_us = time_exec_us(|| {
+            execute_physical_mode(&w.query, &w.catalog, &plan.physical, ExecMode::Parallel)
+                .expect("parallel exec")
+                .output_size()
+        });
+        let speedup_vs_scalar = exec_scalar_us / exec_vectorized_us.min(exec_parallel_us).max(1e-9);
+
         group.bench_with_input(BenchmarkId::new("plan", w.name), &w, |b, w| {
             b.iter(|| optimizer.plan(&w.query, &w.catalog).unwrap())
         });
@@ -158,6 +228,10 @@ fn measure(c: &mut Criterion, smoke: bool) -> Vec<PlannerRow> {
             subqueries_bounded: plan.subqueries_bounded,
             bound_fallbacks: plan.bound_fallbacks,
             shape_cache_hits,
+            exec_scalar_us,
+            exec_vectorized_us,
+            exec_parallel_us,
+            speedup_vs_scalar,
         });
     }
     group.finish();
@@ -176,7 +250,9 @@ fn write_bench_json(rows: &[PlannerRow], smoke: bool) {
              \"partitioned_vs_monolithic_peak\": {:.2}, \"parts_planned\": {}, \
              \"certificates_checked\": {}, \"certificate_violations\": {}, \
              \"output_size\": {}, \"subqueries_bounded\": {}, \"bound_fallbacks\": {}, \
-             \"shape_cache_hits\": {}}}{}\n",
+             \"shape_cache_hits\": {}, \"exec_scalar_us\": {:.1}, \
+             \"exec_vectorized_us\": {:.1}, \"exec_parallel_us\": {:.1}, \
+             \"speedup_vs_scalar\": {:.2}}}{}\n",
             r.workload,
             r.plan_us,
             r.strategy,
@@ -207,6 +283,10 @@ fn write_bench_json(rows: &[PlannerRow], smoke: bool) {
             r.subqueries_bounded,
             r.bound_fallbacks,
             r.shape_cache_hits,
+            r.exec_scalar_us,
+            r.exec_vectorized_us,
+            r.exec_parallel_us,
+            r.speedup_vs_scalar,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

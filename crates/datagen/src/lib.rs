@@ -34,7 +34,7 @@ pub use alphabeta::{alpha_beta_relation, AlphaBetaConfig};
 pub use job_like::{job_like_catalog, job_like_queries, JobLikeConfig, JobLikeQuery};
 pub use planner::{
     bridged_chains_workload, misleading_chain_workload, partition_skew_workload, planner_workloads,
-    skewed_triangle_workload, PlannerWorkload,
+    skewed_pairs, skewed_triangle_workload, PlannerWorkload,
 };
 pub use powerlaw::{power_law_graph, snap_like_presets, PowerLawGraphConfig, SnapLikePreset};
 pub use rng::{sample_cdf, seeded_rng, zipf_cdf};

@@ -55,6 +55,27 @@ pub struct PlannerWorkload {
     pub catalog: Catalog,
 }
 
+/// Deterministic skewed binary-relation pairs for differential executor
+/// tests: `hubs` planted hub `y`-values each receiving `fanout` distinct
+/// `x` values, over `background` uniform random pairs drawn from a small
+/// domain (so duplicates and dense joins occur).  Same seed, same pairs —
+/// the property tests derive `hubs`/`fanout`/`seed` from their strategy and
+/// replay failures exactly.
+pub fn skewed_pairs(hubs: u64, fanout: u64, background: usize, seed: u64) -> Vec<(u64, u64)> {
+    use rand::Rng;
+    let mut rng = crate::rng::seeded_rng(seed);
+    let mut pairs: Vec<(u64, u64)> = Vec::with_capacity((hubs * fanout) as usize + background);
+    for h in 0..hubs {
+        for j in 0..fanout {
+            pairs.push((1000 + h * 100 + j, h));
+        }
+    }
+    for _ in 0..background {
+        pairs.push((rng.gen_range(0u64..40), rng.gen_range(0u64..12)));
+    }
+    pairs
+}
+
 /// The skewed power-law triangle; see the module docs.  `scale = 1` is the
 /// test size (~1.2k edge samples); benchmarks pass larger scales.
 pub fn skewed_triangle_workload(scale: usize) -> PlannerWorkload {

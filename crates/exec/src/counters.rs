@@ -164,21 +164,44 @@ impl IntermediateCounters {
         self.parts_planned += n;
     }
 
+    /// Merge another recording into this one: `other`'s steps are appended
+    /// (labels untouched), and every tally — certificate checks, violations,
+    /// parts planned, part peaks — accumulates.
+    ///
+    /// This is the roll-up primitive that makes per-worker counters safe
+    /// under morsel-driven parallelism.  It is **associative** (pure
+    /// concatenation/addition), and every aggregate derived from the result
+    /// — [`max_intermediate`](Self::max_intermediate),
+    /// [`total_rows`](Self::total_rows), the certificate tallies, the step
+    /// and part-peak *multisets* — is **order-independent**, so merging
+    /// worker recordings in any order yields the same execution summary.
+    /// Only the step *sequence* reflects merge order, which the morsel
+    /// executor fixes by merging workers in plan (branch) order.
+    pub fn merge(&mut self, other: IntermediateCounters) {
+        self.certificates_checked += other.certificates_checked;
+        self.certificate_violations += other.certificate_violations;
+        self.parts_planned += other.parts_planned;
+        self.part_peaks.extend(other.part_peaks);
+        self.steps.extend(other.steps);
+    }
+
     /// Roll one part's counters up into this (parent) recording: steps are
     /// re-labelled with the part name, certificate checks and violations
     /// accumulate, and the part's peak intermediate is remembered.
     pub(crate) fn absorb_part(&mut self, part: &str, child: IntermediateCounters) {
-        self.certificates_checked += child.certificates_checked;
-        self.certificate_violations += child.certificate_violations;
-        self.parts_planned += child.parts_planned;
         self.part_peaks.push(child.max_intermediate());
-        self.part_peaks.extend(child.part_peaks);
-        for step in child.steps {
-            self.steps.push(StepCount {
-                label: format!("[{part}] {}", step.label),
-                ..step
-            });
-        }
+        let relabelled = IntermediateCounters {
+            steps: child
+                .steps
+                .into_iter()
+                .map(|step| StepCount {
+                    label: format!("[{part}] {}", step.label),
+                    ..step
+                })
+                .collect(),
+            ..child
+        };
+        self.merge(relabelled);
     }
 
     /// Number of recorded steps.
@@ -440,6 +463,122 @@ mod tests {
         assert_eq!(parent.len(), 3);
         assert!(parent.steps()[0].label.starts_with("[S#light]"));
         assert_eq!(parent.max_intermediate(), 100);
+    }
+
+    /// Build a recording with part-prefixed labels and certificate tallies,
+    /// the shape a morsel worker hands back.
+    fn worker_counters(part: &str, rows: usize, violate: bool) -> IntermediateCounters {
+        let mut w = IntermediateCounters::new();
+        w.record(format!("[{part}] scan R"), rows);
+        let bound = if violate { 0.0 } else { 40.0 };
+        // In release builds a violation is merely counted; the debug_assert
+        // variant is exercised by `certificate_violations_are_counted`.
+        let step = StepCount {
+            label: format!("[{part}] ⋈ S"),
+            rows: rows * 2,
+            log2_bound: Some(bound),
+        };
+        w.certificates_checked += 1;
+        if step.violates_certificate() {
+            w.certificate_violations += 1;
+        }
+        w.steps.push(step);
+        w.note_parts_planned(1);
+        w.part_peaks.push(rows * 2);
+        w
+    }
+
+    #[test]
+    fn merge_accumulates_steps_labels_and_tallies() {
+        let mut total = IntermediateCounters::new();
+        total.merge(worker_counters("S#light", 10, false));
+        total.merge(worker_counters("S#heavy", 50, true));
+        assert_eq!(total.len(), 4);
+        assert_eq!(total.sizes(), vec![10, 20, 50, 100]);
+        // Part-prefixed labels survive the merge untouched.
+        assert_eq!(total.steps()[0].label, "[S#light] scan R");
+        assert_eq!(total.steps()[3].label, "[S#heavy] ⋈ S");
+        assert_eq!(total.certificates_checked(), 2);
+        assert_eq!(total.certificate_violations(), 1);
+        assert_eq!(total.parts_planned(), 2);
+        assert_eq!(total.part_peaks(), &[20, 100]);
+        assert_eq!(total.max_intermediate(), 100);
+        assert_eq!(total.total_rows(), 180);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let [a, b, c] = [
+            worker_counters("p0", 3, false),
+            worker_counters("p1", 7, true),
+            worker_counters("p2", 11, false),
+        ];
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(b.clone());
+        left.merge(c.clone());
+        // a ⊕ (b ⊕ c)
+        let mut bc = b;
+        bc.merge(c);
+        let mut right = a;
+        right.merge(bc);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_aggregates_are_order_independent() {
+        let workers = [
+            worker_counters("p0", 3, false),
+            worker_counters("p1", 7, true),
+            worker_counters("p2", 11, false),
+        ];
+        let mut fwd = IntermediateCounters::new();
+        for w in workers.iter().cloned() {
+            fwd.merge(w);
+        }
+        let mut rev = IntermediateCounters::new();
+        for w in workers.iter().rev().cloned() {
+            rev.merge(w);
+        }
+        // Every execution summary agrees regardless of merge order…
+        assert_eq!(fwd.max_intermediate(), rev.max_intermediate());
+        assert_eq!(fwd.total_rows(), rev.total_rows());
+        assert_eq!(fwd.certificates_checked(), rev.certificates_checked());
+        assert_eq!(fwd.certificate_violations(), rev.certificate_violations());
+        assert_eq!(fwd.parts_planned(), rev.parts_planned());
+        assert_eq!(fwd.parts_executed(), rev.parts_executed());
+        // …and the step/part-peak *multisets* are identical.
+        let multiset = |c: &IntermediateCounters| {
+            let mut v: Vec<(String, usize)> = c
+                .steps()
+                .iter()
+                .map(|s| (s.label.clone(), s.rows))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(multiset(&fwd), multiset(&rev));
+        let sorted_peaks = |c: &IntermediateCounters| {
+            let mut p = c.part_peaks().to_vec();
+            p.sort_unstable();
+            p
+        };
+        assert_eq!(sorted_peaks(&fwd), sorted_peaks(&rev));
+    }
+
+    #[test]
+    fn absorb_part_is_merge_plus_relabel() {
+        let mut parent = IntermediateCounters::new();
+        let mut child = IntermediateCounters::new();
+        child.record_checked("⋈ S", 8, Some(5.0));
+        parent.absorb_part("R#light", child.clone());
+
+        let mut expected = IntermediateCounters::new();
+        expected.part_peaks.push(8);
+        let mut relabelled = child;
+        relabelled.steps[0].label = "[R#light] ⋈ S".into();
+        expected.merge(relabelled);
+        assert_eq!(parent, expected);
     }
 
     #[test]

@@ -40,15 +40,26 @@
 //!   counters for the experiment query shapes;
 //! * [`partition_by_degree`] (Lemma 2.5) and [`partitioned_join_count`]
 //!   (Theorem 2.6) — the paper's reduction from ℓp statistics to ℓ1 + ℓ∞
-//!   statistics by degree bucketing, evaluated part-by-part with the WCOJ.
+//!   statistics by degree bucketing, evaluated part-by-part with the WCOJ;
+//! * a **vectorized, morsel-parallel engine** ([`execute_physical_mode`]):
+//!   the same certified plans executed over columnar [`ColumnTable`]
+//!   intermediates — batch-at-a-time hash joins ([`hash_join_columns`]),
+//!   galloping leapfrog over CSR [`RunTrie`]s, bitmap semi-joins
+//!   ([`full_reducer_columns`]) — with independent sub-plans (partition
+//!   parts, bushy branches) forked onto morsel workers whose per-worker
+//!   [`IntermediateCounters`] merge through the same roll-up logic
+//!   ([`IntermediateCounters::merge`]); the scalar path stays available as
+//!   [`ExecMode::Scalar`] for differential cross-checking.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod columns;
 mod counters;
 mod error;
 mod hash_join;
 mod logical;
+mod morsel;
 mod optimizer;
 mod panda_eval;
 mod partition;
@@ -58,13 +69,15 @@ mod tuples;
 mod wcoj;
 mod yannakakis;
 
+pub use columns::{gallop_ge, ColumnBatch, ColumnTable, BATCH_ROWS};
 pub use counters::{
     cycle_count, join2_count, path2_count, triangle_count, IntermediateCounters, StepCount,
     CERTIFICATE_SLACK,
 };
 pub use error::ExecError;
-pub use hash_join::{hash_join, semi_join};
+pub use hash_join::{hash_join, hash_join_columns, semi_join, semi_join_bitmap, semi_join_columns};
 pub use logical::{validate_atom_permutation, JoinPlan, LogicalPlan};
+pub use morsel::{execute_physical_mode, ColumnRun, ExecMode};
 pub use optimizer::{OptimizedPlan, Optimizer, PlannerConfig};
 pub use panda_eval::{partitioned_join_count, PartitionSpec, PartitionedRun};
 pub use partition::{partition_by_degree, partition_for_statistic, split_light_heavy, DegreePart};
@@ -72,11 +85,15 @@ pub use physical::{
     execute_physical, execute_plan, join_size, PartitionBranch, PhysicalNode, PhysicalPlan,
     PhysicalRun, PlanResult,
 };
-pub use trie::{AtomTrie, TrieNode};
+pub use trie::{AtomTrie, RunRange, RunTrie, TrieNode};
 pub use tuples::Tuples;
-pub use wcoj::{build_tries, generic_join_with, wcoj_count, wcoj_count_tries, wcoj_materialize};
+pub use wcoj::{
+    build_run_tries, build_tries, generic_join_runs, generic_join_with, wcoj_count,
+    wcoj_count_tries, wcoj_materialize, wcoj_materialize_columns,
+};
 pub use yannakakis::{
-    full_reducer, full_reducer_counted, gyo_join_tree, is_acyclic, yannakakis_count, JoinTree,
+    full_reducer, full_reducer_columns, full_reducer_counted, gyo_join_tree, is_acyclic,
+    yannakakis_count, JoinTree,
 };
 
 /// Compute the true output cardinality of a query with the most appropriate

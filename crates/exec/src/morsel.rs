@@ -1,0 +1,411 @@
+//! The vectorized, morsel-driven executor: [`execute_physical_mode`] runs
+//! the same certified [`PhysicalPlan`]s as [`crate::execute_physical`], in
+//! one of three [`ExecMode`]s.
+//!
+//! * [`ExecMode::Scalar`] — the legacy tuple-at-a-time engine, kept as the
+//!   cross-checking fallback (delegates to [`crate::execute_physical`]).
+//! * [`ExecMode::Vectorized`] — one worker, columnar operators throughout:
+//!   scans clone relation columns ([`ColumnTable::from_atom`]), hash joins
+//!   probe batch-at-a-time with columnar gathers
+//!   ([`crate::hash_join_columns`]), the WCOJ leapfrogs over CSR
+//!   [`crate::RunTrie`]s with galloping seeks, and Yannakakis reduction
+//!   filters through bitmaps ([`crate::yannakakis::full_reducer_columns`]).
+//! * [`ExecMode::Parallel`] — the vectorized operators plus morsel-driven
+//!   parallelism: a plan's *independent sub-plans* are the morsels.  The two
+//!   branches of a bushy [`PhysicalNode::HashJoin`] fork via `rayon::join`,
+//!   and the parts of a [`PhysicalNode::PartitionedUnion`] fan out one
+//!   worker per part.  Every worker records into its **own**
+//!   [`IntermediateCounters`] — bound certificates are checked right where
+//!   the worker materializes (`record_checked` is per-worker) — and the
+//!   recordings are rolled up through [`IntermediateCounters::merge`] /
+//!   `absorb_part` in plan order, after which the merged node (the bushy
+//!   join output, the partitioned union) is checked against its own
+//!   certificate on the merged totals.
+//!
+//! All three modes produce the same output schema, the same result
+//! multiset, and the same counter steps (labels and sizes) — the
+//! differential property tests in `tests/proptest_exec_modes.rs` pin all
+//! three down on random skewed inputs.
+
+use crate::columns::ColumnTable;
+use crate::counters::IntermediateCounters;
+use crate::error::ExecError;
+use crate::hash_join::hash_join_columns;
+use crate::physical::{assert_parts_disjoint, PhysicalNode, PhysicalPlan};
+use crate::wcoj::wcoj_materialize_columns;
+use crate::yannakakis::full_reducer_columns;
+use lpb_core::JoinQuery;
+use lpb_data::Catalog;
+use rayon::prelude::*;
+
+/// Which engine executes a [`PhysicalPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Legacy tuple-at-a-time execution (the cross-checking fallback).
+    Scalar,
+    /// Columnar batch-at-a-time execution on one worker.
+    Vectorized,
+    /// Columnar execution with independent sub-plans (partition parts,
+    /// bushy join branches) on separate morsel workers.
+    Parallel,
+}
+
+/// Result of a columnar plan execution: the output in columnar form plus
+/// the recorded (and, under [`ExecMode::Parallel`], merged) counters.
+#[derive(Debug, Clone)]
+pub struct ColumnRun {
+    /// The materialized output (columns in the order the plan produced).
+    pub output: ColumnTable,
+    /// What every plan node materialized; identical steps across modes.
+    pub counters: IntermediateCounters,
+}
+
+impl ColumnRun {
+    /// Number of output rows.
+    pub fn output_size(&self) -> usize {
+        self.output.len()
+    }
+
+    /// The largest intermediate any node materialized.
+    pub fn max_intermediate(&self) -> usize {
+        self.counters.max_intermediate()
+    }
+
+    /// How many executed steps exceeded their bound certificate (always
+    /// zero when the planner's bounds are sound).
+    pub fn certificate_violations(&self) -> usize {
+        self.counters.certificate_violations()
+    }
+}
+
+/// Execute a physical plan under the chosen [`ExecMode`].
+pub fn execute_physical_mode(
+    query: &JoinQuery,
+    catalog: &Catalog,
+    plan: &PhysicalPlan,
+    mode: ExecMode,
+) -> Result<ColumnRun, ExecError> {
+    if mode == ExecMode::Scalar {
+        let run = crate::physical::execute_physical(query, catalog, plan)?;
+        return Ok(ColumnRun {
+            output: ColumnTable::from_tuples(&run.output),
+            counters: run.counters,
+        });
+    }
+    let mut counters = IntermediateCounters::new();
+    let parallel = mode == ExecMode::Parallel;
+    let output = eval_columns(plan.root(), query, catalog, &mut counters, parallel)?;
+    Ok(ColumnRun { output, counters })
+}
+
+/// The columnar twin of the scalar evaluator: same recursion, same labels,
+/// same recorded sizes — only the operator implementations (and, with
+/// `parallel`, the scheduling of independent branches) differ.
+fn eval_columns(
+    node: &PhysicalNode,
+    query: &JoinQuery,
+    catalog: &Catalog,
+    counters: &mut IntermediateCounters,
+    parallel: bool,
+) -> Result<ColumnTable, ExecError> {
+    match node {
+        PhysicalNode::Scan { atom, log2_bound } => {
+            let t = ColumnTable::from_atom(query, catalog, *atom)?;
+            counters.record_checked(
+                format!("scan {}", query.atoms()[*atom].relation),
+                t.len(),
+                *log2_bound,
+            );
+            Ok(t)
+        }
+        PhysicalNode::HashChain {
+            input,
+            atoms,
+            step_bounds,
+        } => {
+            let mut acc = eval_columns(input, query, catalog, counters, parallel)?;
+            for (i, &j) in atoms.iter().enumerate() {
+                let next = ColumnTable::from_atom(query, catalog, j)?;
+                acc = hash_join_columns(&acc, &next);
+                counters.record_checked(
+                    format!("⋈ {}", query.atoms()[j].relation),
+                    acc.len(),
+                    step_bounds.get(i).copied().flatten(),
+                );
+            }
+            Ok(acc)
+        }
+        PhysicalNode::HashJoin {
+            left,
+            right,
+            log2_bound,
+        } => {
+            // The two branches are independent sub-plans — under `parallel`
+            // they are the morsels: forked onto separate workers, each with
+            // its own counters (certificates checked in-worker), merged
+            // back in left-then-right plan order so the recorded step
+            // sequence is identical to the sequential one.
+            let (l, r) = if parallel {
+                let ((l, lc), (r, rc)) = rayon::join(
+                    || {
+                        let mut c = IntermediateCounters::new();
+                        eval_columns(left, query, catalog, &mut c, parallel).map(|t| (t, c))
+                    },
+                    || {
+                        let mut c = IntermediateCounters::new();
+                        eval_columns(right, query, catalog, &mut c, parallel).map(|t| (t, c))
+                    },
+                )
+                .into_both()?;
+                counters.merge(lc);
+                counters.merge(rc);
+                (l, r)
+            } else {
+                let l = eval_columns(left, query, catalog, counters, parallel)?;
+                let r = eval_columns(right, query, catalog, counters, parallel)?;
+                (l, r)
+            };
+            let out = hash_join_columns(&l, &r);
+            let label = |n: &PhysicalNode| {
+                n.atom_order_vec()
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            // The merged node's certificate is checked on the merged
+            // totals, in the parent recording.
+            counters.record_checked(
+                format!("⋈ bushy[{}|{}]", label(left), label(right)),
+                out.len(),
+                *log2_bound,
+            );
+            Ok(out)
+        }
+        PhysicalNode::Wcoj { atoms, log2_bound } => {
+            let sub = query.subquery(atoms)?;
+            let out = wcoj_materialize_columns(&sub, catalog)?;
+            counters.record_checked(format!("wcoj {}", sub.name()), out.len(), *log2_bound);
+            Ok(out)
+        }
+        PhysicalNode::Reduced {
+            atoms,
+            scan_bounds,
+            step_bounds,
+        } => {
+            let sub = query.subquery(atoms)?;
+            let reduced = full_reducer_columns(&sub, catalog, counters, scan_bounds)?;
+            let mut iter = reduced.into_iter().enumerate();
+            let (_, mut acc) = iter.next().expect("reduction has at least one atom");
+            counters.record_checked(
+                format!("reduce {}", query.atoms()[atoms[0]].relation),
+                acc.len(),
+                scan_bounds.first().copied().flatten(),
+            );
+            for (i, next) in iter {
+                counters.record_checked(
+                    format!("reduce {}", query.atoms()[atoms[i]].relation),
+                    next.len(),
+                    scan_bounds.get(i).copied().flatten(),
+                );
+                acc = hash_join_columns(&acc, &next);
+                counters.record_checked(
+                    format!("⋈ {}", query.atoms()[atoms[i]].relation),
+                    acc.len(),
+                    step_bounds.get(i).copied().flatten(),
+                );
+            }
+            Ok(acc)
+        }
+        PhysicalNode::PartitionedUnion {
+            atom,
+            parts,
+            log2_bound,
+        } => {
+            assert_parts_disjoint(*atom, parts);
+            counters.note_parts_planned(parts.len());
+            // One morsel per part: each branch rebinds the atom to its part
+            // against a derived sub-catalog and runs with its own counters
+            // (certificates — including the branch's own output bound —
+            // checked in-worker).
+            let run_branch = |branch: &crate::physical::PartitionBranch| {
+                let part_query = query.with_atom_relation(*atom, branch.relation.name())?;
+                let part_catalog = catalog.derive_with(branch.relation.clone());
+                let mut part_counters = IntermediateCounters::new();
+                let rows = eval_columns(
+                    branch.plan.root(),
+                    &part_query,
+                    &part_catalog,
+                    &mut part_counters,
+                    parallel,
+                )?;
+                part_counters.record_checked(
+                    format!("output {}", branch.relation.name()),
+                    rows.len(),
+                    branch.log2_bound,
+                );
+                Ok::<_, ExecError>((rows, part_counters))
+            };
+            let branch_runs: Vec<Result<(ColumnTable, IntermediateCounters), ExecError>> =
+                if parallel {
+                    parts.par_iter().map(run_branch).collect()
+                } else {
+                    parts.iter().map(run_branch).collect()
+                };
+            // Roll up in plan (branch) order — `merge` is associative and
+            // its aggregates order-independent, so this matches the
+            // sequential recording exactly.
+            let mut union: Option<ColumnTable> = None;
+            for (branch, run) in parts.iter().zip(branch_runs) {
+                let (rows, part_counters) = run?;
+                counters.absorb_part(branch.relation.name(), part_counters);
+                match &mut union {
+                    None => union = Some(rows),
+                    Some(acc) => acc.extend_reordered(&rows),
+                }
+            }
+            let out = union.expect("a partitioned union has at least one part");
+            // The union's certificate is checked on the merged total.
+            counters.record_checked("∪ partitioned", out.len(), *log2_bound);
+            Ok(out)
+        }
+    }
+}
+
+/// Transpose a pair of `Result`s, preferring the left error (matching the
+/// sequential evaluator, which would fail on the left branch first).
+trait IntoBoth<L, R, E> {
+    fn into_both(self) -> Result<(L, R), E>;
+}
+
+impl<L, R, E> IntoBoth<L, R, E> for (Result<L, E>, Result<R, E>) {
+    fn into_both(self) -> Result<(L, R), E> {
+        Ok((self.0?, self.1?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::execute_physical;
+    use lpb_data::RelationBuilder;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.insert(RelationBuilder::binary_from_pairs(
+            "R",
+            "a",
+            "b",
+            (0..80u64).map(|i| (i % 13, (i * 7) % 17)),
+        ));
+        c.insert(RelationBuilder::binary_from_pairs(
+            "S",
+            "a",
+            "b",
+            (0..90u64).map(|i| ((i * 3) % 17, i % 11)),
+        ));
+        c.insert(RelationBuilder::binary_from_pairs(
+            "T",
+            "a",
+            "b",
+            (0..70u64).map(|i| (i % 11, (i * 5) % 13)),
+        ));
+        c
+    }
+
+    /// Every mode must agree with the scalar engine step for step: same
+    /// output rows, same counter labels and sizes.
+    fn assert_modes_agree(query: &JoinQuery, catalog: &Catalog, plan: &PhysicalPlan) {
+        let scalar = execute_physical(query, catalog, plan).unwrap();
+        for mode in [ExecMode::Scalar, ExecMode::Vectorized, ExecMode::Parallel] {
+            let run = execute_physical_mode(query, catalog, plan, mode).unwrap();
+            assert_eq!(
+                run.output.to_tuples(),
+                scalar.output,
+                "{mode:?} output differs"
+            );
+            assert_eq!(run.counters, scalar.counters, "{mode:?} counters differ");
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree_across_modes() {
+        let catalog = catalog();
+        let tri = JoinQuery::triangle("R", "S", "T");
+        assert_modes_agree(&tri, &catalog, &PhysicalPlan::hash_chain(vec![0, 1, 2]));
+        assert_modes_agree(&tri, &catalog, &PhysicalPlan::wcoj(vec![0, 1, 2]));
+        let path = JoinQuery::path(&["R", "S", "T"]);
+        assert_modes_agree(&path, &catalog, &PhysicalPlan::reduced(vec![0, 1, 2]));
+        assert_modes_agree(
+            &path,
+            &catalog,
+            &PhysicalPlan::wcoj_then_chain(vec![0, 1], vec![2]),
+        );
+    }
+
+    #[test]
+    fn bushy_joins_agree_and_fork_under_parallel() {
+        let catalog = catalog();
+        let q = JoinQuery::path(&["R", "S", "T", "R"]);
+        let scan = |atom| {
+            Box::new(PhysicalNode::Scan {
+                atom,
+                log2_bound: None,
+            })
+        };
+        let pair = |a, b| {
+            Box::new(PhysicalNode::HashJoin {
+                left: scan(a),
+                right: scan(b),
+                log2_bound: Some(30.0),
+            })
+        };
+        let bushy = PhysicalPlan::from_root(PhysicalNode::HashJoin {
+            left: pair(0, 1),
+            right: pair(2, 3),
+            log2_bound: Some(40.0),
+        });
+        assert_modes_agree(&q, &catalog, &bushy);
+        let run = execute_physical_mode(&q, &catalog, &bushy, ExecMode::Parallel).unwrap();
+        assert_eq!(run.counters.certificates_checked(), 3);
+        assert_eq!(run.certificate_violations(), 0);
+    }
+
+    #[test]
+    fn partitioned_union_agrees_and_rolls_up_across_modes() {
+        let mut catalog = Catalog::new();
+        let mut edges: Vec<(u64, u64)> = Vec::new();
+        for j in 0..12u64 {
+            edges.push((0, j));
+        }
+        for i in 1..9u64 {
+            edges.push((i, i + 1));
+        }
+        catalog.insert(RelationBuilder::binary_from_pairs("E", "a", "b", edges));
+        let q = JoinQuery::path(&["E", "E"]);
+        let rel = catalog.get("E").unwrap();
+        let (light, heavy) = crate::partition::split_light_heavy(&rel, &["b"], &["a"])
+            .unwrap()
+            .expect("skewed relation splits");
+        let branch = |relation: lpb_data::Relation| crate::physical::PartitionBranch {
+            relation: relation.into(),
+            plan: PhysicalPlan::hash_chain(vec![0, 1]),
+            log2_bound: Some(20.0),
+        };
+        let union = PhysicalPlan::from_root(PhysicalNode::PartitionedUnion {
+            atom: 0,
+            parts: vec![branch(light), branch(heavy)],
+            log2_bound: Some(21.0),
+        });
+        assert_modes_agree(&q, &catalog, &union);
+        let run = execute_physical_mode(&q, &catalog, &union, ExecMode::Parallel).unwrap();
+        assert_eq!(run.counters.parts_planned(), 2);
+        assert_eq!(run.counters.parts_executed(), 2);
+        assert_eq!(run.certificate_violations(), 0);
+        assert!(run
+            .counters
+            .steps()
+            .iter()
+            .any(|s| s.label.starts_with("[E#light]")));
+    }
+}

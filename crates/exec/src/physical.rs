@@ -195,6 +195,14 @@ impl PhysicalNode {
         }
     }
 
+    /// [`atom_order`](Self::atom_order) as a fresh vector (used by the
+    /// vectorized executor's step labels).
+    pub(crate) fn atom_order_vec(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.atom_order(&mut out);
+        out
+    }
+
     /// True when this subtree contains a bushy [`PhysicalNode::HashJoin`].
     fn contains_hash_join(&self) -> bool {
         match self {
@@ -545,24 +553,7 @@ fn eval(
             parts,
             log2_bound,
         } => {
-            // The union is exact only because the parts partition the
-            // original relation's tuples; a shared row would double-count
-            // its output tuples.  The O(rows) scan is debug-only, like the
-            // per-step certificate asserts — release executions trust the
-            // planner's split (which debug-asserts the same property when
-            // the parts are built).
-            #[cfg(debug_assertions)]
-            {
-                let mut seen = std::collections::HashSet::new();
-                for branch in parts {
-                    for row in branch.relation.rows() {
-                        assert!(
-                            seen.insert(row),
-                            "partitioned-union parts of atom {atom} are not disjoint"
-                        );
-                    }
-                }
-            }
+            assert_parts_disjoint(*atom, parts);
             counters.note_parts_planned(parts.len());
             let mut union: Option<Tuples> = None;
             for branch in parts {
@@ -592,6 +583,28 @@ fn eval(
             let out = union.expect("a partitioned union has at least one part");
             counters.record_checked("∪ partitioned", out.len(), *log2_bound);
             Ok(out)
+        }
+    }
+}
+
+/// The union of a [`PhysicalNode::PartitionedUnion`] is exact only because
+/// the parts partition the original relation's tuples; a shared row would
+/// double-count its output tuples.  The O(rows) scan is debug-only, like
+/// the per-step certificate asserts — release executions trust the
+/// planner's split (which debug-asserts the same property when the parts
+/// are built).  Shared by the scalar and vectorized executors.
+#[allow(unused_variables)]
+pub(crate) fn assert_parts_disjoint(atom: usize, parts: &[PartitionBranch]) {
+    #[cfg(debug_assertions)]
+    {
+        let mut seen = std::collections::HashSet::new();
+        for branch in parts {
+            for row in branch.relation.rows() {
+                assert!(
+                    seen.insert(row),
+                    "partitioned-union parts of atom {atom} are not disjoint"
+                );
+            }
         }
     }
 }

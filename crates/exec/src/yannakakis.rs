@@ -6,8 +6,9 @@
 //! the JOB-like acyclic suite (Figure 1), whose outputs are far too large to
 //! materialize.
 
+use crate::columns::ColumnTable;
 use crate::error::ExecError;
-use crate::hash_join::semi_join;
+use crate::hash_join::{semi_join, semi_join_columns};
 use crate::tuples::Tuples;
 use lpb_core::JoinQuery;
 use lpb_data::Catalog;
@@ -246,6 +247,50 @@ pub fn full_reducer_counted(
     Ok(rels)
 }
 
+/// The vectorized full reducer: [`full_reducer_counted`] with every
+/// semi-join pass executed as a bitmap filter over columns
+/// ([`semi_join_columns`]) instead of a row-at-a-time hash filter.  Pass
+/// order, recorded labels, recorded sizes, and certificates are identical
+/// to the scalar reducer — only the inner loops changed.
+pub fn full_reducer_columns(
+    query: &JoinQuery,
+    catalog: &Catalog,
+    counters: &mut crate::counters::IntermediateCounters,
+    scan_bounds: &[Option<f64>],
+) -> Result<Vec<ColumnTable>, ExecError> {
+    let Some(tree) = gyo_join_tree(query) else {
+        return Err(ExecError::NotApplicable {
+            reason: "the full reducer needs an acyclic query".into(),
+        });
+    };
+    let mut rels: Vec<ColumnTable> = (0..query.n_atoms())
+        .map(|j| ColumnTable::from_atom(query, catalog, j))
+        .collect::<Result<_, _>>()?;
+    let pass = |rels: &mut Vec<ColumnTable>,
+                target: usize,
+                other: usize,
+                counters: &mut crate::counters::IntermediateCounters| {
+        rels[target] = semi_join_columns(&rels[target], &rels[other]);
+        counters.record_checked(
+            format!("⋉ {}", query.atoms()[target].relation),
+            rels[target].len(),
+            scan_bounds.get(target).copied().flatten(),
+        );
+    };
+
+    for &atom in &tree.elimination_order {
+        if let Some(parent) = tree.parent[atom] {
+            pass(&mut rels, parent, atom, counters);
+        }
+    }
+    for &atom in tree.elimination_order.iter().rev() {
+        if let Some(parent) = tree.parent[atom] {
+            pass(&mut rels, atom, parent, counters);
+        }
+    }
+    Ok(rels)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +417,45 @@ mod tests {
         assert_eq!(reduced[1].len(), 1);
         // Count agrees with the reduced product.
         assert_eq!(yannakakis_count(&q, &catalog).unwrap(), 1);
+    }
+
+    #[test]
+    fn columnar_reducer_matches_scalar_reducer_exactly() {
+        let mut catalog = Catalog::new();
+        catalog.insert(RelationBuilder::binary_from_pairs(
+            "R",
+            "a",
+            "b",
+            (0..60u64).map(|i| (i % 9, (i * 3) % 11)),
+        ));
+        catalog.insert(RelationBuilder::binary_from_pairs(
+            "S",
+            "b",
+            "c",
+            (0..50u64).map(|i| (i % 11, (i * 7) % 6)),
+        ));
+        catalog.insert(RelationBuilder::binary_from_pairs(
+            "T",
+            "c",
+            "d",
+            (0..20u64).map(|i| (i % 4, i)),
+        ));
+        let q = JoinQuery::path(&["R", "S", "T"]);
+        let bounds = vec![Some(10.0), Some(10.0), Some(10.0)];
+        let mut scalar_counters = crate::counters::IntermediateCounters::new();
+        let scalar = full_reducer_counted(&q, &catalog, &mut scalar_counters, &bounds).unwrap();
+        let mut col_counters = crate::counters::IntermediateCounters::new();
+        let cols = full_reducer_columns(&q, &catalog, &mut col_counters, &bounds).unwrap();
+        // Same pass labels, sizes, and certificate tallies…
+        assert_eq!(scalar_counters, col_counters);
+        // …and the same reduced relations, row for row.
+        for (s, c) in scalar.iter().zip(&cols) {
+            let mut srows = s.rows().to_vec();
+            let mut crows = c.to_tuples().rows().to_vec();
+            srows.sort_unstable();
+            crows.sort_unstable();
+            assert_eq!(srows, crows);
+        }
     }
 
     #[test]

@@ -10,8 +10,71 @@
 //! `lpb-core`'s `BatchEstimator` genuinely fans out across cores, but it
 //! makes no attempt at rayon's work stealing: chunks are static. That is a
 //! good fit for batch bound computation, where items have similar cost.
+//!
+//! Beyond the iterator surface, the shim also provides [`join`] and
+//! [`scope`] — the structured fork/join primitives the morsel-driven
+//! executor in `lpb-exec` schedules on. Both genuinely run closures on
+//! separate OS threads (see the `join_runs_both_sides_concurrently` test,
+//! which proves two morsels overlap in time), trading rayon's pooling for
+//! one `std::thread::scope` spawn per fork — fine at morsel granularity,
+//! where each task is an entire sub-plan.
 
 use std::num::NonZeroUsize;
+
+/// Run `a` and `b` potentially in parallel and return both results.
+///
+/// `b` is spawned on a fresh scoped thread while `a` runs on the caller's
+/// thread, so the two closures genuinely overlap in time (this is not a
+/// sequential fallback). Mirrors `rayon::join`'s signature and its panic
+/// semantics closely enough for the workspace: a panic in either closure
+/// propagates to the caller.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// A fork scope handed to the closure of [`scope`]; tasks spawned on it are
+/// all joined before `scope` returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task on its own thread; it may borrow from outside the scope.
+    ///
+    /// Unlike rayon's `Scope::spawn`, the closure takes no `&Scope`
+    /// argument (nested spawning is not needed by this workspace) and the
+    /// task runs on a dedicated thread rather than a pool.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.inner.spawn(f);
+    }
+}
+
+/// Create a fork scope: every task spawned via [`Scope::spawn`] runs on its
+/// own thread and is joined (with panics propagated) before `scope` returns
+/// `op`'s result.
+pub fn scope<'env, F, R>(op: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|inner| op(&Scope { inner }))
+}
 
 fn worker_count(items: usize) -> usize {
     let cores = std::thread::available_parallelism()
@@ -129,5 +192,81 @@ mod tests {
         let input: Vec<u64> = Vec::new();
         let out: Vec<u64> = input.par_iter().map(|x| x + 1).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = crate::join(|| 2 + 2, || "forked".len());
+        assert_eq!(a, 4);
+        assert_eq!(b, 6);
+    }
+
+    /// The morsel scheduler's core requirement: the two sides of `join`
+    /// overlap in time. Each closure raises its flag and then waits to see
+    /// the other side's flag; only truly concurrent execution lets both
+    /// finish — a sequential fallback would deadlock side A (and trip the
+    /// deadline panic).
+    #[test]
+    fn join_runs_both_sides_concurrently() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::time::{Duration, Instant};
+
+        let a_started = AtomicBool::new(false);
+        let b_started = AtomicBool::new(false);
+        let await_flag = |flag: &AtomicBool| {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while !flag.load(Ordering::SeqCst) {
+                assert!(
+                    Instant::now() < deadline,
+                    "morsels never overlapped: join is sequential"
+                );
+                std::thread::yield_now();
+            }
+        };
+        crate::join(
+            || {
+                a_started.store(true, Ordering::SeqCst);
+                await_flag(&b_started);
+            },
+            || {
+                b_started.store(true, Ordering::SeqCst);
+                await_flag(&a_started);
+            },
+        );
+    }
+
+    #[test]
+    fn scope_joins_all_spawned_tasks_and_they_overlap() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::time::{Duration, Instant};
+
+        // Rendezvous: every task waits until all `n` have started, so the
+        // test also proves scoped tasks run concurrently with one another.
+        let n = 3usize;
+        let started = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..n {
+                s.spawn(|| {
+                    started.fetch_add(1, Ordering::SeqCst);
+                    let deadline = Instant::now() + Duration::from_secs(10);
+                    while started.load(Ordering::SeqCst) < n {
+                        assert!(Instant::now() < deadline, "scoped tasks never overlapped");
+                        std::thread::yield_now();
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        // `scope` returns only after every task joined.
+        assert_eq!(done.load(Ordering::SeqCst), n);
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            crate::join(|| 1, || panic!("forked side failed"));
+        });
+        assert!(caught.is_err());
     }
 }
