@@ -19,7 +19,11 @@
 //!   log-bounds change (`dual_warm_us`, with `dual_vs_cold_ratio` < 1 the
 //!   acceptance bar);
 //!
-//! plus a sequential-vs-parallel `BatchEstimator` run over a mixed batch.
+//! plus a **lazy constraint-generation** scaling table (cold polymatroid
+//! bounds at n = 9..12, with pivot / rows-generated work counters and an
+//! independent cross-check per size), a Devex-vs-Dantzig pricing
+//! head-to-head on the largest materialized LP, and a
+//! sequential-vs-parallel `BatchEstimator` run over a mixed batch.
 //!
 //! Passing `--smoke` (the CI mode: `cargo bench --bench lp_scaling --
 //! --smoke`) runs the same code over the two smallest sizes with the same
@@ -29,11 +33,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lpb_core::{
     collect_simple_statistics, compute_bound, compute_bound_with, BatchEstimator, BatchItem,
-    BoundOptions, CollectConfig, Cone, JoinQuery, StatisticsSet,
+    BoundOptions, CollectConfig, Cone, JoinQuery, StatisticsSet, POLYMATROID_MATERIALIZE_LIMIT,
 };
 use lpb_datagen::{graph_catalog, PowerLawGraphConfig};
 use lpb_entropy::{elemental_inequalities, VarSet};
-use lpb_lp::{Problem, Sense, SolverKind, SolverOptions};
+use lpb_lp::{Pricing, Problem, Sense, SolverKind, SolverOptions, SolverStats};
 use std::time::Instant;
 
 fn catalog() -> lpb_core::Catalog {
@@ -62,9 +66,9 @@ fn median_us<F: FnMut()>(mut f: F) -> f64 {
     samples[samples.len() / 2]
 }
 
-/// Replicate the *seed* polymatroid bound path: regenerate the Shannon
-/// elemental rows and solve the dense tableau, from scratch.
-fn seed_dense_bound(n: usize, stats: &StatisticsSet) -> f64 {
+/// The fully materialized polymatroid bound LP: statistic rows first, then
+/// every Shannon elemental row.
+fn full_polymatroid_problem(n: usize, stats: &StatisticsSet) -> Problem {
     let n_subsets = (1usize << n) - 1;
     let var_of = |s: VarSet| -> usize { s.index() - 1 };
     let mut p = Problem::maximize(n_subsets);
@@ -87,7 +91,14 @@ fn seed_dense_bound(n: usize, stats: &StatisticsSet) -> f64 {
             .collect();
         p.add_constraint(&coeffs, Sense::Le, 0.0);
     }
-    p.solve_with(&SolverOptions::dense())
+    p
+}
+
+/// Replicate the *seed* polymatroid bound path: regenerate the Shannon
+/// elemental rows and solve the dense tableau, from scratch.
+fn seed_dense_bound(n: usize, stats: &StatisticsSet) -> f64 {
+    full_polymatroid_problem(n, stats)
+        .solve_with(&SolverOptions::dense())
         .expect("dense solve")
         .objective
 }
@@ -130,6 +141,7 @@ fn comparison_table(c: &mut Criterion, smoke: bool) -> Vec<ComparisonRow> {
         let sparse_only = BoundOptions {
             solver: SolverKind::SparseRevised,
             warm_start: None,
+            lazy: None,
         };
         let sparse = compute_bound_with(&q, &stats, Cone::Polymatroid, &sparse_only).unwrap();
         assert!(
@@ -140,6 +152,7 @@ fn comparison_table(c: &mut Criterion, smoke: bool) -> Vec<ComparisonRow> {
         let warm_opts = BoundOptions {
             solver: SolverKind::SparseRevised,
             warm_start: Some(sparse.warm_basis.clone()),
+            lazy: None,
         };
         let warm = compute_bound_with(&q, &stats, Cone::Polymatroid, &warm_opts).unwrap();
         assert!((warm.log2_bound - sparse.log2_bound).abs() <= 1e-6);
@@ -207,6 +220,164 @@ fn comparison_table(c: &mut Criterion, smoke: bool) -> Vec<ComparisonRow> {
     rows
 }
 
+struct LazyRow {
+    n_vars: usize,
+    n_stats: usize,
+    lazy_cold_us: f64,
+    reference: &'static str,
+    reference_us: f64,
+    pivots: u64,
+    rows_generated: u64,
+    cgen_rounds: u64,
+}
+
+/// Constraint-generation scaling past the materialization ceiling: cold
+/// lazy polymatroid bounds on path queries at n = 9..12, cross-checked
+/// against the full Shannon skeleton while it still materializes
+/// (n ≤ [`POLYMATROID_MATERIALIZE_LIMIT`]) and against the normal cone —
+/// exact on simple statistics — beyond it.  Alongside wall-clock, the rows
+/// record *work*: simplex pivots, constraint-generation rounds and rows
+/// actually generated (versus the `n·2^(n-1)` elementals the materialized
+/// skeleton would build — 67 584 at n = 12).
+fn lazy_scaling_table(c: &mut Criterion, smoke: bool) -> Vec<LazyRow> {
+    let catalog = catalog();
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("lazy_polymatroid_scaling");
+    group.sample_size(10);
+    // The smoke list keeps the n = 12 endpoint: CI greps the emitted JSON
+    // for that row, so the full-width path is exercised on every push.
+    let ns: &[usize] = if smoke { &[9, 12] } else { &[9, 10, 11, 12] };
+    for &n in ns {
+        let q = JoinQuery::path(&vec!["E"; n - 1]);
+        assert_eq!(q.n_vars(), n);
+        let stats =
+            collect_simple_statistics(&q, &catalog, &CollectConfig::with_max_norm(2)).unwrap();
+        let lazy_opts = BoundOptions {
+            solver: SolverKind::SparseRevised,
+            warm_start: None,
+            lazy: Some(true),
+        };
+        let lazy = compute_bound_with(&q, &stats, Cone::Polymatroid, &lazy_opts).unwrap();
+
+        // Cross-check before timing.
+        let (reference, reference_us) = if n <= POLYMATROID_MATERIALIZE_LIMIT {
+            let full_opts = BoundOptions {
+                lazy: Some(false),
+                ..lazy_opts.clone()
+            };
+            let t = Instant::now();
+            let full = compute_bound_with(&q, &stats, Cone::Polymatroid, &full_opts).unwrap();
+            let single_shot_us = t.elapsed().as_secs_f64() * 1e6;
+            assert!(
+                (lazy.log2_bound - full.log2_bound).abs() <= 1e-6,
+                "n={n}: lazy {} vs full skeleton {}",
+                lazy.log2_bound,
+                full.log2_bound
+            );
+            // The materialized reference takes *seconds* at these sizes —
+            // that gap is the point of this table — so only re-measure for
+            // a median when a single solve is cheap.
+            let us = if single_shot_us < 300_000.0 {
+                median_us(|| {
+                    compute_bound_with(&q, &stats, Cone::Polymatroid, &full_opts).unwrap();
+                })
+            } else {
+                single_shot_us
+            };
+            ("full-skeleton", us)
+        } else {
+            // Past the ceiling the skeleton no longer materializes; the
+            // normal cone is the independent authority (simple statistics,
+            // so the two cones agree — Theorem 6.1).
+            let normal = compute_bound_with(&q, &stats, Cone::Normal, &lazy_opts).unwrap();
+            assert!(
+                (lazy.log2_bound - normal.log2_bound).abs() <= 1e-6,
+                "n={n}: lazy {} vs normal cone {}",
+                lazy.log2_bound,
+                normal.log2_bound
+            );
+            let us = median_us(|| {
+                compute_bound_with(&q, &stats, Cone::Normal, &lazy_opts).unwrap();
+            });
+            ("normal-cone", us)
+        };
+
+        // Work counters over one cold lazy solve.
+        let before = SolverStats::snapshot();
+        compute_bound_with(&q, &stats, Cone::Polymatroid, &lazy_opts).unwrap();
+        let work = SolverStats::snapshot().since(&before);
+
+        let lazy_cold_us = median_us(|| {
+            compute_bound_with(&q, &stats, Cone::Polymatroid, &lazy_opts).unwrap();
+        });
+        group.bench_with_input(BenchmarkId::new("lazy_cgen", n), &n, |b, _| {
+            b.iter(|| {
+                compute_bound_with(&q, &stats, Cone::Polymatroid, &lazy_opts)
+                    .unwrap()
+                    .log2_bound
+            })
+        });
+        rows.push(LazyRow {
+            n_vars: n,
+            n_stats: stats.len(),
+            lazy_cold_us,
+            reference,
+            reference_us,
+            pivots: work.total_pivots(),
+            rows_generated: work.rows_appended,
+            cgen_rounds: work.append_batches,
+        });
+    }
+    group.finish();
+    rows
+}
+
+struct PricingRow {
+    n_vars: usize,
+    devex_us: f64,
+    dantzig_us: f64,
+    devex_pivots: u64,
+    dantzig_pivots: u64,
+}
+
+/// Devex vs Dantzig pricing on the largest fully materialized polymatroid
+/// LP (n = 8: 1 024 elemental rows) — the head-to-head behind the default
+/// pricing rule.
+fn pricing_comparison() -> PricingRow {
+    let catalog = catalog();
+    let q = JoinQuery::path(&["E"; 7]);
+    let n = q.n_vars();
+    let stats = collect_simple_statistics(&q, &catalog, &CollectConfig::with_max_norm(6)).unwrap();
+    let p = full_polymatroid_problem(n, &stats);
+    let run = |pricing: Pricing| {
+        let opts = SolverOptions {
+            solver: SolverKind::SparseRevised,
+            pricing,
+            ..SolverOptions::default()
+        };
+        let before = SolverStats::snapshot();
+        let obj = p.solve_with(&opts).expect("pricing solve").objective;
+        let pivots = SolverStats::snapshot().since(&before).total_pivots();
+        let us = median_us(|| {
+            p.solve_with(&opts).expect("pricing solve");
+        });
+        (obj, pivots, us)
+    };
+    let (devex_obj, devex_pivots, devex_us) = run(Pricing::Devex);
+    let (dantzig_obj, dantzig_pivots, dantzig_us) = run(Pricing::Dantzig);
+    assert!(
+        (devex_obj - dantzig_obj).abs() <= 1e-6,
+        "pricing rules disagree: devex {devex_obj} vs dantzig {dantzig_obj}"
+    );
+    PricingRow {
+        n_vars: n,
+        devex_us,
+        dantzig_us,
+        devex_pivots,
+        dantzig_pivots,
+    }
+}
+
 struct BatchTiming {
     items: usize,
     sequential_ms: f64,
@@ -251,7 +422,13 @@ fn batch_comparison(smoke: bool) -> BatchTiming {
     }
 }
 
-fn write_bench_json(rows: &[ComparisonRow], batch: &BatchTiming, smoke: bool) {
+fn write_bench_json(
+    rows: &[ComparisonRow],
+    lazy_rows: &[LazyRow],
+    pricing: &PricingRow,
+    batch: &BatchTiming,
+    smoke: bool,
+) {
     let mut out = String::from("{\n  \"bench\": \"lp_scaling\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -271,7 +448,37 @@ fn write_bench_json(rows: &[ComparisonRow], batch: &BatchTiming, smoke: bool) {
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
+    out.push_str("  ],\n  \"lazy_rows\": [\n");
+    for (i, r) in lazy_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n_vars\": {}, \"n_stats\": {}, \"lazy_cold_us\": {:.1}, \
+             \"reference\": \"{}\", \"reference_us\": {:.1}, \"pivots\": {}, \
+             \"rows_generated\": {}, \"cgen_rounds\": {}, \
+             \"elementals_skipped\": {}}}{}\n",
+            r.n_vars,
+            r.n_stats,
+            r.lazy_cold_us,
+            r.reference,
+            r.reference_us,
+            r.pivots,
+            r.rows_generated,
+            r.cgen_rounds,
+            // The Shannon block the materialized skeleton would have built.
+            r.n_vars as u64 * (1u64 << (r.n_vars - 1)),
+            if i + 1 == lazy_rows.len() { "" } else { "," }
+        ));
+    }
     out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"pricing\": {{\"n_vars\": {}, \"devex_us\": {:.1}, \"dantzig_us\": {:.1}, \
+         \"devex_pivots\": {}, \"dantzig_pivots\": {}, \"pivot_ratio\": {:.2}}},\n",
+        pricing.n_vars,
+        pricing.devex_us,
+        pricing.dantzig_us,
+        pricing.devex_pivots,
+        pricing.dantzig_pivots,
+        pricing.dantzig_pivots as f64 / pricing.devex_pivots.max(1) as f64
+    ));
     let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     out.push_str(&format!(
         "  \"batch\": {{\"items\": {}, \"workers\": {}, \"sequential_ms\": {:.2}, \
@@ -338,8 +545,10 @@ fn bench_norm_budget(c: &mut Criterion) {
 fn bench(c: &mut Criterion) {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let rows = comparison_table(c, smoke);
+    let lazy_rows = lazy_scaling_table(c, smoke);
+    let pricing = pricing_comparison();
     let batch = batch_comparison(smoke);
-    write_bench_json(&rows, &batch, smoke);
+    write_bench_json(&rows, &lazy_rows, &pricing, &batch, smoke);
     if !smoke {
         bench_norm_budget(c);
     }

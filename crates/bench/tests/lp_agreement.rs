@@ -119,6 +119,7 @@ fn sparse_dense_and_cached_skeleton_agree_on_experiment_queries() {
             &BoundOptions {
                 solver: SolverKind::Dense,
                 warm_start: None,
+                lazy: None,
             },
         )
         .unwrap_or_else(|e| panic!("{name}: dense solve failed: {e}"));
@@ -126,6 +127,7 @@ fn sparse_dense_and_cached_skeleton_agree_on_experiment_queries() {
         let sparse_options = BoundOptions {
             solver: SolverKind::SparseRevised,
             warm_start: None,
+            lazy: None,
         };
         let sparse_scratch = compute_bound_with(query, stats, cone, &sparse_options)
             .unwrap_or_else(|e| panic!("{name}: sparse solve failed: {e}"));

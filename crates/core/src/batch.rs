@@ -65,7 +65,7 @@
 
 use crate::bound_lp::{
     build_bound_problem, compute_bound_with, solution_to_result, validate_guards, BoundOptions,
-    BoundResult, Cone,
+    BoundResult, Cone, POLYMATROID_MATERIALIZE_LIMIT,
 };
 use crate::collect::{collect_simple_statistics, CollectConfig};
 use crate::error::CoreError;
@@ -110,6 +110,24 @@ impl LpShape {
             stats: shapes,
         }
     }
+}
+
+/// Whether sorted multiset `a` is contained in sorted multiset `b`
+/// (respecting multiplicities) — the shape-level precondition for growing a
+/// cached warm handle by appending the statistics in `b ∖ a`.
+fn is_sorted_multiset_subset<T: Ord>(a: &[T], b: &[T]) -> bool {
+    let mut it = b.iter();
+    'outer: for x in a {
+        for y in it.by_ref() {
+            match y.cmp(x) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
 }
 
 /// One unit of work for [`BatchEstimator::estimate`].
@@ -232,6 +250,36 @@ impl BatchEstimator {
             .len()
     }
 
+    /// Largest cached snapshot whose statistic shape is a strict multiset
+    /// subset of `shape` and whose matrix actually embeds into `problem`
+    /// (checked row-for-row by [`WarmHandle::matches_superset`]).  Growing
+    /// the biggest subset appends the fewest rows.
+    fn grown_candidate(
+        &self,
+        shape: &LpShape,
+        problem: &lpb_lp::Problem,
+    ) -> Option<Arc<WarmHandle>> {
+        let handles = self
+            .cache
+            .handles
+            .lock()
+            .expect("warm-start cache poisoned");
+        let mut candidates: Vec<(&LpShape, &Arc<WarmHandle>)> = handles
+            .iter()
+            .filter(|(k, _)| {
+                k.n_vars == shape.n_vars
+                    && k.cone == shape.cone
+                    && k.stats.len() < shape.stats.len()
+                    && is_sorted_multiset_subset(&k.stats, &shape.stats)
+            })
+            .collect();
+        candidates.sort_by_key(|(k, _)| std::cmp::Reverse(k.stats.len()));
+        candidates
+            .into_iter()
+            .map(|(_, h)| Arc::clone(h))
+            .find(|h| h.matches_superset(problem))
+    }
+
     /// Compute the bound for every item, in input order.
     ///
     /// Per-item failures (unguarded statistics, oversized queries,
@@ -242,10 +290,25 @@ impl BatchEstimator {
             let cone = self
                 .cone
                 .unwrap_or_else(|| Cone::auto(&item.query, &item.stats));
+            if cone == Cone::Polymatroid && item.query.n_vars() > POLYMATROID_MATERIALIZE_LIMIT {
+                // No materialized skeleton exists at this size; the bound is
+                // computed by lazy constraint generation, whose core LP is
+                // too query-specific for the per-shape snapshot cache.
+                let options = BoundOptions {
+                    solver: self.solver,
+                    warm_start: None,
+                    lazy: None,
+                };
+                return compute_bound_with(&item.query, &item.stats, cone, &options);
+            }
             if !self.warm_start || self.solver == SolverKind::Dense {
                 let options = BoundOptions {
                     solver: self.solver,
                     warm_start: None,
+                    // The warm-started shape cache below is the reference
+                    // full-skeleton path; keep the cold/dense reference on
+                    // the same materialized LP for bit-comparable results.
+                    lazy: Some(false),
                 };
                 return compute_bound_with(&item.query, &item.stats, cone, &options);
             }
@@ -273,10 +336,21 @@ impl BatchEstimator {
                     self.cache.hits.fetch_add(1, Ordering::Relaxed);
                     h.resolve(&problem, &lp_options).map(|sol| (sol, None))
                 }
-                _ => {
-                    self.cache.misses.fetch_add(1, Ordering::Relaxed);
-                    solve_sparse_with_handle(&problem, &lp_options)
-                }
+                _ => match self.grown_candidate(&shape, &problem) {
+                    // Exact miss, but a cached snapshot of a statistic
+                    // *subset* shape exists: append the extra rows to its
+                    // factorized basis and repair dually instead of solving
+                    // cold.  `resolve_grown` publishes a handle for the
+                    // grown shape, installed under the new key below.
+                    Some(h) => {
+                        self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                        h.resolve_grown(&problem, &lp_options)
+                    }
+                    None => {
+                        self.cache.misses.fetch_add(1, Ordering::Relaxed);
+                        solve_sparse_with_handle(&problem, &lp_options)
+                    }
+                },
             };
             let (solution, new_handle) = match solved {
                 Ok(ok) => ok,
@@ -286,6 +360,7 @@ impl BatchEstimator {
                     let options = BoundOptions {
                         solver: SolverKind::Dense,
                         warm_start: None,
+                        lazy: Some(false),
                     };
                     return compute_bound_with(&item.query, &item.stats, cone, &options);
                 }
@@ -671,6 +746,102 @@ mod tests {
                 assert!((a.log2_bound - b.log2_bound).abs() < 1e-6);
             }
         }
+    }
+
+    #[test]
+    fn multiset_subset_respects_multiplicities() {
+        assert!(is_sorted_multiset_subset(&[1, 2], &[1, 2, 3]));
+        assert!(is_sorted_multiset_subset(&[1, 1], &[1, 1, 2]));
+        assert!(!is_sorted_multiset_subset(&[1, 1], &[1, 2, 3]));
+        assert!(!is_sorted_multiset_subset(&[4], &[1, 2, 3]));
+        assert!(is_sorted_multiset_subset::<u32>(&[], &[1]));
+        assert!(!is_sorted_multiset_subset(&[1], &[]));
+    }
+
+    /// A statistics *superset* of a cached shape grows the snapshot by
+    /// appending rows instead of solving cold, matches the cold reference,
+    /// and publishes a handle that then serves the grown shape exactly.
+    #[test]
+    fn growing_a_cached_shape_appends_instead_of_solving_cold() {
+        let catalog = catalog();
+        let query = JoinQuery::path(&["E", "E"]);
+        let base =
+            collect_simple_statistics(&query, &catalog, &CollectConfig::with_max_norm(2)).unwrap();
+        let mut grown: Vec<ConcreteStatistic> = base.as_slice().to_vec();
+        grown.push(ConcreteStatistic::new(
+            Conditional::new(query.atom_vars(0), lpb_entropy::VarSet::EMPTY),
+            Norm::L1,
+            0,
+            3.0,
+        ));
+        let grown = StatisticsSet::from_vec(grown);
+
+        let est = BatchEstimator::new().sequential();
+        for r in est.estimate(&[BatchItem::new(query.clone(), base.clone())]) {
+            r.unwrap();
+        }
+        let misses = est.shape_cache_misses();
+        let hits = est.shape_cache_hits();
+
+        let warm = est.estimate(&[BatchItem::new(query.clone(), grown.clone())]);
+        assert_eq!(
+            est.shape_cache_misses(),
+            misses,
+            "a superset shape should grow the cached handle, not solve cold"
+        );
+        assert_eq!(est.shape_cache_hits(), hits + 1);
+        let cold = BatchEstimator::new()
+            .sequential()
+            .without_warm_start()
+            .estimate(&[BatchItem::new(query.clone(), grown.clone())]);
+        let (w, c) = (warm[0].as_ref().unwrap(), cold[0].as_ref().unwrap());
+        assert!(
+            (w.log2_bound - c.log2_bound).abs() < 1e-9,
+            "grown-append {} vs cold {}",
+            w.log2_bound,
+            c.log2_bound
+        );
+
+        // The grown shape published its own snapshot: an RHS-only variant
+        // hits the exact path and still matches cold.
+        let variant = grown.amplify(1.1);
+        let again = est.estimate(&[BatchItem::new(query.clone(), variant.clone())]);
+        assert_eq!(est.shape_cache_hits(), hits + 2);
+        let cold_again = BatchEstimator::new()
+            .sequential()
+            .without_warm_start()
+            .estimate(&[BatchItem::new(query.clone(), variant)]);
+        let (a, b) = (again[0].as_ref().unwrap(), cold_again[0].as_ref().unwrap());
+        assert!((a.log2_bound - b.log2_bound).abs() < 1e-9);
+    }
+
+    /// Polymatroid items past the materialization limit route through lazy
+    /// constraint generation and agree with the normal cone on simple
+    /// statistics (Theorem 6.1).
+    #[test]
+    fn oversized_polymatroid_items_route_through_lazy_generation() {
+        let catalog = catalog();
+        let query = JoinQuery::path(&["E"; 10]);
+        assert!(query.n_vars() > crate::bound_lp::POLYMATROID_MATERIALIZE_LIMIT);
+        let stats =
+            collect_simple_statistics(&query, &catalog, &CollectConfig::with_max_norm(2)).unwrap();
+        let item = BatchItem::new(query.clone(), stats.clone());
+        let poly = BatchEstimator::new()
+            .sequential()
+            .with_cone(Cone::Polymatroid)
+            .estimate(std::slice::from_ref(&item));
+        let normal = BatchEstimator::new()
+            .sequential()
+            .with_cone(Cone::Normal)
+            .estimate(std::slice::from_ref(&item));
+        let (p, n) = (poly[0].as_ref().unwrap(), normal[0].as_ref().unwrap());
+        assert!(p.is_bounded());
+        assert!(
+            (p.log2_bound - n.log2_bound).abs() < 1e-6,
+            "lazy polymatroid {} vs normal {}",
+            p.log2_bound,
+            n.log2_bound
+        );
     }
 
     #[test]

@@ -8,10 +8,27 @@ use crate::statistics::StatisticsSet;
 use lpb_data::Norm;
 use lpb_lp::{Problem, Sense, Solution, SolverKind, SolverOptions, Status};
 
-/// Maximum number of query variables supported by the polymatroid (Γₙ) cone:
-/// the LP has `2^n − 1` variables and `n + C(n,2)·2^{n−2}` Shannon rows, so
-/// it grows quickly.
-pub const POLYMATROID_VAR_LIMIT: usize = 10;
+/// Maximum number of query variables supported by the polymatroid (Γₙ) cone.
+/// The LP has `2^n − 1` variables and `n + C(n,2)·2^{n−2}` Shannon rows;
+/// past [`POLYMATROID_MATERIALIZE_LIMIT`] the rows are no longer
+/// materialized — lazy constraint generation ([`crate::cgen`]) separates the
+/// few that bind out of the full family instead, which carries the cone to
+/// twelve variables (`2^12 − 1 = 4095` LP columns, 67 584 candidate rows).
+pub const POLYMATROID_VAR_LIMIT: usize = 12;
+
+/// Largest variable count at which the full Shannon elemental block is still
+/// materialized as the LP's shared tail (`n + C(n,2)·2^{n−2}` rows ≈ 11 530
+/// at `n = 10`).  Beyond it the block would dominate both memory and solve
+/// time, so [`compute_bound_with`] always switches to lazy constraint
+/// generation, which never builds the block at any `n`.
+pub const POLYMATROID_MATERIALIZE_LIMIT: usize = 10;
+
+/// Variable count from which [`compute_bound_with`] prefers lazy constraint
+/// generation by default even though the full block still materializes
+/// (auto mode; see [`BoundOptions::lazy`]).  At `n = 9` the materialized
+/// skeleton already carries 5 769 Shannon rows of which a few dozen bind —
+/// the separation loop solves the same LP from a few hundred rows.
+pub const POLYMATROID_LAZY_FROM: usize = 9;
 
 /// Maximum number of query variables supported by the normal (Nₙ) cone: the
 /// LP has `2^n − 1` columns but only one row per statistic.
@@ -21,15 +38,22 @@ pub const NORMAL_VAR_LIMIT: usize = 18;
 /// polymatroid cone when the normal cone would give the same bound (i.e.
 /// when every statistic is simple, Theorem 6.1).  Up to this size the
 /// polymatroid LP is cheap and its primal solution (the full entropy
-/// vector) is the more useful artifact; beyond it the Shannon row block
-/// grows as `C(n,2)·2^{n−2}` and the normal cone is two orders of magnitude
-/// faster for an identical bound, so `auto` switches over.  Non-simple
-/// statistics have no such choice — only the polymatroid cone is sound —
-/// and remain on it up to [`POLYMATROID_VAR_LIMIT`].
+/// vector) is the more useful artifact; beyond it the normal cone is far
+/// faster for an identical bound, so `auto` switches over.  Re-checked
+/// after lazy constraint generation landed (`BENCH_lp.json`): generation
+/// closes most of the gap the materialized block had — 20ms vs the old
+/// *seconds* at n = 10–12 — but the normal cone still answers the same
+/// simple-statistics instances in 2–4ms (one row per statistic, no
+/// separation), so the crossover stays at 8.  Non-simple statistics have
+/// no such choice — only the polymatroid cone is sound — and remain on it
+/// up to [`POLYMATROID_VAR_LIMIT`].
 pub const POLYMATROID_AUTO_PREFERRED: usize = 8;
 
-// The crossover must never point `auto` at a cone the engine refuses.
+// The crossover must never point `auto` at a cone the engine refuses, and
+// the lazy path must take over no later than materialization runs out.
 const _: () = assert!(POLYMATROID_AUTO_PREFERRED <= POLYMATROID_VAR_LIMIT);
+const _: () = assert!(POLYMATROID_MATERIALIZE_LIMIT <= POLYMATROID_VAR_LIMIT);
+const _: () = assert!(POLYMATROID_LAZY_FROM <= POLYMATROID_MATERIALIZE_LIMIT + 1);
 
 /// The cone of entropy-like vectors over which `Log-L-Bound` is computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,6 +196,17 @@ pub struct BoundOptions {
     /// Warm-start token from a previous [`BoundResult::warm_basis`] of a
     /// same-shaped estimate; only the sparse solver uses it.
     pub warm_start: Option<Vec<(usize, usize)>>,
+    /// Lazy constraint generation for the polymatroid cone.  `None` (the
+    /// default) decides automatically: lazy from [`POLYMATROID_LAZY_FROM`]
+    /// variables (and always past [`POLYMATROID_MATERIALIZE_LIMIT`], where
+    /// the full Shannon block no longer materializes), except that an
+    /// explicitly requested dense solver keeps the materialized skeleton
+    /// while it exists — the dense tableau is the cross-checking authority.
+    /// `Some(true)` forces the lazy loop at any size (the agreement tests
+    /// use this to compare it against the full skeleton); `Some(false)`
+    /// forbids it, restoring the hard [`POLYMATROID_MATERIALIZE_LIMIT`]
+    /// ceiling.  Other cones ignore the flag.
+    pub lazy: Option<bool>,
 }
 
 impl BoundOptions {
@@ -180,6 +215,18 @@ impl BoundOptions {
             solver: self.solver,
             warm_start: self.warm_start.clone(),
             ..SolverOptions::default()
+        }
+    }
+
+    /// Whether the polymatroid bound for `n` variables goes through the
+    /// constraint-generation loop (see [`Self::lazy`]).
+    fn use_lazy(&self, n: usize) -> bool {
+        match self.lazy {
+            Some(explicit) => explicit,
+            None => {
+                n > POLYMATROID_MATERIALIZE_LIMIT
+                    || (n >= POLYMATROID_LAZY_FROM && self.solver != SolverKind::Dense)
+            }
         }
     }
 }
@@ -208,9 +255,42 @@ pub fn compute_bound_with(
     options: &BoundOptions,
 ) -> Result<BoundResult, CoreError> {
     validate_guards(query, stats)?;
-    let p = build_bound_problem(query.n_vars(), stats, cone)?;
+    let n = query.n_vars();
+    if cone == Cone::Polymatroid && options.use_lazy(n) {
+        if n > POLYMATROID_VAR_LIMIT {
+            return Err(CoreError::TooManyVariables {
+                n_vars: n,
+                limit: POLYMATROID_VAR_LIMIT,
+                cone: "polymatroid",
+            });
+        }
+        // The lazy loop drives the sparse incremental engine directly; the
+        // `solver` knob (dense vs sparse) has no meaning for it and the
+        // basis-replay token does not transfer to the smaller core LP.
+        let lp_options = SolverOptions {
+            warm_start: None,
+            ..options.solver_options()
+        };
+        let anchor = normal_anchor(n, stats, &lp_options);
+        let sol = crate::cgen::solve_lazy(n, stats, &lp_options, anchor)?;
+        return solution_to_result(&sol, stats, cone);
+    }
+    let p = build_bound_problem(n, stats, cone)?;
     let sol = p.solve_with(&options.solver_options())?;
     solution_to_result(&sol, stats, cone)
+}
+
+/// The sandwich anchor for lazy constraint generation: the normal-cone
+/// bound.  `Nₙ ⊆ Γₙ`, so its value never exceeds the polymatroid bound —
+/// and equals it whenever every statistic is simple (Theorem 6.1), which
+/// lets the generation loop stop the moment its relaxation value descends
+/// to the anchor instead of separating to full point feasibility.  `None`
+/// when the anchor LP cannot be built or has no finite optimum; the loop
+/// then simply runs to separation-certified termination.
+fn normal_anchor(n: usize, stats: &StatisticsSet, options: &SolverOptions) -> Option<f64> {
+    let p = build_bound_problem(n, stats, Cone::Normal).ok()?;
+    let sol = p.solve_with(options).ok()?;
+    (sol.status == Status::Optimal).then_some(sol.objective)
 }
 
 /// Build the bound LP for `n` query variables over `cone` without solving
@@ -224,10 +304,13 @@ pub(crate) fn build_bound_problem(
 ) -> Result<Problem, CoreError> {
     match cone {
         Cone::Polymatroid => {
-            if n > POLYMATROID_VAR_LIMIT {
+            // This is the *materialized* path: the full Shannon block as a
+            // shared tail.  Sizes beyond it are served by the lazy loop in
+            // `compute_bound_with`, which never calls here.
+            if n > POLYMATROID_MATERIALIZE_LIMIT {
                 return Err(CoreError::TooManyVariables {
                     n_vars: n,
-                    limit: POLYMATROID_VAR_LIMIT,
+                    limit: POLYMATROID_MATERIALIZE_LIMIT,
                     cone: "polymatroid",
                 });
             }

@@ -37,6 +37,12 @@
 //! * [`skeleton`] — cached polymatroid LP skeletons: the Shannon elemental
 //!   block is built once per variable count and shared process-wide, so
 //!   repeated estimates only fill in `O(#stats)` rows.
+//! * `cgen` (via [`compute_bound_with`]'s `lazy` knob) — lazy constraint
+//!   generation for the polymatroid cone past the materialization ceiling:
+//!   a small implied-inequality core, violated Shannon elementals appended
+//!   on demand, and a normal-cone sandwich certificate that stops the loop
+//!   the moment the relaxation is provably exact — `n = 12` bounds in
+//!   milliseconds without ever building the `n·2^{n−1}`-row block.
 //! * [`batch`] — [`BatchEstimator`], the parallel batch bound engine:
 //!   many `(query, statistics)` pairs at once, fanned out across cores and
 //!   sharing skeletons, with opt-in per-shape warm starting of the sparse
@@ -48,6 +54,7 @@
 pub mod agm;
 pub mod batch;
 mod bound_lp;
+mod cgen;
 pub mod closed_form;
 mod collect;
 pub mod dsb;
@@ -64,12 +71,13 @@ pub mod worst_case;
 pub use batch::{BatchEstimator, BatchItem};
 pub use bound_lp::{
     compute_bound, compute_bound_with, BoundOptions, BoundResult, BoundStatus, Cone, Witness,
-    NORMAL_VAR_LIMIT, POLYMATROID_AUTO_PREFERRED, POLYMATROID_VAR_LIMIT,
+    NORMAL_VAR_LIMIT, POLYMATROID_AUTO_PREFERRED, POLYMATROID_LAZY_FROM,
+    POLYMATROID_MATERIALIZE_LIMIT, POLYMATROID_VAR_LIMIT,
 };
 pub use collect::{collect_simple_statistics, CollectConfig};
 pub use error::CoreError;
 pub use query::{Atom, JoinQuery};
-pub use skeleton::BoundLpSkeleton;
+pub use skeleton::{BoundLpSkeleton, LazyElementalOracle};
 pub use statistics::{AbstractStatistic, ConcreteStatistic, StatisticsSet};
 
 // Flat re-exports of the most commonly used baseline and construction entry

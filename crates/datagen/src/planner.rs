@@ -37,6 +37,13 @@
 //!   and the sum of the per-part bounds (and the measured per-part peaks)
 //!   undercuts the monolithic plan by more than an order of magnitude.
 //!
+//! * [`large_query_workload`] — the **LP-scaling** stress: a 12-atom,
+//!   12-variable mix of a cyclic triangle core, a five-step key-join
+//!   chain, and a four-leaf star.  No single join is adversarial; the
+//!   adversary is *width* — the bound-driven DP must price hundreds of
+//!   connected subqueries (the largest at the full 12-variable limit of
+//!   the polymatroid LP) with zero product-bound fallbacks.
+//!
 //! All are deterministic and sized so that true cardinalities stay
 //! computable in tests and CI.
 
@@ -317,6 +324,119 @@ pub fn partition_skew_workload(scale: usize) -> PlannerWorkload {
     }
 }
 
+/// The **LP-scaling** workload: a 12-atom, 12-variable query mixing a
+/// cyclic core with a long acyclic tail, sized so every baseline plan
+/// still executes in milliseconds.  `scale = 1` gives `|G| = 656`, chain
+/// relations of 38–158 rows, 16-row star leaves, output 5 376.
+///
+/// Shape (variables `X0 – X11`):
+///
+/// ```text
+///          G(X0,X1) ⋈ G(X1,X2) ⋈ G(X2,X0)          cyclic core (triangle)
+///        ⋈ C3(X2,X3) ⋈ C4(X3,X4) ⋈ … ⋈ C7(X6,X7)   acyclic key-join chain
+///        ⋈ H1(X7,X8) ⋈ H2(X7,X9) ⋈ H3(X7,X10) ⋈ H4(X7,X11)   star tail
+/// ```
+///
+/// `G` is an 8-node clique buried under `600·scale` bipartite background
+/// edges whose source and destination id ranges are disjoint from each
+/// other and from the clique, so the triangle closes *only* on the clique
+/// (336 ordered triples) while `|G|` — the number greedy sees — is
+/// dominated by edges that never survive one join.  The chain relations
+/// carry one key-join row per clique node plus disconnected filler of
+/// strictly increasing size, so size-ordering heuristics walk the chain in
+/// exactly the wrong direction.  Each star leaf fans out 2×.
+///
+/// The point of this workload is *planner scale*, not a single adversarial
+/// trap: at 12 atoms over 12 variables, the bound-driven DP must price
+/// hundreds of connected subqueries through the LP (the largest at the
+/// full 12-variable width) and is required to do so with zero product-
+/// bound fallbacks — the end-to-end check that the n=12 solver path holds
+/// up inside the optimizer, not just in isolation.
+pub fn large_query_workload(scale: usize) -> PlannerWorkload {
+    let scale = scale.max(1) as u64;
+    let hub = 8u64; // clique nodes: the only place the triangle closes
+    let fan = 2u64; // per-leaf fan-out of the star tail
+
+    // G(src, dst): every ordered pair of clique nodes, plus a bipartite
+    // background (src ∈ [1e3, ·), dst ∈ [1e5, ·), both disjoint from the
+    // clique ids) that can neither extend a path nor close a cycle.
+    let background = 600 * scale;
+    let spread = 500 * scale;
+    let g = RelationBuilder::binary_from_pairs(
+        "G",
+        "src",
+        "dst",
+        (0..hub)
+            .flat_map(|i| (0..hub).filter(move |&j| j != i).map(move |j| (i, j)))
+            .chain((0..background).map(|i| (1_000 + i, 100_000 + (i * 13 + 7) % spread))),
+    );
+
+    // C3..C7: the acyclic chain.  One key-join row per clique node (clique
+    // node j threads through as 10_000·k + j at depth k) plus disconnected
+    // filler whose size grows with depth, so greedy-by-size prefers the
+    // wrong end of the chain.
+    let chain_rel = |name: &'static str, depth: u64, filler: u64| {
+        let lo = if depth == 1 { 0 } else { depth * 10_000 };
+        let hi = (depth + 1) * 10_000;
+        let fill_lo = 500_000 + depth * 10_000;
+        RelationBuilder::binary_from_pairs(
+            name,
+            "a",
+            "b",
+            (0..hub)
+                .map(move |j| (lo + j, hi + j))
+                .chain((0..filler).map(move |i| (fill_lo + i, fill_lo + 5_000 + i))),
+        )
+    };
+    let c3 = chain_rel("C3", 1, 30 * scale);
+    let c4 = chain_rel("C4", 2, 60 * scale);
+    let c5 = chain_rel("C5", 3, 90 * scale);
+    let c6 = chain_rel("C6", 4, 120 * scale);
+    let c7 = chain_rel("C7", 5, 150 * scale);
+
+    // H1..H4: the star tail.  Each leaf fans every chain-end value
+    // (60_000 + j) out to `fan` distinct leaves.
+    let star_rel = |name: &'static str, k: u64| {
+        RelationBuilder::binary_from_pairs(
+            name,
+            "a",
+            "b",
+            (0..hub).flat_map(move |j| (0..fan).map(move |t| (60_000 + j, k * 100 + j * fan + t))),
+        )
+    };
+    let h1 = star_rel("H1", 1);
+    let h2 = star_rel("H2", 2);
+    let h3 = star_rel("H3", 3);
+    let h4 = star_rel("H4", 4);
+
+    let mut catalog = Catalog::new();
+    for rel in [g, c3, c4, c5, c6, c7, h1, h2, h3, h4] {
+        catalog.insert(rel);
+    }
+    PlannerWorkload {
+        name: "large-mixed-12",
+        query: JoinQuery::new(
+            "large-mixed-12",
+            vec![
+                Atom::new("G", &["X0", "X1"]),
+                Atom::new("G", &["X1", "X2"]),
+                Atom::new("G", &["X2", "X0"]),
+                Atom::new("C3", &["X2", "X3"]),
+                Atom::new("C4", &["X3", "X4"]),
+                Atom::new("C5", &["X4", "X5"]),
+                Atom::new("C6", &["X5", "X6"]),
+                Atom::new("C7", &["X6", "X7"]),
+                Atom::new("H1", &["X7", "X8"]),
+                Atom::new("H2", &["X7", "X9"]),
+                Atom::new("H3", &["X7", "X10"]),
+                Atom::new("H4", &["X7", "X11"]),
+            ],
+        )
+        .expect("large-mixed-12 query is well formed"),
+        catalog,
+    }
+}
+
 /// Every planner workload at the given scale (used by the
 /// `planner_quality` benchmark).
 pub fn planner_workloads(scale: usize) -> Vec<PlannerWorkload> {
@@ -325,6 +445,7 @@ pub fn planner_workloads(scale: usize) -> Vec<PlannerWorkload> {
         misleading_chain_workload(scale),
         bridged_chains_workload(scale),
         partition_skew_workload(scale),
+        large_query_workload(scale),
     ]
 }
 
@@ -411,6 +532,45 @@ mod tests {
             assert_eq!(linf, 0.0, "{rel} deg({v}|{u}) must be flat");
         }
         assert_eq!(w.query.n_atoms(), 3);
+    }
+
+    #[test]
+    fn large_query_workload_spans_twelve_variables_with_a_cyclic_core() {
+        let w = large_query_workload(1);
+        assert_eq!(w.query.n_atoms(), 12);
+        assert_eq!(w.query.n_vars(), 12);
+        // Deterministic across calls.
+        let w2 = large_query_workload(1);
+        for rel in ["G", "C3", "C7", "H4"] {
+            assert_eq!(
+                w.catalog.get(rel).unwrap().len(),
+                w2.catalog.get(rel).unwrap().len(),
+                "{rel} must be deterministic"
+            );
+        }
+        // The clique plus background: greedy sees 656 edges, the triangle
+        // closes on 56 of them.
+        assert_eq!(w.catalog.get("G").unwrap().len(), 56 + 600);
+        // Chain filler sizes strictly increase with depth, so size-order
+        // heuristics walk the chain backwards.
+        let sizes: Vec<usize> = ["C3", "C4", "C5", "C6", "C7"]
+            .iter()
+            .map(|r| w.catalog.get(r).unwrap().len())
+            .collect();
+        assert!(sizes.windows(2).all(|p| p[0] < p[1]), "sizes {sizes:?}");
+        // Every chain step is a key join in both directions…
+        for rel in ["C3", "C4", "C5", "C6", "C7"] {
+            for (v, u) in [("b", "a"), ("a", "b")] {
+                let linf = w.catalog.log_norm(rel, &[v], &[u], Norm::Infinity).unwrap();
+                assert_eq!(linf, 0.0, "{rel} deg({v}|{u}) must be flat");
+            }
+        }
+        // …and each star leaf fans out exactly 2×.
+        let fan = w
+            .catalog
+            .log_norm("H1", &["b"], &["a"], Norm::Infinity)
+            .unwrap();
+        assert!((fan - 1.0).abs() < 1e-9);
     }
 
     #[test]

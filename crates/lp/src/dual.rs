@@ -73,19 +73,35 @@ pub(crate) fn dual_simplex(
     let bland_threshold = 2 * (engine.m + engine.n_cols);
     let mut iterations = 0usize;
     let mut rho = vec![0.0; engine.m];
+    // Dual Devex reference weights, one per basis row: the leaving row
+    // maximizes `x_B[i]² / w[i]` instead of the raw most-negative value,
+    // which steers away from rows whose dual edge is long.  The update
+    // needs only the already-FTRANed entering column, so it is free.
+    let mut row_w = vec![1.0f64; engine.m];
+    let mut epoch = engine.refactor_epoch;
     loop {
-        // Leaving row: the most negative basic value (or the lowest such row
-        // once the anti-cycling rule kicks in).
+        if engine.refactor_epoch != epoch {
+            // Reference-framework reset after an in-pivot refactorization.
+            epoch = engine.refactor_epoch;
+            row_w.iter_mut().for_each(|w| *w = 1.0);
+        }
+        // Leaving row: the most infeasible row by the Devex-weighted
+        // criterion (or the lowest infeasible row once the anti-cycling
+        // rule kicks in).
         let use_bland = iterations > bland_threshold;
         let mut leaving: Option<usize> = None;
-        let mut most_negative = -PRIMAL_FEAS_TOL;
-        for i in 0..engine.m {
-            if engine.x_b[i] < most_negative {
-                leaving = Some(i);
+        let mut best_score = 0.0f64;
+        for (i, &w) in row_w.iter().enumerate().take(engine.m) {
+            if engine.x_b[i] < -PRIMAL_FEAS_TOL {
                 if use_bland {
+                    leaving = Some(i);
                     break;
                 }
-                most_negative = engine.x_b[i];
+                let score = engine.x_b[i] * engine.x_b[i] / w;
+                if leaving.is_none() || score > best_score {
+                    leaving = Some(i);
+                    best_score = score;
+                }
             }
         }
         let Some(row) = leaving else {
@@ -141,7 +157,21 @@ pub(crate) fn dual_simplex(
             // (stale eta file numerics); bail out rather than divide by it.
             return Ok(DualOutcome::LostDualFeasibility);
         }
+        // Devex weight update from the FTRANed column (pre-pivot).
+        let alpha_r = engine.work[row];
+        let w_r = row_w[row];
+        for (i, w) in row_w.iter_mut().enumerate().take(engine.m) {
+            if i != row && engine.work[i] != 0.0 {
+                let ratio = engine.work[i] / alpha_r;
+                let cand = ratio * ratio * w_r;
+                if cand > *w {
+                    *w = cand;
+                }
+            }
+        }
+        row_w[row] = (w_r / (alpha_r * alpha_r)).max(1.0);
         engine.pivot(row, col);
+        crate::stats::record_dual_pivot();
     }
 }
 
@@ -171,6 +201,12 @@ pub struct WarmHandle {
     tail: Option<Arc<SharedRowBlock>>,
     objective: Vec<f64>,
     direction: Direction,
+    /// Row permutation for handles produced by
+    /// [`resolve_grown`](Self::resolve_grown): `engine_row_of[i]` is the
+    /// engine row holding problem row `i` (explicit rows first, then tail
+    /// rows).  `None` means the identity (plain snapshots), where engine
+    /// rows are problem rows.
+    engine_row_of: Option<Vec<usize>>,
 }
 
 impl std::fmt::Debug for WarmHandle {
@@ -201,7 +237,15 @@ impl WarmHandle {
             tail: prepared.tail,
             objective: problem.objective().to_vec(),
             direction: problem.direction(),
+            engine_row_of: None,
         }
+    }
+
+    /// Engine row holding problem row `i` (explicit rows first, then tail).
+    fn engine_row(&self, problem_row: usize) -> usize {
+        self.engine_row_of
+            .as_ref()
+            .map_or(problem_row, |p| p[problem_row])
     }
 
     /// Number of structural variables of the snapshotted problem.
@@ -264,11 +308,12 @@ impl WarmHandle {
         }
 
         let mut engine = self.engine.clone();
-        // New RHS in the snapshot's row orientation: flipped explicit rows
-        // may yield negative entries — exactly what dual pivots handle.
+        // New RHS in the snapshot's row orientation (and, for grown
+        // handles, its row order): flipped explicit rows may yield negative
+        // entries — exactly what dual pivots handle.
         let mut b = vec![0.0; self.m];
         for (i, con) in problem.constraints().iter().enumerate() {
-            b[i] = if self.row_flipped[i] {
+            b[self.engine_row(i)] = if self.row_flipped[i] {
                 -con.rhs
             } else {
                 con.rhs
@@ -276,7 +321,10 @@ impl WarmHandle {
         }
         if self.tail.is_some() {
             let offset = problem.n_constraints();
-            b[offset..].copy_from_slice(problem.tail_rhs().expect("matched tail has rhs"));
+            let tail_rhs = problem.tail_rhs().expect("matched tail has rhs");
+            for (t, &rhs) in tail_rhs.iter().enumerate() {
+                b[self.engine_row(offset + t)] = rhs;
+            }
         }
         let mut xb = b.clone();
         ftran(&engine.etas, &mut xb);
@@ -305,12 +353,13 @@ impl WarmHandle {
         // normally prices one pass and stops; it also mops up tolerance
         // drift left by the dual phase.
         match engine.optimize(&self.cost2, self.max_iter, false) {
-            Ok(Status::Optimal) => Ok(extract_solution(
+            Ok(Status::Optimal) => Ok(extract_permuted(
                 &engine,
                 &self.cost2,
                 self.sign,
                 &self.row_flipped,
                 self.n,
+                self.engine_row_of.as_deref(),
             )),
             // Unreachable from a dual-feasible basis unless numerics broke;
             // the cold path is the authority either way.
@@ -318,6 +367,271 @@ impl WarmHandle {
                 solve_sparse(problem, options)
             }
         }
+    }
+
+    /// True when `problem` *contains* the snapshot: every snapshot row
+    /// appears among the problem's explicit rows (same coefficients and
+    /// sense, any right-hand side), the extra rows are all `<=`, and
+    /// variables, objective, direction and tail block are identical.  This
+    /// is the precondition for [`resolve_grown`](Self::resolve_grown)'s
+    /// fast path.
+    pub fn matches_superset(&self, problem: &Problem) -> bool {
+        self.superset_mapping(problem).is_some()
+    }
+
+    /// Map a superset problem onto the snapshot: for each problem explicit
+    /// row, the engine row holding it (`Ok`) or its index in the appended
+    /// list (`Err`); plus the appended rows themselves in append order.
+    #[allow(clippy::type_complexity)]
+    fn superset_mapping(
+        &self,
+        problem: &Problem,
+    ) -> Option<(
+        Vec<Result<(usize, bool), usize>>,
+        Vec<(Vec<(usize, f64)>, f64)>,
+    )> {
+        let k_old = self.row_flipped.len();
+        if problem.n_vars() != self.n
+            || problem.n_constraints() < k_old
+            || problem.direction() != self.direction
+            || problem.objective() != self.objective.as_slice()
+        {
+            return None;
+        }
+        match (problem.shared_tail(), &self.tail) {
+            (None, None) => {}
+            (Some(a), Some(b)) if Arc::ptr_eq(a, b) => {}
+            _ => return None,
+        }
+        // Key snapshot rows by their *raw* (unflipped) canonical
+        // coefficients and sense; rows of the bound LPs are built
+        // deterministically from the statistics, so bit-exact matching is
+        // the right equality here.
+        use std::collections::HashMap;
+        let mut by_key: HashMap<(Vec<(usize, u64)>, Sense), Vec<usize>> = HashMap::new();
+        for i in 0..k_old {
+            let mult = if self.row_flipped[i] { -1.0 } else { 1.0 };
+            let key: Vec<(usize, u64)> = self
+                .rows
+                .row(i)
+                .map(|(j, c)| (j, (mult * c).to_bits()))
+                .collect();
+            by_key.entry((key, self.raw_senses[i])).or_default().push(i);
+        }
+        let mut assignment = Vec::with_capacity(problem.n_constraints());
+        let mut appended: Vec<(Vec<(usize, f64)>, f64)> = Vec::new();
+        let mut consumed = 0usize;
+        for con in problem.constraints() {
+            let canon = canonical_row(&con.coeffs);
+            let key: Vec<(usize, u64)> = canon.iter().map(|&(j, c)| (j, c.to_bits())).collect();
+            if let Some(slots) = by_key.get_mut(&(key, con.sense)) {
+                if let Some(i) = slots.pop() {
+                    assignment.push(Ok((self.engine_row(i), self.row_flipped[i])));
+                    consumed += 1;
+                    continue;
+                }
+            }
+            // Extra row: only `<=` rows can be appended with a basic slack.
+            if con.sense != Sense::Le {
+                return None;
+            }
+            assignment.push(Err(appended.len()));
+            appended.push((canon, con.rhs));
+        }
+        if consumed != k_old {
+            // Some snapshot row is missing from the problem: the matrices
+            // genuinely differ, a grown resolve would be wrong.
+            return None;
+        }
+        Some((assignment, appended))
+    }
+
+    /// Re-solve a problem whose statistic rows are a **superset** of the
+    /// snapshot's: the shared rows reuse the factorized basis with their
+    /// new right-hand sides, the extra `<=` rows are appended with basic
+    /// slacks (preserving dual feasibility exactly — the extended duals
+    /// are `(y, 0)`), and dual pivots repair whatever the new rows
+    /// violate.  This is how `BatchEstimator` stays warm while a planner
+    /// walks subset lattices of growing sub-joins.
+    ///
+    /// Returns the solution plus, when the solve ended at a clean optimum,
+    /// a new handle snapshotting the *grown* shape (its engine rows are a
+    /// permutation of the new problem's rows; `resolve` on it handles
+    /// that transparently).  Falls back to a cold
+    /// [`solve_sparse_with_handle`] when the problem is not a superset or
+    /// numerics fail — the answer always matches a cold solve.
+    #[allow(clippy::type_complexity)]
+    pub fn resolve_grown(
+        &self,
+        problem: &Problem,
+        options: &SolverOptions,
+    ) -> Result<(Solution, Option<WarmHandle>), LpError> {
+        problem.validate()?;
+        let Some((assignment, appended)) = self.superset_mapping(problem) else {
+            return crate::solve_sparse_with_handle(problem, options);
+        };
+        if appended.is_empty() {
+            // Identical matrix (possibly reordered): the plain dual-warm
+            // resolve covers it.
+            return Ok((self.resolve(problem, options)?, None));
+        }
+
+        let mut engine = self.engine.clone();
+        // New RHS for the shared rows, in the engine's row order and the
+        // snapshot's orientation; appended rows carry their own rhs.
+        let mut b = engine.b.clone();
+        let mut flip_new = vec![false; problem.n_constraints()];
+        for (pi, (slot, con)) in assignment.iter().zip(problem.constraints()).enumerate() {
+            if let Ok((engine_row, flipped)) = slot {
+                b[*engine_row] = if *flipped { -con.rhs } else { con.rhs };
+                flip_new[pi] = *flipped;
+            }
+        }
+        if self.tail.is_some() {
+            let k_old = self.row_flipped.len();
+            let tail_rhs = problem.tail_rhs().expect("matched tail has rhs");
+            for (t, &rhs) in tail_rhs.iter().enumerate() {
+                b[self.engine_row(k_old + t)] = rhs;
+            }
+        }
+        engine.b = b;
+        let old_engine_m = engine.m;
+        if !engine.append_le_rows(&appended) {
+            return crate::solve_sparse_with_handle(problem, options);
+        }
+        let mut cost2 = self.cost2.clone();
+        cost2.resize(engine.n_cols, 0.0);
+        let max_iter = 200 * (engine.m + engine.n_cols).max(100);
+
+        if engine.x_b.iter().any(|&v| v < -PRIMAL_FEAS_TOL) {
+            match dual_simplex(&mut engine, &cost2, max_iter) {
+                Ok(DualOutcome::PrimalFeasible) => {}
+                Ok(DualOutcome::Infeasible) => {
+                    return Ok((infeasible_solution(self.n, engine.m), None));
+                }
+                Ok(DualOutcome::LostDualFeasibility) | Err(_) => {
+                    return crate::solve_sparse_with_handle(problem, options);
+                }
+            }
+        }
+        for v in engine.x_b.iter_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        let status = match engine.optimize(&cost2, max_iter, false) {
+            Ok(Status::Optimal) => Status::Optimal,
+            Ok(Status::Unbounded) | Ok(Status::Infeasible) | Err(_) => {
+                return crate::solve_sparse_with_handle(problem, options);
+            }
+        };
+        debug_assert_eq!(status, Status::Optimal);
+
+        // Problem-row → engine-row map of the grown shape: shared rows keep
+        // their snapshot rows, appended rows landed after the old engine
+        // rows, tail rows keep theirs.
+        let k_old = self.row_flipped.len();
+        let n_tail = self.tail.as_ref().map_or(0, |t| t.n_rows());
+        let mut engine_row_of = Vec::with_capacity(problem.n_constraints() + n_tail);
+        for slot in &assignment {
+            engine_row_of.push(match slot {
+                Ok((engine_row, _)) => *engine_row,
+                Err(app_idx) => old_engine_m + app_idx,
+            });
+        }
+        for t in 0..n_tail {
+            engine_row_of.push(self.engine_row(k_old + t));
+        }
+
+        let solution = extract_permuted(
+            &engine,
+            &cost2,
+            self.sign,
+            &flip_new,
+            self.n,
+            Some(&engine_row_of),
+        );
+        // Snapshot the grown shape so the cache can serve it directly (and
+        // grow it further) next time.
+        let rows: Vec<Vec<(usize, f64)>> = problem
+            .constraints()
+            .iter()
+            .zip(&flip_new)
+            .map(|(c, &flip)| flip_row(c, flip))
+            .collect();
+        let handle = WarmHandle {
+            m: engine.m,
+            engine,
+            cost2,
+            sign: self.sign,
+            n: self.n,
+            max_iter,
+            row_flipped: flip_new,
+            rows: CsrMatrix::from_rows(self.n, &rows),
+            raw_senses: problem.constraints().iter().map(|c| c.sense).collect(),
+            tail: self.tail.clone(),
+            objective: self.objective.clone(),
+            direction: self.direction,
+            engine_row_of: Some(engine_row_of),
+        };
+        Ok((solution, Some(handle)))
+    }
+}
+
+/// Sort by column, merge duplicates, drop zeros — the canonical form
+/// [`CsrMatrix::from_rows`] also produces.
+fn canonical_row(coeffs: &[(usize, f64)]) -> Vec<(usize, f64)> {
+    let mut v: Vec<(usize, f64)> = coeffs.to_vec();
+    v.sort_unstable_by_key(|&(j, _)| j);
+    let mut out: Vec<(usize, f64)> = Vec::with_capacity(v.len());
+    for (j, c) in v {
+        match out.last_mut() {
+            Some((last_j, last_c)) if *last_j == j => *last_c += c,
+            _ => out.push((j, c)),
+        }
+    }
+    out.retain(|&(_, c)| c != 0.0);
+    out
+}
+
+/// [`extract_solution`] generalized to engines whose rows are a
+/// permutation of the problem's rows (grown warm handles): `perm[i]` is
+/// the engine row of problem row `i`.
+fn extract_permuted(
+    engine: &Engine,
+    cost2: &[f64],
+    sign: f64,
+    row_flipped: &[bool],
+    n: usize,
+    perm: Option<&[usize]>,
+) -> Solution {
+    let Some(perm) = perm else {
+        return extract_solution(engine, cost2, sign, row_flipped, n);
+    };
+    let mut x = vec![0.0; n];
+    let mut structural_basis = Vec::new();
+    for (row, &col) in engine.basis.iter().enumerate() {
+        if col < n {
+            x[col] = engine.x_b[row];
+            structural_basis.push((row, col));
+        }
+    }
+    let y = engine.duals_for(cost2);
+    let mut duals = vec![0.0; perm.len()];
+    for (i, &engine_row) in perm.iter().enumerate() {
+        let mut v = y[engine_row];
+        if i < row_flipped.len() && row_flipped[i] {
+            v = -v;
+        }
+        duals[i] = sign * v;
+    }
+    let objective = sign * engine.objective_for(cost2);
+    Solution {
+        status: Status::Optimal,
+        objective,
+        x,
+        duals,
+        basis: structural_basis,
     }
 }
 
@@ -456,6 +770,107 @@ mod tests {
         let (solution, handle) = solve_sparse_with_handle(&p, &sparse_opts()).unwrap();
         assert_eq!(solution.status, Status::Optimal);
         assert!(handle.is_none());
+    }
+
+    #[test]
+    fn resolve_grown_appends_rows_and_matches_cold() {
+        let (base, handle) =
+            solve_sparse_with_handle(&textbook([4.0, 12.0, 18.0]), &sparse_opts()).unwrap();
+        let handle = handle.unwrap();
+        assert_close(base.objective, 36.0);
+
+        // Superset: the three snapshot rows (new RHS) plus two extra rows,
+        // interleaved so the mapping is a genuine permutation.
+        let build_grown = |extra1: f64, extra2: f64| {
+            let mut p = Problem::maximize(2);
+            p.set_objective(0, 3.0);
+            p.set_objective(1, 5.0);
+            p.add_constraint(&[(0, 1.0), (1, 1.0)], Sense::Le, extra1); // extra
+            p.add_constraint(&[(0, 1.0)], Sense::Le, 5.0);
+            p.add_constraint(&[(1, 2.0)], Sense::Le, 10.0);
+            p.add_constraint(&[(0, 3.0), (1, 2.0)], Sense::Le, 20.0);
+            p.add_constraint(&[(1, 1.0)], Sense::Le, extra2); // extra
+            p
+        };
+        let grown = build_grown(7.0, 4.5);
+        assert!(handle.matches_superset(&grown));
+        assert!(!handle.matches(&grown));
+
+        let (warm, grown_handle) = handle.resolve_grown(&grown, &sparse_opts()).unwrap();
+        let cold = solve_sparse(&grown, &sparse_opts()).unwrap();
+        assert_eq!(warm.status, Status::Optimal);
+        assert_close(warm.objective, cold.objective);
+        for (a, b) in warm.x.iter().zip(&cold.x) {
+            assert_close(*a, *b);
+        }
+        // Duals come back in the *problem's* row order: strong duality over
+        // the problem's rhs vector proves the permutation is undone.
+        let dual_obj: f64 = grown
+            .rows_all()
+            .zip(&warm.duals)
+            .map(|((_, _, b), y)| b * y)
+            .sum();
+        assert_close(dual_obj, warm.objective);
+
+        // The grown handle serves the grown shape directly...
+        let grown_handle = grown_handle.expect("optimal grown resolve yields a handle");
+        assert!(grown_handle.matches(&grown));
+        let perturbed = build_grown(6.0, 3.0);
+        let re = grown_handle.resolve(&perturbed, &sparse_opts()).unwrap();
+        let re_cold = solve_sparse(&perturbed, &sparse_opts()).unwrap();
+        assert_eq!(re.status, re_cold.status);
+        assert_close(re.objective, re_cold.objective);
+        let dual_obj: f64 = perturbed
+            .rows_all()
+            .zip(&re.duals)
+            .map(|((_, _, b), y)| b * y)
+            .sum();
+        assert_close(dual_obj, re.objective);
+
+        // ...and can itself be grown again (chained permutations).
+        let mut grown2 = perturbed.clone();
+        grown2.add_constraint(&[(0, 2.0), (1, 1.0)], Sense::Le, 9.0);
+        assert!(grown_handle.matches_superset(&grown2));
+        let (warm2, h2) = grown_handle.resolve_grown(&grown2, &sparse_opts()).unwrap();
+        let cold2 = solve_sparse(&grown2, &sparse_opts()).unwrap();
+        assert_close(warm2.objective, cold2.objective);
+        assert!(h2.is_some());
+    }
+
+    #[test]
+    fn resolve_grown_falls_back_when_not_a_superset() {
+        let (_, handle) =
+            solve_sparse_with_handle(&textbook([4.0, 12.0, 18.0]), &sparse_opts()).unwrap();
+        let handle = handle.unwrap();
+        // Missing the second snapshot row: not a superset.
+        let mut shrunk = Problem::maximize(2);
+        shrunk.set_objective(0, 3.0);
+        shrunk.set_objective(1, 5.0);
+        shrunk.add_constraint(&[(0, 1.0)], Sense::Le, 4.0);
+        shrunk.add_constraint(&[(0, 3.0), (1, 2.0)], Sense::Le, 18.0);
+        assert!(!handle.matches_superset(&shrunk));
+        let (sol, _) = handle.resolve_grown(&shrunk, &sparse_opts()).unwrap();
+        let cold = solve_sparse(&shrunk, &sparse_opts()).unwrap();
+        assert_close(sol.objective, cold.objective);
+
+        // Extra `>=` rows cannot be appended with a basic slack.
+        let mut with_ge = textbook([4.0, 12.0, 18.0]);
+        with_ge.add_constraint(&[(0, 1.0)], Sense::Ge, 1.0);
+        assert!(!handle.matches_superset(&with_ge));
+        let (sol, _) = handle.resolve_grown(&with_ge, &sparse_opts()).unwrap();
+        let cold = solve_sparse(&with_ge, &sparse_opts()).unwrap();
+        assert_close(sol.objective, cold.objective);
+    }
+
+    #[test]
+    fn resolve_grown_detects_infeasible_appends() {
+        let (_, handle) =
+            solve_sparse_with_handle(&textbook([4.0, 12.0, 18.0]), &sparse_opts()).unwrap();
+        let handle = handle.unwrap();
+        let mut grown = textbook([4.0, 12.0, 18.0]);
+        grown.add_constraint(&[(0, 1.0)], Sense::Le, -1.0);
+        let (sol, _) = handle.resolve_grown(&grown, &sparse_opts()).unwrap();
+        assert_eq!(sol.status, Status::Infeasible);
     }
 
     #[test]

@@ -11,12 +11,20 @@
 //!   shared immutable row blocks ([`SharedRowBlock`]) whose column-major
 //!   form is cached across solves,
 //! * a sparse **revised simplex** with an eta-file basis inverse, CSR/CSC
-//!   constraint storage and warm starting ([`revised`], the default
-//!   [`SolverKind`]),
+//!   constraint storage, warm starting and **Devex pricing** by default
+//!   ([`revised`], the default [`SolverKind`]; [`Pricing`] selects the
+//!   rule, with classic Dantzig kept for comparison),
 //! * a **dual simplex** phase ([`dual`]): [`WarmHandle`] snapshots the
 //!   factorized engine at an optimum and re-solves same-matrix LPs whose
 //!   right-hand sides changed with a handful of dual pivots — the engine
 //!   behind profitable cross-query warm starts,
+//! * a **row-append** path ([`IncrementalSolver`], `WarmHandle::append_le_rows`):
+//!   new `≤` rows join a solved LP by extending the factorized basis with
+//!   their slacks and dual-repairing, the primitive behind both lazy
+//!   constraint generation and grown-shape warm starts,
+//! * process-wide **work counters** ([`SolverStats`]): pivot,
+//!   refactorization and row-append counts, so benchmarks can assert on
+//!   work instead of noisy wall-clock,
 //! * a dense, two-phase tableau **simplex** method with Bland's
 //!   anti-cycling rule ([`solve_dense`]), kept as a cross-checking
 //!   fallback — property tests assert the two solvers agree on status,
@@ -51,18 +59,22 @@
 
 pub mod dual;
 mod error;
+pub mod incremental;
 mod matrix;
 mod problem;
 pub mod revised;
 mod simplex;
 pub mod sparse;
+mod stats;
 
 pub use dual::WarmHandle;
 pub use error::LpError;
+pub use incremental::IncrementalSolver;
 pub use matrix::DenseMatrix;
 pub use problem::{Constraint, Direction, Problem, Sense, SharedRowBlock};
 pub use revised::{eta_refactorization_count, solve_sparse, solve_sparse_with_handle};
 pub use simplex::{
-    solve, solve_dense, Solution, SolverKind, SolverOptions, Status, DENSE_SMALL_LP_ROWS,
+    solve, solve_dense, Pricing, Solution, SolverKind, SolverOptions, Status, DENSE_SMALL_LP_ROWS,
 };
 pub use sparse::{CscMatrix, CsrMatrix};
+pub use stats::SolverStats;

@@ -16,7 +16,7 @@ pub enum Direction {
 }
 
 /// Sense of a linear constraint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Sense {
     /// `a·x <= b`
     Le,

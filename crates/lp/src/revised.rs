@@ -36,19 +36,16 @@
 
 use crate::error::LpError;
 use crate::problem::{Direction, Problem, Sense, SharedRowBlock};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::stats;
 use std::sync::Arc;
-
-/// Process-wide count of eta-file refactorizations (see
-/// [`SolverOptions::eta_refactor_cap`]).  Exposed so tests and benchmarks can
-/// assert that the cap actually triggers on long runs.
-static ETA_REFACTORIZATIONS: AtomicUsize = AtomicUsize::new(0);
 
 /// Number of times any sparse-solver engine in this process refactorized its
 /// eta file from scratch after hitting
-/// [`SolverOptions::eta_refactor_cap`].
+/// [`SolverOptions::eta_refactor_cap`] (or extending its basis via
+/// [`Engine::append_le_rows`]).  A view of
+/// [`crate::SolverStats::refactorizations`].
 pub fn eta_refactorization_count() -> usize {
-    ETA_REFACTORIZATIONS.load(Ordering::Relaxed)
+    stats::refactorization_count() as usize
 }
 
 /// Residual below which a basic artificial is considered "at zero": the same
@@ -56,7 +53,7 @@ pub fn eta_refactorization_count() -> usize {
 /// that survives phase 1 is pinned by the ratio test (see
 /// [`Engine::ratio_test`]) instead of drifting during phase 2.
 const ARTIFICIAL_RESIDUAL: f64 = 1e-6;
-use crate::simplex::{Solution, SolverOptions, Status};
+use crate::simplex::{Pricing, Solution, SolverOptions, Status};
 use crate::sparse::{CscMatrix, CsrMatrix};
 
 /// One eta transformation: pivoting column `w` into basis position `row`.
@@ -107,11 +104,18 @@ pub(crate) enum ColKind {
 /// The structural columns of the working problem: the per-solve explicit
 /// rows in CSC form (row indices `0..head_rows`), plus an optional shared
 /// tail block whose cached CSC is borrowed by `Arc` and addressed at a row
-/// offset — the tail is never rebuilt per solve.
+/// offset — the tail is never rebuilt per solve — plus an optional block of
+/// rows appended *after* the original problem by the row-append API
+/// ([`Engine::append_le_rows`]), kept both as rows (for cheap re-append)
+/// and as a rebuilt CSC mirror (for column access).
 #[derive(Clone)]
 pub(crate) struct ColumnStore {
     head: CscMatrix,
     tail: Option<(usize, Arc<CscMatrix>)>,
+    /// Engine row index of the first appended row (= the original `m`).
+    appended_offset: usize,
+    appended_rows: Vec<Vec<(usize, f64)>>,
+    appended: Option<CscMatrix>,
 }
 
 impl ColumnStore {
@@ -119,6 +123,10 @@ impl ColumnStore {
         let mut acc = self.head.col_dot(j, y);
         if let Some((offset, tail)) = &self.tail {
             acc += tail.col(j).map(|(i, v)| v * y[offset + i]).sum::<f64>();
+        }
+        if let Some(app) = &self.appended {
+            let offset = self.appended_offset;
+            acc += app.col(j).map(|(i, v)| v * y[offset + i]).sum::<f64>();
         }
         acc
     }
@@ -130,6 +138,19 @@ impl ColumnStore {
                 out[offset + i] = v;
             }
         }
+        if let Some(app) = &self.appended {
+            for (i, v) in app.col(j) {
+                out[self.appended_offset + i] = v;
+            }
+        }
+    }
+
+    /// Add rows at the end of the store, rebuilding the appended block's
+    /// CSC mirror (cheap: the appended block holds at most a few thousand
+    /// rows of ≤ 4 nonzeros each).
+    fn append_rows(&mut self, n_cols: usize, rows: &[Vec<(usize, f64)>]) {
+        self.appended_rows.extend(rows.iter().cloned());
+        self.appended = Some(CsrMatrix::from_rows(n_cols, &self.appended_rows).to_csc());
     }
 }
 
@@ -153,6 +174,17 @@ pub(crate) struct Engine {
     pub(crate) pivots_since_recompute: usize,
     /// Refactorize the eta file from scratch once it grows past this length.
     pub(crate) eta_cap: usize,
+    /// Entering-variable pricing rule (see [`Pricing`]).
+    pub(crate) pricing: Pricing,
+    /// Bumped on every successful [`Engine::refactorize`]; lets the
+    /// optimize loop detect in-pivot refactorizations and reset its Devex
+    /// reference framework and incremental reduced costs.
+    pub(crate) refactor_epoch: usize,
+    /// Set when [`Engine::optimize`] returns [`Status::Unbounded`]: the
+    /// entering column whose ratio test found no blocking row.  Together
+    /// with the FTRANed column still held in `work`, this encodes the
+    /// improving ray (see [`Engine::unbounded_ray_structural`]).
+    pub(crate) unbounded_entering: Option<usize>,
 }
 
 impl Engine {
@@ -274,22 +306,52 @@ impl Engine {
     /// Rebuild the eta file from scratch for the current basis: at most one
     /// eta per row instead of one per pivot ever taken.  The product form is
     /// reconstructed by pivoting each basis column into its row; positions
-    /// whose pivot entry is still tiny are deferred to a later pass (a
-    /// nonsingular basis always admits some elimination order).  If numerics
-    /// leave a position unpivotable, the old (correct, just long) eta file is
-    /// kept and the cap is doubled so the solve does not thrash on retries.
-    pub(crate) fn refactorize(&mut self) {
+    /// whose pivot entry is still tiny are deferred to a later pass (this
+    /// multi-pass order keeps the file sparse).  When the natural
+    /// row-per-column assignment gets stuck — possible for a perfectly
+    /// nonsingular basis, e.g. one that is a row permutation away from
+    /// triangular — a *forced pivot* places the column in its
+    /// largest-magnitude unclaimed row instead (partial pivoting) and
+    /// permutes the basis assignment to match; `basis[r]` and `x_b[r]` are
+    /// parallel arrays re-derived from the new file, so the permutation is
+    /// invisible to the rest of the solver.  Only genuine (numerical)
+    /// singularity keeps the old file, with the cap doubled so the solve
+    /// does not thrash on retries.
+    ///
+    /// Returns `true` when a fresh file was built, `false` when the old one
+    /// was kept.  Callers that *require* a rebuild (row appends, whose old
+    /// file is stale for the extended basis) must check this.
+    pub(crate) fn refactorize(&mut self) -> bool {
         let m = self.m;
         let mut new_etas: Vec<Eta> = Vec::with_capacity(m);
+        let mut new_basis = self.basis.clone();
+        let mut claimed = vec![false; m];
+        // `pending` holds basis *positions* whose column has not been
+        // placed yet; the column of position `r` is `self.basis[r]`, even
+        // after a forced pivot claims row `r` for some other column.
         let mut pending: Vec<usize> = (0..m).collect();
         while !pending.is_empty() {
             let before = pending.len();
             let mut still_pending = Vec::new();
-            for r in pending {
+            for &r in &pending {
+                if claimed[r] {
+                    still_pending.push(r);
+                    continue;
+                }
                 self.column_into_work(self.basis[r]);
                 ftran(&new_etas, &mut self.work);
                 let pivot = self.work[r];
-                if pivot.abs() <= 1e-10 {
+                // Threshold pivoting: the own-row pivot is only accepted
+                // while it is within a stability factor of the best
+                // unclaimed entry, else the column is deferred (and placed
+                // by a later pass or a forced pivot on its largest entry).
+                // Accepting any pivot above the bare singularity floor
+                // breeds enormous growth factors on the all-±1 bound LPs.
+                let max_unclaimed = (0..m)
+                    .filter(|&i| !claimed[i])
+                    .map(|i| self.work[i].abs())
+                    .fold(0.0f64, f64::max);
+                if pivot.abs() <= 1e-10 || pivot.abs() < 0.01 * max_unclaimed {
                     still_pending.push(r);
                     continue;
                 }
@@ -302,20 +364,124 @@ impl Engine {
                     pivot,
                     entries,
                 });
+                claimed[r] = true;
             }
             if still_pending.len() == before {
-                // No progress: keep the existing (longer but valid) file.
-                self.eta_cap = self.eta_cap.saturating_mul(2);
-                return;
+                // Natural assignment stuck: force one column into its best
+                // unclaimed row, then retry the cheap own-row passes.
+                let mut placed_at = None;
+                'force: for (k, &r) in still_pending.iter().enumerate() {
+                    self.column_into_work(self.basis[r]);
+                    ftran(&new_etas, &mut self.work);
+                    let mut best: Option<usize> = None;
+                    for (i, &taken) in claimed.iter().enumerate().take(m) {
+                        if !taken
+                            && self.work[i].abs() > 1e-10
+                            && best.is_none_or(|b| self.work[i].abs() > self.work[b].abs())
+                        {
+                            best = Some(i);
+                        }
+                    }
+                    if let Some(row) = best {
+                        let pivot = self.work[row];
+                        let entries: Vec<(usize, f64)> = (0..m)
+                            .filter(|&i| i != row && self.work[i].abs() > 1e-12)
+                            .map(|i| (i, self.work[i]))
+                            .collect();
+                        new_etas.push(Eta {
+                            row,
+                            pivot,
+                            entries,
+                        });
+                        claimed[row] = true;
+                        new_basis[row] = self.basis[r];
+                        placed_at = Some(k);
+                        break 'force;
+                    }
+                }
+                match placed_at {
+                    Some(k) => {
+                        still_pending.remove(k);
+                    }
+                    None => {
+                        // Every remaining column prices to ~0 in every
+                        // unclaimed row: the basis is numerically singular.
+                        // Keep the existing (longer but valid) file.
+                        self.eta_cap = self.eta_cap.saturating_mul(2);
+                        return false;
+                    }
+                }
             }
             pending = still_pending;
         }
+        self.basis = new_basis;
         self.etas = new_etas;
         let mut xb = self.b.clone();
         ftran(&self.etas, &mut xb);
         self.x_b = xb;
         self.pivots_since_recompute = 0;
-        ETA_REFACTORIZATIONS.fetch_add(1, Ordering::Relaxed);
+        self.refactor_epoch = self.refactor_epoch.wrapping_add(1);
+        stats::record_refactorization();
+        true
+    }
+
+    /// Extend the engine with `new_rows` of `(coefficients, rhs)` pairs,
+    /// each a `<=` row over the structural variables, giving every new row
+    /// a basic slack and refactorizing the extended basis.
+    ///
+    /// With the new slacks basic the extended basis matrix is block
+    /// lower-triangular `[[B, 0], [R_B, I]]` — nonsingular whenever the old
+    /// basis was — and the extended duals are `(y, 0)`, so **dual
+    /// feasibility is preserved exactly**: reduced costs of old columns are
+    /// unchanged and the new slacks price at zero.  Appended rows the
+    /// current point violates surface as negative basic slacks, which the
+    /// dual simplex then repairs — this is what lets constraint generation
+    /// and grown warm starts extend a solved LP without a cold restart.
+    ///
+    /// Returns `false` if the mandatory refactorization failed (the engine
+    /// is then unusable and the caller must rebuild from scratch).
+    pub(crate) fn append_le_rows(&mut self, new_rows: &[(Vec<(usize, f64)>, f64)]) -> bool {
+        let k = new_rows.len();
+        if k == 0 {
+            return true;
+        }
+        let old_m = self.m;
+        let rows: Vec<Vec<(usize, f64)>> = new_rows.iter().map(|(r, _)| r.clone()).collect();
+        self.cols.append_rows(self.n_structural, &rows);
+        for (i, (_, rhs)) in new_rows.iter().enumerate() {
+            self.b.push(*rhs);
+            let col = self.n_cols + i;
+            self.singleton.push((old_m + i, 1.0));
+            self.kind.push(ColKind::Slack);
+            self.in_basis.push(true);
+            self.basis.push(col);
+        }
+        self.n_cols += k;
+        self.m += k;
+        self.work = vec![0.0; self.m];
+        self.x_b.resize(self.m, 0.0);
+        stats::record_append(k);
+        self.refactorize()
+    }
+
+    /// After [`Engine::optimize`] returned [`Status::Unbounded`]: the
+    /// improving ray restricted to the first `n` (structural) variables,
+    /// scaled so the entering variable moves at rate 1.  `None` if the last
+    /// optimize call did not end unbounded.
+    pub(crate) fn unbounded_ray_structural(&self, n: usize) -> Option<Vec<f64>> {
+        let q = self.unbounded_entering?;
+        let mut d = vec![0.0; n];
+        if q < n {
+            d[q] = 1.0;
+        }
+        // x_B moves along -B⁻¹A_q, still held in `work` from the failed
+        // ratio test.
+        for (i, &bcol) in self.basis.iter().enumerate() {
+            if bcol < n && self.work[i] != 0.0 {
+                d[bcol] = -self.work[i];
+            }
+        }
+        Some(d)
     }
 
     /// Record the eta for the entering column held in `self.work` and swap
@@ -337,10 +503,39 @@ impl Engine {
         self.pivots_since_recompute += 1;
     }
 
+    /// Exact reduced costs of every column (zero for basic columns).
+    pub(crate) fn reduced_costs(&self, cost: &[f64]) -> Vec<f64> {
+        let y = self.duals_for(cost);
+        (0..self.n_cols)
+            .map(|col| {
+                if self.in_basis[col] {
+                    0.0
+                } else {
+                    self.reduced_cost(col, cost, &y)
+                }
+            })
+            .collect()
+    }
+
     /// Run simplex on `cost` until optimal/unbounded or the iteration cap.
     ///
     /// `allow_artificial_entering` is true only in phase 1.
     pub(crate) fn optimize(
+        &mut self,
+        cost: &[f64],
+        max_iter: usize,
+        allow_artificial_entering: bool,
+    ) -> Result<Status, LpError> {
+        self.unbounded_entering = None;
+        match self.pricing {
+            Pricing::Dantzig => self.optimize_dantzig(cost, max_iter, allow_artificial_entering),
+            Pricing::Devex => self.optimize_devex(cost, max_iter, allow_artificial_entering),
+        }
+    }
+
+    /// Classic Dantzig pricing: full BTRAN + pricing pass per iteration,
+    /// entering column = most positive reduced cost.
+    fn optimize_dantzig(
         &mut self,
         cost: &[f64],
         max_iter: usize,
@@ -384,7 +579,18 @@ impl Engine {
 
             self.column_into_work(col);
             self.ftran_work();
-            let Some(row) = self.ratio_test() else {
+            let mut row_opt = self.ratio_test();
+            if row_opt.is_none() && !self.etas.is_empty() && self.refactorize() {
+                // "No blocking row" through a long eta file can be pure
+                // cancellation noise.  Re-derive the direction on a fresh
+                // factorization; only a confirmed unblocked direction is
+                // declared unbounded.
+                self.column_into_work(col);
+                self.ftran_work();
+                row_opt = self.ratio_test();
+            }
+            let Some(row) = row_opt else {
+                self.unbounded_entering = Some(col);
                 return Ok(Status::Unbounded);
             };
             // A pinned artificial leaves at exactly zero: absorb its residual
@@ -396,6 +602,166 @@ impl Engine {
                 self.x_b[row] = 0.0;
             }
             self.pivot(row, col);
+            stats::record_primal_pivot();
+
+            let objective = self.objective_for(cost);
+            if objective > last_objective + tol {
+                stalled = 0;
+                last_objective = objective;
+            } else {
+                stalled += 1;
+            }
+        }
+    }
+
+    /// Devex reference-framework pricing with incrementally maintained
+    /// reduced costs.
+    ///
+    /// Instead of a BTRAN plus a full pricing pass per iteration, one BTRAN
+    /// of the pivot row updates the dense reduced-cost vector *and* the
+    /// Devex weights in a single pass over the nonbasic columns — the same
+    /// per-iteration cost as Dantzig, but the weighted criterion
+    /// `rc²/w` avoids the long degenerate pivot chains Dantzig takes on the
+    /// bound LPs.  Safeguards: the framework and the reduced costs restart
+    /// from scratch after every refactorization and periodically to bound
+    /// drift, Bland iterations re-price exactly, and optimality is only
+    /// declared after a confirming exact pricing pass.
+    fn optimize_devex(
+        &mut self,
+        cost: &[f64],
+        max_iter: usize,
+        allow_artificial_entering: bool,
+    ) -> Result<Status, LpError> {
+        let tol = self.tol;
+        let mut stalled = 0usize;
+        let mut last_objective = self.objective_for(cost);
+        let bland_threshold = 2 * (self.m + self.n_cols);
+        let mut remaining = max_iter;
+        let mut weights = vec![1.0f64; self.n_cols];
+        let mut rc = self.reduced_costs(cost);
+        let mut epoch = self.refactor_epoch;
+        let mut since_exact = 0usize;
+        let mut rho = vec![0.0f64; self.m];
+        loop {
+            if remaining == 0 {
+                return Err(LpError::IterationLimit { limit: max_iter });
+            }
+            remaining -= 1;
+
+            let use_bland = stalled > bland_threshold;
+            if use_bland || since_exact >= 100 {
+                // Exact re-pricing: under Bland correctness depends on true
+                // reduced-cost signs, and the incremental updates drift.
+                rc = self.reduced_costs(cost);
+                since_exact = 0;
+            }
+            let eligible = |this: &Self, col: usize| {
+                !this.in_basis[col]
+                    && (allow_artificial_entering || this.kind[col] != ColKind::Artificial)
+            };
+            let pick = |this: &Self, rc: &[f64], weights: &[f64]| -> Option<usize> {
+                let mut best: Option<(usize, f64)> = None;
+                for col in 0..this.n_cols {
+                    if !eligible(this, col) || rc[col] <= tol {
+                        continue;
+                    }
+                    let score = rc[col] * rc[col] / weights[col];
+                    if best.is_none_or(|(_, b)| score > b) {
+                        best = Some((col, score));
+                    }
+                }
+                best.map(|(col, _)| col)
+            };
+            let col = if use_bland {
+                (0..self.n_cols).find(|&c| eligible(self, c) && rc[c] > tol)
+            } else {
+                pick(self, &rc, &weights)
+            };
+            let col = match col {
+                Some(col) => col,
+                None => {
+                    // The incremental reduced costs say "optimal"; confirm
+                    // against exact pricing before stopping.
+                    rc = self.reduced_costs(cost);
+                    since_exact = 0;
+                    match pick(self, &rc, &weights) {
+                        Some(col) => col,
+                        None => return Ok(Status::Optimal),
+                    }
+                }
+            };
+
+            self.column_into_work(col);
+            self.ftran_work();
+            let mut row_opt = self.ratio_test();
+            if row_opt.is_none() {
+                // Unboundedness must be confirmed, not inferred from drifted
+                // state: refresh the factorization first, then re-check that
+                // the column still prices as improving (the incremental
+                // reduced cost may have gone stale), then re-derive the
+                // direction — "no blocking row" through a long eta file can
+                // be pure cancellation noise.
+                if !self.etas.is_empty() {
+                    self.refactorize();
+                }
+                let y = self.duals_for(cost);
+                if self.reduced_cost(col, cost, &y) <= tol {
+                    rc = self.reduced_costs(cost);
+                    since_exact = 0;
+                    continue;
+                }
+                self.column_into_work(col);
+                self.ftran_work();
+                row_opt = self.ratio_test();
+            }
+            let Some(row) = row_opt else {
+                self.unbounded_entering = Some(col);
+                return Ok(Status::Unbounded);
+            };
+            if self.kind[self.basis[row]] == ColKind::Artificial
+                && self.x_b[row].abs() <= ARTIFICIAL_RESIDUAL
+            {
+                self.x_b[row] = 0.0;
+            }
+            // Pivot row ρ = e_rowᵀB⁻¹ of the *pre-pivot* basis, for the
+            // simultaneous reduced-cost and Devex-weight updates.
+            rho.iter_mut().for_each(|v| *v = 0.0);
+            rho[row] = 1.0;
+            btran(&self.etas, &mut rho);
+            let alpha_q = self.work[row];
+            let rc_q = rc[col];
+            let w_q = weights[col];
+            let leaving = self.basis[row];
+            self.pivot(row, col);
+            stats::record_primal_pivot();
+            since_exact += 1;
+
+            if self.refactor_epoch != epoch {
+                // Reference-framework reset: factorization quality and
+                // weight quality restart together.
+                epoch = self.refactor_epoch;
+                weights.iter_mut().for_each(|w| *w = 1.0);
+                rc = self.reduced_costs(cost);
+                since_exact = 0;
+            } else {
+                let step = rc_q / alpha_q;
+                let wq_scaled = w_q / (alpha_q * alpha_q);
+                for j in 0..self.n_cols {
+                    if self.in_basis[j] {
+                        continue;
+                    }
+                    let alpha_rj = self.row_dot_col(j, &rho);
+                    if alpha_rj != 0.0 {
+                        rc[j] -= step * alpha_rj;
+                        let cand = alpha_rj * alpha_rj * wq_scaled;
+                        if cand > weights[j] {
+                            weights[j] = cand;
+                        }
+                    }
+                }
+                rc[col] = 0.0;
+                weights[leaving] = wq_scaled.max(1.0);
+            }
 
             let objective = self.objective_for(cost);
             if objective > last_objective + tol {
@@ -515,6 +881,9 @@ pub(crate) fn prepare(problem: &Problem, options: &SolverOptions, flips: Option<
     let cols = ColumnStore {
         head: head_csc,
         tail: tail.as_ref().map(|t| (m_explicit, Arc::clone(t.csc()))),
+        appended_offset: m,
+        appended_rows: Vec::new(),
+        appended: None,
     };
 
     // Column layout: structural, then one slack/surplus per Le/Ge row, then
@@ -575,6 +944,9 @@ pub(crate) fn prepare(problem: &Problem, options: &SolverOptions, flips: Option<
         // Refactorization itself leaves up to one eta per row, so a cap
         // below m refactorizes after every pivot — correct, just eager.
         eta_cap: options.eta_refactor_cap.max(1),
+        pricing: options.pricing,
+        refactor_epoch: 0,
+        unbounded_entering: None,
     };
 
     // Per-phase iteration cap, matching the dense solver's semantics.

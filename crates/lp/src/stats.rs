@@ -1,0 +1,118 @@
+//! Process-wide solver work counters.
+//!
+//! Wall-clock timings are noisy in CI, so the benchmarks assert on *work*
+//! instead: pivot counts, refactorizations and row-append (constraint
+//! generation) activity.  The counters are relaxed atomics shared by every
+//! engine in the process; callers take a [`SolverStats::snapshot`] before a
+//! solve and diff it with [`SolverStats::since`] afterwards.  Deltas are
+//! only meaningful when no other solves run concurrently in between.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static PRIMAL_PIVOTS: AtomicU64 = AtomicU64::new(0);
+static DUAL_PIVOTS: AtomicU64 = AtomicU64::new(0);
+static REFACTORIZATIONS: AtomicU64 = AtomicU64::new(0);
+static APPEND_BATCHES: AtomicU64 = AtomicU64::new(0);
+static ROWS_APPENDED: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn record_primal_pivot() {
+    PRIMAL_PIVOTS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_dual_pivot() {
+    DUAL_PIVOTS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_refactorization() {
+    REFACTORIZATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_append(rows: usize) {
+    APPEND_BATCHES.fetch_add(1, Ordering::Relaxed);
+    ROWS_APPENDED.fetch_add(rows as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn refactorization_count() -> u64 {
+    REFACTORIZATIONS.load(Ordering::Relaxed)
+}
+
+/// A snapshot of the process-wide solver work counters.
+///
+/// The same struct doubles as a *delta*: `after.since(&before)` subtracts
+/// field-wise, giving the work done between the two snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverStats {
+    /// Primal simplex pivots (phase 1 + phase 2, any pricing rule).
+    pub primal_pivots: u64,
+    /// Dual simplex pivots (warm-start repairs, row-append repairs).
+    pub dual_pivots: u64,
+    /// Eta-file refactorizations (cap hits and row appends both count).
+    pub refactorizations: u64,
+    /// Row-append batches — one per constraint-generation round or grown
+    /// warm-start resolution.
+    pub append_batches: u64,
+    /// Total rows added across all append batches.
+    pub rows_appended: u64,
+}
+
+impl SolverStats {
+    /// Read the current counter values.
+    pub fn snapshot() -> SolverStats {
+        SolverStats {
+            primal_pivots: PRIMAL_PIVOTS.load(Ordering::Relaxed),
+            dual_pivots: DUAL_PIVOTS.load(Ordering::Relaxed),
+            refactorizations: REFACTORIZATIONS.load(Ordering::Relaxed),
+            append_batches: APPEND_BATCHES.load(Ordering::Relaxed),
+            rows_appended: ROWS_APPENDED.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Field-wise difference `self - earlier` (saturating, so a stale
+    /// `earlier` never underflows).
+    pub fn since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            primal_pivots: self.primal_pivots.saturating_sub(earlier.primal_pivots),
+            dual_pivots: self.dual_pivots.saturating_sub(earlier.dual_pivots),
+            refactorizations: self
+                .refactorizations
+                .saturating_sub(earlier.refactorizations),
+            append_batches: self.append_batches.saturating_sub(earlier.append_batches),
+            rows_appended: self.rows_appended.saturating_sub(earlier.rows_appended),
+        }
+    }
+
+    /// Primal plus dual pivots.
+    pub fn total_pivots(&self) -> u64 {
+        self.primal_pivots + self.dual_pivots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_and_saturates() {
+        let a = SolverStats {
+            primal_pivots: 10,
+            dual_pivots: 4,
+            refactorizations: 2,
+            append_batches: 1,
+            rows_appended: 7,
+        };
+        let b = SolverStats {
+            primal_pivots: 13,
+            dual_pivots: 4,
+            refactorizations: 3,
+            append_batches: 2,
+            rows_appended: 30,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.primal_pivots, 3);
+        assert_eq!(d.dual_pivots, 0);
+        assert_eq!(d.total_pivots(), 3);
+        assert_eq!(d.rows_appended, 23);
+        // Reversed order saturates instead of wrapping.
+        assert_eq!(a.since(&b).primal_pivots, 0);
+    }
+}
