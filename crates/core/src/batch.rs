@@ -156,6 +156,7 @@ struct WarmCache {
     handles: Mutex<HashMap<LpShape, Arc<WarmHandle>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    lps_estimated: AtomicUsize,
 }
 
 /// Evaluates many bound computations in parallel with shared skeleton and
@@ -241,6 +242,16 @@ impl BatchEstimator {
         self.cache.misses.load(Ordering::Relaxed)
     }
 
+    /// Total LP bound computations this estimator (and every clone sharing
+    /// its cache) has been asked for, cumulative across
+    /// [`estimate`](Self::estimate) calls.  A **delta** re-plan
+    /// ([`bound_subqueries`](Self::bound_subqueries) over only the sub-joins
+    /// touching refreshed atoms) is observable here: the counter grows by
+    /// the fresh-subset count instead of the full connected-subset count.
+    pub fn lps_estimated(&self) -> usize {
+        self.cache.lps_estimated.load(Ordering::Relaxed)
+    }
+
     /// Number of distinct LP shapes currently holding a snapshot.
     pub fn shape_cache_len(&self) -> usize {
         self.cache
@@ -286,6 +297,9 @@ impl BatchEstimator {
     /// inconsistent statistics) are reported positionally and do not abort
     /// the rest of the batch.
     pub fn estimate(&self, items: &[BatchItem]) -> Vec<Result<BoundResult, CoreError>> {
+        self.cache
+            .lps_estimated
+            .fetch_add(items.len(), Ordering::Relaxed);
         let run_one = |item: &BatchItem| -> Result<BoundResult, CoreError> {
             let cone = self
                 .cone

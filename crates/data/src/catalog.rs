@@ -18,13 +18,33 @@
 //!   catalog file (one statistic per line) and loads back bit-for-bit, so a
 //!   system can collect statistics once and start up from the file without
 //!   rescanning any relation.
+//! * **Observed-statistics feedback** ([`Catalog::absorb_observed`]) — an
+//!   adaptive executor that materialized an intermediate knows that
+//!   intermediate's statistics *exactly* (they are ℓp-norms of real rows,
+//!   not estimates).  `absorb_observed` derives a catalog with the observed
+//!   relation registered, its standard statistics computed and flagged
+//!   **exact**, and the statistics **epoch** bumped.  Exact entries are
+//!   write-protected: [`Catalog::record_statistic`] refuses to overwrite
+//!   them with non-exact values (recomputed approximations, stale persisted
+//!   files) until the relation itself is replaced, which clears the flags
+//!   and bumps the epoch again.
 
 use crate::error::DataError;
 use crate::norms::Norm;
 use crate::relation::Relation;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::{Arc, RwLock};
+
+/// The statistics cache: cached values plus the subset of keys whose values
+/// are **exact** (observed from real rows, not estimated or loaded from a
+/// possibly-stale file) and therefore write-protected against non-exact
+/// overwrites within the current epoch.
+#[derive(Debug, Default, Clone)]
+struct StatsCache {
+    values: HashMap<StatsKey, f64>,
+    exact: HashSet<StatsKey>,
+}
 
 /// Cache key identifying one concrete statistic
 /// `‖deg_R(V | U)‖_p` of one relation.
@@ -74,7 +94,8 @@ impl StatsKey {
 #[derive(Debug, Default)]
 pub struct Catalog {
     relations: HashMap<String, Arc<Relation>>,
-    stats: RwLock<HashMap<StatsKey, f64>>,
+    stats: RwLock<StatsCache>,
+    epoch: u64,
 }
 
 impl Catalog {
@@ -83,14 +104,24 @@ impl Catalog {
         Self::default()
     }
 
+    /// The statistics epoch: bumped whenever a relation is replaced
+    /// ([`insert`](Self::insert)) or observed statistics are absorbed
+    /// ([`absorb_observed`](Self::absorb_observed)), so plan caches and
+    /// re-planners can tell whether their statistics are current.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Register a relation under its own name, replacing any previous
-    /// relation with that name and invalidating its cached statistics.
+    /// relation with that name, invalidating its cached statistics (and
+    /// their exactness flags), and bumping the statistics epoch.
     pub fn insert(&mut self, relation: Relation) {
         let name = relation.name().to_string();
-        self.stats
-            .write()
-            .expect("statistics cache lock poisoned")
-            .retain(|k, _| k.relation != name);
+        let mut stats = self.stats.write().expect("statistics cache lock poisoned");
+        stats.values.retain(|k, _| k.relation != name);
+        stats.exact.retain(|k| k.relation != name);
+        drop(stats);
+        self.epoch += 1;
         self.relations.insert(name, Arc::new(relation));
     }
 
@@ -134,6 +165,7 @@ impl Catalog {
             .stats
             .read()
             .expect("statistics cache lock poisoned")
+            .values
             .get(&key)
         {
             return Ok(cached);
@@ -141,11 +173,25 @@ impl Catalog {
         let rel = self.get(relation)?;
         let deg = rel.degree_sequence(v, u)?;
         let value = deg.log2_lp_norm(norm).unwrap_or(0.0);
-        self.stats
-            .write()
-            .expect("statistics cache lock poisoned")
-            .insert(key, value);
+        self.record_statistic(key, value, false);
         Ok(value)
+    }
+
+    /// Write one statistic into the cache.  Non-exact writes (recomputed
+    /// approximations, values loaded from a possibly-stale file) are
+    /// **refused** when the key already holds an exact observed value —
+    /// returns `false` and keeps the exact entry.  Exact writes always land
+    /// and flag the key exact.
+    pub fn record_statistic(&self, key: StatsKey, value: f64, exact: bool) -> bool {
+        let mut stats = self.stats.write().expect("statistics cache lock poisoned");
+        if !exact && stats.exact.contains(&key) {
+            return false;
+        }
+        if exact {
+            stats.exact.insert(key.clone());
+        }
+        stats.values.insert(key, value);
+        true
     }
 
     /// Number of cached statistics (for tests and instrumentation).
@@ -153,7 +199,34 @@ impl Catalog {
         self.stats
             .read()
             .expect("statistics cache lock poisoned")
+            .values
             .len()
+    }
+
+    /// Number of cached statistics flagged exact (observed, not estimated).
+    pub fn exact_stats(&self) -> usize {
+        self.stats
+            .read()
+            .expect("statistics cache lock poisoned")
+            .exact
+            .len()
+    }
+
+    /// Drop every **non-exact** cached statistic of one relation, forcing
+    /// recomputation from the relation's actual rows on next use.  Exact
+    /// observed entries survive (they are already the truth).  Returns the
+    /// number of entries dropped.  This is what a *cold* re-plan does to
+    /// recover from stale persisted statistics — the adaptive path instead
+    /// absorbs observed intermediates and re-bounds only what they touch.
+    pub fn refresh_statistics(&self, relation: &str) -> usize {
+        let mut stats = self.stats.write().expect("statistics cache lock poisoned");
+        let before = stats.values.len();
+        let exact = std::mem::take(&mut stats.exact);
+        stats
+            .values
+            .retain(|k, _| k.relation != relation || exact.contains(k));
+        stats.exact = exact;
+        before - stats.values.len()
     }
 
     /// A derived catalog: every relation of `self` is shared (by `Arc`, not
@@ -177,12 +250,49 @@ impl Catalog {
             .read()
             .expect("statistics cache lock poisoned")
             .clone();
-        stats.retain(|k, _| k.relation != name);
+        stats.values.retain(|k, _| k.relation != name);
+        stats.exact.retain(|k| k.relation != name);
         relations.insert(name, relation);
         Catalog {
             relations,
             stats: RwLock::new(stats),
+            epoch: self.epoch,
         }
+    }
+
+    /// Feed an **observed** relation (a materialized intermediate whose
+    /// rows are known exactly) back into the catalog: a derived catalog is
+    /// returned with the relation registered, its standard statistics
+    /// (`Norm::standard_set(max_norm)` conditionals, the same set the
+    /// planner prewarms) computed from the actual rows and flagged
+    /// **exact**, and the statistics epoch bumped.  Chainable: absorbing
+    /// several intermediates derives through each in turn.
+    ///
+    /// Exact entries are write-protected until the relation is replaced —
+    /// see [`record_statistic`](Self::record_statistic) — so a collector
+    /// re-materializing the same relation in the same epoch can never
+    /// regress them to approximations.
+    pub fn absorb_observed(
+        &self,
+        relation: impl Into<Arc<Relation>>,
+        max_norm: u32,
+    ) -> Result<Catalog, DataError> {
+        let relation = relation.into();
+        let name = relation.name().to_string();
+        let mut derived = self.derive_with(relation);
+        derived.epoch = self.epoch + 1;
+        let set = crate::stats::StatisticsCollector::standard(max_norm)
+            .materialize_relation(&derived, &name)?;
+        {
+            let mut stats = derived
+                .stats
+                .write()
+                .expect("statistics cache lock poisoned");
+            for entry in set.entries() {
+                stats.exact.insert(entry.key.clone());
+            }
+        }
+        Ok(derived)
     }
 
     /// Serialize every cached statistic to a plain-text catalog file, one
@@ -194,8 +304,8 @@ impl Catalog {
     /// every cached value **bit for bit**.
     pub fn save_statistics<P: AsRef<Path>>(&self, path: P) -> Result<usize, DataError> {
         let stats = self.stats.read().expect("statistics cache lock poisoned");
-        let mut lines: Vec<String> = Vec::with_capacity(stats.len());
-        for (key, &value) in stats.iter() {
+        let mut lines: Vec<String> = Vec::with_capacity(stats.values.len());
+        for (key, &value) in stats.values.iter() {
             for name in std::iter::once(&key.relation)
                 .chain(key.v.iter())
                 .chain(key.u.iter())
@@ -249,13 +359,15 @@ impl Catalog {
     /// [`save_statistics`](Self::save_statistics) into the cache, returning
     /// the number of statistics loaded.  Loaded entries are served exactly
     /// like computed ones, so a catalog whose statistics were collected in a
-    /// previous run starts up without rescanning any relation.
+    /// previous run starts up without rescanning any relation.  Loads go
+    /// through [`record_statistic`](Self::record_statistic) as non-exact
+    /// writes: a possibly-stale file can never clobber exact observed
+    /// statistics (refused entries are not counted).
     pub fn load_statistics<P: AsRef<Path>>(&self, path: P) -> Result<usize, DataError> {
         let text = std::fs::read_to_string(path.as_ref()).map_err(|e| DataError::Persistence {
             reason: format!("reading `{}`: {e}", path.as_ref().display()),
         })?;
         let mut loaded = 0usize;
-        let mut stats = self.stats.write().expect("statistics cache lock poisoned");
         for (lineno, line) in text.lines().enumerate() {
             // No trimming of content lines: field values are taken verbatim
             // (save_statistics refuses names that would not survive this).
@@ -287,8 +399,13 @@ impl Catalog {
             let value: f64 = value
                 .parse()
                 .map_err(|_| malformed("unparsable log2-norm value"))?;
-            stats.insert(StatsKey::new(relation, &split(v), &split(u), norm), value);
-            loaded += 1;
+            if self.record_statistic(
+                StatsKey::new(relation, &split(v), &split(u), norm),
+                value,
+                false,
+            ) {
+                loaded += 1;
+            }
         }
         Ok(loaded)
     }
@@ -459,6 +576,81 @@ mod tests {
         std::fs::write(&path, "# header\n\nR\tx\t\tinf\t2.5\n").unwrap();
         assert_eq!(c.load_statistics(&path).unwrap(), 1);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn absorb_observed_flags_exact_statistics_and_bumps_the_epoch() {
+        let c = catalog();
+        assert_eq!(c.epoch(), 1); // one insert
+        let observed =
+            RelationBuilder::binary_from_pairs("I", "y", "z", vec![(10, 1), (10, 2), (11, 1)]);
+        let absorbed = c.absorb_observed(observed, 4).unwrap();
+        assert_eq!(absorbed.epoch(), c.epoch() + 1);
+        assert!(absorbed.exact_stats() > 0);
+        // The observed statistics are the truth: deg_I(z|y) has ℓ∞ = 2.
+        let linf = absorbed
+            .log_norm("I", &["z"], &["y"], Norm::Infinity)
+            .unwrap();
+        assert!((linf - 1.0).abs() < 1e-12);
+        // Exact entries refuse non-exact overwrites within the epoch...
+        let key = StatsKey::new("I", &["z"], &["y"], Norm::Infinity);
+        assert!(!absorbed.record_statistic(key.clone(), 99.0, false));
+        assert_eq!(
+            absorbed
+                .log_norm("I", &["z"], &["y"], Norm::Infinity)
+                .unwrap(),
+            linf
+        );
+        // ...and survive a stale statistics file load untouched.
+        let path = std::env::temp_dir().join("lpbound_catalog_stale_exact_test.stats");
+        std::fs::write(&path, "I\tz\ty\tinf\t99.0\n").unwrap();
+        assert_eq!(absorbed.load_statistics(&path).unwrap(), 0);
+        assert_eq!(
+            absorbed
+                .log_norm("I", &["z"], &["y"], Norm::Infinity)
+                .unwrap(),
+            linf
+        );
+        std::fs::remove_file(&path).ok();
+        // A collector re-materializing the relation in the same epoch hits
+        // the cache and cannot regress the exact values either.
+        let set = crate::stats::StatisticsCollector::standard(4)
+            .materialize_relation(&absorbed, "I")
+            .unwrap();
+        assert_eq!(
+            set.log_norm("I", &["z"], &["y"], Norm::Infinity),
+            Some(linf)
+        );
+        // Replacing the relation clears the flags and bumps the epoch.
+        let mut absorbed = absorbed;
+        let epoch = absorbed.epoch();
+        absorbed.insert(RelationBuilder::binary_from_pairs(
+            "I",
+            "y",
+            "z",
+            vec![(1, 2)],
+        ));
+        assert_eq!(absorbed.epoch(), epoch + 1);
+        assert_eq!(absorbed.exact_stats(), 0);
+        assert!(absorbed.record_statistic(key, 99.0, false));
+    }
+
+    #[test]
+    fn refresh_statistics_drops_only_non_exact_entries() {
+        let c = catalog();
+        // Poison R's cache with a lie (as a stale persisted file would).
+        let lie = StatsKey::new("R", &["y"], &["x"], Norm::L1);
+        assert!(c.record_statistic(lie.clone(), 99.0, false));
+        assert!((c.log_norm("R", &["y"], &["x"], Norm::L1).unwrap() - 99.0).abs() < 1e-12);
+        // An exact entry on the same relation survives the refresh.
+        let exact = StatsKey::new("R", &["x"], &["y"], Norm::Infinity);
+        assert!(c.record_statistic(exact.clone(), 1.5, true));
+        assert_eq!(c.refresh_statistics("R"), 1);
+        assert_eq!(c.exact_stats(), 1);
+        // The lie is gone: the next read recomputes the truth from rows.
+        let truth = c.log_norm("R", &["y"], &["x"], Norm::L1).unwrap();
+        assert!((truth - 3.0f64.log2()).abs() < 1e-12);
+        assert!((c.log_norm("R", &["x"], &["y"], Norm::Infinity).unwrap() - 1.5).abs() < 1e-12);
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!   power-law triangles, hub-fan-out chains, and bridged heavy chains on
 //!   which every left-deep order blows up but a bushy plan stays small) —
 //!   greedy-by-size misplans all of them while degree-sequence ℓp-norms see
-//!   the danger.
+//!   the danger;
+//! * [`stale_stats_workload`] — a catalog whose persisted statistics went
+//!   stale between planning and execution, the adversary the adaptive
+//!   (certificate-reactive) executor is measured on.
 //!
 //! All generators are deterministic given their seed.
 
@@ -34,7 +37,7 @@ pub use alphabeta::{alpha_beta_relation, AlphaBetaConfig};
 pub use job_like::{job_like_catalog, job_like_queries, JobLikeConfig, JobLikeQuery};
 pub use planner::{
     bridged_chains_workload, misleading_chain_workload, partition_skew_workload, planner_workloads,
-    skewed_pairs, skewed_triangle_workload, PlannerWorkload,
+    skewed_pairs, skewed_triangle_workload, stale_stats_workload, PlannerWorkload,
 };
 pub use powerlaw::{power_law_graph, snap_like_presets, PowerLawGraphConfig, SnapLikePreset};
 pub use rng::{sample_cdf, seeded_rng, zipf_cdf};

@@ -44,12 +44,21 @@
 //!   connected subqueries (the largest at the full 12-variable limit of
 //!   the polymatroid LP) with zero product-bound fallbacks.
 //!
+//! * [`stale_stats_workload`] — the **adaptive-execution** adversary: the
+//!   catalog's persisted statistics describe yesterday's `S` (hub on the
+//!   `c` side), today's `S` has the hub flipped onto the `b` side.  The
+//!   bound-driven plan is *certified wrong*: blind execution blows through
+//!   its bound certificates by orders of magnitude, while a controller
+//!   that reacts to the first violation, feeds the observed intermediate
+//!   back, and re-plans the remainder finishes with a peak intermediate
+//!   several times lower.
+//!
 //! All are deterministic and sized so that true cardinalities stay
 //! computable in tests and CI.
 
 use crate::powerlaw::{power_law_graph, PowerLawGraphConfig};
 use lpb_core::{Atom, JoinQuery};
-use lpb_data::{Catalog, RelationBuilder};
+use lpb_data::{Catalog, RelationBuilder, StatisticsCollector};
 
 /// A ready-to-plan workload: a query, its catalog, and a display name.
 #[derive(Debug)]
@@ -437,6 +446,126 @@ pub fn large_query_workload(scale: usize) -> PlannerWorkload {
     }
 }
 
+/// The **stale-statistics** adversary; see the module docs.  `scale = 1`
+/// gives `|R| = 20`, `|S| = 1019`, `|T| = 8000`, `|U| = 30`, output 30.
+///
+/// Shape (chain `R(A,B) ⋈ S(B,C) ⋈ T(C,D) ⋈ U(D,E)`), built twice:
+///
+/// ```text
+/// yesterday's S (statistics source):  key join b→c, hub on the c side
+///                                     (one c fanned into by 1000 b's)
+/// today's S (what actually runs):     hub flipped — b = 0 fans out to
+///                                     1000 unique c's in T's key region
+/// ```
+///
+/// Yesterday's statistics are collected, persisted with
+/// [`Catalog::save_statistics`], and loaded over today's data — exactly a
+/// catalog whose saved statistics went stale between planning and
+/// execution.  The stale `deg_S(c|b) = 1` certifies `R ⋈ S` at ~20 rows
+/// and the full chain at ~160, so the planner picks the left-deep
+/// `R, S, T, U` chain; today's hub makes `R ⋈ S` 1019 rows (first
+/// violation) and `R ⋈ S ⋈ T` 8000 rows (the blind peak).  A controller
+/// that suspends at the first violation and re-plans `{R⋈S, T, U}` with
+/// exact observed statistics runs the remainder `U, T` first and never
+/// materializes more than the 1019 rows it already holds — an ~8× peak
+/// win over blind continuation.
+pub fn stale_stats_workload(scale: usize) -> PlannerWorkload {
+    let scale = scale.max(1) as u64;
+    let keys = 20 * scale; // key-join rows shared by both versions of S
+    let fanout = 1000 * scale; // the hub fan-out the stale statistics misplace
+    let t_width = 8u64; // deg_T(d | c): rows per c value
+    let u_rows = 30 * scale; // selective rows keying into T's unique d's
+    let c_base = 10_000 * scale; // T's (and today's hub's) c id region
+
+    // R(a, b): small and flat; joins S on B.
+    let r = RelationBuilder::binary_from_pairs("R", "a", "b", (0..keys).map(|i| (i, i)));
+    // T(c, d): `t_width` distinct d values per c across the whole c region;
+    // d values are globally unique, so deg_T(c | d) = 1 and entering T from
+    // the U side is provably harmless.
+    let t = RelationBuilder::binary_from_pairs(
+        "T",
+        "c",
+        "d",
+        (0..fanout)
+            .flat_map(move |c| (0..t_width).map(move |k| (c_base + c, (c_base + c) * t_width + k))),
+    );
+    // U(d, e): a few selective rows keying into T's unique d values.
+    let u = RelationBuilder::binary_from_pairs(
+        "U",
+        "d",
+        "e",
+        (0..u_rows).map(move |j| ((c_base + 7 * j) * t_width, j)),
+    );
+
+    // Yesterday's S: a key join on the b side (deg(c|b) = 1) with the one
+    // hub on the c side (deg(b|c) = fanout) — which is where the stale
+    // statistics will keep claiming it is.
+    let s_then = RelationBuilder::binary_from_pairs(
+        "S",
+        "b",
+        "c",
+        (0..keys)
+            .map(|i| (i, i))
+            .chain((0..fanout).map(|j| (100_000 + j, 9_999))),
+    );
+    // Today's S: the hub flipped onto the b side — b = 0 fans out to
+    // `fanout` unique c values, all inside T's key region, so the blind
+    // R ⋈ S ⋈ T prefix multiplies through the hub *and* T's width.
+    let s_now = RelationBuilder::binary_from_pairs(
+        "S",
+        "b",
+        "c",
+        (0..fanout)
+            .map(move |j| (0, c_base + j))
+            .chain((1..keys).map(|i| (i, i))),
+    );
+
+    // Collect and persist yesterday's statistics…
+    let mut then_catalog = Catalog::new();
+    for rel in [r.clone(), s_then, t.clone(), u.clone()] {
+        then_catalog.insert(rel);
+    }
+    let collector = StatisticsCollector::standard(4);
+    for rel in ["R", "S", "T", "U"] {
+        collector
+            .materialize_relation(&then_catalog, rel)
+            .expect("statistics materialize on generated data");
+    }
+    let path = std::env::temp_dir().join(format!(
+        "lpbound_stale_stats_{}_{}.stats",
+        std::process::id(),
+        scale
+    ));
+    then_catalog
+        .save_statistics(&path)
+        .expect("statistics file is writable");
+
+    // …and load them over today's data.
+    let mut catalog = Catalog::new();
+    for rel in [r, s_now, t, u] {
+        catalog.insert(rel);
+    }
+    catalog
+        .load_statistics(&path)
+        .expect("statistics file loads");
+    let _ = std::fs::remove_file(&path);
+
+    PlannerWorkload {
+        name: "stale-stats",
+        query: JoinQuery::new(
+            "stale-stats",
+            vec![
+                Atom::new("R", &["A", "B"]),
+                Atom::new("S", &["B", "C"]),
+                Atom::new("T", &["C", "D"]),
+                Atom::new("U", &["D", "E"]),
+            ],
+        )
+        .expect("stale-stats query is well formed"),
+        catalog,
+    }
+}
+
 /// Every planner workload at the given scale (used by the
 /// `planner_quality` benchmark).
 pub fn planner_workloads(scale: usize) -> Vec<PlannerWorkload> {
@@ -571,6 +700,78 @@ mod tests {
             .log_norm("H1", &["b"], &["a"], Norm::Infinity)
             .unwrap();
         assert!((fan - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_stats_catalog_lies_about_todays_hub_direction() {
+        let w = stale_stats_workload(1);
+        // The persisted (stale) statistics claim S is a key join from b…
+        let stale = w
+            .catalog
+            .log_norm("S", &["c"], &["b"], Norm::Infinity)
+            .unwrap();
+        assert_eq!(stale, 0.0, "stale stats must claim deg_S(c|b) = 1");
+        // …while today's relation fans b = 0 out 1000 ways.
+        let actual = w
+            .catalog
+            .get("S")
+            .unwrap()
+            .degree_sequence(&["c"], &["b"])
+            .unwrap();
+        assert_eq!(actual.max_degree(), 1000, "today's hub is on the b side");
+        // Deterministic across calls (the temp stats file is pid-scoped).
+        let w2 = stale_stats_workload(1);
+        for rel in ["R", "S", "T", "U"] {
+            assert_eq!(
+                w.catalog.get(rel).unwrap().len(),
+                w2.catalog.get(rel).unwrap().len(),
+                "{rel} must be deterministic"
+            );
+        }
+        assert_eq!(w.query.n_atoms(), 4);
+    }
+
+    #[test]
+    fn stale_stats_static_plan_violates_and_adaptive_beats_it_twofold() {
+        let w = stale_stats_workload(1);
+        let optimizer = lpb_exec::Optimizer::new();
+        let plan = optimizer.plan(&w.query, &w.catalog).unwrap();
+        // Blind static execution blows through its certificates…
+        let blind = lpb_exec::execute_physical_mode(
+            &w.query,
+            &w.catalog,
+            &plan.physical,
+            lpb_exec::ExecMode::Vectorized,
+        )
+        .unwrap();
+        assert!(
+            blind.certificate_violations() > 0,
+            "the stale plan must violate its own certificates"
+        );
+        // …the adaptive controller reacts, re-plans, and finishes with the
+        // same answer at a peak at least 2× lower.
+        let adaptive = lpb_exec::AdaptiveExecutor::new(optimizer)
+            .run(
+                &w.query,
+                &w.catalog,
+                &plan.physical,
+                lpb_exec::ExecMode::Vectorized,
+            )
+            .unwrap();
+        assert!(adaptive.replans >= 1, "at least one reactive re-plan");
+        assert_eq!(adaptive.unhandled_violations(), 0);
+        assert_eq!(adaptive.bound_fallbacks, 0, "delta re-plans stay bounded");
+        assert!(
+            adaptive.bounds_reused > 0,
+            "untouched sub-joins reuse bounds"
+        );
+        assert_eq!(adaptive.output.len(), blind.output.len());
+        let blind_peak = blind.counters.max_intermediate();
+        let adaptive_peak = adaptive.max_intermediate();
+        assert!(
+            adaptive_peak * 2 <= blind_peak,
+            "adaptive peak {adaptive_peak} must be ≥2× below blind peak {blind_peak}"
+        );
     }
 
     #[test]

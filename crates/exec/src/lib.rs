@@ -49,7 +49,27 @@
 //!   parts, bushy branches) forked onto morsel workers whose per-worker
 //!   [`IntermediateCounters`] merge through the same roll-up logic
 //!   ([`IntermediateCounters::merge`]); the scalar path stays available as
-//!   [`ExecMode::Scalar`] for differential cross-checking.
+//!   [`ExecMode::Scalar`] for differential cross-checking;
+//! * **adaptive execution** — the state-machine layering that turns the
+//!   bound certificates into a mid-query feedback controller:
+//!   - [`ExecState`] (the `state` module): every plan is lowered to a flat
+//!     stage DAG and executed resumably — [`ExecState::run_until`] suspends
+//!     at any stage boundary and resumes bit-identically in all three
+//!     [`ExecMode`]s (`Parallel` drains its current morsel batch before
+//!     yielding);
+//!   - [`CertificatePolicy`]: `Ignore` records sizes only, `Count` (the
+//!     default, in **every** build profile — release benches included)
+//!     tallies violations, and `React { slack_log2 }` suspends with a typed
+//!     [`BoundViolation`] as soon as an intermediate exceeds its
+//!     certificate by more than the slack;
+//!   - [`AdaptiveExecutor`]: on suspension, the completed intermediates
+//!     ([`ExecState::live_slots`]) are fed back into the catalog as exact
+//!     statistics (`Catalog::absorb_observed`), only the sub-joins touching
+//!     the refreshed atoms are re-bounded through the warm-started delta
+//!     bound API ([`Optimizer::plan_delta`]), and the re-planned sub-plan
+//!     is spliced over the remaining frontier — under a re-plan budget and
+//!     a monotonic-progress guard, falling back to plain `Count` execution
+//!     when either trips.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,6 +84,7 @@ mod optimizer;
 mod panda_eval;
 mod partition;
 mod physical;
+mod state;
 mod trie;
 mod tuples;
 mod wcoj;
@@ -71,20 +92,24 @@ mod yannakakis;
 
 pub use columns::{gallop_ge, ColumnBatch, ColumnTable, BATCH_ROWS};
 pub use counters::{
-    cycle_count, join2_count, path2_count, triangle_count, IntermediateCounters, StepCount,
-    CERTIFICATE_SLACK,
+    cycle_count, join2_count, path2_count, triangle_count, BoundViolation, CertificatePolicy,
+    IntermediateCounters, StepCount, CERTIFICATE_SLACK,
 };
 pub use error::ExecError;
 pub use hash_join::{hash_join, hash_join_columns, semi_join, semi_join_bitmap, semi_join_columns};
 pub use logical::{validate_atom_permutation, JoinPlan, LogicalPlan};
 pub use morsel::{execute_physical_mode, ColumnRun, ExecMode};
-pub use optimizer::{OptimizedPlan, Optimizer, PlannerConfig};
+pub use optimizer::{
+    AdaptiveExecutor, AdaptiveRun, DeltaPlan, OptimizedPlan, Optimizer, PlannerConfig,
+    SubjoinBounds,
+};
 pub use panda_eval::{partitioned_join_count, PartitionSpec, PartitionedRun};
 pub use partition::{partition_by_degree, partition_for_statistic, split_light_heavy, DegreePart};
 pub use physical::{
     execute_physical, execute_plan, join_size, PartitionBranch, PhysicalNode, PhysicalPlan,
     PhysicalRun, PlanResult,
 };
+pub use state::{ExecState, ExecStatus, LiveSlot};
 pub use trie::{AtomTrie, RunRange, RunTrie, TrieNode};
 pub use tuples::Tuples;
 pub use wcoj::{

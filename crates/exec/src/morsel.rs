@@ -3,7 +3,7 @@
 //! one of three [`ExecMode`]s.
 //!
 //! * [`ExecMode::Scalar`] — the legacy tuple-at-a-time engine, kept as the
-//!   cross-checking fallback (delegates to [`crate::execute_physical`]).
+//!   cross-checking fallback (row-major [`crate::Tuples`] intermediates).
 //! * [`ExecMode::Vectorized`] — one worker, columnar operators throughout:
 //!   scans clone relation columns ([`ColumnTable::from_atom`]), hash joins
 //!   probe batch-at-a-time with columnar gathers
@@ -11,32 +11,29 @@
 //!   [`crate::RunTrie`]s with galloping seeks, and Yannakakis reduction
 //!   filters through bitmaps ([`crate::yannakakis::full_reducer_columns`]).
 //! * [`ExecMode::Parallel`] — the vectorized operators plus morsel-driven
-//!   parallelism: a plan's *independent sub-plans* are the morsels.  The two
-//!   branches of a bushy [`PhysicalNode::HashJoin`] fork via `rayon::join`,
-//!   and the parts of a [`PhysicalNode::PartitionedUnion`] fan out one
-//!   worker per part.  Every worker records into its **own**
-//!   [`IntermediateCounters`] — bound certificates are checked right where
-//!   the worker materializes (`record_checked` is per-worker) — and the
-//!   recordings are rolled up through [`IntermediateCounters::merge`] /
-//!   `absorb_part` in plan order, after which the merged node (the bushy
-//!   join output, the partitioned union) is checked against its own
-//!   certificate on the merged totals.
+//!   parallelism: the stage machine's **ready set** (stages whose inputs
+//!   are all complete — bushy [`crate::PhysicalNode::HashJoin`] branches,
+//!   [`crate::PhysicalNode::PartitionedUnion`] parts) fans out as one
+//!   morsel batch onto the thread-backed rayon shim.  Every worker records
+//!   into its **own** [`IntermediateCounters`], and the per-stage
+//!   recordings are assembled in stage (= plan) order, so the merged
+//!   recording is identical to the sequential one.
 //!
-//! All three modes produce the same output schema, the same result
-//! multiset, and the same counter steps (labels and sizes) — the
-//! differential property tests in `tests/proptest_exec_modes.rs` pin all
-//! three down on random skewed inputs.
+//! All three modes are thin front ends over the resumable
+//! [`crate::ExecState`] stage machine (see the `state` module), run to
+//! completion under the default [`crate::CertificatePolicy::Count`].  They
+//! produce the same output schema, the same result multiset, and the same
+//! counter steps (labels and sizes) — the differential property tests in
+//! `tests/proptest_exec_modes.rs` and `tests/proptest_suspend_resume.rs`
+//! pin all three down on random skewed inputs.
 
 use crate::columns::ColumnTable;
-use crate::counters::IntermediateCounters;
+use crate::counters::{CertificatePolicy, IntermediateCounters};
 use crate::error::ExecError;
-use crate::hash_join::hash_join_columns;
-use crate::physical::{assert_parts_disjoint, PhysicalNode, PhysicalPlan};
-use crate::wcoj::wcoj_materialize_columns;
-use crate::yannakakis::full_reducer_columns;
+use crate::physical::PhysicalPlan;
+use crate::state::ExecState;
 use lpb_core::JoinQuery;
 use lpb_data::Catalog;
-use rayon::prelude::*;
 
 /// Which engine executes a [`PhysicalPlan`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,216 +75,29 @@ impl ColumnRun {
     }
 }
 
-/// Execute a physical plan under the chosen [`ExecMode`].
+/// Execute a physical plan under the chosen [`ExecMode`].  One-shot front
+/// end over the resumable [`ExecState`] stage machine (default `Count`
+/// policy).
 pub fn execute_physical_mode(
     query: &JoinQuery,
     catalog: &Catalog,
     plan: &PhysicalPlan,
     mode: ExecMode,
 ) -> Result<ColumnRun, ExecError> {
-    if mode == ExecMode::Scalar {
-        let run = crate::physical::execute_physical(query, catalog, plan)?;
-        return Ok(ColumnRun {
-            output: ColumnTable::from_tuples(&run.output),
-            counters: run.counters,
-        });
-    }
-    let mut counters = IntermediateCounters::new();
-    let parallel = mode == ExecMode::Parallel;
-    let output = eval_columns(plan.root(), query, catalog, &mut counters, parallel)?;
+    let mut state = ExecState::new(plan, mode, CertificatePolicy::default());
+    state.run(query, catalog)?;
+    let counters = state.counters();
+    let output = state
+        .take_output()
+        .expect("an unlimited Count run completes")
+        .into_columns();
     Ok(ColumnRun { output, counters })
-}
-
-/// The columnar twin of the scalar evaluator: same recursion, same labels,
-/// same recorded sizes — only the operator implementations (and, with
-/// `parallel`, the scheduling of independent branches) differ.
-fn eval_columns(
-    node: &PhysicalNode,
-    query: &JoinQuery,
-    catalog: &Catalog,
-    counters: &mut IntermediateCounters,
-    parallel: bool,
-) -> Result<ColumnTable, ExecError> {
-    match node {
-        PhysicalNode::Scan { atom, log2_bound } => {
-            let t = ColumnTable::from_atom(query, catalog, *atom)?;
-            counters.record_checked(
-                format!("scan {}", query.atoms()[*atom].relation),
-                t.len(),
-                *log2_bound,
-            );
-            Ok(t)
-        }
-        PhysicalNode::HashChain {
-            input,
-            atoms,
-            step_bounds,
-        } => {
-            let mut acc = eval_columns(input, query, catalog, counters, parallel)?;
-            for (i, &j) in atoms.iter().enumerate() {
-                let next = ColumnTable::from_atom(query, catalog, j)?;
-                acc = hash_join_columns(&acc, &next);
-                counters.record_checked(
-                    format!("⋈ {}", query.atoms()[j].relation),
-                    acc.len(),
-                    step_bounds.get(i).copied().flatten(),
-                );
-            }
-            Ok(acc)
-        }
-        PhysicalNode::HashJoin {
-            left,
-            right,
-            log2_bound,
-        } => {
-            // The two branches are independent sub-plans — under `parallel`
-            // they are the morsels: forked onto separate workers, each with
-            // its own counters (certificates checked in-worker), merged
-            // back in left-then-right plan order so the recorded step
-            // sequence is identical to the sequential one.
-            let (l, r) = if parallel {
-                let ((l, lc), (r, rc)) = rayon::join(
-                    || {
-                        let mut c = IntermediateCounters::new();
-                        eval_columns(left, query, catalog, &mut c, parallel).map(|t| (t, c))
-                    },
-                    || {
-                        let mut c = IntermediateCounters::new();
-                        eval_columns(right, query, catalog, &mut c, parallel).map(|t| (t, c))
-                    },
-                )
-                .into_both()?;
-                counters.merge(lc);
-                counters.merge(rc);
-                (l, r)
-            } else {
-                let l = eval_columns(left, query, catalog, counters, parallel)?;
-                let r = eval_columns(right, query, catalog, counters, parallel)?;
-                (l, r)
-            };
-            let out = hash_join_columns(&l, &r);
-            let label = |n: &PhysicalNode| {
-                n.atom_order_vec()
-                    .iter()
-                    .map(|a| a.to_string())
-                    .collect::<Vec<_>>()
-                    .join(",")
-            };
-            // The merged node's certificate is checked on the merged
-            // totals, in the parent recording.
-            counters.record_checked(
-                format!("⋈ bushy[{}|{}]", label(left), label(right)),
-                out.len(),
-                *log2_bound,
-            );
-            Ok(out)
-        }
-        PhysicalNode::Wcoj { atoms, log2_bound } => {
-            let sub = query.subquery(atoms)?;
-            let out = wcoj_materialize_columns(&sub, catalog)?;
-            counters.record_checked(format!("wcoj {}", sub.name()), out.len(), *log2_bound);
-            Ok(out)
-        }
-        PhysicalNode::Reduced {
-            atoms,
-            scan_bounds,
-            step_bounds,
-        } => {
-            let sub = query.subquery(atoms)?;
-            let reduced = full_reducer_columns(&sub, catalog, counters, scan_bounds)?;
-            let mut iter = reduced.into_iter().enumerate();
-            let (_, mut acc) = iter.next().expect("reduction has at least one atom");
-            counters.record_checked(
-                format!("reduce {}", query.atoms()[atoms[0]].relation),
-                acc.len(),
-                scan_bounds.first().copied().flatten(),
-            );
-            for (i, next) in iter {
-                counters.record_checked(
-                    format!("reduce {}", query.atoms()[atoms[i]].relation),
-                    next.len(),
-                    scan_bounds.get(i).copied().flatten(),
-                );
-                acc = hash_join_columns(&acc, &next);
-                counters.record_checked(
-                    format!("⋈ {}", query.atoms()[atoms[i]].relation),
-                    acc.len(),
-                    step_bounds.get(i).copied().flatten(),
-                );
-            }
-            Ok(acc)
-        }
-        PhysicalNode::PartitionedUnion {
-            atom,
-            parts,
-            log2_bound,
-        } => {
-            assert_parts_disjoint(*atom, parts);
-            counters.note_parts_planned(parts.len());
-            // One morsel per part: each branch rebinds the atom to its part
-            // against a derived sub-catalog and runs with its own counters
-            // (certificates — including the branch's own output bound —
-            // checked in-worker).
-            let run_branch = |branch: &crate::physical::PartitionBranch| {
-                let part_query = query.with_atom_relation(*atom, branch.relation.name())?;
-                let part_catalog = catalog.derive_with(branch.relation.clone());
-                let mut part_counters = IntermediateCounters::new();
-                let rows = eval_columns(
-                    branch.plan.root(),
-                    &part_query,
-                    &part_catalog,
-                    &mut part_counters,
-                    parallel,
-                )?;
-                part_counters.record_checked(
-                    format!("output {}", branch.relation.name()),
-                    rows.len(),
-                    branch.log2_bound,
-                );
-                Ok::<_, ExecError>((rows, part_counters))
-            };
-            let branch_runs: Vec<Result<(ColumnTable, IntermediateCounters), ExecError>> =
-                if parallel {
-                    parts.par_iter().map(run_branch).collect()
-                } else {
-                    parts.iter().map(run_branch).collect()
-                };
-            // Roll up in plan (branch) order — `merge` is associative and
-            // its aggregates order-independent, so this matches the
-            // sequential recording exactly.
-            let mut union: Option<ColumnTable> = None;
-            for (branch, run) in parts.iter().zip(branch_runs) {
-                let (rows, part_counters) = run?;
-                counters.absorb_part(branch.relation.name(), part_counters);
-                match &mut union {
-                    None => union = Some(rows),
-                    Some(acc) => acc.extend_reordered(&rows),
-                }
-            }
-            let out = union.expect("a partitioned union has at least one part");
-            // The union's certificate is checked on the merged total.
-            counters.record_checked("∪ partitioned", out.len(), *log2_bound);
-            Ok(out)
-        }
-    }
-}
-
-/// Transpose a pair of `Result`s, preferring the left error (matching the
-/// sequential evaluator, which would fail on the left branch first).
-trait IntoBoth<L, R, E> {
-    fn into_both(self) -> Result<(L, R), E>;
-}
-
-impl<L, R, E> IntoBoth<L, R, E> for (Result<L, E>, Result<R, E>) {
-    fn into_both(self) -> Result<(L, R), E> {
-        Ok((self.0?, self.1?))
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::physical::execute_physical;
+    use crate::physical::{execute_physical, PhysicalNode};
     use lpb_data::RelationBuilder;
 
     fn catalog() -> Catalog {

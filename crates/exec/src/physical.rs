@@ -25,21 +25,22 @@
 //!
 //! Every node can carry a **bound certificate**: `log₂` of a provable upper
 //! bound on what the node materializes, threaded in from the optimizer's
-//! per-sub-join ℓp-norm bounds.  [`execute_physical`] walks the tree,
-//! threads an [`IntermediateCounters`] through every node, and checks each
-//! observed intermediate against its certificate (a violation trips a
-//! `debug_assert` and the counters' `certificate_violations`).  The legacy
-//! [`execute_plan`] / [`join_size`] entry points lower a `JoinPlan` to an
-//! uncertified hash chain and report the identical per-step sizes they
-//! always did.
+//! per-sub-join ℓp-norm bounds.  [`execute_physical`] lowers the tree into
+//! the resumable stage machine ([`crate::ExecState`]) and runs it to
+//! completion with the scalar engine under the default
+//! [`crate::CertificatePolicy::Count`]: every observed intermediate is
+//! checked against its certificate in every build profile, with violations
+//! tallied in the counters (`React` policies additionally suspend — see the
+//! `state` module).  The legacy [`execute_plan`] / [`join_size`] entry
+//! points lower a `JoinPlan` to an uncertified hash chain and report the
+//! identical per-step sizes they always did.
 
-use crate::counters::IntermediateCounters;
+use crate::counters::{CertificatePolicy, IntermediateCounters};
 use crate::error::ExecError;
-use crate::hash_join::hash_join;
 use crate::logical::JoinPlan;
+use crate::morsel::ExecMode;
+use crate::state::ExecState;
 use crate::tuples::Tuples;
-use crate::wcoj::wcoj_materialize;
-use crate::yannakakis::full_reducer_counted;
 use lpb_core::JoinQuery;
 use lpb_data::Catalog;
 
@@ -193,14 +194,6 @@ impl PhysicalNode {
                 }
             }
         }
-    }
-
-    /// [`atom_order`](Self::atom_order) as a fresh vector (used by the
-    /// vectorized executor's step labels).
-    pub(crate) fn atom_order_vec(&self) -> Vec<usize> {
-        let mut out = Vec::new();
-        self.atom_order(&mut out);
-        out
     }
 
     /// True when this subtree contains a bushy [`PhysicalNode::HashJoin`].
@@ -441,150 +434,22 @@ impl PhysicalRun {
     }
 }
 
-/// Execute a physical plan, threading intermediate-size tracking through
-/// every node.
+/// Execute a physical plan with the scalar engine, threading
+/// intermediate-size tracking through every node.  One-shot front end over
+/// the resumable [`ExecState`] stage machine (default `Count` policy).
 pub fn execute_physical(
     query: &JoinQuery,
     catalog: &Catalog,
     plan: &PhysicalPlan,
 ) -> Result<PhysicalRun, ExecError> {
-    let mut counters = IntermediateCounters::new();
-    let output = eval(&plan.root, query, catalog, &mut counters)?;
+    let mut state = ExecState::new(plan, ExecMode::Scalar, CertificatePolicy::default());
+    state.run(query, catalog)?;
+    let counters = state.counters();
+    let output = state
+        .take_output()
+        .expect("an unlimited Count run completes")
+        .into_tuples();
     Ok(PhysicalRun { output, counters })
-}
-
-fn eval(
-    node: &PhysicalNode,
-    query: &JoinQuery,
-    catalog: &Catalog,
-    counters: &mut IntermediateCounters,
-) -> Result<Tuples, ExecError> {
-    match node {
-        PhysicalNode::Scan { atom, log2_bound } => {
-            let t = Tuples::from_atom(query, catalog, *atom)?;
-            counters.record_checked(
-                format!("scan {}", query.atoms()[*atom].relation),
-                t.len(),
-                *log2_bound,
-            );
-            Ok(t)
-        }
-        PhysicalNode::HashChain {
-            input,
-            atoms,
-            step_bounds,
-        } => {
-            let mut acc = eval(input, query, catalog, counters)?;
-            for (i, &j) in atoms.iter().enumerate() {
-                let next = Tuples::from_atom(query, catalog, j)?;
-                acc = hash_join(&acc, &next);
-                counters.record_checked(
-                    format!("⋈ {}", query.atoms()[j].relation),
-                    acc.len(),
-                    step_bounds.get(i).copied().flatten(),
-                );
-            }
-            Ok(acc)
-        }
-        PhysicalNode::HashJoin {
-            left,
-            right,
-            log2_bound,
-        } => {
-            let l = eval(left, query, catalog, counters)?;
-            let r = eval(right, query, catalog, counters)?;
-            let out = hash_join(&l, &r);
-            let label = |n: &PhysicalNode| {
-                let mut atoms = Vec::new();
-                n.atom_order(&mut atoms);
-                atoms
-                    .iter()
-                    .map(|a| a.to_string())
-                    .collect::<Vec<_>>()
-                    .join(",")
-            };
-            counters.record_checked(
-                format!("⋈ bushy[{}|{}]", label(left), label(right)),
-                out.len(),
-                *log2_bound,
-            );
-            Ok(out)
-        }
-        PhysicalNode::Wcoj { atoms, log2_bound } => {
-            let sub = query.subquery(atoms)?;
-            let out = wcoj_materialize(&sub, catalog)?;
-            counters.record_checked(format!("wcoj {}", sub.name()), out.len(), *log2_bound);
-            Ok(out)
-        }
-        PhysicalNode::Reduced {
-            atoms,
-            scan_bounds,
-            step_bounds,
-        } => {
-            let sub = query.subquery(atoms)?;
-            // The reducer's semi-join passes are real work: each pass is
-            // recorded (certified by the pass target's scan bound — semi-
-            // joins only shrink).
-            let reduced = full_reducer_counted(&sub, catalog, counters, scan_bounds)?;
-            let mut iter = reduced.into_iter().enumerate();
-            let (_, mut acc) = iter.next().expect("reduction has at least one atom");
-            counters.record_checked(
-                format!("reduce {}", query.atoms()[atoms[0]].relation),
-                acc.len(),
-                scan_bounds.first().copied().flatten(),
-            );
-            for (i, next) in iter {
-                counters.record_checked(
-                    format!("reduce {}", query.atoms()[atoms[i]].relation),
-                    next.len(),
-                    scan_bounds.get(i).copied().flatten(),
-                );
-                acc = hash_join(&acc, &next);
-                counters.record_checked(
-                    format!("⋈ {}", query.atoms()[atoms[i]].relation),
-                    acc.len(),
-                    step_bounds.get(i).copied().flatten(),
-                );
-            }
-            Ok(acc)
-        }
-        PhysicalNode::PartitionedUnion {
-            atom,
-            parts,
-            log2_bound,
-        } => {
-            assert_parts_disjoint(*atom, parts);
-            counters.note_parts_planned(parts.len());
-            let mut union: Option<Tuples> = None;
-            for branch in parts {
-                // Each branch runs the query with the atom rebound to its
-                // part, against a derived sub-catalog, with its own
-                // counters — rolled up (and re-labelled) into the parent.
-                let part_query = query.with_atom_relation(*atom, branch.relation.name())?;
-                let part_catalog = catalog.derive_with(branch.relation.clone());
-                let mut part_counters = IntermediateCounters::new();
-                let rows = eval(
-                    &branch.plan.root,
-                    &part_query,
-                    &part_catalog,
-                    &mut part_counters,
-                )?;
-                part_counters.record_checked(
-                    format!("output {}", branch.relation.name()),
-                    rows.len(),
-                    branch.log2_bound,
-                );
-                counters.absorb_part(branch.relation.name(), part_counters);
-                match &mut union {
-                    None => union = Some(rows),
-                    Some(acc) => acc.extend_reordered(&rows),
-                }
-            }
-            let out = union.expect("a partitioned union has at least one part");
-            counters.record_checked("∪ partitioned", out.len(), *log2_bound);
-            Ok(out)
-        }
-    }
 }
 
 /// The union of a [`PhysicalNode::PartitionedUnion`] is exact only because
