@@ -151,12 +151,36 @@ impl BatchItem {
 /// cloned estimators — e.g. one configured instance shared across planner
 /// threads — pool their warm starts instead of each re-solving every shape
 /// cold.
-#[derive(Debug, Default)]
+///
+/// **Locking discipline:** the `handles` mutex covers map lookups and
+/// inserts only — never an LP solve, and never the row-for-row matrix
+/// comparisons of grown-candidate matching.  Concurrent
+/// [`BatchEstimator::bound_subqueries`] calls on clones sharing this cache
+/// therefore overlap their solves; the `concurrent_bound_subqueries_overlap`
+/// rendezvous test proves it (both threads must sit inside a cold solve at
+/// the same instant, or the test times out).
+#[derive(Default)]
 struct WarmCache {
     handles: Mutex<HashMap<LpShape, Arc<WarmHandle>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     lps_estimated: AtomicUsize,
+    /// Test seam: invoked on every cold solve, *after* every cache lock is
+    /// released and immediately before the LP runs.  The overlap test
+    /// installs a two-party rendezvous here; anything holding the cache
+    /// mutex across a solve would deadlock it.
+    #[cfg(test)]
+    cold_solve_hook: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for WarmCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarmCache")
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .field("lps_estimated", &self.lps_estimated.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
 }
 
 /// Evaluates many bound computations in parallel with shared skeleton and
@@ -265,29 +289,36 @@ impl BatchEstimator {
     /// subset of `shape` and whose matrix actually embeds into `problem`
     /// (checked row-for-row by [`WarmHandle::matches_superset`]).  Growing
     /// the biggest subset appends the fewest rows.
+    ///
+    /// The cache mutex is held only while collecting candidate handles; the
+    /// per-candidate matrix comparisons run on cloned `Arc`s after it is
+    /// released, so a slow match never stalls concurrent estimators.
     fn grown_candidate(
         &self,
         shape: &LpShape,
         problem: &lpb_lp::Problem,
     ) -> Option<Arc<WarmHandle>> {
-        let handles = self
-            .cache
-            .handles
-            .lock()
-            .expect("warm-start cache poisoned");
-        let mut candidates: Vec<(&LpShape, &Arc<WarmHandle>)> = handles
-            .iter()
-            .filter(|(k, _)| {
-                k.n_vars == shape.n_vars
-                    && k.cone == shape.cone
-                    && k.stats.len() < shape.stats.len()
-                    && is_sorted_multiset_subset(&k.stats, &shape.stats)
-            })
-            .collect();
-        candidates.sort_by_key(|(k, _)| std::cmp::Reverse(k.stats.len()));
+        let mut candidates: Vec<(usize, Arc<WarmHandle>)> = {
+            let handles = self
+                .cache
+                .handles
+                .lock()
+                .expect("warm-start cache poisoned");
+            handles
+                .iter()
+                .filter(|(k, _)| {
+                    k.n_vars == shape.n_vars
+                        && k.cone == shape.cone
+                        && k.stats.len() < shape.stats.len()
+                        && is_sorted_multiset_subset(&k.stats, &shape.stats)
+                })
+                .map(|(k, h)| (k.stats.len(), Arc::clone(h)))
+                .collect()
+        };
+        candidates.sort_by_key(|(len, _)| std::cmp::Reverse(*len));
         candidates
             .into_iter()
-            .map(|(_, h)| Arc::clone(h))
+            .map(|(_, h)| h)
             .find(|h| h.matches_superset(problem))
     }
 
@@ -362,6 +393,18 @@ impl BatchEstimator {
                     }
                     None => {
                         self.cache.misses.fetch_add(1, Ordering::Relaxed);
+                        #[cfg(test)]
+                        {
+                            let hook = self
+                                .cache
+                                .cold_solve_hook
+                                .lock()
+                                .expect("hook lock poisoned")
+                                .clone();
+                            if let Some(hook) = hook {
+                                hook();
+                            }
+                        }
                         solve_sparse_with_handle(&problem, &lp_options)
                     }
                 },
@@ -437,13 +480,36 @@ impl BatchEstimator {
         subsets: &[Vec<usize>],
         config: &CollectConfig,
     ) -> Vec<Vec<Result<BoundResult, CoreError>>> {
-        let mut items = Vec::with_capacity(runs.len() * subsets.len());
-        // One slot per (run, subset): the preparation error, or `None`
+        let groups: Vec<(&JoinQuery, &Catalog, &[Vec<usize>])> =
+            runs.iter().map(|&(q, c)| (q, c, subsets)).collect();
+        self.bound_subqueries_grouped(&groups, config)
+    }
+
+    /// Bound several **independent** `(query, catalog, subsets)` groups in
+    /// one warm-started batch — each group brings its *own* subset list, so
+    /// the queries need not share a join graph.
+    ///
+    /// This is the cross-query coalescing entry point: a query service that
+    /// gathers concurrent cache-missing plan requests folds every request's
+    /// sub-join fan-out into this single batch, so LP shapes shared
+    /// *between users' queries* re-solve via dual warm starts exactly like
+    /// shapes shared between one query's subsets.  Results are positional:
+    /// `out[g][s]` is group `g`'s bound on its subset `s`, and per-item
+    /// preparation failures are reported in place without aborting the
+    /// batch.
+    pub fn bound_subqueries_grouped(
+        &self,
+        groups: &[(&JoinQuery, &Catalog, &[Vec<usize>])],
+        config: &CollectConfig,
+    ) -> Vec<Vec<Result<BoundResult, CoreError>>> {
+        let total: usize = groups.iter().map(|(_, _, s)| s.len()).sum();
+        let mut items = Vec::with_capacity(total);
+        // One slot per (group, subset): the preparation error, or `None`
         // meaning "the next estimated bound in order" — preserves positional
         // reporting without cloning the prepared items.
-        let mut slots: Vec<Option<CoreError>> = Vec::with_capacity(runs.len() * subsets.len());
-        for (query, catalog) in runs {
-            for atoms in subsets {
+        let mut slots: Vec<Option<CoreError>> = Vec::with_capacity(total);
+        for (query, catalog, subsets) in groups {
+            for atoms in subsets.iter() {
                 let prepared = query.subquery(atoms).and_then(|sub| {
                     let stats = collect_simple_statistics(&sub, catalog, config)?;
                     Ok(BatchItem::new(sub, stats))
@@ -462,8 +528,9 @@ impl BatchEstimator {
             None => bounds.next().expect("one bound per prepared item"),
             Some(e) => Err(e),
         });
-        runs.iter()
-            .map(|_| flat.by_ref().take(subsets.len()).collect())
+        groups
+            .iter()
+            .map(|(_, _, subsets)| flat.by_ref().take(subsets.len()).collect())
             .collect()
     }
 }
@@ -679,6 +746,124 @@ mod tests {
             h.join().unwrap();
         }
         assert!(est.shape_cache_hits() >= before + 2 * items.len());
+    }
+
+    /// Two threads calling `bound_subqueries` on clones sharing one warm
+    /// cache must *overlap* their LP solves — the cache mutex covers only
+    /// lookup/insert, never a solve.  Proven by rendezvous (the pattern of
+    /// the rayon shim's `join_runs_both_sides_concurrently`): the cold-solve
+    /// test seam makes each thread wait until BOTH threads sit inside a cold
+    /// solve at the same instant.  If any lock were held across a solve the
+    /// second thread could never arrive and the rendezvous would time out.
+    #[test]
+    fn concurrent_bound_subqueries_overlap() {
+        use std::sync::Condvar;
+        use std::time::Duration;
+
+        struct Rendezvous {
+            arrived: Mutex<usize>,
+            cv: Condvar,
+        }
+        let rendezvous = Arc::new(Rendezvous {
+            arrived: Mutex::new(0),
+            cv: Condvar::new(),
+        });
+        let est = BatchEstimator::new().sequential();
+        {
+            let rendezvous = Arc::clone(&rendezvous);
+            *est.cache.cold_solve_hook.lock().unwrap() = Some(Arc::new(move || {
+                let mut arrived = rendezvous.arrived.lock().unwrap();
+                *arrived += 1;
+                if *arrived >= 2 {
+                    rendezvous.cv.notify_all();
+                    return;
+                }
+                let deadline = Duration::from_secs(30);
+                let (guard, timeout) = rendezvous
+                    .cv
+                    .wait_timeout_while(arrived, deadline, |n| *n < 2)
+                    .unwrap();
+                assert!(
+                    !timeout.timed_out(),
+                    "only {} thread(s) reached a cold solve concurrently — \
+                     a lock is being held across an LP solve",
+                    *guard
+                );
+            }));
+        }
+
+        let catalog = Arc::new(catalog());
+        let handles: Vec<_> = [2usize, 3]
+            .into_iter()
+            .map(|len| {
+                // Distinct path lengths → distinct LP shapes → both threads
+                // take the cold path and meet inside the seam.
+                let est = est.clone();
+                let catalog = Arc::clone(&catalog);
+                std::thread::spawn(move || {
+                    let query = JoinQuery::path(&vec!["E"; len]);
+                    let subsets: Vec<Vec<usize>> = vec![(0..len).collect()];
+                    let bounds = est.bound_subqueries(
+                        &query,
+                        &catalog,
+                        &subsets,
+                        &CollectConfig::with_max_norm(2),
+                    );
+                    bounds.into_iter().for_each(|b| {
+                        assert!(b.unwrap().is_bounded());
+                    });
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*rendezvous.arrived.lock().unwrap(), 2);
+    }
+
+    /// Grouped batches over queries with *different* join graphs agree with
+    /// per-query `bound_subqueries` calls, and shapes shared across groups
+    /// warm each other inside the one batch.
+    #[test]
+    fn bound_subqueries_grouped_matches_per_query_calls() {
+        let catalog = catalog();
+        let triangle = JoinQuery::triangle("E", "E", "E");
+        let path = JoinQuery::path(&["E", "E", "E"]);
+        let tri_subsets = vec![vec![0, 1], vec![0, 1, 2]];
+        let path_subsets = vec![vec![0, 1], vec![1, 2], vec![0, 1, 2]];
+        let est = BatchEstimator::new().sequential();
+        let grouped = est.bound_subqueries_grouped(
+            &[
+                (&triangle, &catalog, &tri_subsets),
+                (&path, &catalog, &path_subsets),
+            ],
+            &CollectConfig::with_max_norm(3),
+        );
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].len(), tri_subsets.len());
+        assert_eq!(grouped[1].len(), path_subsets.len());
+        // The triangle's pair sub-join and the path's pair sub-joins share
+        // an LP shape, so the cross-query batch warms across groups.
+        assert!(
+            est.shape_cache_hits() >= 2,
+            "hits {}",
+            est.shape_cache_hits()
+        );
+        for ((query, subsets), group) in [(&triangle, &tri_subsets), (&path, &path_subsets)]
+            .iter()
+            .zip(&grouped)
+        {
+            let single = BatchEstimator::new().sequential().bound_subqueries(
+                query,
+                &catalog,
+                subsets,
+                &CollectConfig::with_max_norm(3),
+            );
+            for (a, b) in group.iter().zip(&single) {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert!((a.log2_bound - b.log2_bound).abs() < 1e-9);
+            }
+        }
     }
 
     #[test]

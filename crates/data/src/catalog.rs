@@ -260,6 +260,21 @@ impl Catalog {
         }
     }
 
+    /// Like [`derive_with`](Self::derive_with), but **bumps the statistics
+    /// epoch**: the successor is a genuinely newer catalog version, not a
+    /// same-epoch view.  This is the write path of a long-lived service —
+    /// build the successor off to the side (relations `Arc`-shared, the
+    /// replaced name's cached statistics dropped), publish it with a
+    /// pointer swap, and let every epoch-keyed cache (plan caches, LP shape
+    /// caches) miss-and-refill against the new epoch.  Contrast
+    /// `derive_with`, whose per-part sub-catalogs deliberately *keep* the
+    /// epoch (they are alternate views of the same statistics version).
+    pub fn successor_with(&self, relation: impl Into<Arc<Relation>>) -> Catalog {
+        let mut successor = self.derive_with(relation);
+        successor.epoch = self.epoch + 1;
+        successor
+    }
+
     /// Feed an **observed** relation (a materialized intermediate whose
     /// rows are known exactly) back into the catalog: a derived catalog is
     /// returned with the relation registered, its standard statistics
@@ -521,6 +536,21 @@ mod tests {
         // A relation under a fresh name is simply added.
         let extra = RelationBuilder::binary_from_pairs("T", "a", "b", vec![(7, 8)]);
         assert_eq!(c.derive_with(extra).len(), 3);
+    }
+
+    #[test]
+    fn successor_with_bumps_the_epoch_where_derive_with_does_not() {
+        let c = catalog();
+        let epoch = c.epoch();
+        let part = RelationBuilder::binary_from_pairs("R", "x", "y", vec![(1, 10)]);
+        assert_eq!(c.derive_with(part).epoch(), epoch);
+        let replacement = RelationBuilder::binary_from_pairs("R", "x", "y", vec![(2, 20)]);
+        let successor = c.successor_with(replacement);
+        assert_eq!(successor.epoch(), epoch + 1);
+        assert_eq!(successor.get("R").unwrap().len(), 1);
+        // The base catalog is untouched (the successor is built aside).
+        assert_eq!(c.epoch(), epoch);
+        assert_eq!(c.get("R").unwrap().len(), 3);
     }
 
     #[test]

@@ -39,6 +39,7 @@ mod index;
 mod norms;
 mod relation;
 mod schema;
+mod snapshot;
 pub mod stats;
 mod value;
 
@@ -50,5 +51,6 @@ pub use index::HashIndex;
 pub use norms::Norm;
 pub use relation::Relation;
 pub use schema::{AttrId, Schema};
+pub use snapshot::{SnapshotCatalog, SnapshotReader};
 pub use stats::{StatisticEntry, StatisticsCollector};
 pub use value::{Dictionary, Value};

@@ -1,0 +1,385 @@
+//! Snapshot catalogs: epoch-swapped `Arc<Catalog>` publication for
+//! concurrent readers.
+//!
+//! A long-lived query service has many reader threads (planning and
+//! executing against the catalog) and occasional writers (replacing a
+//! relation, absorbing observed statistics).  The classic answer — one big
+//! `RwLock<Catalog>` — makes every reader pay for every writer.  This
+//! module instead uses the **snapshot publication** idiom (the left-right /
+//! epoch-swap scheme Noria uses for its reader maps):
+//!
+//! * Readers grab an [`Arc<Catalog>`] — a *snapshot* — and run their whole
+//!   query against it.  The snapshot is immutable from the reader's point
+//!   of view (its interior statistics cache still fills lazily, which is
+//!   concurrency-safe), so a query planned on a snapshot executes on
+//!   exactly the data it was planned for: certificates computed from the
+//!   snapshot's statistics hold no matter what writers do meanwhile.
+//! * Writers build a **successor** catalog entirely off to the side
+//!   ([`crate::Catalog::successor_with`] shares relations by `Arc`, so this
+//!   is cheap) and publish it with a single pointer store.  Old snapshots
+//!   stay alive until the last in-flight query drops its `Arc` — nothing is
+//!   ever torn down under a reader.
+//!
+//! The swap itself is guarded by an `RwLock<Arc<Catalog>>`, but the write
+//! lock is held **only for the pointer store** — never while the successor
+//! is built — so the worst a reader can observe is the few instructions of
+//! an `Arc` assignment.  [`SnapshotReader`] removes even that: each reader
+//! thread keeps a generation-checked cached `Arc`, and as long as no
+//! publish happened since its last refresh, [`SnapshotReader::snapshot`]
+//! is a lock-free generation load plus an `Arc` clone.  The
+//! `reader_does_not_block_while_writer_is_mid_publish` rendezvous test
+//! pins the non-blocking claim down deterministically — a reader completes
+//! a snapshot while a writer is provably suspended in the middle of
+//! [`SnapshotCatalog::publish_with`].
+
+use crate::catalog::Catalog;
+use crate::error::DataError;
+use crate::relation::Relation;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A shared, concurrently readable cell holding the current catalog
+/// version; see the module docs.
+///
+/// Cheap to share (`Arc<SnapshotCatalog>`); hand each reader thread a
+/// [`SnapshotReader`] for lock-free steady-state reads.
+#[derive(Debug)]
+pub struct SnapshotCatalog {
+    current: RwLock<Arc<Catalog>>,
+    /// Bumped (release) after every publish; readers use it (acquire) to
+    /// decide whether their cached snapshot is still the published one.
+    generation: AtomicU64,
+    /// Serializes writers so read-modify-publish updates never lose a
+    /// concurrent writer's catalog version.  Readers never touch this.
+    writer: Mutex<()>,
+    publishes: AtomicU64,
+}
+
+impl SnapshotCatalog {
+    /// Wrap an initial catalog version.
+    pub fn new(catalog: Catalog) -> Self {
+        SnapshotCatalog {
+            current: RwLock::new(Arc::new(catalog)),
+            generation: AtomicU64::new(0),
+            writer: Mutex::new(()),
+            publishes: AtomicU64::new(0),
+        }
+    }
+
+    /// The currently published snapshot.  Never blocks on catalog
+    /// construction: the read lock is only ever write-contended for the
+    /// duration of a pointer store inside [`publish`](Self::publish).
+    pub fn load(&self) -> Arc<Catalog> {
+        Arc::clone(&self.current.read().expect("snapshot cell poisoned"))
+    }
+
+    /// The publication generation: increments by one per publish.  Distinct
+    /// from the catalog's statistics [`epoch`](Catalog::epoch) — a publish
+    /// usually bumps both, but the generation is purely a reader-cache
+    /// freshness counter.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Statistics epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.load().epoch()
+    }
+
+    /// Number of successful publishes since construction.
+    pub fn publishes(&self) -> u64 {
+        self.publishes.load(Ordering::Relaxed)
+    }
+
+    /// Publish a successor catalog, returning its statistics epoch.  The
+    /// successor should be built via [`Catalog::successor_with`] /
+    /// [`Catalog::absorb_observed`] (or any other off-to-the-side
+    /// construction); this call only swaps the pointer.
+    pub fn publish(&self, successor: Catalog) -> u64 {
+        self.publish_with(successor, || {})
+    }
+
+    /// [`publish`](Self::publish) with an instrumentation seam: `mid` runs
+    /// while the writer lock is held and the successor `Arc` is built, but
+    /// **before** the pointer store.  A writer suspended inside `mid` is
+    /// "mid-publish" without touching anything readers use — which is
+    /// exactly what the non-blocking-readers rendezvous tests suspend on.
+    pub fn publish_with(&self, successor: Catalog, mid: impl FnOnce()) -> u64 {
+        let _writer = self.writer.lock().expect("snapshot writer lock poisoned");
+        let arc = Arc::new(successor);
+        let epoch = arc.epoch();
+        mid();
+        *self.current.write().expect("snapshot cell poisoned") = arc;
+        // Release-publish the new generation only after the store, so a
+        // reader that observes the bump refreshes to the new snapshot.
+        self.generation.fetch_add(1, Ordering::Release);
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        epoch
+    }
+
+    /// Read-modify-publish: build a successor from the current snapshot
+    /// under the writer lock (concurrent updates serialize, so no version
+    /// is ever lost) and publish it.  Returns the new epoch.
+    pub fn update(&self, f: impl FnOnce(&Catalog) -> Catalog) -> u64 {
+        let _writer = self.writer.lock().expect("snapshot writer lock poisoned");
+        let base = self.load();
+        let arc = Arc::new(f(&base));
+        let epoch = arc.epoch();
+        *self.current.write().expect("snapshot cell poisoned") = arc;
+        self.generation.fetch_add(1, Ordering::Release);
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        epoch
+    }
+
+    /// Replace one relation: builds an epoch-bumped successor
+    /// ([`Catalog::successor_with`]) off the current snapshot and publishes
+    /// it.  The serve-layer write path.
+    pub fn replace_relation(&self, relation: impl Into<Arc<Relation>>) -> u64 {
+        let relation = relation.into();
+        self.update(|base| base.successor_with(Arc::clone(&relation)))
+    }
+
+    /// Absorb an observed relation ([`Catalog::absorb_observed`]) into a
+    /// new epoch-bumped snapshot — the adaptive-execution feedback path,
+    /// made visible to every future reader.
+    pub fn absorb_observed(
+        &self,
+        relation: impl Into<Arc<Relation>>,
+        max_norm: u32,
+    ) -> Result<u64, DataError> {
+        let relation = relation.into();
+        let _writer = self.writer.lock().expect("snapshot writer lock poisoned");
+        let base = self.load();
+        let arc = Arc::new(base.absorb_observed(Arc::clone(&relation), max_norm)?);
+        let epoch = arc.epoch();
+        *self.current.write().expect("snapshot cell poisoned") = arc;
+        self.generation.fetch_add(1, Ordering::Release);
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        Ok(epoch)
+    }
+}
+
+impl From<Catalog> for SnapshotCatalog {
+    fn from(catalog: Catalog) -> Self {
+        SnapshotCatalog::new(catalog)
+    }
+}
+
+/// A per-thread reader handle over a [`SnapshotCatalog`]: caches the last
+/// snapshot it saw and revalidates with one atomic generation load, so the
+/// steady state (no publish since the last read) takes **no lock at all**.
+///
+/// Deliberately `!Sync` (interior `RefCell`), mirroring Noria's read
+/// handles: clone one per worker thread instead of sharing.
+#[derive(Debug)]
+pub struct SnapshotReader {
+    cell: Arc<SnapshotCatalog>,
+    cached: RefCell<Option<(u64, Arc<Catalog>)>>,
+}
+
+impl SnapshotReader {
+    /// A reader over the shared cell.
+    pub fn new(cell: Arc<SnapshotCatalog>) -> Self {
+        SnapshotReader {
+            cell,
+            cached: RefCell::new(None),
+        }
+    }
+
+    /// The current snapshot.  Lock-free when no publish happened since this
+    /// reader's last call; otherwise refreshes through
+    /// [`SnapshotCatalog::load`] (which itself only ever waits out a
+    /// pointer store).
+    pub fn snapshot(&self) -> Arc<Catalog> {
+        let generation = self.cell.generation();
+        let mut cached = self.cached.borrow_mut();
+        match &*cached {
+            Some((seen, arc)) if *seen == generation => Arc::clone(arc),
+            _ => {
+                let arc = self.cell.load();
+                *cached = Some((generation, Arc::clone(&arc)));
+                arc
+            }
+        }
+    }
+
+    /// The shared cell this reader draws from.
+    pub fn cell(&self) -> &Arc<SnapshotCatalog> {
+        &self.cell
+    }
+}
+
+impl Clone for SnapshotReader {
+    fn clone(&self) -> Self {
+        SnapshotReader {
+            cell: Arc::clone(&self.cell),
+            cached: RefCell::new(self.cached.borrow().clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::RelationBuilder;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn catalog_with(rows: u64) -> Catalog {
+        let mut c = Catalog::new();
+        c.insert(RelationBuilder::binary_from_pairs(
+            "R",
+            "x",
+            "y",
+            (0..rows).map(|i| (i, i + 1)),
+        ));
+        c
+    }
+
+    #[test]
+    fn load_publish_roundtrip_and_counters() {
+        let cell = SnapshotCatalog::new(catalog_with(3));
+        let first = cell.load();
+        assert_eq!(first.get("R").unwrap().len(), 3);
+        assert_eq!(cell.publishes(), 0);
+        let g0 = cell.generation();
+
+        let epoch = cell.replace_relation(RelationBuilder::binary_from_pairs(
+            "R",
+            "x",
+            "y",
+            vec![(7, 8)],
+        ));
+        assert_eq!(epoch, first.epoch() + 1);
+        assert_eq!(cell.publishes(), 1);
+        assert_eq!(cell.generation(), g0 + 1);
+        assert_eq!(cell.epoch(), epoch);
+        // The new snapshot is live; the old one is untouched for holders.
+        assert_eq!(cell.load().get("R").unwrap().len(), 1);
+        assert_eq!(first.get("R").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn old_snapshots_survive_until_their_holders_drop_them() {
+        let cell = SnapshotCatalog::new(catalog_with(5));
+        let held = cell.load();
+        for round in 0..3u64 {
+            cell.replace_relation(RelationBuilder::binary_from_pairs(
+                "R",
+                "x",
+                "y",
+                (0..round + 1).map(|i| (i, i)),
+            ));
+        }
+        // Three publishes later the held snapshot still answers from the
+        // data it was taken over.
+        assert_eq!(held.get("R").unwrap().len(), 5);
+        assert_eq!(cell.load().get("R").unwrap().len(), 3);
+        drop(held);
+    }
+
+    #[test]
+    fn reader_fast_path_serves_cached_snapshot_until_a_publish() {
+        let cell = Arc::new(SnapshotCatalog::new(catalog_with(2)));
+        let reader = SnapshotReader::new(Arc::clone(&cell));
+        let a = reader.snapshot();
+        let b = reader.snapshot();
+        // Same published version → the very same Arc (cache hit).
+        assert!(Arc::ptr_eq(&a, &b));
+        cell.replace_relation(RelationBuilder::binary_from_pairs(
+            "R",
+            "x",
+            "y",
+            vec![(1, 1)],
+        ));
+        let c = reader.snapshot();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.get("R").unwrap().len(), 1);
+        // A clone carries the cache but follows publishes independently.
+        let cloned = reader.clone();
+        assert!(Arc::ptr_eq(&cloned.snapshot(), &c));
+    }
+
+    /// The non-blocking-readers guarantee, proven by rendezvous rather than
+    /// wall-clock: a writer is suspended *inside* `publish_with` (writer
+    /// lock held, successor built, pointer not yet stored) and both a warm
+    /// `SnapshotReader` and a cold `load()` must still complete.  If
+    /// readers shared any lock the writer holds at that point, the reader
+    /// thread could never answer and the `recv_timeout` would fail.
+    #[test]
+    fn reader_does_not_block_while_writer_is_mid_publish() {
+        let cell = Arc::new(SnapshotCatalog::new(catalog_with(4)));
+        let reader = SnapshotReader::new(Arc::clone(&cell));
+        reader.snapshot(); // warm the cache
+
+        let (mid_tx, mid_rx) = mpsc::channel::<()>();
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let writer = {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || {
+                let successor = cell
+                    .load()
+                    .successor_with(RelationBuilder::binary_from_pairs(
+                        "R",
+                        "x",
+                        "y",
+                        vec![(9, 9)],
+                    ));
+                cell.publish_with(successor, || {
+                    mid_tx.send(()).unwrap();
+                    // Stay mid-publish until the reader proved it finished.
+                    done_rx
+                        .recv_timeout(Duration::from_secs(30))
+                        .expect("reader never finished while writer was mid-publish");
+                });
+            })
+        };
+
+        mid_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("writer never reached mid-publish");
+        // Writer is provably suspended mid-publish right now.  Both read
+        // paths must complete and still see the old version.
+        let warm = reader.snapshot();
+        assert_eq!(warm.get("R").unwrap().len(), 4);
+        let cold = cell.load();
+        assert_eq!(cold.get("R").unwrap().len(), 4);
+        done_tx.send(()).unwrap();
+        writer.join().unwrap();
+        // After the publish completes, both paths see the successor.
+        assert_eq!(reader.snapshot().get("R").unwrap().len(), 1);
+        assert_eq!(cell.load().get("R").unwrap().len(), 1);
+    }
+
+    /// Concurrent read-modify-publish updates serialize on the writer lock:
+    /// no update is lost, and the final version reflects all of them.
+    #[test]
+    fn updates_serialize_and_lose_nothing() {
+        let cell = Arc::new(SnapshotCatalog::new(catalog_with(1)));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    for _ in 0..8 {
+                        cell.update(|base| {
+                            let n = base.get("R").unwrap().len() as u64;
+                            base.successor_with(RelationBuilder::binary_from_pairs(
+                                "R",
+                                "x",
+                                "y",
+                                (0..n + 1).map(|i| (i, i)),
+                            ))
+                        });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(cell.publishes(), 32);
+        // Every update grew R by one row off the then-current version.
+        assert_eq!(cell.load().get("R").unwrap().len(), 1 + 32);
+    }
+}

@@ -84,6 +84,7 @@ mod optimizer;
 mod panda_eval;
 mod partition;
 mod physical;
+mod plan_cache;
 mod state;
 mod trie;
 mod tuples;
@@ -109,6 +110,7 @@ pub use physical::{
     execute_physical, execute_plan, join_size, PartitionBranch, PhysicalNode, PhysicalPlan,
     PhysicalRun, PlanResult,
 };
+pub use plan_cache::{canonical_shape, PlanCache};
 pub use state::{ExecState, ExecStatus, LiveSlot};
 pub use trie::{AtomTrie, RunRange, RunTrie, TrieNode};
 pub use tuples::Tuples;

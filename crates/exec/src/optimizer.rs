@@ -68,7 +68,7 @@ use crate::morsel::ExecMode;
 use crate::partition::split_light_heavy;
 use crate::physical::{PartitionBranch, PhysicalNode, PhysicalPlan};
 use crate::state::{ExecState, ExecStatus};
-use lpb_core::{Atom, BatchEstimator, CollectConfig, JoinQuery};
+use lpb_core::{Atom, BatchEstimator, BoundResult, CollectConfig, CoreError, JoinQuery};
 use lpb_data::{Catalog, Norm, RelationBuilder, StatisticsCollector};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -282,7 +282,6 @@ impl Optimizer {
         runs: &[(&JoinQuery, &Catalog)],
         logical: &LogicalPlan,
     ) -> Result<Vec<Bounds>, ExecError> {
-        let m = logical.n_atoms();
         let subsets = logical.connected_subsets();
         let multi: Vec<u64> = subsets
             .iter()
@@ -300,36 +299,9 @@ impl Optimizer {
 
         let mut out = Vec::with_capacity(runs.len());
         for ((query, catalog), bounds) in runs.iter().zip(grouped) {
-            let mut scan_log2 = Vec::with_capacity(m);
-            let mut log2: HashMap<u64, f64> = HashMap::new();
-            for j in 0..m {
-                let size = catalog.get(&query.atoms()[j].relation)?.len();
-                let s = (size.max(1) as f64).log2();
-                scan_log2.push(s);
-                log2.insert(1u64 << j, s);
-            }
-            let mut bounded = 0usize;
-            let mut fallbacks = 0usize;
-            for (i, &mask) in multi.iter().enumerate() {
-                let value = match &bounds[i] {
-                    Ok(b) if b.is_bounded() => {
-                        bounded += 1;
-                        b.log2_bound
-                    }
-                    _ => {
-                        fallbacks += 1;
-                        logical.atoms_of(mask).map(|j| scan_log2[j]).sum()
-                    }
-                };
-                log2.insert(mask, value);
-            }
-            out.push(Bounds {
-                log2,
-                scan_log2,
-                subsets: subsets.clone(),
-                bounded,
-                fallbacks,
-            });
+            out.push(fold_bounds(
+                query, catalog, logical, &multi, &subsets, &bounds,
+            )?);
         }
         Ok(out)
     }
@@ -544,40 +516,162 @@ impl Optimizer {
         // bounds would have consumed): single atoms, queries past the DP
         // gate (including >64 atoms, beyond the subset-mask width), and —
         // checked below once the join graph exists — disconnected queries.
-        let fallback = |acyclic: bool, started: Instant| {
-            let order = greedy.order().to_vec();
-            let physical = if m > 1 && acyclic {
-                PhysicalPlan::reduced(order.clone())
-            } else {
-                PhysicalPlan::hash_chain(order.clone())
-            };
-            OptimizedPlan {
-                physical,
-                order: order.clone(),
-                predicted_log2_cost: f64::NAN,
-                leftdeep_order: order.clone(),
-                leftdeep_predicted_log2_cost: f64::NAN,
-                greedy_order: order,
-                greedy_predicted_log2_cost: f64::NAN,
-                subqueries_bounded: 0,
-                bound_fallbacks: 0,
-                monolithic_predicted_log2_cost: f64::NAN,
-                parts_planned: 0,
-                partition_subqueries_bounded: 0,
-                partition_bound_fallbacks: 0,
-                plan_time: started.elapsed(),
-            }
-        };
         if m == 1 || m > self.config.max_dp_atoms.min(63) {
-            return Ok(fallback(crate::yannakakis::is_acyclic(query), started));
+            return Ok(Self::fallback_plan(
+                &greedy,
+                m,
+                crate::yannakakis::is_acyclic(query),
+                started,
+            ));
         }
 
         let logical = LogicalPlan::of(query);
         let full: u64 = (1u64 << m) - 1;
         if !logical.is_connected(full) {
-            return Ok(fallback(logical.cyclic_core().is_empty(), started));
+            return Ok(Self::fallback_plan(
+                &greedy,
+                m,
+                logical.cyclic_core().is_empty(),
+                started,
+            ));
         }
 
+        self.prewarm(query, catalog)?;
+
+        // --- Bound every connected sub-join in one warm-started batch. ---
+        let bounds = self.harvest_bounds(query, catalog, &logical)?;
+        self.finish_plan(query, catalog, &logical, &greedy, &bounds, started)
+    }
+
+    /// Plan several `(query, catalog)` requests with **one** warm-started LP
+    /// batch across all of them — the cross-query coalescing entry point the
+    /// `lpb-serve` layer drives.  Every request's connected sub-joins are
+    /// gathered into a single [`BatchEstimator::bound_subqueries_grouped`]
+    /// call, so sub-joins sharing an LP shape *across requests* re-solve
+    /// from one cold solve via dual warm starts (isomorphic queries from
+    /// different users collapse onto the same shapes), and per-shape cache
+    /// bookkeeping is paid once per batch instead of once per request.
+    ///
+    /// Semantically identical to calling [`plan`](Self::plan) per request
+    /// (same bounds, same DP, same lowering); only the LP batching differs.
+    /// Requests the DP cannot bound (single atom, past
+    /// [`PlannerConfig::max_dp_atoms`], disconnected graph) take the same
+    /// greedy fallback as `plan`.  Each returned
+    /// [`OptimizedPlan::plan_time`] spans the whole batch call, since the
+    /// batch is the unit of work a coalesced request waits on.
+    pub fn plan_many(
+        &self,
+        requests: &[(&JoinQuery, &Catalog)],
+    ) -> Vec<Result<OptimizedPlan, ExecError>> {
+        let started = Instant::now();
+
+        // Per-request preparation.  Requests that bypass bounding resolve
+        // immediately; the rest contribute their connected sub-joins as one
+        // group of the shared batch.
+        enum Prep {
+            Done(Box<Result<OptimizedPlan, ExecError>>),
+            Batched {
+                logical: LogicalPlan,
+                greedy: JoinPlan,
+                multi: Vec<u64>,
+                subsets: Vec<u64>,
+                subset_atoms: Vec<Vec<usize>>,
+            },
+        }
+        let mut preps: Vec<Prep> = Vec::with_capacity(requests.len());
+        for &(query, catalog) in requests {
+            let m = query.n_atoms();
+            let greedy = match JoinPlan::greedy_by_size(query, catalog) {
+                Ok(g) => g,
+                Err(e) => {
+                    preps.push(Prep::Done(Box::new(Err(e))));
+                    continue;
+                }
+            };
+            if m == 1 || m > self.config.max_dp_atoms.min(63) {
+                preps.push(Prep::Done(Box::new(Ok(Self::fallback_plan(
+                    &greedy,
+                    m,
+                    crate::yannakakis::is_acyclic(query),
+                    started,
+                )))));
+                continue;
+            }
+            let logical = LogicalPlan::of(query);
+            let full: u64 = (1u64 << m) - 1;
+            if !logical.is_connected(full) {
+                preps.push(Prep::Done(Box::new(Ok(Self::fallback_plan(
+                    &greedy,
+                    m,
+                    logical.cyclic_core().is_empty(),
+                    started,
+                )))));
+                continue;
+            }
+            if let Err(e) = self.prewarm(query, catalog) {
+                preps.push(Prep::Done(Box::new(Err(e))));
+                continue;
+            }
+            let subsets = logical.connected_subsets();
+            let multi: Vec<u64> = subsets
+                .iter()
+                .copied()
+                .filter(|s| s.count_ones() >= 2)
+                .collect();
+            let subset_atoms: Vec<Vec<usize>> = multi
+                .iter()
+                .map(|&mask| logical.atoms_of(mask).collect())
+                .collect();
+            preps.push(Prep::Batched {
+                logical,
+                greedy,
+                multi,
+                subsets,
+                subset_atoms,
+            });
+        }
+
+        // One flat warm-started batch across every batched request.
+        let config = CollectConfig::with_max_norm(self.config.max_norm);
+        let groups: Vec<(&JoinQuery, &Catalog, &[Vec<usize>])> = preps
+            .iter()
+            .zip(requests)
+            .filter_map(|(p, &(q, c))| match p {
+                Prep::Batched { subset_atoms, .. } => Some((q, c, subset_atoms.as_slice())),
+                Prep::Done(_) => None,
+            })
+            .collect();
+        let mut grouped = self
+            .estimator
+            .bound_subqueries_grouped(&groups, &config)
+            .into_iter();
+
+        preps
+            .into_iter()
+            .zip(requests)
+            .map(|(prep, &(query, catalog))| match prep {
+                Prep::Done(r) => *r,
+                Prep::Batched {
+                    logical,
+                    greedy,
+                    multi,
+                    subsets,
+                    ..
+                } => {
+                    let results = grouped
+                        .next()
+                        .expect("one result group per batched request");
+                    let bounds = fold_bounds(query, catalog, &logical, &multi, &subsets, &results)?;
+                    self.finish_plan(query, catalog, &logical, &greedy, &bounds, started)
+                }
+            })
+            .collect()
+    }
+
+    /// Eagerly materialize the degree-sequence norms of every relation the
+    /// query touches (when [`PlannerConfig::prewarm_statistics`] is on), so
+    /// the per-subset statistics harvest is pure lookups.
+    fn prewarm(&self, query: &JoinQuery, catalog: &Catalog) -> Result<(), ExecError> {
         if self.config.prewarm_statistics {
             let collector = StatisticsCollector::with_norms(
                 CollectConfig::with_max_norm(self.config.max_norm).norms,
@@ -589,16 +683,60 @@ impl Optimizer {
                 }
             }
         }
+        Ok(())
+    }
 
-        // --- Bound every connected sub-join in one warm-started batch. ---
-        let bounds = self.harvest_bounds(query, catalog, &logical)?;
+    /// The greedy plan for queries the DP cannot bound: single atoms,
+    /// queries past the DP gate, disconnected join graphs.
+    fn fallback_plan(
+        greedy: &JoinPlan,
+        m: usize,
+        acyclic: bool,
+        started: Instant,
+    ) -> OptimizedPlan {
+        let order = greedy.order().to_vec();
+        let physical = if m > 1 && acyclic {
+            PhysicalPlan::reduced(order.clone())
+        } else {
+            PhysicalPlan::hash_chain(order.clone())
+        };
+        OptimizedPlan {
+            physical,
+            order: order.clone(),
+            predicted_log2_cost: f64::NAN,
+            leftdeep_order: order.clone(),
+            leftdeep_predicted_log2_cost: f64::NAN,
+            greedy_order: order,
+            greedy_predicted_log2_cost: f64::NAN,
+            subqueries_bounded: 0,
+            bound_fallbacks: 0,
+            monolithic_predicted_log2_cost: f64::NAN,
+            parts_planned: 0,
+            partition_subqueries_bounded: 0,
+            partition_bound_fallbacks: 0,
+            plan_time: started.elapsed(),
+        }
+    }
 
+    /// The shared back half of [`plan`](Self::plan) and
+    /// [`plan_many`](Self::plan_many): given one request's bound table, cost
+    /// the greedy baseline, run the DP + lowering, try the degree-partitioned
+    /// alternative, and assemble the [`OptimizedPlan`].
+    fn finish_plan(
+        &self,
+        query: &JoinQuery,
+        catalog: &Catalog,
+        logical: &LogicalPlan,
+        greedy: &JoinPlan,
+        bounds: &Bounds,
+        started: Instant,
+    ) -> Result<OptimizedPlan, ExecError> {
         // Greedy order's predicted bottleneck under the same bounds (with
         // the product fallback for any cross-product prefix).
-        let greedy_cost = order_bottleneck(greedy.order(), &bounds);
+        let greedy_cost = order_bottleneck(greedy.order(), bounds);
 
         // --- DP + lowering over the monolithic bound table. ---
-        let chosen = self.choose(&logical, &bounds);
+        let chosen = self.choose(logical, bounds);
         let monolithic_predicted = chosen.predicted;
         let mut physical = chosen.physical;
         let mut order = chosen.order;
@@ -611,7 +749,7 @@ impl Optimizer {
         let mut partition_stats = PartitionSearchStats::default();
         if self.config.enable_partitioning {
             if let Some(pick) =
-                self.partitioned_plan(query, catalog, &logical, predicted, &mut partition_stats)?
+                self.partitioned_plan(query, catalog, logical, predicted, &mut partition_stats)?
             {
                 let plan = PhysicalPlan::from_root(pick.node);
                 order = plan.atom_order();
@@ -1330,6 +1468,51 @@ struct PartitionedPick {
 struct PartitionSearchStats {
     bounded: usize,
     fallbacks: usize,
+}
+
+/// Fold one batch's per-subset results into the DP's [`Bounds`] table:
+/// singletons cost their scan size; a multi-atom subset whose bound attempt
+/// failed (or came back unbounded) costs the pessimistic per-atom product.
+/// `multi` lists the masks `results` is positionally aligned with.
+fn fold_bounds(
+    query: &JoinQuery,
+    catalog: &Catalog,
+    logical: &LogicalPlan,
+    multi: &[u64],
+    subsets: &[u64],
+    results: &[Result<BoundResult, CoreError>],
+) -> Result<Bounds, ExecError> {
+    let m = logical.n_atoms();
+    let mut scan_log2 = Vec::with_capacity(m);
+    let mut log2: HashMap<u64, f64> = HashMap::new();
+    for j in 0..m {
+        let size = catalog.get(&query.atoms()[j].relation)?.len();
+        let s = (size.max(1) as f64).log2();
+        scan_log2.push(s);
+        log2.insert(1u64 << j, s);
+    }
+    let mut bounded = 0usize;
+    let mut fallbacks = 0usize;
+    for (i, &mask) in multi.iter().enumerate() {
+        let value = match &results[i] {
+            Ok(b) if b.is_bounded() => {
+                bounded += 1;
+                b.log2_bound
+            }
+            _ => {
+                fallbacks += 1;
+                logical.atoms_of(mask).map(|j| scan_log2[j]).sum()
+            }
+        };
+        log2.insert(mask, value);
+    }
+    Ok(Bounds {
+        log2,
+        scan_log2,
+        subsets: subsets.to_vec(),
+        bounded,
+        fallbacks,
+    })
 }
 
 /// `log₂(2^a + 2^b)` without overflowing: the sum-of-parts combination of

@@ -1,12 +1,25 @@
-//! Process-wide solver work counters.
+//! Process-wide and per-thread solver work counters.
 //!
 //! Wall-clock timings are noisy in CI, so the benchmarks assert on *work*
 //! instead: pivot counts, refactorizations and row-append (constraint
-//! generation) activity.  The counters are relaxed atomics shared by every
-//! engine in the process; callers take a [`SolverStats::snapshot`] before a
-//! solve and diff it with [`SolverStats::since`] afterwards.  Deltas are
-//! only meaningful when no other solves run concurrently in between.
+//! generation) activity.  Two views exist over the same recordings:
+//!
+//! * **Process-wide** ([`SolverStats::snapshot`]) — relaxed atomics shared
+//!   by every engine in the process.  Callers take a snapshot before a
+//!   solve and diff it with [`SolverStats::since`] afterwards; the delta is
+//!   only meaningful when no other solves run concurrently in between.
+//! * **Per-thread** ([`SolverStats::thread_snapshot`]) — thread-local
+//!   counters incremented alongside the globals.  A delta over these is
+//!   exact for the work done *by the calling thread*, no matter what other
+//!   threads solve in the meantime — this is what a concurrent query
+//!   service uses to report pivots-per-request while its neighbours plan.
+//!   The caveat is the inverse one: work a solve fans out to *other*
+//!   threads (e.g. a parallel [`crate::SolverKind`] batch) is attributed to
+//!   those threads, so per-request accounting wants solves kept on the
+//!   requesting thread.  [`SolverStats::on_thread`] wraps the
+//!   snapshot/diff pair around a closure.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static PRIMAL_PIVOTS: AtomicU64 = AtomicU64::new(0);
@@ -15,28 +28,42 @@ static REFACTORIZATIONS: AtomicU64 = AtomicU64::new(0);
 static APPEND_BATCHES: AtomicU64 = AtomicU64::new(0);
 static ROWS_APPENDED: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    static TL_PRIMAL_PIVOTS: Cell<u64> = const { Cell::new(0) };
+    static TL_DUAL_PIVOTS: Cell<u64> = const { Cell::new(0) };
+    static TL_REFACTORIZATIONS: Cell<u64> = const { Cell::new(0) };
+    static TL_APPEND_BATCHES: Cell<u64> = const { Cell::new(0) };
+    static TL_ROWS_APPENDED: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump(global: &AtomicU64, local: &'static std::thread::LocalKey<Cell<u64>>, by: u64) {
+    global.fetch_add(by, Ordering::Relaxed);
+    local.with(|c| c.set(c.get() + by));
+}
+
 pub(crate) fn record_primal_pivot() {
-    PRIMAL_PIVOTS.fetch_add(1, Ordering::Relaxed);
+    bump(&PRIMAL_PIVOTS, &TL_PRIMAL_PIVOTS, 1);
 }
 
 pub(crate) fn record_dual_pivot() {
-    DUAL_PIVOTS.fetch_add(1, Ordering::Relaxed);
+    bump(&DUAL_PIVOTS, &TL_DUAL_PIVOTS, 1);
 }
 
 pub(crate) fn record_refactorization() {
-    REFACTORIZATIONS.fetch_add(1, Ordering::Relaxed);
+    bump(&REFACTORIZATIONS, &TL_REFACTORIZATIONS, 1);
 }
 
 pub(crate) fn record_append(rows: usize) {
-    APPEND_BATCHES.fetch_add(1, Ordering::Relaxed);
-    ROWS_APPENDED.fetch_add(rows as u64, Ordering::Relaxed);
+    bump(&APPEND_BATCHES, &TL_APPEND_BATCHES, 1);
+    bump(&ROWS_APPENDED, &TL_ROWS_APPENDED, rows as u64);
 }
 
 pub(crate) fn refactorization_count() -> u64 {
     REFACTORIZATIONS.load(Ordering::Relaxed)
 }
 
-/// A snapshot of the process-wide solver work counters.
+/// A snapshot of the solver work counters (process-wide or per-thread,
+/// depending on the constructor).
 ///
 /// The same struct doubles as a *delta*: `after.since(&before)` subtracts
 /// field-wise, giving the work done between the two snapshots.
@@ -56,7 +83,7 @@ pub struct SolverStats {
 }
 
 impl SolverStats {
-    /// Read the current counter values.
+    /// Read the current **process-wide** counter values.
     pub fn snapshot() -> SolverStats {
         SolverStats {
             primal_pivots: PRIMAL_PIVOTS.load(Ordering::Relaxed),
@@ -65,6 +92,30 @@ impl SolverStats {
             append_batches: APPEND_BATCHES.load(Ordering::Relaxed),
             rows_appended: ROWS_APPENDED.load(Ordering::Relaxed),
         }
+    }
+
+    /// Read the counter values for work done **by the calling thread**
+    /// only.  Deltas over these are exact under concurrency: other
+    /// threads' solves never show up, so a query service can report
+    /// pivots-per-request while its neighbours plan.
+    pub fn thread_snapshot() -> SolverStats {
+        SolverStats {
+            primal_pivots: TL_PRIMAL_PIVOTS.with(Cell::get),
+            dual_pivots: TL_DUAL_PIVOTS.with(Cell::get),
+            refactorizations: TL_REFACTORIZATIONS.with(Cell::get),
+            append_batches: TL_APPEND_BATCHES.with(Cell::get),
+            rows_appended: TL_ROWS_APPENDED.with(Cell::get),
+        }
+    }
+
+    /// Run `f` and return its result together with the solver work the
+    /// **calling thread** performed inside it.  Exact under concurrency
+    /// (see [`thread_snapshot`](Self::thread_snapshot)); work `f` hands to
+    /// other threads is not included.
+    pub fn on_thread<R>(f: impl FnOnce() -> R) -> (R, SolverStats) {
+        let before = Self::thread_snapshot();
+        let out = f();
+        (out, Self::thread_snapshot().since(&before))
     }
 
     /// Field-wise difference `self - earlier` (saturating, so a stale
@@ -114,5 +165,51 @@ mod tests {
         assert_eq!(d.rows_appended, 23);
         // Reversed order saturates instead of wrapping.
         assert_eq!(a.since(&b).primal_pivots, 0);
+    }
+
+    /// Per-thread snapshots see only the calling thread's work even while
+    /// another thread records concurrently; the process-wide view sees both.
+    #[test]
+    fn thread_snapshots_isolate_concurrent_recordings() {
+        use std::sync::mpsc;
+
+        let global_before = SolverStats::snapshot();
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let (go_tx, go_rx) = mpsc::channel::<()>();
+        let other = std::thread::spawn(move || {
+            let before = SolverStats::thread_snapshot();
+            for _ in 0..7 {
+                record_dual_pivot();
+            }
+            ready_tx.send(()).unwrap();
+            // Hold the thread alive while the main thread records, so the
+            // two threads' recordings genuinely interleave in time.
+            go_rx.recv().unwrap();
+            SolverStats::thread_snapshot().since(&before)
+        });
+        ready_rx.recv().unwrap();
+
+        let ((), mine) = SolverStats::on_thread(|| {
+            for _ in 0..3 {
+                record_primal_pivot();
+            }
+            record_append(5);
+        });
+        go_tx.send(()).unwrap();
+        let theirs = other.join().unwrap();
+
+        // Each thread-local delta holds exactly its own work...
+        assert_eq!(mine.primal_pivots, 3);
+        assert_eq!(mine.dual_pivots, 0);
+        assert_eq!(mine.append_batches, 1);
+        assert_eq!(mine.rows_appended, 5);
+        assert_eq!(theirs.dual_pivots, 7);
+        assert_eq!(theirs.primal_pivots, 0);
+        // ...while the process-wide delta is at least the sum (other tests
+        // may record concurrently, so "at least").
+        let global = SolverStats::snapshot().since(&global_before);
+        assert!(global.primal_pivots >= 3);
+        assert!(global.dual_pivots >= 7);
+        assert!(global.rows_appended >= 5);
     }
 }

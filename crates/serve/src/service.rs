@@ -1,0 +1,448 @@
+//! The query service: snapshot admission, plan-cache probe, coalesced
+//! planning, certified execution.
+//!
+//! A request's life: grab **one** catalog snapshot (lock-free via a
+//! worker's [`SnapshotReader`], or a pointer-store-guarded load otherwise)
+//! → probe the plan cache under `(shape canon, snapshot epoch)` → on a hit,
+//! execute immediately (zero LP work) → on a miss, enter the
+//! [`Coalescer`]'s gather window and receive the plan from the round's
+//! batch → execute the certified plan **on the admission snapshot** in the
+//! configured [`ExecMode`].  Writers never disturb any of this: they build
+//! successor catalogs aside and publish through the
+//! [`SnapshotCatalog`] cell, which bumps the statistics epoch and thereby
+//! invalidates every stale plan-cache entry.
+
+use crate::coalesce::Coalescer;
+use crate::ServeError;
+use lpb_core::{BatchEstimator, JoinQuery};
+use lpb_data::{Catalog, Relation, SnapshotCatalog, SnapshotReader};
+use lpb_exec::{
+    execute_physical_mode, ExecMode, OptimizedPlan, Optimizer, PlanCache, PlannerConfig,
+};
+use lpb_lp::SolverStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Service knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Planner configuration for the shared [`Optimizer`].
+    pub planner: PlannerConfig,
+    /// The coalescer's gather window: how long a round's leader waits for
+    /// followers before planning the batch.  Zero disables coalescing.
+    pub gather_window: Duration,
+    /// Plan-cache capacity (plans, across epochs; oldest-insert eviction).
+    pub plan_cache_capacity: usize,
+    /// Execution mode for served queries.
+    pub exec_mode: ExecMode,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            planner: PlannerConfig::default(),
+            gather_window: Duration::from_micros(500),
+            plan_cache_capacity: 1024,
+            exec_mode: ExecMode::Vectorized,
+        }
+    }
+}
+
+/// What one served request reports back.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// Output cardinality of the executed query.
+    pub output_size: usize,
+    /// Bound-certificate violations observed while executing — zero
+    /// whenever the plan ran on the snapshot it was planned for, which the
+    /// service guarantees by construction.
+    pub certificate_violations: usize,
+    /// Statistics epoch of the snapshot this request planned and ran on.
+    pub epoch: u64,
+    /// True when the plan came straight from the cache (no LP, no DP).
+    pub cache_hit: bool,
+    /// Size of the coalesced batch this request's plan was solved in
+    /// (≥ 1); zero on the cache-hit path, which joins no round.
+    pub coalesced_batch: usize,
+    /// Solver work of the whole batch that produced this plan, measured on
+    /// the leader's thread ([`SolverStats::on_thread`]); all-zero on the
+    /// cache-hit path — the bench's "hit path does no LP work" assertion.
+    pub plan_stats: SolverStats,
+    /// Wall-clock time from admission to plan-in-hand (cache probe, or
+    /// probe + round wait + batch planning).
+    pub plan_time: Duration,
+    /// The (shared) plan that served this request.
+    pub plan: Arc<OptimizedPlan>,
+}
+
+/// A point-in-time view of the service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests admitted (plan-only and executed).
+    pub requests: u64,
+    /// Plan-cache probes that found a plan.
+    pub cache_hits: u64,
+    /// Plan-cache probes that missed (stale-epoch probes included).
+    pub cache_misses: u64,
+    /// Plans currently cached.
+    pub cached_plans: u64,
+    /// Coalescing rounds planned.
+    pub batches: u64,
+    /// Requests that went through a coalescing round.
+    pub coalesced_requests: u64,
+    /// Rounds that gathered ≥ 2 requests.
+    pub multi_request_batches: u64,
+    /// Largest batch any round gathered.
+    pub max_batch: u64,
+    /// Certificate violations summed over all executed requests.
+    pub certificate_violations: u64,
+    /// Catalog versions published (writer side).
+    pub publishes: u64,
+    /// Statistics epoch of the currently published snapshot.
+    pub epoch: u64,
+}
+
+/// The shared, long-lived query service; see the crate docs for the three
+/// layers.  `Arc` one instance across serving threads; every method takes
+/// `&self`.
+#[derive(Debug)]
+pub struct QueryService {
+    cell: Arc<SnapshotCatalog>,
+    optimizer: Optimizer,
+    plan_cache: PlanCache,
+    coalescer: Coalescer,
+    exec_mode: ExecMode,
+    requests: AtomicU64,
+    violations: AtomicU64,
+}
+
+impl QueryService {
+    /// A service over `catalog` with the default [`ServeConfig`].
+    pub fn new(catalog: Catalog) -> Self {
+        Self::with_config(ServeConfig::default(), catalog)
+    }
+
+    /// A service over `catalog` with explicit knobs.
+    ///
+    /// The estimator is deliberately **sequential**: parallelism lives
+    /// *across* requests (worker threads), not within one batch, so every
+    /// batch's LP work lands on its leader's thread and
+    /// [`SolverStats::thread_snapshot`] deltas account it exactly.
+    pub fn with_config(config: ServeConfig, catalog: Catalog) -> Self {
+        let optimizer = Optimizer::new()
+            .with_config(config.planner)
+            .with_estimator(BatchEstimator::default().sequential());
+        QueryService {
+            cell: Arc::new(SnapshotCatalog::new(catalog)),
+            optimizer,
+            plan_cache: PlanCache::with_capacity(config.plan_cache_capacity),
+            coalescer: Coalescer::new(config.gather_window),
+            exec_mode: config.exec_mode,
+            requests: AtomicU64::new(0),
+            violations: AtomicU64::new(0),
+        }
+    }
+
+    /// The snapshot cell (for building per-thread [`SnapshotReader`]s or
+    /// driving writes directly).
+    pub fn snapshot_cell(&self) -> &Arc<SnapshotCatalog> {
+        &self.cell
+    }
+
+    /// The currently published snapshot.
+    pub fn snapshot(&self) -> Arc<Catalog> {
+        self.cell.load()
+    }
+
+    /// The shared optimizer (its estimator's shape-cache counters are the
+    /// service's warm-start instrumentation).
+    pub fn optimizer(&self) -> &Optimizer {
+        &self.optimizer
+    }
+
+    /// Plan `query` against the current snapshot (cache → coalescer),
+    /// without executing it.
+    pub fn plan(&self, query: &JoinQuery) -> Result<QueryResponse, ServeError> {
+        let snapshot = self.cell.load();
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.plan_on(query, &snapshot)
+    }
+
+    /// Plan **and execute** `query` on one snapshot of the current catalog.
+    pub fn execute(&self, query: &JoinQuery) -> Result<QueryResponse, ServeError> {
+        let snapshot = self.cell.load();
+        self.execute_on(query, &snapshot)
+    }
+
+    /// Replace one relation: publishes an epoch-bumped successor snapshot.
+    /// In-flight requests finish on their admission snapshots; the epoch
+    /// bump invalidates every cached plan built on the old statistics.
+    /// Returns the new epoch.
+    pub fn replace_relation(&self, relation: impl Into<Arc<Relation>>) -> u64 {
+        self.cell.replace_relation(relation)
+    }
+
+    /// Absorb an observed relation (exact statistics, epoch bump) into a
+    /// new published snapshot — the adaptive-execution feedback path.
+    /// Returns the new epoch.
+    pub fn absorb_observed(&self, relation: impl Into<Arc<Relation>>) -> Result<u64, ServeError> {
+        self.cell
+            .absorb_observed(relation, self.optimizer.config().max_norm)
+            .map_err(Into::into)
+    }
+
+    /// Current service counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: self.plan_cache.hits(),
+            cache_misses: self.plan_cache.misses(),
+            cached_plans: self.plan_cache.len() as u64,
+            batches: self.coalescer.batches(),
+            coalesced_requests: self.coalescer.coalesced_requests(),
+            multi_request_batches: self.coalescer.multi_request_batches(),
+            max_batch: self.coalescer.max_batch(),
+            certificate_violations: self.violations.load(Ordering::Relaxed),
+            publishes: self.cell.publishes(),
+            epoch: self.cell.epoch(),
+        }
+    }
+
+    /// Execute on an explicit admission snapshot (the [`Worker`] fast
+    /// path).
+    fn execute_on(
+        &self,
+        query: &JoinQuery,
+        snapshot: &Arc<Catalog>,
+    ) -> Result<QueryResponse, ServeError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let mut response = self.plan_on(query, snapshot)?;
+        let run = execute_physical_mode(query, snapshot, &response.plan.physical, self.exec_mode)?;
+        response.output_size = run.output_size();
+        response.certificate_violations = run.certificate_violations();
+        self.violations
+            .fetch_add(run.certificate_violations() as u64, Ordering::Relaxed);
+        Ok(response)
+    }
+
+    /// The plan half of a request: cache probe, then coalesced batch on a
+    /// miss.  Duplicate shapes inside one batch are each planned (the
+    /// second re-solves warm from the first's LP snapshots) and converge on
+    /// one cached handle at insert.
+    fn plan_on(
+        &self,
+        query: &JoinQuery,
+        snapshot: &Arc<Catalog>,
+    ) -> Result<QueryResponse, ServeError> {
+        let admitted = Instant::now();
+        if let Some(plan) = self.plan_cache.get(query, snapshot) {
+            return Ok(QueryResponse {
+                output_size: 0,
+                certificate_violations: 0,
+                epoch: snapshot.epoch(),
+                cache_hit: true,
+                coalesced_batch: 0,
+                plan_stats: SolverStats::default(),
+                plan_time: admitted.elapsed(),
+                plan,
+            });
+        }
+        let coalesced = self
+            .coalescer
+            .submit(query.clone(), Arc::clone(snapshot), |batch| {
+                let refs: Vec<(&JoinQuery, &Catalog)> =
+                    batch.iter().map(|(q, c)| (q, &**c)).collect();
+                self.optimizer
+                    .plan_many(&refs)
+                    .into_iter()
+                    .zip(batch)
+                    .map(|(result, (q, c))| match result {
+                        Ok(plan) => Ok(self.plan_cache.insert(q, c, plan)),
+                        Err(e) => Err(ServeError::from(e)),
+                    })
+                    .collect()
+            })?;
+        Ok(QueryResponse {
+            output_size: 0,
+            certificate_violations: 0,
+            epoch: snapshot.epoch(),
+            cache_hit: false,
+            coalesced_batch: coalesced.batch_size,
+            plan_stats: coalesced.batch_stats,
+            plan_time: admitted.elapsed(),
+            plan: coalesced.plan,
+        })
+    }
+}
+
+/// One serving thread's handle: an `Arc`'d service plus a per-thread
+/// [`SnapshotReader`], so steady-state snapshot acquisition is lock-free.
+/// Deliberately not `Sync` — build one per thread.
+#[derive(Debug)]
+pub struct Worker {
+    service: Arc<QueryService>,
+    reader: SnapshotReader,
+}
+
+impl Worker {
+    /// A worker over `service`.
+    pub fn new(service: Arc<QueryService>) -> Self {
+        let reader = SnapshotReader::new(Arc::clone(service.snapshot_cell()));
+        Worker { service, reader }
+    }
+
+    /// The shared service.
+    pub fn service(&self) -> &Arc<QueryService> {
+        &self.service
+    }
+
+    /// Plan and execute `query` on this worker's current snapshot (grabbed
+    /// lock-free when no publish happened since the last request).
+    pub fn execute(&self, query: &JoinQuery) -> Result<QueryResponse, ServeError> {
+        let snapshot = self.reader.snapshot();
+        self.service.execute_on(query, &snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpb_data::RelationBuilder;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.insert(RelationBuilder::binary_from_pairs(
+            "E",
+            "a",
+            "b",
+            (0..80u64).map(|i| (i % 12, (i * 5 + 2) % 12)),
+        ));
+        c
+    }
+
+    #[test]
+    fn hit_path_skips_lp_work_entirely() {
+        let service = QueryService::with_config(
+            ServeConfig {
+                gather_window: Duration::ZERO,
+                ..ServeConfig::default()
+            },
+            catalog(),
+        );
+        let q = JoinQuery::triangle("E", "E", "E");
+        let cold = service.execute(&q).unwrap();
+        assert!(!cold.cache_hit);
+        assert_eq!(cold.coalesced_batch, 1);
+        assert!(cold.plan_stats.total_pivots() > 0);
+        assert_eq!(cold.certificate_violations, 0);
+
+        let hot = service.execute(&q).unwrap();
+        assert!(hot.cache_hit);
+        assert_eq!(hot.coalesced_batch, 0);
+        assert_eq!(hot.plan_stats, SolverStats::default());
+        assert!(Arc::ptr_eq(&cold.plan, &hot.plan));
+        assert_eq!(hot.output_size, cold.output_size);
+
+        let stats = service.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.certificate_violations, 0);
+    }
+
+    /// S3 end-to-end at the service layer: hit → publish a replace (epoch
+    /// bump) → the same shape must re-plan, and the new answer reflects the
+    /// new data.
+    #[test]
+    fn relation_replace_invalidates_served_plans() {
+        let service = QueryService::with_config(
+            ServeConfig {
+                gather_window: Duration::ZERO,
+                ..ServeConfig::default()
+            },
+            catalog(),
+        );
+        let q = JoinQuery::path(&["E", "E"]);
+        let before = service.execute(&q).unwrap();
+        assert!(service.execute(&q).unwrap().cache_hit);
+
+        let epoch = service.replace_relation(RelationBuilder::binary_from_pairs(
+            "E",
+            "a",
+            "b",
+            (0..3u64).map(|i| (i, i + 1)),
+        ));
+        assert_eq!(epoch, before.epoch + 1);
+        let after = service.execute(&q).unwrap();
+        assert!(!after.cache_hit, "stale plan served after a replace");
+        assert_eq!(after.epoch, epoch);
+        // 0→1→2, 1→2→3: two 2-paths on the replacement data.
+        assert_eq!(after.output_size, 2);
+        assert_ne!(after.output_size, before.output_size);
+        // Old and new generations both cached now.
+        assert!(service.execute(&q).unwrap().cache_hit);
+    }
+
+    /// S3, feedback path: an `absorb_observed` publish must invalidate
+    /// exactly like a replace.
+    #[test]
+    fn absorb_observed_invalidates_served_plans() {
+        let service = QueryService::with_config(
+            ServeConfig {
+                gather_window: Duration::ZERO,
+                ..ServeConfig::default()
+            },
+            catalog(),
+        );
+        let q = JoinQuery::triangle("E", "E", "E");
+        let before = service.execute(&q).unwrap();
+        assert!(service.execute(&q).unwrap().cache_hit);
+        let epoch = service
+            .absorb_observed(RelationBuilder::binary_from_pairs(
+                "Obs",
+                "x",
+                "y",
+                (0..5u64).map(|i| (i, i)),
+            ))
+            .unwrap();
+        assert_eq!(epoch, before.epoch + 1);
+        let after = service.execute(&q).unwrap();
+        assert!(!after.cache_hit, "stale plan served after absorb_observed");
+        // Same base data, so the answer is unchanged — only the plan was
+        // re-proved against the new statistics epoch.
+        assert_eq!(after.output_size, before.output_size);
+    }
+
+    /// Writers never disturb in-flight readers: a worker that grabbed a
+    /// snapshot keeps executing on it (same answers, zero violations)
+    /// across publishes, and sees the new data on its next admission.
+    #[test]
+    fn workers_finish_on_their_admission_snapshot() {
+        let service = Arc::new(QueryService::with_config(
+            ServeConfig {
+                gather_window: Duration::ZERO,
+                ..ServeConfig::default()
+            },
+            catalog(),
+        ));
+        let worker = Worker::new(Arc::clone(&service));
+        let q = JoinQuery::path(&["E", "E"]);
+        let first = worker.execute(&q).unwrap();
+
+        // Publish mid-"session"; the worker's next request admits the new
+        // snapshot (generation check) and answers from the new data.
+        service.replace_relation(RelationBuilder::binary_from_pairs(
+            "E",
+            "a",
+            "b",
+            (0..3u64).map(|i| (i, i + 1)),
+        ));
+        let second = worker.execute(&q).unwrap();
+        assert_eq!(second.epoch, first.epoch + 1);
+        assert_eq!(second.output_size, 2);
+        assert_eq!(first.certificate_violations, 0);
+        assert_eq!(second.certificate_violations, 0);
+        assert_eq!(service.stats().publishes, 1);
+    }
+}

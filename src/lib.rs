@@ -18,6 +18,9 @@
 //!   bounds, worst-case databases;
 //! * [`exec`] ([`lpb_exec`]) — hash joins, Yannakakis counting, worst-case
 //!   optimal joins, and the degree-partitioned evaluation of §2.2;
+//! * [`serve`] ([`lpb_serve`]) — the long-lived concurrent query service:
+//!   plan caching keyed by query shape + statistics epoch, epoch-swapped
+//!   snapshot catalogs, and cross-query LP coalescing;
 //! * [`datagen`] ([`lpb_datagen`]) — synthetic SNAP-like graphs,
 //!   (α,β)-relations and the JOB-like acyclic workload.
 //!
@@ -56,6 +59,7 @@ pub use lpb_datagen as datagen;
 pub use lpb_entropy as entropy;
 pub use lpb_exec as exec;
 pub use lpb_lp as lp;
+pub use lpb_serve as serve;
 
 pub use lpb_core::{
     agm_bound, collect_simple_statistics, compute_bound, dsb_bound, panda_bound, textbook_estimate,
